@@ -1,0 +1,24 @@
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/adpcm_player.exe
+	dune exec examples/idea_crypto.exe
+	dune exec examples/portability.exe
+	dune exec examples/multiprogramming.exe
+	dune exec examples/trace_explorer.exe
+	dune exec examples/codesign_flow.exe
+
+clean:
+	dune clean
