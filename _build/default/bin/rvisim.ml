@@ -1,0 +1,436 @@
+(* rvisim — command-line front-end to the reproduction.
+
+   Examples:
+     rvisim fig8
+     rvisim fig9 --device epxa4 --policy lru --sizes 4,8,16,32,64
+     rvisim run --app idea --impl vim --size 16384 --csv
+     rvisim all *)
+
+open Cmdliner
+
+let device_arg =
+  let parse s =
+    match Rvi_fpga.Device.by_name s with
+    | Some d -> Ok d
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown device %S (known: %s)" s
+              (String.concat ", "
+                 (List.map
+                    (fun d -> d.Rvi_fpga.Device.name)
+                    Rvi_fpga.Device.all))))
+  in
+  let print ppf d = Format.fprintf ppf "%s" d.Rvi_fpga.Device.name in
+  Arg.conv (parse, print)
+
+let device =
+  Arg.(
+    value
+    & opt device_arg Rvi_fpga.Device.epxa1
+    & info [ "device" ] ~docv:"NAME" ~doc:"Target device (EPXA1/EPXA4/EPXA10).")
+
+let policy =
+  Arg.(
+    value & opt string "fifo"
+    & info [ "policy" ] ~docv:"NAME"
+        ~doc:"Replacement policy: fifo, lru, random, second-chance.")
+
+let transfer =
+  Arg.(
+    value
+    & opt (enum [ ("double", Rvi_core.Vim.Double); ("single", Rvi_core.Vim.Single) ])
+        Rvi_core.Vim.Double
+    & info [ "transfer" ] ~docv:"MODE"
+        ~doc:"Page transfer mode: double (paper's naive VIM) or single.")
+
+let prefetch =
+  Arg.(
+    value & opt int 0
+    & info [ "prefetch" ] ~docv:"DEPTH"
+        ~doc:"Sequential prefetch depth (0 disables).")
+
+let pipelined =
+  Arg.(
+    value & flag
+    & info [ "pipelined-imu" ] ~doc:"Use the pipelined IMU variant.")
+
+let tlb_entries =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tlb" ] ~docv:"N" ~doc:"TLB entries (default: one per page).")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+
+let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit rows as CSV.")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit rows as JSON.")
+
+let sizes_kb =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "sizes" ] ~docv:"KB,KB,..." ~doc:"Input sizes in KB.")
+
+let config device policy transfer prefetch pipelined tlb_entries seed =
+  let base = Rvi_harness.Config.default () in
+  let cfg =
+    {
+      base with
+      Rvi_harness.Config.device;
+      transfer;
+      prefetch =
+        (if prefetch > 0 then Rvi_core.Prefetch.sequential ~depth:prefetch
+         else Rvi_core.Prefetch.off);
+      imu_kind =
+        (if pipelined then Rvi_harness.Config.Pipelined
+         else Rvi_harness.Config.Four_cycle);
+      tlb_entries;
+      seed;
+    }
+  in
+  Rvi_harness.Config.with_policy cfg policy
+
+let debug =
+  Arg.(
+    value & flag
+    & info [ "debug" ] ~doc:"Print VIM debug logging (page faults, flushes).")
+
+let setup_logs enabled =
+  if enabled then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let config device policy transfer prefetch pipelined tlb_entries seed debug =
+  setup_logs debug;
+  config device policy transfer prefetch pipelined tlb_entries seed
+
+let config_term =
+  Term.(
+    const config $ device $ policy $ transfer $ prefetch $ pipelined
+    $ tlb_entries $ seed $ debug)
+
+let ppf = Format.std_formatter
+
+let emit ?(json = false) ~csv rows =
+  if csv then print_string (Rvi_harness.Report.csv rows);
+  if json then print_string (Rvi_harness.Report.json rows)
+
+let fig7_cmd =
+  let vcd_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Also dump the capture as a VCD file.")
+  in
+  let run pipelined vcd_out =
+    let f = Rvi_harness.Experiments.fig7 ~pipelined ppf () in
+    match vcd_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc f.Rvi_harness.Experiments.vcd;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Figure 7: coprocessor read-access timing diagram.")
+    Term.(const run $ pipelined $ vcd_out)
+
+let fig8_cmd =
+  let run cfg csv json sizes =
+    let rows = Rvi_harness.Experiments.fig8 ?sizes_kb:sizes ppf cfg in
+    emit ~json ~csv rows
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Figure 8: adpcmdecode, software vs VIM-based.")
+    Term.(const run $ config_term $ csv $ json_flag $ sizes_kb)
+
+let fig9_cmd =
+  let run cfg csv json sizes =
+    let rows = Rvi_harness.Experiments.fig9 ?sizes_kb:sizes ppf cfg in
+    emit ~json ~csv rows
+  in
+  Cmd.v
+    (Cmd.info "fig9"
+       ~doc:"Figure 9: IDEA, software vs normal coprocessor vs VIM-based.")
+    Term.(const run $ config_term $ csv $ json_flag $ sizes_kb)
+
+let overheads_cmd =
+  let run cfg = ignore (Rvi_harness.Experiments.overheads ppf cfg) in
+  Cmd.v
+    (Cmd.info "overheads" ~doc:"The textual overhead claims of section 4.1.")
+    Term.(const run $ config_term)
+
+let ablations_cmd =
+  let run cfg =
+    ignore (Rvi_harness.Experiments.ablation_policy ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_prefetch ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_pipelined_imu ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_transfer ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_tlb_size ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_chunked_normal ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_dma ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_overlap ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_tlb_org ppf cfg)
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"All design-choice ablations from DESIGN.md.")
+    Term.(const run $ config_term)
+
+let portability_cmd =
+  let run cfg = ignore (Rvi_harness.Experiments.portability ppf cfg) in
+  Cmd.v
+    (Cmd.info "portability"
+       ~doc:"The same binaries across the EPXA device family.")
+    Term.(const run $ config_term)
+
+let run_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & opt
+          (some
+             (enum
+                [
+                  ("adpcm", `Adpcm);
+                  ("idea", `Idea);
+                  ("vecadd", `Vecadd);
+                  ("fir", `Fir);
+                ]))
+          None
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:"Application: adpcm, idea, vecadd or fir.")
+  in
+  let version =
+    Arg.(
+      value
+      & opt (enum [ ("sw", `Sw); ("vim", `Vim); ("normal", `Normal) ]) `Vim
+      & info [ "impl" ] ~docv:"V" ~doc:"Implementation: sw, vim or normal.")
+  in
+  let size =
+    Arg.(
+      value & opt int 4096
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Input size in bytes.")
+  in
+  let run cfg csv app version size =
+    let row =
+      match app with
+      | `Adpcm -> (
+        let input =
+          Rvi_harness.Workload.adpcm_stream ~seed:cfg.Rvi_harness.Config.seed
+            ~bytes:size
+        in
+        match version with
+        | `Sw -> Rvi_harness.Runner.adpcm_sw cfg ~input
+        | `Vim -> Rvi_harness.Runner.adpcm_vim cfg ~input
+        | `Normal -> Rvi_harness.Runner.adpcm_normal cfg ~input)
+      | `Idea -> (
+        let size = size - (size mod 8) in
+        let key = Rvi_harness.Workload.idea_key ~seed:cfg.Rvi_harness.Config.seed in
+        let input =
+          Rvi_harness.Workload.idea_plaintext ~seed:cfg.Rvi_harness.Config.seed
+            ~bytes:size
+        in
+        match version with
+        | `Sw -> Rvi_harness.Runner.idea_sw cfg ~key ~input
+        | `Vim -> Rvi_harness.Runner.idea_vim cfg ~key ~input
+        | `Normal -> Rvi_harness.Runner.idea_normal cfg ~key ~input)
+      | `Fir -> (
+        let size = size - (size mod 2) in
+        let coeffs = Rvi_harness.Workload.fir_coeffs ~taps:16 in
+        let input =
+          Rvi_harness.Workload.fir_signal ~seed:cfg.Rvi_harness.Config.seed
+            ~bytes:size
+        in
+        match version with
+        | `Sw -> Rvi_harness.Runner.fir_sw cfg ~coeffs ~shift:12 ~input
+        | `Vim -> Rvi_harness.Runner.fir_vim cfg ~coeffs ~shift:12 ~input
+        | `Normal -> Rvi_harness.Runner.fir_normal cfg ~coeffs ~shift:12 ~input)
+      | `Vecadd -> (
+        let n = size / 8 in
+        let a, b =
+          Rvi_harness.Workload.vectors ~seed:cfg.Rvi_harness.Config.seed ~n
+        in
+        match version with
+        | `Sw -> Rvi_harness.Runner.vecadd_sw cfg ~a ~b
+        | `Vim | `Normal -> Rvi_harness.Runner.vecadd_vim cfg ~a ~b)
+    in
+    Rvi_harness.Report.print_table ppf [ row ];
+    emit ~csv [ row ];
+    if not (Rvi_harness.Report.ok row) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application/version/size point.")
+    Term.(const run $ config_term $ csv $ app_arg $ version $ size)
+
+let ext_fir_cmd =
+  let run cfg csv sizes =
+    let rows = Rvi_harness.Experiments.ext_fir ?sizes_kb:sizes ppf cfg in
+    emit ~csv rows
+  in
+  Cmd.v
+    (Cmd.info "ext-fir" ~doc:"Extension: the FIR filter application.")
+    Term.(const run $ config_term $ csv $ sizes_kb)
+
+let miss_curve_cmd =
+  let run cfg = ignore (Rvi_harness.Experiments.miss_curve ppf cfg) in
+  Cmd.v
+    (Cmd.info "miss-curve"
+       ~doc:"Extension: miss-ratio curve from the IMU access trace.")
+    Term.(const run $ config_term)
+
+let ext_cbc_cmd =
+  let run cfg csv =
+    let rows = Rvi_harness.Experiments.ext_cbc ppf cfg in
+    emit ~csv rows
+  in
+  Cmd.v
+    (Cmd.info "ext-cbc"
+       ~doc:"Extension: ECB/CBC modes on the pipelined IDEA core.")
+    Term.(const run $ config_term $ csv)
+
+let multiprog_cmd =
+  let jobs_per_app =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs-per-app" ] ~docv:"N" ~doc:"Jobs per application kind.")
+  in
+  let run cfg jobs_per_app =
+    ignore (Rvi_harness.Experiments.multiprogramming ~jobs_per_app ppf cfg)
+  in
+  Cmd.v
+    (Cmd.info "multiprog"
+       ~doc:"Extension: lattice scheduling of a mixed job batch.")
+    Term.(const run $ config_term $ jobs_per_app)
+
+let ext_oracle_cmd =
+  let run cfg = ignore (Rvi_harness.Experiments.ext_oracle ppf cfg) in
+  Cmd.v
+    (Cmd.info "ext-oracle"
+       ~doc:
+         "Extension: profile-guided Belady replacement (the 'efficient \
+          allocation algorithms' of the paper's conclusion).")
+    Term.(const run $ config_term)
+
+let ext_dual_cmd =
+  let run cfg = ignore (Rvi_harness.Experiments.ext_dual ppf cfg) in
+  Cmd.v
+    (Cmd.info "ext-dual"
+       ~doc:"Extension: two coprocessors behind one IMU via the arbiter.")
+    Term.(const run $ config_term)
+
+let sensitivity_cmd =
+  let run cfg = ignore (Rvi_harness.Experiments.sensitivity ppf cfg) in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Robustness of the conclusions to the AHB copy-cost calibration.")
+    Term.(const run $ config_term)
+
+let sweeps_cmd =
+  let run cfg =
+    ignore (Rvi_harness.Experiments.sweep_page_size ppf cfg);
+    ignore (Rvi_harness.Experiments.sweep_memory_size ppf cfg)
+  in
+  Cmd.v
+    (Cmd.info "sweeps"
+       ~doc:"Page-size and memory-size sweeps of the interface geometry.")
+    Term.(const run $ config_term)
+
+let emit_stubs_cmd =
+  let outdir =
+    Arg.(
+      value & opt string "stubs"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory (created).")
+  in
+  let run outdir =
+    if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    List.iter
+      (fun spec ->
+        List.iter
+          (fun (file, contents) ->
+            let path = Filename.concat outdir file in
+            let oc = open_out path in
+            output_string oc contents;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          (Rvi_core.Stub_gen.emit_all spec))
+      Rvi_core.Stub_gen.[ vecadd_spec; adpcm_spec; idea_spec; fir_spec ]
+  in
+  Cmd.v
+    (Cmd.info "emit-stubs"
+       ~doc:"Generate the C application stubs for the shipped coprocessors.")
+    Term.(const run $ outdir)
+
+let emit_vhdl_cmd =
+  let entity_name =
+    Arg.(
+      value & opt string "my_coproc"
+      & info [ "name" ] ~docv:"IDENT" ~doc:"Coprocessor entity name.")
+  in
+  let outdir =
+    Arg.(
+      value & opt string "vhdl"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory (created).")
+  in
+  let run device pipelined name outdir =
+    let imu_config =
+      if pipelined then Rvi_core.Imu.pipelined_config
+      else Rvi_core.Imu.default_config
+    in
+    let design = Rvi_core.Vhdl_gen.make ~name ~device ~imu_config () in
+    if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    List.iter
+      (fun (file, contents) ->
+        let path = Filename.concat outdir file in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      (Rvi_core.Vhdl_gen.emit_all design)
+  in
+  Cmd.v
+    (Cmd.info "emit-vhdl"
+       ~doc:
+         "Generate the VHDL interface skeletons (package, portable \
+          coprocessor entity, platform IMU entity, stripe wrapper).")
+    Term.(const run $ device $ pipelined $ entity_name $ outdir)
+
+let all_cmd =
+  let run cfg = Rvi_harness.Experiments.all ppf cfg in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Every figure, claim and ablation in sequence.")
+    Term.(const run $ config_term)
+
+let () =
+  let doc =
+    "reproduction of 'Operating System Support for Interface Virtualisation \
+     of Reconfigurable Coprocessors' (DATE 2004)"
+  in
+  let info = Cmd.info "rvisim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig7_cmd;
+            fig8_cmd;
+            fig9_cmd;
+            overheads_cmd;
+            ablations_cmd;
+            portability_cmd;
+            ext_fir_cmd;
+            ext_cbc_cmd;
+            miss_curve_cmd;
+            multiprog_cmd;
+            sweeps_cmd;
+            sensitivity_cmd;
+            ext_dual_cmd;
+            ext_oracle_cmd;
+            emit_vhdl_cmd;
+            emit_stubs_cmd;
+            run_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adpcm_player.ml: Bytes Char Format Printf Rvi_coproc Rvi_fpga Rvi_harness String

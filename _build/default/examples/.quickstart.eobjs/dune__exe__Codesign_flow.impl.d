@@ -1,0 +1,1 @@
+examples/codesign_flow.ml: Array Bytes Char Filename List Printf Rvi_coproc Rvi_core Rvi_fpga Rvi_harness String Sys

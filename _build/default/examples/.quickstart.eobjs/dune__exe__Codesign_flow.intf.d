@@ -1,0 +1,1 @@
+examples/codesign_flow.mli:

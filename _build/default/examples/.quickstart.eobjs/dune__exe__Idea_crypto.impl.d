@@ -1,0 +1,1 @@
+examples/idea_crypto.ml: Array Bytes Printf Rvi_coproc Rvi_harness Rvi_sim String

@@ -1,0 +1,1 @@
+examples/idea_crypto.mli:

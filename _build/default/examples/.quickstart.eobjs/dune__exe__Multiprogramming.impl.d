@@ -1,0 +1,1 @@
+examples/multiprogramming.ml: List Printf Rvi_fpga Rvi_harness Rvi_sim

@@ -1,0 +1,1 @@
+examples/portability.ml: List Printf Rvi_fpga Rvi_harness Rvi_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Char Printf Rvi_coproc Rvi_core Rvi_fpga Rvi_harness Rvi_os Rvi_sim

@@ -1,0 +1,1 @@
+examples/trace_explorer.ml: Array Bytes Printf Rvi_coproc Rvi_core Rvi_harness Rvi_hw Rvi_mem Rvi_sim

@@ -1,0 +1,1 @@
+lib/coproc/adpcm_coproc.ml: Adpcm_ref Coproc Mem_port Printf Rvi_core Rvi_hw Rvi_sim Vport

@@ -1,0 +1,1 @@
+lib/coproc/adpcm_coproc.mli: Coproc Mem_port Rvi_core Vport

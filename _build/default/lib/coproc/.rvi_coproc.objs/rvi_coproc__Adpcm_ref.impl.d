@@ -1,0 +1,1 @@
+lib/coproc/adpcm_ref.ml: Array Bytes Char

@@ -1,0 +1,1 @@
+lib/coproc/arbiter.ml: Array Rvi_core Rvi_sim

@@ -1,0 +1,1 @@
+lib/coproc/arbiter.mli: Rvi_core Rvi_sim

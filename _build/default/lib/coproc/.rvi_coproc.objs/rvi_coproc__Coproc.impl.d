@@ -1,0 +1,1 @@
+lib/coproc/coproc.ml: Rvi_sim

@@ -1,0 +1,1 @@
+lib/coproc/coproc.mli: Rvi_sim

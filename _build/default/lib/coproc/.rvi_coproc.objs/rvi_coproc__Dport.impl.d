@@ -1,0 +1,1 @@
+lib/coproc/dport.ml: Array Hashtbl Rvi_core Rvi_mem

@@ -1,0 +1,1 @@
+lib/coproc/dport.mli: Mem_port Rvi_mem

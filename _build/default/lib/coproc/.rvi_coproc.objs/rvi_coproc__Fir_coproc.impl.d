@@ -1,0 +1,1 @@
+lib/coproc/fir_coproc.ml: Array Coproc Fir_ref Mem_port Printf Rvi_core Rvi_hw Rvi_sim Vport

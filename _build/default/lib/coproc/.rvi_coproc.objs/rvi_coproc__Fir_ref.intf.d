@@ -1,0 +1,1 @@
+lib/coproc/fir_ref.mli: Bytes

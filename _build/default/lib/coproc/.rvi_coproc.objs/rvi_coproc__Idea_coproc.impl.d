@@ -1,0 +1,1 @@
+lib/coproc/idea_coproc.ml: Array Coproc Idea_ref Mem_port Option Printf Rvi_core Rvi_hw Rvi_sim Vport

@@ -1,0 +1,1 @@
+lib/coproc/idea_ref.ml: Array Bytes Char

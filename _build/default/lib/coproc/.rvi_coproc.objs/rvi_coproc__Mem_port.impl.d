@@ -1,0 +1,1 @@
+lib/coproc/mem_port.ml: Rvi_core

@@ -1,0 +1,1 @@
+lib/coproc/normal_driver.ml: Bytes Coproc Dport List Printf Rvi_core Rvi_mem Rvi_os Rvi_sim Stdlib

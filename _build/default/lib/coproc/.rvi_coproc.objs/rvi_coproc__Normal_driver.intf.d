@@ -1,0 +1,1 @@
+lib/coproc/normal_driver.mli: Coproc Dport Rvi_core Rvi_mem Rvi_os Rvi_sim

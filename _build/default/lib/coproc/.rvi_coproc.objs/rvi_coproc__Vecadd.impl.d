@@ -1,0 +1,1 @@
+lib/coproc/vecadd.ml: Array Coproc Mem_port Printf Rvi_core Rvi_hw Rvi_sim Vport

@@ -1,0 +1,1 @@
+lib/coproc/vecadd.mli: Coproc Mem_port Rvi_core Vport

@@ -1,0 +1,1 @@
+lib/coproc/vport.ml: Rvi_core Rvi_sim

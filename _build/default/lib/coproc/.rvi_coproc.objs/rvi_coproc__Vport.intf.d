@@ -1,0 +1,1 @@
+lib/coproc/vport.mli: Mem_port Rvi_core Rvi_sim

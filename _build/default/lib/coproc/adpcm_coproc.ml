@@ -1,0 +1,145 @@
+module Cp_port = Rvi_core.Cp_port
+
+let obj_in = 0
+let obj_out = 1
+
+(* The serial decode unit: step-table lookup, three conditional adds, two
+   clamps and the index update, one operation class per cycle. *)
+let decode_cycles = 14
+
+(* Table lookups, branches and 16-bit saturation on the ARM. *)
+let sw_cycles_per_sample = 146
+
+module Make (P : Mem_port.S) = struct
+  type state =
+    | Wait_start
+    | Read_param
+    | Wait_param
+    | Wait_byte of int (* byte index *)
+    | Decode of { byte_index : int; high : bool; left : int }
+    | Wait_write of { byte_index : int; high : bool }
+    | Done
+
+  let show = function
+    | Wait_start -> "wait_start"
+    | Read_param -> "rd_param"
+    | Wait_param -> "wait_param"
+    | Wait_byte i -> Printf.sprintf "wait_byte[%d]" i
+    | Decode { byte_index; high; left } ->
+      Printf.sprintf "decode[%d.%c:%d]" byte_index (if high then 'h' else 'l') left
+    | Wait_write { byte_index; high } ->
+      Printf.sprintf "wait_wr[%d.%c]" byte_index (if high then 'h' else 'l')
+    | Done -> "done"
+
+  type m = {
+    port : P.t;
+    fsm : state Rvi_hw.Fsm.t;
+    mutable n_bytes : int;
+    mutable byte : int;
+    mutable decoder : Adpcm_ref.state;
+    stats : Rvi_sim.Stats.t;
+  }
+
+  let begin_run m =
+    m.decoder <- Adpcm_ref.initial_state ();
+    Mem_port.read_param
+      ~issue:(fun ~region ~addr ->
+        P.issue m.port ~region ~addr ~wr:false ~width:Cp_port.W32 ~data:0)
+      ~index:0;
+    Rvi_hw.Fsm.goto m.fsm Wait_param
+
+  let fetch m i =
+    P.issue m.port ~region:obj_in ~addr:i ~wr:false ~width:Cp_port.W8 ~data:0;
+    Rvi_hw.Fsm.goto m.fsm (Wait_byte i)
+
+  (* Sample index produced by the given nibble of the given byte. *)
+  let sample_index ~byte_index ~high = (2 * byte_index) + if high then 1 else 0
+
+  let compute m =
+    P.sample m.port;
+    Rvi_sim.Stats.incr m.stats "cycles";
+    match Rvi_hw.Fsm.state m.fsm with
+    | Wait_start ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
+      else Rvi_hw.Fsm.stay m.fsm
+    | Read_param -> begin_run m
+    | Wait_param ->
+      if P.ready m.port then begin
+        m.n_bytes <- P.data m.port;
+        if m.n_bytes = 0 then begin
+          P.finish m.port;
+          Rvi_hw.Fsm.goto m.fsm Done
+        end
+        else fetch m 0
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Wait_byte i ->
+      if P.ready m.port then begin
+        m.byte <- P.data m.port land 0xFF;
+        Rvi_hw.Fsm.goto m.fsm
+          (Decode { byte_index = i; high = false; left = decode_cycles })
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Decode { byte_index; high; left } ->
+      if left > 1 then
+        Rvi_hw.Fsm.goto m.fsm (Decode { byte_index; high; left = left - 1 })
+      else begin
+        let code = if high then m.byte lsr 4 else m.byte land 0xF in
+        let sample = Adpcm_ref.decode_nibble m.decoder code land 0xFFFF in
+        P.issue m.port ~region:obj_out
+          ~addr:(2 * sample_index ~byte_index ~high)
+          ~wr:true ~width:Cp_port.W16 ~data:sample;
+        Rvi_sim.Stats.incr m.stats "samples";
+        Rvi_hw.Fsm.goto m.fsm (Wait_write { byte_index; high })
+      end
+    | Wait_write { byte_index; high } ->
+      if P.ready m.port then
+        if not high then
+          Rvi_hw.Fsm.goto m.fsm
+            (Decode { byte_index; high = true; left = decode_cycles })
+        else if byte_index + 1 < m.n_bytes then fetch m (byte_index + 1)
+        else begin
+          P.finish m.port;
+          Rvi_hw.Fsm.goto m.fsm Done
+        end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Done ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
+      else Rvi_hw.Fsm.stay m.fsm
+
+  let create port =
+    let m =
+      {
+        port;
+        fsm = Rvi_hw.Fsm.create ~name:"adpcmdecode" ~init:Wait_start ~show;
+        n_bytes = 0;
+        byte = 0;
+        decoder = Adpcm_ref.initial_state ();
+        stats = Rvi_sim.Stats.create ();
+      }
+    in
+    {
+      Coproc.name = "adpcmdecode";
+      component =
+        Rvi_sim.Clock.component ~name:"adpcmdecode"
+          ~compute:(fun () -> compute m)
+          ~commit:(fun () ->
+            Rvi_hw.Fsm.commit m.fsm;
+            P.commit m.port);
+      finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
+      reset =
+        (fun () ->
+          Rvi_hw.Fsm.reset m.fsm Wait_start;
+          m.n_bytes <- 0;
+          P.reset m.port);
+      stats = m.stats;
+    }
+end
+
+module Virtual = struct
+  module M = Make (Vport)
+
+  let create port =
+    let vport = Vport.create port in
+    (vport, M.create vport)
+end

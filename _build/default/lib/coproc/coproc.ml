@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  component : Rvi_sim.Clock.component;
+  finished : unit -> bool;
+  reset : unit -> unit;
+  stats : Rvi_sim.Stats.t;
+}

@@ -1,0 +1,14 @@
+(** Common shape of an instantiated coprocessor.
+
+    A coprocessor is a clocked component plus the little state the system
+    integrator needs: whether it has completed, a reset for re-execution,
+    and its activity counters. Instances are produced by the [Make]
+    functors in {!Vecadd}, {!Adpcm_coproc} and {!Idea_coproc}. *)
+
+type t = {
+  name : string;
+  component : Rvi_sim.Clock.component;
+  finished : unit -> bool;
+  reset : unit -> unit;
+  stats : Rvi_sim.Stats.t;
+}

@@ -1,0 +1,112 @@
+module Cp_port = Rvi_core.Cp_port
+
+exception Out_of_region of { region : int; addr : int }
+
+type request = {
+  region : int;
+  addr : int;
+  wr : bool;
+  width : Cp_port.width;
+  data : int;
+}
+
+type t = {
+  dpram : Rvi_mem.Dpram.t;
+  regions : (int, int * int) Hashtbl.t; (* region -> base, size *)
+  mutable params : int array;
+  mutable pending : request option; (* issued this cycle *)
+  mutable inflight : request option; (* in the RAM, completes next sample *)
+  mutable ready_now : bool;
+  mutable data_now : int;
+  mutable start_req : bool;
+  mutable start_now : bool;
+  mutable fin : bool;
+  mutable accesses : int;
+}
+
+let create ~dpram =
+  {
+    dpram;
+    regions = Hashtbl.create 8;
+    params = [||];
+    pending = None;
+    inflight = None;
+    ready_now = false;
+    data_now = 0;
+    start_req = false;
+    start_now = false;
+    fin = false;
+    accesses = 0;
+  }
+
+let set_region t ~region ~base ~size =
+  if base < 0 || size < 0 || base + size > Rvi_mem.Dpram.size t.dpram then
+    invalid_arg "Dport.set_region: window outside the dual-port RAM";
+  Hashtbl.replace t.regions region (base, size)
+
+let set_params t params = t.params <- Array.of_list params
+let assert_start t = t.start_req <- true
+let finished t = t.fin
+
+let perform t r =
+  if r.region = Cp_port.param_obj then begin
+    let index = r.addr / 4 in
+    if r.wr || index < 0 || index >= Array.length t.params then
+      raise (Out_of_region { region = r.region; addr = r.addr });
+    t.data_now <- t.params.(index)
+  end
+  else begin
+    match Hashtbl.find_opt t.regions r.region with
+    | None -> raise (Out_of_region { region = r.region; addr = r.addr })
+    | Some (base, size) ->
+      let bytes = Cp_port.width_bytes r.width in
+      if r.addr < 0 || r.addr + bytes > size then
+        raise (Out_of_region { region = r.region; addr = r.addr });
+      let width = Cp_port.width_bits r.width in
+      if r.wr then Rvi_mem.Dpram.write t.dpram ~width (base + r.addr) r.data
+      else t.data_now <- Rvi_mem.Dpram.read t.dpram ~width (base + r.addr)
+  end
+
+let sample t =
+  t.start_now <- t.start_req;
+  if t.start_now then begin
+    t.start_req <- false;
+    t.fin <- false
+  end;
+  t.ready_now <- false;
+  match t.inflight with
+  | Some r ->
+    perform t r;
+    t.inflight <- None;
+    t.ready_now <- true
+  | None -> ()
+
+let start_seen t = t.start_now
+let busy t = t.pending <> None || t.inflight <> None
+let ready t = t.ready_now
+let data t = t.data_now
+
+let issue t ~region ~addr ~wr ~width ~data =
+  assert (not (busy t));
+  t.pending <- Some { region; addr; wr; width; data };
+  t.accesses <- t.accesses + 1
+
+let finish t = t.fin <- true
+
+let commit t =
+  match t.pending with
+  | Some r ->
+    t.inflight <- Some r;
+    t.pending <- None
+  | None -> ()
+
+let reset t =
+  t.pending <- None;
+  t.inflight <- None;
+  t.ready_now <- false;
+  t.data_now <- 0;
+  t.start_req <- false;
+  t.start_now <- false;
+  t.fin <- false
+
+let accesses t = t.accesses

@@ -1,0 +1,25 @@
+(** {!Mem_port.S} with raw physical dual-port-RAM access — the "typical
+    coprocessor" baseline.
+
+    No IMU: every access completes in a single cycle against a hardwired
+    base-address table that the driver (i.e. the programmer) must fill with
+    the physical location of each array, exactly the burden Figure 3's
+    middle listing shows. Out-of-bounds accesses fail the run — this is
+    what "exceeds available memory" means for the normal coprocessor in
+    Figure 9. Parameters are read from a register file poked by the
+    driver. *)
+
+include Mem_port.S
+
+exception Out_of_region of { region : int; addr : int }
+
+val create : dpram:Rvi_mem.Dpram.t -> t
+
+val set_region : t -> region:int -> base:int -> size:int -> unit
+(** Hardwire a region's physical window. Raises [Invalid_argument] if the
+    window exceeds the memory. *)
+
+val set_params : t -> int list -> unit
+val assert_start : t -> unit
+val finished : t -> bool
+val accesses : t -> int

@@ -1,0 +1,179 @@
+module Cp_port = Rvi_core.Cp_port
+
+let obj_in = 0
+let obj_coeff = 1
+let obj_out = 2
+let mac_cycles_per_tap = 1
+
+let params ~n_out ~taps ~shift = [ n_out; taps; shift ]
+
+let sat16 v = if v < -32768 then -32768 else if v > 32767 then 32767 else v
+let to_s16 u = if u land 0x8000 <> 0 then (u land 0xFFFF) - 0x10000 else u land 0xFFFF
+
+module Make (P : Mem_port.S) = struct
+  type state =
+    | Wait_start
+    | Read_param of int
+    | Wait_param of int
+    | Load_coeff of int
+    | Wait_coeff of int
+    | Fill_window of int (* samples read so far *)
+    | Wait_fill of int
+    | Fetch of int (* output index: read x[i + taps - 1] *)
+    | Wait_sample of int
+    | Mac of { out_index : int; tap : int; acc : int }
+    | Wait_write of int
+    | Done
+
+  let show = function
+    | Wait_start -> "wait_start"
+    | Read_param i -> Printf.sprintf "rd_param[%d]" i
+    | Wait_param i -> Printf.sprintf "wait_param[%d]" i
+    | Load_coeff i -> Printf.sprintf "ld_coeff[%d]" i
+    | Wait_coeff i -> Printf.sprintf "wait_coeff[%d]" i
+    | Fill_window i -> Printf.sprintf "fill[%d]" i
+    | Wait_fill i -> Printf.sprintf "wait_fill[%d]" i
+    | Fetch i -> Printf.sprintf "fetch[%d]" i
+    | Wait_sample i -> Printf.sprintf "wait_x[%d]" i
+    | Mac { out_index; tap; _ } -> Printf.sprintf "mac[%d.%d]" out_index tap
+    | Wait_write i -> Printf.sprintf "wait_wr[%d]" i
+    | Done -> "done"
+
+  type m = {
+    port : P.t;
+    fsm : state Rvi_hw.Fsm.t;
+    mutable n_out : int;
+    mutable taps : int;
+    mutable shift : int;
+    coeffs : int array; (* register file *)
+    window : int array; (* sliding sample window *)
+    stats : Rvi_sim.Stats.t;
+  }
+
+  let read16 m ~obj ~index =
+    P.issue m.port ~region:obj ~addr:(2 * index) ~wr:false ~width:Cp_port.W16
+      ~data:0
+
+  let compute m =
+    P.sample m.port;
+    Rvi_sim.Stats.incr m.stats "cycles";
+    match Rvi_hw.Fsm.state m.fsm with
+    | Wait_start ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
+      else Rvi_hw.Fsm.stay m.fsm
+    | Read_param i ->
+      Mem_port.read_param
+        ~issue:(fun ~region ~addr ->
+          P.issue m.port ~region ~addr ~wr:false ~width:Cp_port.W32 ~data:0)
+        ~index:i;
+      Rvi_hw.Fsm.goto m.fsm (Wait_param i)
+    | Wait_param i ->
+      if P.ready m.port then begin
+        (match i with
+        | 0 -> m.n_out <- P.data m.port
+        | 1 -> m.taps <- P.data m.port
+        | _ -> m.shift <- P.data m.port);
+        if i < 2 then Rvi_hw.Fsm.goto m.fsm (Read_param (i + 1))
+        else if m.n_out = 0 || m.taps = 0 || m.taps > Fir_ref.max_taps then begin
+          P.finish m.port;
+          Rvi_hw.Fsm.goto m.fsm Done
+        end
+        else Rvi_hw.Fsm.goto m.fsm (Load_coeff 0)
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Load_coeff i ->
+      read16 m ~obj:obj_coeff ~index:i;
+      Rvi_hw.Fsm.goto m.fsm (Wait_coeff i)
+    | Wait_coeff i ->
+      if P.ready m.port then begin
+        m.coeffs.(i) <- to_s16 (P.data m.port);
+        if i + 1 < m.taps then Rvi_hw.Fsm.goto m.fsm (Load_coeff (i + 1))
+        else Rvi_hw.Fsm.goto m.fsm (Fill_window 0)
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Fill_window i ->
+      if i = m.taps - 1 then Rvi_hw.Fsm.goto m.fsm (Fetch 0)
+      else begin
+        read16 m ~obj:obj_in ~index:i;
+        Rvi_hw.Fsm.goto m.fsm (Wait_fill i)
+      end
+    | Wait_fill i ->
+      if P.ready m.port then begin
+        m.window.(i) <- to_s16 (P.data m.port);
+        Rvi_hw.Fsm.goto m.fsm (Fill_window (i + 1))
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Fetch i ->
+      read16 m ~obj:obj_in ~index:(i + m.taps - 1);
+      Rvi_hw.Fsm.goto m.fsm (Wait_sample i)
+    | Wait_sample i ->
+      if P.ready m.port then begin
+        m.window.(m.taps - 1) <- to_s16 (P.data m.port);
+        Rvi_hw.Fsm.goto m.fsm (Mac { out_index = i; tap = 0; acc = 0 })
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Mac { out_index; tap; acc } ->
+      (* One multiply-accumulate per cycle through the serial MAC. *)
+      let acc = acc + (m.coeffs.(tap) * m.window.(tap)) in
+      if tap + 1 < m.taps then
+        Rvi_hw.Fsm.goto m.fsm (Mac { out_index; tap = tap + 1; acc })
+      else begin
+        let y = sat16 (acc asr m.shift) land 0xFFFF in
+        P.issue m.port ~region:obj_out ~addr:(2 * out_index) ~wr:true
+          ~width:Cp_port.W16 ~data:y;
+        Rvi_sim.Stats.incr m.stats "outputs";
+        Rvi_hw.Fsm.goto m.fsm (Wait_write out_index)
+      end
+    | Wait_write i ->
+      if P.ready m.port then
+        if i + 1 < m.n_out then begin
+          (* Slide the window by one sample. *)
+          Array.blit m.window 1 m.window 0 (m.taps - 1);
+          Rvi_hw.Fsm.goto m.fsm (Fetch (i + 1))
+        end
+        else begin
+          P.finish m.port;
+          Rvi_hw.Fsm.goto m.fsm Done
+        end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Done ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
+      else Rvi_hw.Fsm.stay m.fsm
+
+  let create port =
+    let m =
+      {
+        port;
+        fsm = Rvi_hw.Fsm.create ~name:"fir" ~init:Wait_start ~show;
+        n_out = 0;
+        taps = 0;
+        shift = 0;
+        coeffs = Array.make Fir_ref.max_taps 0;
+        window = Array.make Fir_ref.max_taps 0;
+        stats = Rvi_sim.Stats.create ();
+      }
+    in
+    {
+      Coproc.name = "fir";
+      component =
+        Rvi_sim.Clock.component ~name:"fir"
+          ~compute:(fun () -> compute m)
+          ~commit:(fun () ->
+            Rvi_hw.Fsm.commit m.fsm;
+            P.commit m.port);
+      finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
+      reset =
+        (fun () ->
+          Rvi_hw.Fsm.reset m.fsm Wait_start;
+          P.reset m.port);
+      stats = m.stats;
+    }
+end
+
+module Virtual = struct
+  module M = Make (Vport)
+
+  let create port =
+    let vport = Vport.create port in
+    (vport, M.create vport)
+end

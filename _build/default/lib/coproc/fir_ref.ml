@@ -1,0 +1,76 @@
+let max_taps = 64
+
+let check_s16 name v =
+  if v < -32768 || v > 32767 then
+    invalid_arg (Printf.sprintf "Fir_ref: %s out of signed 16-bit range" name)
+
+let sat16 v = if v < -32768 then -32768 else if v > 32767 then 32767 else v
+
+let validate ~coeffs ~shift n =
+  let taps = Array.length coeffs in
+  if taps = 0 then invalid_arg "Fir_ref: empty coefficient set";
+  if taps > max_taps then invalid_arg "Fir_ref: too many taps";
+  if taps > n then invalid_arg "Fir_ref: fewer samples than taps";
+  if shift < 0 || shift > 30 then invalid_arg "Fir_ref: shift out of [0, 30]";
+  Array.iter (check_s16 "coefficient") coeffs
+
+let filter ~coeffs ~shift x =
+  validate ~coeffs ~shift (Array.length x);
+  Array.iter (check_s16 "sample") x;
+  let taps = Array.length coeffs in
+  let n_out = Array.length x - taps + 1 in
+  Array.init n_out (fun i ->
+      let acc = ref 0 in
+      for k = 0 to taps - 1 do
+        acc := !acc + (coeffs.(k) * x.(i + k))
+      done;
+      sat16 (!acc asr shift))
+
+let get_s16 b pos =
+  let v = Char.code (Bytes.get b pos) lor (Char.code (Bytes.get b (pos + 1)) lsl 8) in
+  if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let put_s16 b pos v =
+  let u = v land 0xFFFF in
+  Bytes.set b pos (Char.chr (u land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr ((u lsr 8) land 0xFF))
+
+let samples_of_bytes b =
+  if Bytes.length b mod 2 <> 0 then invalid_arg "Fir_ref: odd byte length";
+  Array.init (Bytes.length b / 2) (fun i -> get_s16 b (2 * i))
+
+let bytes_of_samples s =
+  let b = Bytes.create (2 * Array.length s) in
+  Array.iteri (fun i v -> put_s16 b (2 * i) v) s;
+  b
+
+let filter_bytes ~coeffs ~shift input =
+  bytes_of_samples (filter ~coeffs ~shift (samples_of_bytes input))
+
+let output_bytes ~taps input_bytes = input_bytes - (2 * (taps - 1))
+
+let lowpass ~taps ~cutoff =
+  if taps < 1 || taps > max_taps then invalid_arg "Fir_ref.lowpass: bad taps";
+  if cutoff <= 0.0 || cutoff >= 0.5 then
+    invalid_arg "Fir_ref.lowpass: cutoff outside (0, 0.5)";
+  let pi = 4.0 *. atan 1.0 in
+  let mid = float_of_int (taps - 1) /. 2.0 in
+  let raw =
+    Array.init taps (fun k ->
+        let t = float_of_int k -. mid in
+        let sinc =
+          if abs_float t < 1e-9 then 2.0 *. cutoff
+          else sin (2.0 *. pi *. cutoff *. t) /. (pi *. t)
+        in
+        let window =
+          0.54 -. (0.46 *. cos (2.0 *. pi *. float_of_int k /. float_of_int (taps - 1)))
+        in
+        sinc *. window)
+  in
+  (* Scale so the DC gain is about one in Q12, keeping every coefficient
+     within 16 bits. *)
+  let sum = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun c -> sat16 (int_of_float (c /. sum *. 4096.0))) raw
+
+let sw_cycles_per_tap = 9
+let sw_cycles_per_output = 24

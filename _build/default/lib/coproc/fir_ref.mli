@@ -1,0 +1,37 @@
+(** Fixed-point FIR filter — software reference for the DSP workload.
+
+    The paper motivates reconfigurable SoCs with signal processing
+    ("embedded memories and arithmetic blocks suited for signal
+    processing"); this is the corresponding third application: a direct-
+    form FIR with signed 16-bit samples and coefficients, a configurable
+    accumulator right-shift, and saturation back to 16 bits.
+
+    y[i] = sat16( (sum_k h[k] * x[i+k]) >> shift ),  0 <= i < n - taps + 1 *)
+
+val max_taps : int
+(** Largest coefficient count the coprocessor's register file holds (64). *)
+
+val filter : coeffs:int array -> shift:int -> int array -> int array
+(** [filter ~coeffs ~shift x] with [x] of length n returns the
+    [n - taps + 1] filtered samples. Raises [Invalid_argument] if
+    [coeffs] is empty, longer than {!max_taps}, longer than [x], any value
+    is outside signed 16 bits, or [shift] is outside [0, 30]. *)
+
+val filter_bytes : coeffs:int array -> shift:int -> Bytes.t -> Bytes.t
+(** Same over little-endian 16-bit sample buffers (the coprocessor's
+    memory layout). Input length must be even. *)
+
+val output_bytes : taps:int -> int -> int
+(** Output buffer size for a given input buffer size. *)
+
+val lowpass : taps:int -> cutoff:float -> int array
+(** A Hamming-windowed sinc low-pass design quantised to Q15-ish 16-bit
+    coefficients — a realistic coefficient set for the workloads.
+    [cutoff] is the normalised frequency in (0, 0.5). *)
+
+val sw_cycles_per_tap : int
+(** Calibrated ARM cycles per multiply-accumulate of the software
+    version. *)
+
+val sw_cycles_per_output : int
+(** Fixed per-output-sample overhead (load/store, loop, saturation). *)

@@ -1,0 +1,323 @@
+module Cp_port = Rvi_core.Cp_port
+
+let obj_in = 0
+let obj_out = 1
+let stages = 3
+let stage_cycles = 10
+let key_setup_cycles = 64
+
+(* Eight rounds of four 16-bit multiplications mod 2^16+1 in software,
+   each tens of cycles on the ARM922T; 26 ms / 512 blocks at 133 MHz. *)
+let sw_cycles_per_block = 6757
+
+type mode = Ecb_encrypt | Ecb_decrypt | Cbc_encrypt | Cbc_decrypt
+
+let mode_code = function
+  | Ecb_encrypt -> 0
+  | Ecb_decrypt -> 1
+  | Cbc_encrypt -> 2
+  | Cbc_decrypt -> 3
+
+let mode_of_code = function
+  | 0 -> Some Ecb_encrypt
+  | 1 -> Some Ecb_decrypt
+  | 2 -> Some Cbc_encrypt
+  | 3 -> Some Cbc_decrypt
+  | _ -> None
+
+let mode_name = function
+  | Ecb_encrypt -> "ecb-encrypt"
+  | Ecb_decrypt -> "ecb-decrypt"
+  | Cbc_encrypt -> "cbc-encrypt"
+  | Cbc_decrypt -> "cbc-decrypt"
+
+let n_params = 14
+
+let params_mode ~n_blocks ~mode ~key ?(iv = [| 0; 0; 0; 0 |]) () =
+  let key = Idea_ref.key_of_words key in
+  let _ = Idea_ref.iv_of_words iv in
+  (n_blocks :: mode_code mode :: Array.to_list key) @ Array.to_list iv
+
+let params ~n_blocks ~decrypt ~key =
+  params_mode ~n_blocks
+    ~mode:(if decrypt then Ecb_decrypt else Ecb_encrypt)
+    ~key ()
+
+module Make (P : Mem_port.S) = struct
+  type phase =
+    | Wait_start
+    | Read_param of int
+    | Wait_param of int
+    | Key_setup of int
+    | Run
+    | Done
+
+  let show = function
+    | Wait_start -> "wait_start"
+    | Read_param i -> Printf.sprintf "rd_param[%d]" i
+    | Wait_param i -> Printf.sprintf "wait_param[%d]" i
+    | Key_setup n -> Printf.sprintf "key_setup[%d]" n
+    | Run -> "run"
+    | Done -> "done"
+
+  type fetch_state =
+    | F_idle
+    | F_wait_lo
+    | F_hold_lo of int (* low word read, waiting for the port *)
+    | F_wait_hi of int (* low word *)
+  type retire_state = R_idle | R_wait_lo | R_wait_hi
+
+  type slot = { result_lo : int; result_hi : int; mutable left : int }
+
+  type m = {
+    port : P.t;
+    fsm : phase Rvi_hw.Fsm.t;
+    raw_params : int array;
+    mutable n_blocks : int;
+    mutable mode : mode;
+    mutable chain : int * int * int * int;
+    mutable subkeys : int array;
+    (* pipeline *)
+    pipe : slot option array;
+    mutable out_buf : (int * int) option;
+    mutable fetch : fetch_state;
+    mutable fetched : int;
+    mutable retire : retire_state;
+    mutable retire_buf : int * int;
+    mutable retired : int;
+    stats : Rvi_sim.Stats.t;
+  }
+
+  let read_param m i =
+    Mem_port.read_param
+      ~issue:(fun ~region ~addr ->
+        P.issue m.port ~region ~addr ~wr:false ~width:Cp_port.W32 ~data:0)
+      ~index:i
+
+  let setup_keys m =
+    m.mode <- Option.value (mode_of_code m.raw_params.(1)) ~default:Ecb_encrypt;
+    let key = Array.sub m.raw_params 2 8 in
+    let sub = Idea_ref.expand_key key in
+    let decrypting =
+      match m.mode with
+      | Ecb_decrypt | Cbc_decrypt -> true
+      | Ecb_encrypt | Cbc_encrypt -> false
+    in
+    m.subkeys <- (if decrypting then Idea_ref.invert_key sub else sub);
+    m.chain <-
+      ( m.raw_params.(10) land 0xFFFF,
+        m.raw_params.(11) land 0xFFFF,
+        m.raw_params.(12) land 0xFFFF,
+        m.raw_params.(13) land 0xFFFF )
+
+  let begin_run m =
+    m.n_blocks <- m.raw_params.(0);
+    Array.fill m.pipe 0 stages None;
+    m.out_buf <- None;
+    m.fetch <- F_idle;
+    m.fetched <- 0;
+    m.retire <- R_idle;
+    m.retired <- 0;
+    if m.n_blocks = 0 then begin
+      P.finish m.port;
+      Rvi_hw.Fsm.goto m.fsm Done
+    end
+    else Rvi_hw.Fsm.goto m.fsm Run
+
+  (* One cycle of the retire unit. Returns true if it claimed the port. *)
+  let step_retire m =
+    match m.retire with
+    | R_idle -> (
+      match m.out_buf with
+      | Some (lo, hi) when not (P.busy m.port) ->
+        m.out_buf <- None;
+        m.retire_buf <- (lo, hi);
+        P.issue m.port ~region:obj_out ~addr:(8 * m.retired) ~wr:true
+          ~width:Cp_port.W32 ~data:lo;
+        m.retire <- R_wait_lo;
+        true
+      | Some _ | None -> false)
+    | R_wait_lo ->
+      if P.ready m.port then
+        if not (P.busy m.port) then begin
+          let _, hi = m.retire_buf in
+          P.issue m.port ~region:obj_out
+            ~addr:((8 * m.retired) + 4)
+            ~wr:true ~width:Cp_port.W32 ~data:hi;
+          m.retire <- R_wait_hi;
+          true
+        end
+        else true (* port stolen is impossible: we are the only user now *)
+      else true (* still waiting: the port is ours *)
+    | R_wait_hi ->
+      if P.ready m.port then begin
+        m.retired <- m.retired + 1;
+        Rvi_sim.Stats.incr m.stats "blocks";
+        m.retire <- R_idle;
+        false
+      end
+      else true
+
+  (* One cycle of the fetch unit; only runs when the port is free. *)
+  let step_fetch m ~port_free =
+    match m.fetch with
+    | F_idle ->
+      (* CBC encryption is a recurrence: the next block cannot enter the
+         pipeline until the previous one has left it. *)
+      let chain_ready =
+        m.mode <> Cbc_encrypt || Array.for_all (fun s -> s = None) m.pipe
+      in
+      if port_free && chain_ready && m.fetched < m.n_blocks && m.pipe.(0) = None
+      then begin
+        P.issue m.port ~region:obj_in ~addr:(8 * m.fetched) ~wr:false
+          ~width:Cp_port.W32 ~data:0;
+        m.fetch <- F_wait_lo
+      end
+    | F_wait_lo ->
+      if P.ready m.port then begin
+        let lo = P.data m.port in
+        if port_free then begin
+          P.issue m.port ~region:obj_in
+            ~addr:((8 * m.fetched) + 4)
+            ~wr:false ~width:Cp_port.W32 ~data:0;
+          m.fetch <- F_wait_hi lo
+        end
+        else m.fetch <- F_hold_lo lo
+      end
+    | F_hold_lo lo ->
+      if port_free then begin
+        P.issue m.port ~region:obj_in
+          ~addr:((8 * m.fetched) + 4)
+          ~wr:false ~width:Cp_port.W32 ~data:0;
+        m.fetch <- F_wait_hi lo
+      end
+    | F_wait_hi lo ->
+      if P.ready m.port then begin
+        let hi = P.data m.port in
+        (* The whole block transform is computed here and carried through
+           the pipeline; the slots model timing only. *)
+        let block = Idea_ref.words_of_le32 ~lo ~hi in
+        let result =
+          match m.mode with
+          | Ecb_encrypt | Ecb_decrypt -> Idea_ref.crypt_block m.subkeys block
+          | Cbc_encrypt ->
+            let cipher =
+              Idea_ref.crypt_block m.subkeys (Idea_ref.xor_block block m.chain)
+            in
+            m.chain <- cipher;
+            cipher
+          | Cbc_decrypt ->
+            let plain =
+              Idea_ref.xor_block (Idea_ref.crypt_block m.subkeys block) m.chain
+            in
+            m.chain <- block;
+            plain
+        in
+        let rlo, rhi = Idea_ref.le32_of_words result in
+        m.pipe.(0) <- Some { result_lo = rlo; result_hi = rhi; left = stage_cycles };
+        m.fetched <- m.fetched + 1;
+        m.fetch <- F_idle
+      end
+
+  let step_pipeline m =
+    (* Retire-side first so a freed slot can be refilled the same cycle
+       order guarantees forward progress, not combinational magic. *)
+    (match m.pipe.(stages - 1) with
+    | Some s when s.left = 0 && m.out_buf = None ->
+      m.out_buf <- Some (s.result_lo, s.result_hi);
+      m.pipe.(stages - 1) <- None
+    | Some _ | None -> ());
+    for i = stages - 2 downto 0 do
+      match (m.pipe.(i), m.pipe.(i + 1)) with
+      | Some s, None when s.left = 0 ->
+        s.left <- stage_cycles;
+        m.pipe.(i + 1) <- Some s;
+        m.pipe.(i) <- None
+      | _ -> ()
+    done;
+    Array.iter
+      (function Some s when s.left > 0 -> s.left <- s.left - 1 | Some _ | None -> ())
+      m.pipe
+
+  let run_cycle m =
+    step_pipeline m;
+    let retire_claimed = step_retire m in
+    step_fetch m ~port_free:((not retire_claimed) && not (P.busy m.port));
+    if m.retired = m.n_blocks then begin
+      P.finish m.port;
+      Rvi_hw.Fsm.goto m.fsm Done
+    end
+    else Rvi_hw.Fsm.stay m.fsm
+
+  let compute m =
+    P.sample m.port;
+    Rvi_sim.Stats.incr m.stats "cycles";
+    match Rvi_hw.Fsm.state m.fsm with
+    | Wait_start ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
+      else Rvi_hw.Fsm.stay m.fsm
+    | Read_param i ->
+      read_param m i;
+      Rvi_hw.Fsm.goto m.fsm (Wait_param i)
+    | Wait_param i ->
+      if P.ready m.port then begin
+        m.raw_params.(i) <- P.data m.port;
+        if i + 1 < n_params then Rvi_hw.Fsm.goto m.fsm (Read_param (i + 1))
+        else Rvi_hw.Fsm.goto m.fsm (Key_setup key_setup_cycles)
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Key_setup n ->
+      if n > 1 then Rvi_hw.Fsm.goto m.fsm (Key_setup (n - 1))
+      else begin
+        setup_keys m;
+        begin_run m
+      end
+    | Run -> run_cycle m
+    | Done ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
+      else Rvi_hw.Fsm.stay m.fsm
+
+  let create port =
+    let m =
+      {
+        port;
+        fsm = Rvi_hw.Fsm.create ~name:"idea" ~init:Wait_start ~show;
+        raw_params = Array.make n_params 0;
+        n_blocks = 0;
+        mode = Ecb_encrypt;
+        chain = (0, 0, 0, 0);
+        subkeys = [||];
+        pipe = Array.make stages None;
+        out_buf = None;
+        fetch = F_idle;
+        fetched = 0;
+        retire = R_idle;
+        retire_buf = (0, 0);
+        retired = 0;
+        stats = Rvi_sim.Stats.create ();
+      }
+    in
+    {
+      Coproc.name = "idea";
+      component =
+        Rvi_sim.Clock.component ~name:"idea"
+          ~compute:(fun () -> compute m)
+          ~commit:(fun () ->
+            Rvi_hw.Fsm.commit m.fsm;
+            P.commit m.port);
+      finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
+      reset =
+        (fun () ->
+          Rvi_hw.Fsm.reset m.fsm Wait_start;
+          P.reset m.port);
+      stats = m.stats;
+    }
+end
+
+module Virtual = struct
+  module M = Make (Vport)
+
+  let create port =
+    let vport = Vport.create port in
+    (vport, M.create vport)
+end

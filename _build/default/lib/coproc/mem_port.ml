@@ -1,0 +1,24 @@
+module type S = sig
+  type t
+
+  val sample : t -> unit
+  val start_seen : t -> bool
+
+  val issue :
+    t ->
+    region:int ->
+    addr:int ->
+    wr:bool ->
+    width:Rvi_core.Cp_port.width ->
+    data:int ->
+    unit
+
+  val busy : t -> bool
+  val ready : t -> bool
+  val data : t -> int
+  val finish : t -> unit
+  val commit : t -> unit
+  val reset : t -> unit
+end
+
+let read_param ~issue ~index = issue ~region:Rvi_core.Cp_port.param_obj ~addr:(4 * index)

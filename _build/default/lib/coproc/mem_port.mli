@@ -1,0 +1,56 @@
+(** The memory interface a coprocessor is written against.
+
+    The paper's central portability claim is that the same coprocessor HDL
+    runs unchanged behind the virtual interface (through the IMU) or — in
+    the "typical coprocessor" baseline — against hardwired physical
+    addresses. We capture that by writing every coprocessor as a functor
+    over this signature; {!Vport} implements it with the Figure 4 signal
+    protocol, {!Dport} with raw single-cycle dual-port accesses.
+
+    Discipline (enforced by assertions):
+    - call {!val-sample} first in every compute phase;
+    - {!issue} only when [not (busy t)];
+    - after {!ready}, read data the same cycle. *)
+
+module type S = sig
+  type t
+
+  val sample : t -> unit
+  (** Latch the port inputs for this cycle. Must be the first port
+      operation of a compute phase. *)
+
+  val start_seen : t -> bool
+  (** True on the cycle the start pulse arrives. *)
+
+  val issue :
+    t ->
+    region:int ->
+    addr:int ->
+    wr:bool ->
+    width:Rvi_core.Cp_port.width ->
+    data:int ->
+    unit
+  (** Posts an access. [region] is the object identifier; region 255 reads
+      the scalar parameters. The request leaves at the next commit. *)
+
+  val busy : t -> bool
+  (** An access is outstanding (issued and not yet completed). *)
+
+  val ready : t -> bool
+  (** The outstanding access completed this cycle; for reads {!data} is
+      valid now. *)
+
+  val data : t -> int
+
+  val finish : t -> unit
+  (** Assert completion (held until the next start). *)
+
+  val commit : t -> unit
+  (** Drive the output signals; call from the component's commit phase. *)
+
+  val reset : t -> unit
+end
+
+val read_param : issue:(region:int -> addr:int -> unit) -> index:int -> unit
+(** Helper posting the read of parameter word [index] (32-bit, little-
+    endian layout in the parameter page). *)

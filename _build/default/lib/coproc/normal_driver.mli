@@ -1,0 +1,54 @@
+(** Driver for the "typical coprocessor" baseline (paper, Figure 3 middle
+    listing; the "normal coprocessor" of Figure 9).
+
+    This is everything the paper's virtualisation layer exists to remove:
+    the programmer hardwires each array to a physical dual-port window,
+    copies the data in, starts the machine, and copies results out. If the
+    working set does not fit the memory the plain driver simply cannot run
+    the job — the "exceeds available memory" bars of Figure 9 — unless the
+    programmer also writes the chunking loop, provided here as
+    {!run_chunked} for the corresponding ablation. *)
+
+type region_spec = {
+  region : int;
+  buf : Rvi_os.Uspace.buf;
+  dir : Rvi_core.Mapped_object.direction;
+}
+
+type error =
+  | Exceeds_memory of { required : int; available : int }
+  | Access_error of { region : int; addr : int }
+  | Hardware_stall
+
+val error_to_string : error -> string
+
+val run :
+  kernel:Rvi_os.Kernel.t ->
+  dpram:Rvi_mem.Dpram.t ->
+  ahb:Rvi_mem.Ahb.t ->
+  clocks:Rvi_sim.Clock.t list ->
+  dport:Dport.t ->
+  coproc:Coproc.t ->
+  regions:region_spec list ->
+  params:int list ->
+  ?watchdog:Rvi_sim.Simtime.t ->
+  unit ->
+  (unit, error) result
+(** One shot: place the regions, copy inputs in, execute, copy outputs
+    back. Data movement is charged to [Sw_dp] (a single transfer per
+    direction — the hand-written memcpy), hardware time to [Hw]. *)
+
+val run_chunked :
+  kernel:Rvi_os.Kernel.t ->
+  dpram:Rvi_mem.Dpram.t ->
+  ahb:Rvi_mem.Ahb.t ->
+  clocks:Rvi_sim.Clock.t list ->
+  dport:Dport.t ->
+  coproc:Coproc.t ->
+  chunks:(region_spec list * int list) list ->
+  ?watchdog:Rvi_sim.Simtime.t ->
+  unit ->
+  (unit, error) result
+(** The Figure 3 while-loop: the caller has partitioned the job into
+    chunks, each a set of buffer slices plus per-chunk parameters; every
+    chunk must fit the memory. Stops at the first failing chunk. *)

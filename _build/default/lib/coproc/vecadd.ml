@@ -1,0 +1,148 @@
+module Cp_port = Rvi_core.Cp_port
+
+let obj_a = 0
+let obj_b = 1
+let obj_c = 2
+
+let reference ~a ~b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vecadd.reference: length mismatch";
+  Array.init (Array.length a) (fun i -> (a.(i) + b.(i)) land 0xFFFF_FFFF)
+
+(* Load, load, add, store per element on a simple in-order core. *)
+let sw_cycles_per_element = 12
+
+module Make (P : Mem_port.S) = struct
+  type state =
+    | Wait_start
+    | Read_param
+    | Wait_param
+    | Wait_a of int
+    | Wait_b of int
+    | Write_c of int
+    | Wait_c of int
+    | Done
+
+  let show = function
+    | Wait_start -> "wait_start"
+    | Read_param -> "rd_param"
+    | Wait_param -> "wait_param"
+    | Wait_a i -> Printf.sprintf "wait_a[%d]" i
+    | Wait_b i -> Printf.sprintf "wait_b[%d]" i
+    | Write_c i -> Printf.sprintf "wr_c[%d]" i
+    | Wait_c i -> Printf.sprintf "wait_c[%d]" i
+    | Done -> "done"
+
+  type m = {
+    port : P.t;
+    fsm : state Rvi_hw.Fsm.t;
+    mutable n : int;
+    mutable reg_a : int;
+    mutable reg_c : int;
+    stats : Rvi_sim.Stats.t;
+  }
+
+  let read m ~obj ~index =
+    P.issue m.port ~region:obj ~addr:(4 * index) ~wr:false ~width:Cp_port.W32
+      ~data:0
+
+  let write m ~obj ~index ~data =
+    P.issue m.port ~region:obj ~addr:(4 * index) ~wr:true ~width:Cp_port.W32
+      ~data
+
+  (* Advance past element [i]: either fetch the next one or finish. *)
+  let next_element m i =
+    if i + 1 < m.n then begin
+      read m ~obj:obj_a ~index:(i + 1);
+      Rvi_hw.Fsm.goto m.fsm (Wait_a (i + 1))
+    end
+    else begin
+      P.finish m.port;
+      Rvi_hw.Fsm.goto m.fsm Done
+    end
+
+  let compute m =
+    P.sample m.port;
+    Rvi_sim.Stats.incr m.stats "cycles";
+    match Rvi_hw.Fsm.state m.fsm with
+    | Wait_start ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
+      else Rvi_hw.Fsm.stay m.fsm
+    | Read_param ->
+      Mem_port.read_param
+        ~issue:(fun ~region ~addr ->
+          P.issue m.port ~region ~addr ~wr:false ~width:Cp_port.W32 ~data:0)
+        ~index:0;
+      Rvi_hw.Fsm.goto m.fsm Wait_param
+    | Wait_param ->
+      if P.ready m.port then begin
+        m.n <- P.data m.port;
+        if m.n = 0 then begin
+          P.finish m.port;
+          Rvi_hw.Fsm.goto m.fsm Done
+        end
+        else begin
+          read m ~obj:obj_a ~index:0;
+          Rvi_hw.Fsm.goto m.fsm (Wait_a 0)
+        end
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Wait_a i ->
+      if P.ready m.port then begin
+        m.reg_a <- P.data m.port;
+        read m ~obj:obj_b ~index:i;
+        Rvi_hw.Fsm.goto m.fsm (Wait_b i)
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Wait_b i ->
+      if P.ready m.port then begin
+        m.reg_c <- (m.reg_a + P.data m.port) land 0xFFFF_FFFF;
+        Rvi_hw.Fsm.goto m.fsm (Write_c i)
+      end
+      else Rvi_hw.Fsm.stay m.fsm
+    | Write_c i ->
+      write m ~obj:obj_c ~index:i ~data:m.reg_c;
+      Rvi_sim.Stats.incr m.stats "elements";
+      Rvi_hw.Fsm.goto m.fsm (Wait_c i)
+    | Wait_c i ->
+      if P.ready m.port then next_element m i else Rvi_hw.Fsm.stay m.fsm
+    | Done ->
+      if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
+      else Rvi_hw.Fsm.stay m.fsm
+
+  let create port =
+    let m =
+      {
+        port;
+        fsm = Rvi_hw.Fsm.create ~name:"vecadd" ~init:Wait_start ~show;
+        n = 0;
+        reg_a = 0;
+        reg_c = 0;
+        stats = Rvi_sim.Stats.create ();
+      }
+    in
+    {
+      Coproc.name = "vecadd";
+      component =
+        Rvi_sim.Clock.component ~name:"vecadd"
+          ~compute:(fun () -> compute m)
+          ~commit:(fun () ->
+            Rvi_hw.Fsm.commit m.fsm;
+            P.commit m.port);
+      finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
+      reset =
+        (fun () ->
+          Rvi_hw.Fsm.reset m.fsm Wait_start;
+          m.n <- 0;
+          P.reset m.port);
+      stats = m.stats;
+    }
+end
+
+module Virtual = struct
+  module M = Make (Vport)
+
+  let create port =
+    let vport = Vport.create port in
+    (vport, M.create vport)
+end

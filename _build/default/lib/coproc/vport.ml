@@ -1,0 +1,111 @@
+module Cp_port = Rvi_core.Cp_port
+
+type request = {
+  region : int;
+  addr : int;
+  wr : bool;
+  width : Cp_port.width;
+  data : int;
+}
+
+(* The bus side of the wrapper lives in the IMU clock domain
+   ([sync_component]): requests leave as single-cycle CP_ACCESS pulses at
+   the IMU rate and the IMU's single-cycle response pulses are latched
+   into sticky flags, which the (possibly slower) coprocessor consumes at
+   its own rate. *)
+type t = {
+  port : Cp_port.t;
+  mutable pending : request option; (* posted by the coprocessor *)
+  mutable waiting : bool; (* pulse sent, response not yet consumed *)
+  mutable resp_valid : bool;
+  mutable resp_data : int;
+  mutable start_flag : bool;
+  (* values latched for the coprocessor's current compute cycle *)
+  mutable hit_now : bool;
+  mutable data_now : int;
+  mutable start_now : bool;
+  mutable fin_req : bool;
+  mutable accesses : int;
+}
+
+let create port =
+  {
+    port;
+    pending = None;
+    waiting = false;
+    resp_valid = false;
+    resp_data = 0;
+    start_flag = false;
+    hit_now = false;
+    data_now = 0;
+    start_now = false;
+    fin_req = false;
+    accesses = 0;
+  }
+
+let sync_compute t =
+  if t.port.Cp_port.cp_start then t.start_flag <- true;
+  if t.waiting && t.port.Cp_port.cp_tlbhit then begin
+    t.resp_valid <- true;
+    t.resp_data <- t.port.Cp_port.cp_din
+  end
+
+let sync_commit t =
+  let p = t.port in
+  (match t.pending with
+  | Some r when not t.waiting ->
+    p.Cp_port.cp_obj <- r.region;
+    p.Cp_port.cp_addr <- r.addr;
+    p.Cp_port.cp_wr <- r.wr;
+    p.Cp_port.cp_width <- r.width;
+    p.Cp_port.cp_dout <- r.data;
+    p.Cp_port.cp_access <- true;
+    t.pending <- None;
+    t.waiting <- true
+  | Some _ | None -> p.Cp_port.cp_access <- false);
+  p.Cp_port.cp_fin <- t.fin_req
+
+let sync_component t =
+  Rvi_sim.Clock.component ~name:"vport-sync"
+    ~compute:(fun () -> sync_compute t)
+    ~commit:(fun () -> sync_commit t)
+
+let sample t =
+  t.start_now <- t.start_flag;
+  t.start_flag <- false;
+  if t.start_now then t.fin_req <- false;
+  t.hit_now <- t.resp_valid;
+  if t.hit_now then begin
+    t.data_now <- t.resp_data;
+    t.resp_valid <- false;
+    t.waiting <- false
+  end
+
+let start_seen t = t.start_now
+let busy t = t.pending <> None || t.waiting
+let ready t = t.hit_now
+let data t = t.data_now
+
+let issue t ~region ~addr ~wr ~width ~data =
+  assert (not (busy t));
+  t.pending <- Some { region; addr; wr; width; data };
+  t.accesses <- t.accesses + 1
+
+let finish t = t.fin_req <- true
+
+(* Port driving happens in the IMU domain ({!sync_component}); nothing to
+   do at the coprocessor's own commit. *)
+let commit _t = ()
+
+let reset t =
+  t.pending <- None;
+  t.waiting <- false;
+  t.resp_valid <- false;
+  t.resp_data <- 0;
+  t.start_flag <- false;
+  t.hit_now <- false;
+  t.data_now <- 0;
+  t.start_now <- false;
+  t.fin_req <- false
+
+let accesses t = t.accesses

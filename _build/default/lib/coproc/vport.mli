@@ -1,0 +1,26 @@
+(** {!Mem_port.S} over the virtual interface (Figure 4 signals).
+
+    Pulses [CP_ACCESS] for one cycle per request and waits for the IMU's
+    [CP_TLBHIT]; stalls transparently across page faults — the coprocessor
+    logic never knows a fault happened, which is exactly the paper's
+    abstraction. Asserting {!finish} holds [CP_FIN] until the next
+    [CP_START].
+
+    The IMU answers with single-cycle pulses in its own clock domain. A
+    coprocessor on a divided clock (the paper's 6 MHz IDEA core against
+    the 24 MHz memory subsystem) would miss them, so the port contains a
+    synchroniser register stage: {!sync_component} must be registered on
+    the {e IMU clock}, after the IMU and before the coprocessor — this is
+    the "stall mechanism" synchronisation of §4.1. *)
+
+include Mem_port.S
+
+val create : Rvi_core.Cp_port.t -> t
+
+val sync_component : t -> Rvi_sim.Clock.component
+(** Latches the IMU's response pulses into sticky flags the coprocessor
+    consumes at its own rate. Register on the IMU clock between the IMU
+    and the coprocessor. *)
+
+val accesses : t -> int
+(** Requests issued since creation. *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Array Hashtbl Mapped_object Printf Rvi_fpga Rvi_os Vim

@@ -1,0 +1,1 @@
+lib/core/api.mli: Mapped_object Rvi_fpga Rvi_os Vim

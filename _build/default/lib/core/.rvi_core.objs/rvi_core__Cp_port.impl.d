@@ -1,0 +1,1 @@
+lib/core/cp_port.ml: Rvi_hw

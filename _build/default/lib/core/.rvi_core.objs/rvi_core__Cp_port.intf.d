@@ -1,0 +1,1 @@
+lib/core/cp_port.mli: Rvi_hw

@@ -1,0 +1,1 @@
+lib/core/imu.mli: Cp_port Rvi_mem Rvi_sim Tlb

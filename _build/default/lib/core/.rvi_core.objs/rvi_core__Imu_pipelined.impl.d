@@ -1,0 +1,1 @@
+lib/core/imu_pipelined.ml: Imu

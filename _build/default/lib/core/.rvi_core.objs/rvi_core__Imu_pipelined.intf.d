@@ -1,0 +1,1 @@
+lib/core/imu_pipelined.mli: Cp_port Imu Rvi_mem

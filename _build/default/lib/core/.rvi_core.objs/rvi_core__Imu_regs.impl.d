@@ -1,0 +1,1 @@
+lib/core/imu_regs.ml:

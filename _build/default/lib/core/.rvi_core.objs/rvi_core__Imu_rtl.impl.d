@@ -1,0 +1,1 @@
+lib/core/imu_rtl.ml: Array Cp_port Imu_regs Printf Rvi_hw Rvi_mem Rvi_sim

@@ -1,0 +1,1 @@
+lib/core/mapped_object.ml: Cp_port Format Rvi_mem Rvi_os Stdlib

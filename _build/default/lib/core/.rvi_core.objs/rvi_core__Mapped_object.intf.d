@@ -1,0 +1,1 @@
+lib/core/mapped_object.mli: Format Rvi_mem Rvi_os

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Hashtbl Int List Option Rvi_sim Stdlib

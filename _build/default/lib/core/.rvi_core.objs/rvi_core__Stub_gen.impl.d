@@ -1,0 +1,1 @@
+lib/core/stub_gen.ml: Buffer Cp_port List Mapped_object Printf String

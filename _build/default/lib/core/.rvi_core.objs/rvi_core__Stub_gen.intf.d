@@ -1,0 +1,1 @@
+lib/core/stub_gen.mli: Mapped_object

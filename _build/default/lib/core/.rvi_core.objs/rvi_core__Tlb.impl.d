@@ -1,0 +1,1 @@
+lib/core/tlb.ml: Array List Printf Rvi_sim

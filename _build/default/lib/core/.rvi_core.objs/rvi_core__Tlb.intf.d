@@ -1,0 +1,1 @@
+lib/core/tlb.mli: Rvi_sim

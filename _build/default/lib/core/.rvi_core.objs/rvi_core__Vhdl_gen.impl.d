@@ -1,0 +1,1 @@
+lib/core/vhdl_gen.ml: Array Buffer Cp_port Imu Printf Rvi_fpga Rvi_hw String

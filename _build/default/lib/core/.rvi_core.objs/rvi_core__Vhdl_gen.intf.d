@@ -1,0 +1,1 @@
+lib/core/vhdl_gen.mli: Imu Rvi_fpga Rvi_hw

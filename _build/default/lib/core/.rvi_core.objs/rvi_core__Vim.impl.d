@@ -1,0 +1,1 @@
+lib/core/vim.ml: Array Bytes Frame_table Hashtbl Imu Imu_regs Int List Logs Mapped_object Policy Prefetch Printf Rvi_mem Rvi_os Rvi_sim Tlb

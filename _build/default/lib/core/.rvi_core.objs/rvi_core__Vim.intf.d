@@ -1,0 +1,1 @@
+lib/core/vim.mli: Frame_table Imu Mapped_object Policy Prefetch Rvi_mem Rvi_os Rvi_sim

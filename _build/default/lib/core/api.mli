@@ -1,0 +1,47 @@
+(** The OS coprocessor invocation services (paper §3.1, Figure 6).
+
+    Three system calls are provided to software designers:
+
+    - [FPGA_LOAD] loads a coprocessor definition in the reconfigurable
+      hardware and ensures exclusive use of the resource;
+    - [FPGA_MAP_OBJECT] declares a data object (identifier, pointer, size,
+      direction flags) for which the OS will provide dynamic allocation;
+    - [FPGA_EXECUTE] passes scalar parameters, initialises the IMU,
+      launches the coprocessor and puts the caller to interruptible sleep.
+
+    [install] registers the handlers on the kernel's syscall table; the
+    [fpga_*] functions below are the user-side stubs (what the C library
+    would provide), going through the full syscall path with its entry and
+    exit costs. An application written against these five calls — see
+    {!page-examples} — contains no platform detail at all. *)
+
+type t
+
+val install : kernel:Rvi_os.Kernel.t -> vim:Vim.t -> pld:Rvi_fpga.Pld.t -> t
+(** Registers [FPGA_LOAD] / [FPGA_MAP_OBJECT] / [FPGA_EXECUTE] /
+    [FPGA_UNLOAD] on the kernel. Raises [Invalid_argument] if called twice
+    on one kernel. *)
+
+val vim : t -> Vim.t
+val pld : t -> Rvi_fpga.Pld.t
+
+(** {1 User-side stubs} *)
+
+val fpga_load : t -> Rvi_fpga.Bitstream.t -> (unit, Rvi_os.Syscall.errno) result
+
+val fpga_map_object :
+  t ->
+  id:int ->
+  buf:Rvi_os.Uspace.buf ->
+  dir:Mapped_object.direction ->
+  ?stream:bool ->
+  unit ->
+  (unit, Rvi_os.Syscall.errno) result
+
+val fpga_execute : t -> params:int list -> (unit, Rvi_os.Syscall.errno) result
+
+val fpga_unload : t -> (unit, Rvi_os.Syscall.errno) result
+(** Releases the lattice and forgets the object mappings. *)
+
+val last_error : t -> string option
+(** Human-readable detail of the most recent kernel-side failure. *)

@@ -1,0 +1,58 @@
+type width = W8 | W16 | W32
+
+let width_bits = function W8 -> 8 | W16 -> 16 | W32 -> 32
+let width_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4
+
+type t = {
+  mutable cp_obj : int;
+  mutable cp_addr : int;
+  mutable cp_dout : int;
+  mutable cp_access : bool;
+  mutable cp_wr : bool;
+  mutable cp_width : width;
+  mutable cp_fin : bool;
+  mutable cp_start : bool;
+  mutable cp_tlbhit : bool;
+  mutable cp_din : int;
+}
+
+let param_obj = 255
+let max_data_obj = 254
+
+let create () =
+  {
+    cp_obj = 0;
+    cp_addr = 0;
+    cp_dout = 0;
+    cp_access = false;
+    cp_wr = false;
+    cp_width = W32;
+    cp_fin = false;
+    cp_start = false;
+    cp_tlbhit = false;
+    cp_din = 0;
+  }
+
+let reset t =
+  t.cp_obj <- 0;
+  t.cp_addr <- 0;
+  t.cp_dout <- 0;
+  t.cp_access <- false;
+  t.cp_wr <- false;
+  t.cp_width <- W32;
+  t.cp_fin <- false;
+  t.cp_start <- false;
+  t.cp_tlbhit <- false;
+  t.cp_din <- 0
+
+let probe t wave =
+  let b f = if f () then 1 else 0 in
+  Rvi_hw.Wave.add_signal wave ~name:"cp_start" ~width:1 (fun () -> b (fun () -> t.cp_start));
+  Rvi_hw.Wave.add_signal wave ~name:"cp_obj" ~width:8 (fun () -> t.cp_obj);
+  Rvi_hw.Wave.add_signal wave ~name:"cp_addr" ~width:24 (fun () -> t.cp_addr);
+  Rvi_hw.Wave.add_signal wave ~name:"cp_access" ~width:1 (fun () -> b (fun () -> t.cp_access));
+  Rvi_hw.Wave.add_signal wave ~name:"cp_wr" ~width:1 (fun () -> b (fun () -> t.cp_wr));
+  Rvi_hw.Wave.add_signal wave ~name:"cp_tlbhit" ~width:1 (fun () -> b (fun () -> t.cp_tlbhit));
+  Rvi_hw.Wave.add_signal wave ~name:"cp_din" ~width:32 (fun () -> t.cp_din);
+  Rvi_hw.Wave.add_signal wave ~name:"cp_dout" ~width:32 (fun () -> t.cp_dout);
+  Rvi_hw.Wave.add_signal wave ~name:"cp_fin" ~width:1 (fun () -> b (fun () -> t.cp_fin))

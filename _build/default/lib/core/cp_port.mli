@@ -1,0 +1,53 @@
+(** The coprocessor/IMU signal bundle (paper, Figure 4).
+
+    This is the *portable* side of the interface: a coprocessor written
+    against these signals never sees a physical address, so the same design
+    runs on any device. Signal names follow the paper:
+
+    - [CP_OBJ]/[CP_ADDR]: virtual address — object identifier plus byte
+      offset within the object;
+    - [CP_DIN]/[CP_DOUT]: data to / from the coprocessor;
+    - [CP_ACCESS]/[CP_WR]: access request strobe and write flag;
+    - [CP_START]: asserted by the IMU when the user starts execution;
+    - [CP_TLBHIT]: translation success — the coprocessor must wait for it
+      before consuming [CP_DIN] or considering a write done;
+    - [CP_FIN]: asserted by the coprocessor on completion.
+
+    Fields are committed registers: components write them during their
+    commit phase and sample them during the next compute phase. *)
+
+type width = W8 | W16 | W32
+
+val width_bits : width -> int
+val width_bytes : width -> int
+
+type t = {
+  (* coprocessor -> IMU *)
+  mutable cp_obj : int;  (** object identifier, 0..254 *)
+  mutable cp_addr : int;  (** byte offset within the object *)
+  mutable cp_dout : int;  (** write data *)
+  mutable cp_access : bool;
+  mutable cp_wr : bool;
+  mutable cp_width : width;
+  mutable cp_fin : bool;
+  (* IMU -> coprocessor *)
+  mutable cp_start : bool;
+  mutable cp_tlbhit : bool;
+  mutable cp_din : int;  (** read data, valid while [cp_tlbhit] *)
+}
+
+val param_obj : int
+(** The reserved object identifier (255) through which the coprocessor
+    reads its scalar parameters from the parameter-passing page. *)
+
+val max_data_obj : int
+(** Largest identifier usable for mapped data objects (254). *)
+
+val create : unit -> t
+(** All signals deasserted. *)
+
+val reset : t -> unit
+
+val probe : t -> Rvi_hw.Wave.t -> unit
+(** Registers every signal of the bundle on a waveform tracer, with the
+    paper's signal names. *)

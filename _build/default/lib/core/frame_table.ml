@@ -1,0 +1,84 @@
+type slot =
+  | Free
+  | Param
+  | Held of { obj_id : int; vpn : int; loaded_at : int }
+
+type t = { slots : slot array }
+
+let create ~frames =
+  if frames < 1 then invalid_arg "Frame_table.create: need at least one frame";
+  { slots = Array.make frames Free }
+
+let frames t = Array.length t.slots
+
+let check t frame op =
+  if frame < 0 || frame >= frames t then
+    invalid_arg (Printf.sprintf "Frame_table.%s: frame %d out of range" op frame)
+
+let slot t ~frame =
+  check t frame "slot";
+  t.slots.(frame)
+
+let find t ~obj_id ~vpn =
+  let rec go i =
+    if i >= frames t then None
+    else
+      match t.slots.(i) with
+      | Held h when h.obj_id = obj_id && h.vpn = vpn -> Some i
+      | Held _ | Free | Param -> go (i + 1)
+  in
+  go 0
+
+let resident t =
+  let acc = ref [] in
+  for i = frames t - 1 downto 0 do
+    match t.slots.(i) with
+    | Held h -> acc := (i, h.obj_id, h.vpn) :: !acc
+    | Free | Param -> ()
+  done;
+  !acc
+
+let free_frame t =
+  let rec go i =
+    if i >= frames t then None
+    else match t.slots.(i) with Free -> Some i | Param | Held _ -> go (i + 1)
+  in
+  go 0
+
+let hold t ~frame ~obj_id ~vpn ~loaded_at =
+  check t frame "hold";
+  (match t.slots.(frame) with
+  | Free -> ()
+  | Param | Held _ -> invalid_arg "Frame_table.hold: frame not free");
+  (match find t ~obj_id ~vpn with
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf "Frame_table.hold: object %d page %d already in frame %d"
+         obj_id vpn other)
+  | None -> ());
+  t.slots.(frame) <- Held { obj_id; vpn; loaded_at }
+
+let set_param t ~frame =
+  check t frame "set_param";
+  (match t.slots.(frame) with
+  | Free -> ()
+  | Param | Held _ -> invalid_arg "Frame_table.set_param: frame not free");
+  t.slots.(frame) <- Param
+
+let param_frame t =
+  let rec go i =
+    if i >= frames t then None
+    else match t.slots.(i) with Param -> Some i | Free | Held _ -> go (i + 1)
+  in
+  go 0
+
+let release t ~frame =
+  check t frame "release";
+  t.slots.(frame) <- Free
+
+let release_all t = Array.fill t.slots 0 (frames t) Free
+
+let held_count t =
+  Array.fold_left
+    (fun acc s -> match s with Held _ -> acc + 1 | Free | Param -> acc)
+    0 t.slots

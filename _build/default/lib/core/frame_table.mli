@@ -1,0 +1,40 @@
+(** Occupancy of the dual-port-RAM page frames.
+
+    The VIM's bookkeeping: which physical page holds which (object, virtual
+    page) pair, which one is the parameter page, and when each frame was
+    populated. Dirtiness lives in the IMU's TLB (set by hardware); the VIM
+    reads it from there at eviction time. *)
+
+type slot =
+  | Free
+  | Param  (** the parameter-passing page *)
+  | Held of { obj_id : int; vpn : int; loaded_at : int }
+
+type t
+
+val create : frames:int -> t
+val frames : t -> int
+
+val slot : t -> frame:int -> slot
+
+val find : t -> obj_id:int -> vpn:int -> int option
+(** Frame currently holding the pair, if resident. *)
+
+val resident : t -> (int * int * int) list
+(** All [(frame, obj_id, vpn)] of held frames, ascending frame order. *)
+
+val free_frame : t -> int option
+
+val hold : t -> frame:int -> obj_id:int -> vpn:int -> loaded_at:int -> unit
+(** Raises [Invalid_argument] if the frame is not free or the pair is
+    already resident elsewhere. *)
+
+val set_param : t -> frame:int -> unit
+val param_frame : t -> int option
+
+val release : t -> frame:int -> unit
+(** Marks the frame free (from any state). *)
+
+val release_all : t -> unit
+
+val held_count : t -> int

@@ -1,0 +1,297 @@
+type config = {
+  lookup_states : int;
+  tlb_entries : int;
+  tlb_organization : Tlb.organization;
+}
+
+let default_config =
+  { lookup_states = 2; tlb_entries = 8; tlb_organization = Tlb.Fully_associative }
+
+let pipelined_config =
+  { lookup_states = 0; tlb_entries = 8; tlb_organization = Tlb.Fully_associative }
+
+(* Access protocol: the coprocessor pulses CP_ACCESS for exactly one cycle
+   with the request fields held; the IMU latches it on the next edge and
+   answers with a one-cycle CP_TLBHIT pulse when the dual-port access
+   completes — on the 4th rising edge after the request with the default
+   2-cycle CAM search (Figure 7). A miss parks the FSM in [Faulted] with
+   the coprocessor stalled until the OS resumes translation. *)
+type state =
+  | Idle
+  | Lookup of int (* remaining search cycles, >= 1 *)
+  | Access of int (* resolved physical page *)
+  | Faulted
+
+let show_state = function
+  | Idle -> "idle"
+  | Lookup n -> Printf.sprintf "lookup%d" n
+  | Access _ -> "access"
+  | Faulted -> "fault"
+
+type access_event = {
+  at_cycle : int;
+  obj_id : int;
+  vpn : int;
+  offset : int;
+  wr : bool;
+  tlb_hit : bool;
+}
+
+type request = {
+  obj_id : int;
+  addr : int;
+  wr : bool;
+  data : int;
+  width : Cp_port.width;
+}
+
+type t = {
+  cfg : config;
+  port : Cp_port.t;
+  dpram : Rvi_mem.Dpram.t;
+  geom : Rvi_mem.Page.geometry;
+  raise_irq : unit -> unit;
+  tlb : Tlb.t;
+  fsm : state Rvi_hw.Fsm.t;
+  mutable req : request option; (* latched request being translated *)
+  mutable param_page : int option;
+  mutable params_done : bool;
+  mutable fault : (int * int) option;
+  mutable fin_seen : bool;
+  mutable prev_fin : bool; (* for rising-edge detection across executions *)
+  mutable start_pending : bool;
+  mutable resume_pending : bool;
+  mutable just_resumed : bool;
+  (* outputs computed this cycle, committed at the edge *)
+  mutable out_start : bool;
+  mutable out_tlbhit : bool;
+  mutable out_din : int;
+  mutable cycle : int;
+  mutable trace : (access_event -> unit) option;
+  stats : Rvi_sim.Stats.t;
+}
+
+let create ?(config = default_config) ~port ~dpram ~raise_irq () =
+  if config.lookup_states < 0 then invalid_arg "Imu.create: negative lookup_states";
+  {
+    cfg = config;
+    port;
+    dpram;
+    geom = Rvi_mem.Dpram.geometry dpram;
+    raise_irq;
+    tlb =
+      Tlb.create ~organization:config.tlb_organization
+        ~entries:config.tlb_entries ();
+    fsm = Rvi_hw.Fsm.create ~name:"imu" ~init:Idle ~show:show_state;
+    req = None;
+    param_page = None;
+    params_done = false;
+    fault = None;
+    fin_seen = false;
+    prev_fin = false;
+    start_pending = false;
+    resume_pending = false;
+    just_resumed = false;
+    out_start = false;
+    out_tlbhit = false;
+    out_din = 0;
+    cycle = 0;
+    trace = None;
+    stats = Rvi_sim.Stats.create ();
+  }
+
+let config t = t.cfg
+let tlb t = t.tlb
+let port t = t.port
+
+(* Translation attempt for the latched request: the physical page on a hit,
+   [None] on a miss. Parameter-object accesses bypass the TLB; the first
+   non-parameter access marks the parameters consumed. *)
+let resolve t r =
+  if r.obj_id = Cp_port.param_obj then begin
+    match t.param_page with
+    | Some ppn ->
+      Rvi_sim.Stats.incr t.stats "param_reads";
+      Some ppn
+    | None -> failwith "Imu: parameter access with no parameter page configured"
+  end
+  else begin
+    if not t.params_done then t.params_done <- true;
+    let vpn = Rvi_mem.Page.vpn t.geom r.addr in
+    Tlb.translate t.tlb ~obj_id:r.obj_id ~vpn ~stamp:t.cycle ~wr:r.wr
+  end
+
+let enter_fault t r =
+  let vpn = Rvi_mem.Page.vpn t.geom r.addr in
+  let key = (r.obj_id, vpn) in
+  if t.just_resumed && t.fault = Some key then
+    failwith
+      (Printf.sprintf
+         "Imu: double fault on object %d page %d — OS resumed without \
+          installing a translation"
+         r.obj_id vpn);
+  t.fault <- Some key;
+  t.just_resumed <- false;
+  Rvi_sim.Stats.incr t.stats "faults";
+  Rvi_hw.Fsm.goto t.fsm Faulted;
+  t.raise_irq ()
+
+let perform_access t r ppn =
+  let offset = Rvi_mem.Page.offset t.geom r.addr in
+  let bytes = Cp_port.width_bytes r.width in
+  if offset + bytes > t.geom.Rvi_mem.Page.page_size then
+    failwith "Imu: access crosses a page boundary (coprocessor must align)";
+  let paddr = Rvi_mem.Page.base t.geom ppn + offset in
+  let width = Cp_port.width_bits r.width in
+  if r.wr then begin
+    Rvi_mem.Dpram.write t.dpram ~width paddr r.data;
+    Rvi_sim.Stats.incr t.stats "writes"
+  end
+  else begin
+    t.out_din <- Rvi_mem.Dpram.read t.dpram ~width paddr;
+    Rvi_sim.Stats.incr t.stats "reads"
+  end;
+  t.out_tlbhit <- true;
+  t.just_resumed <- false;
+  t.fault <- None
+
+(* Attempt translation of request [r]; with a zero-cycle CAM search the
+   access completes in the same state. *)
+let translate_or_fault t r =
+  if t.cfg.lookup_states = 0 then begin
+    match resolve t r with
+    | Some ppn ->
+      perform_access t r ppn;
+      Rvi_hw.Fsm.goto t.fsm Idle
+    | None -> enter_fault t r
+  end
+  else Rvi_hw.Fsm.goto t.fsm (Lookup t.cfg.lookup_states)
+
+let begin_translation t =
+  let p = t.port in
+  let r =
+    {
+      obj_id = p.Cp_port.cp_obj;
+      addr = p.Cp_port.cp_addr;
+      wr = p.Cp_port.cp_wr;
+      data = p.Cp_port.cp_dout;
+      width = p.Cp_port.cp_width;
+    }
+  in
+  t.req <- Some r;
+  Rvi_sim.Stats.incr t.stats "accesses";
+  (match t.trace with
+  | Some probe when r.obj_id <> Cp_port.param_obj ->
+    let vpn = Rvi_mem.Page.vpn t.geom r.addr in
+    let tlb_hit = Tlb.lookup t.tlb ~obj_id:r.obj_id ~vpn <> Tlb.Miss in
+    probe
+      {
+        at_cycle = t.cycle;
+        obj_id = r.obj_id;
+        vpn;
+        offset = Rvi_mem.Page.offset t.geom r.addr;
+        wr = r.wr;
+        tlb_hit;
+      }
+  | Some _ -> ()
+  | None -> ());
+  translate_or_fault t r
+
+let compute t =
+  t.out_start <- false;
+  t.out_tlbhit <- false;
+  if Rvi_hw.Fsm.state t.fsm <> Idle then Rvi_sim.Stats.incr t.stats "busy_cycles";
+  (* CP_FIN is level-held by the coprocessor; latch its rising edge so a
+     completion left over from a previous execution is not re-reported. *)
+  let fin_now = t.port.Cp_port.cp_fin in
+  if fin_now && (not t.prev_fin) && not t.fin_seen then begin
+    t.fin_seen <- true;
+    t.raise_irq ()
+  end;
+  t.prev_fin <- fin_now;
+  match Rvi_hw.Fsm.state t.fsm with
+  | Idle ->
+    if t.start_pending then begin
+      t.start_pending <- false;
+      t.out_start <- true;
+      Rvi_hw.Fsm.stay t.fsm
+    end
+    else if t.port.Cp_port.cp_access && not t.fin_seen then begin_translation t
+    else Rvi_hw.Fsm.stay t.fsm
+  | Lookup n when n > 1 -> Rvi_hw.Fsm.goto t.fsm (Lookup (n - 1))
+  | Lookup _ -> begin
+    match t.req with
+    | None -> failwith "Imu: lookup state with no latched request"
+    | Some r -> (
+      match resolve t r with
+      | Some ppn -> Rvi_hw.Fsm.goto t.fsm (Access ppn)
+      | None -> enter_fault t r)
+  end
+  | Access ppn -> begin
+    match t.req with
+    | None -> failwith "Imu: access state with no latched request"
+    | Some r ->
+      perform_access t r ppn;
+      Rvi_hw.Fsm.goto t.fsm Idle
+  end
+  | Faulted ->
+    Rvi_sim.Stats.incr t.stats "stall_cycles";
+    if t.resume_pending then begin
+      t.resume_pending <- false;
+      t.just_resumed <- true;
+      match t.req with
+      | None -> failwith "Imu: resume with no latched request"
+      | Some r -> translate_or_fault t r
+    end
+    else Rvi_hw.Fsm.stay t.fsm
+
+let commit t =
+  Rvi_hw.Fsm.commit t.fsm;
+  t.port.Cp_port.cp_start <- t.out_start;
+  t.port.Cp_port.cp_tlbhit <- t.out_tlbhit;
+  if t.out_tlbhit then t.port.Cp_port.cp_din <- t.out_din;
+  t.cycle <- t.cycle + 1
+
+let component t =
+  Rvi_sim.Clock.component ~name:"imu"
+    ~compute:(fun () -> compute t)
+    ~commit:(fun () -> commit t)
+
+let read_ar t =
+  match t.req with
+  | Some r -> Imu_regs.ar_encode ~obj_id:r.obj_id ~addr:r.addr
+  | None -> 0
+
+let read_sr t =
+  Imu_regs.sr_encode
+    ~fault:(Rvi_hw.Fsm.state t.fsm = Faulted)
+    ~fin:t.fin_seen
+    ~busy:(Rvi_hw.Fsm.state t.fsm <> Idle)
+    ~params_done:t.params_done
+
+let write_cr t word =
+  if Imu_regs.test word Imu_regs.cr_reset then begin
+    Rvi_hw.Fsm.reset t.fsm Idle;
+    t.req <- None;
+    t.fault <- None;
+    t.fin_seen <- false;
+    t.prev_fin <- t.port.Cp_port.cp_fin;
+    t.params_done <- false;
+    t.start_pending <- false;
+    t.resume_pending <- false;
+    t.just_resumed <- false;
+    t.out_start <- false;
+    t.out_tlbhit <- false;
+    t.port.Cp_port.cp_start <- false;
+    t.port.Cp_port.cp_tlbhit <- false
+  end;
+  if Imu_regs.test word Imu_regs.cr_start then t.start_pending <- true;
+  if Imu_regs.test word Imu_regs.cr_resume then t.resume_pending <- true
+
+let set_param_page t p = t.param_page <- p
+let set_trace t probe = t.trace <- probe
+let fault t = if Rvi_hw.Fsm.state t.fsm = Faulted then t.fault else None
+let params_done t = t.params_done
+let finished t = t.fin_seen
+let cycle t = t.cycle
+let stats t = t.stats

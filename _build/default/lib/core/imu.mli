@@ -1,0 +1,97 @@
+(** The Interface Management Unit (paper §3.2, Figures 4 and 7).
+
+    A clocked state machine between the coprocessor's virtual-address port
+    and the dual-port RAM. Every coprocessor access runs through it:
+
+    + the request is latched from the port ([CP_ACCESS]);
+    + the TLB CAM is searched — due to the technology limitations the
+      paper describes, the search takes multiple cycles
+      ([config.lookup_states], 2 in the shipped design);
+    + on a hit the physical dual-port-RAM access is performed and
+      [CP_TLBHIT] is pulsed — data is ready on the {e fourth} rising edge
+      after the request, reproducing Figure 7;
+    + on a miss the coprocessor is stalled, [AR]/[SR] are set and the OS is
+      interrupted; after the VIM refills the TLB and writes the resume bit,
+      translation restarts.
+
+    Accesses to the reserved parameter object are translated directly to
+    the parameter-passing page without touching the TLB; the first
+    non-parameter access marks the parameters consumed so the OS can
+    recycle that page. *)
+
+type config = {
+  lookup_states : int;  (** CAM search cycles before the access cycle *)
+  tlb_entries : int;
+  tlb_organization : Tlb.organization;
+      (** the paper's TLB is a full CAM; cheaper organisations trade
+          conflict refill faults for area (ablation [abl-tlb-org]) *)
+}
+
+val default_config : config
+(** [lookup_states = 2] (the 4-cycle access of Figure 7), [tlb_entries = 8]. *)
+
+val pipelined_config : config
+(** The paper's announced pipelined IMU: translation overlapped with the
+    access, [lookup_states = 0] (2-cycle access). *)
+
+type t
+
+val create :
+  ?config:config ->
+  port:Cp_port.t ->
+  dpram:Rvi_mem.Dpram.t ->
+  raise_irq:(unit -> unit) ->
+  unit ->
+  t
+
+val component : t -> Rvi_sim.Clock.component
+(** Register this on the IMU/memory-subsystem clock. *)
+
+val config : t -> config
+val tlb : t -> Tlb.t
+val port : t -> Cp_port.t
+
+(** {1 Register interface (driven by the VIM over the bus)} *)
+
+val read_ar : t -> int
+val read_sr : t -> int
+
+val write_cr : t -> int -> unit
+(** Start / resume / reset strobes; see {!Imu_regs}. Reset clears the FSM,
+    the fault and fin flags and the parameter state, but not the TLB (the
+    OS owns TLB contents). *)
+
+val set_param_page : t -> int option -> unit
+(** Physical page backing the parameter object, or [None] when parameter
+    accesses must fail. *)
+
+val fault : t -> (int * int) option
+(** [(obj_id, vpn)] of the pending fault, if stalled. *)
+
+val params_done : t -> bool
+val finished : t -> bool
+(** The coprocessor has asserted [CP_FIN]. *)
+
+val cycle : t -> int
+(** IMU clock cycles elapsed (the hardware stamp used by the TLB). *)
+
+(** {1 Access tracing} *)
+
+type access_event = {
+  at_cycle : int;
+  obj_id : int;
+  vpn : int;
+  offset : int;
+  wr : bool;
+  tlb_hit : bool;  (** state of the TLB when the access was latched *)
+}
+
+val set_trace : t -> (access_event -> unit) option -> unit
+(** Installs (or removes) a probe called once per latched data access —
+    parameter-page reads excluded. Used by the miss-ratio-curve analysis
+    ({!Rvi_harness.Mrc}) and by debugging tools; no simulation behaviour
+    depends on it. *)
+
+val stats : t -> Rvi_sim.Stats.t
+(** ["accesses"], ["reads"], ["writes"], ["param_reads"], ["faults"],
+    ["stall_cycles"], ["busy_cycles"]. *)

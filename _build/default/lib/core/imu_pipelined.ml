@@ -1,0 +1,4 @@
+let create ?(tlb_entries = Imu.pipelined_config.Imu.tlb_entries) ~port ~dpram
+    ~raise_irq () =
+  let config = { Imu.pipelined_config with Imu.tlb_entries } in
+  Imu.create ~config ~port ~dpram ~raise_irq ()

@@ -1,0 +1,20 @@
+(** The pipelined IMU variant (paper §4.1).
+
+    The paper measures a translation overhead of about 20 % of hardware
+    time for IDEA and announces "a pipelined implementation of the IMU
+    which is expected to mask almost completely the translation overhead".
+    This variant overlaps the CAM search with the access: a translated
+    access completes in 2 cycles instead of 4 (one residual cycle over a
+    raw dual-port access — the "almost").
+
+    It is the same machine as {!Imu} configured with
+    {!Imu.pipelined_config}; the ablation benchmark [abl-pipe] compares
+    the two. *)
+
+val create :
+  ?tlb_entries:int ->
+  port:Cp_port.t ->
+  dpram:Rvi_mem.Dpram.t ->
+  raise_irq:(unit -> unit) ->
+  unit ->
+  Imu.t

@@ -1,0 +1,25 @@
+let ar_encode ~obj_id ~addr =
+  if obj_id < 0 || obj_id > 0xFF then invalid_arg "Imu_regs.ar_encode: bad object id";
+  if addr < 0 || addr > 0xFF_FFFF then invalid_arg "Imu_regs.ar_encode: bad address";
+  (obj_id lsl 24) lor addr
+
+let ar_obj ar = (ar lsr 24) land 0xFF
+let ar_addr ar = ar land 0xFF_FFFF
+
+let sr_fault = 1 lsl 0
+let sr_fin = 1 lsl 1
+let sr_busy = 1 lsl 2
+let sr_params_done = 1 lsl 3
+
+let sr_encode ~fault ~fin ~busy ~params_done =
+  (if fault then sr_fault else 0)
+  lor (if fin then sr_fin else 0)
+  lor (if busy then sr_busy else 0)
+  lor if params_done then sr_params_done else 0
+
+let cr_start = 1 lsl 0
+let cr_resume = 1 lsl 1
+let cr_irq_enable = 1 lsl 2
+let cr_reset = 1 lsl 3
+
+let test word mask = word land mask = mask

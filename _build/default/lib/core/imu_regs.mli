@@ -1,0 +1,42 @@
+(** The IMU's processor-visible registers (paper, Figure 4).
+
+    Three registers sit on the bus next to the TLB:
+
+    - [AR] — address register: the virtual address (object identifier and
+      byte offset) of the most recent coprocessor access. The OS examines
+      it to learn which access faulted.
+    - [SR] — status register: fault / finished / busy / parameters-consumed
+      flags.
+    - [CR] — control register: start / resume / interrupt-enable / reset
+      command bits (write-only strobes except the enable).
+
+    Encodings are fixed so that tests can exercise the exact bit-level
+    protocol a driver would use. *)
+
+(** {1 AR} *)
+
+val ar_encode : obj_id:int -> addr:int -> int
+(** [obj_id] in bits 31..24, byte offset in bits 23..0. *)
+
+val ar_obj : int -> int
+val ar_addr : int -> int
+
+(** {1 SR} *)
+
+val sr_fault : int (* bit 0 *)
+val sr_fin : int (* bit 1 *)
+val sr_busy : int (* bit 2 *)
+val sr_params_done : int (* bit 3 *)
+
+val sr_encode :
+  fault:bool -> fin:bool -> busy:bool -> params_done:bool -> int
+
+(** {1 CR} *)
+
+val cr_start : int (* bit 0 *)
+val cr_resume : int (* bit 1 *)
+val cr_irq_enable : int (* bit 2 *)
+val cr_reset : int (* bit 3 *)
+
+val test : int -> int -> bool
+(** [test word mask] is true when all bits of [mask] are set in [word]. *)

@@ -1,0 +1,38 @@
+(** Data objects declared through [FPGA_MAP_OBJECT] (paper §3.1).
+
+    An object is the arrangement between the software and the hardware
+    designer: the software declares "object 0 is this vector", the
+    coprocessor addresses it by identifier and byte offset, and the OS owns
+    its placement. The direction flag is the optimisation hint the call's
+    optional flags argument carries: output-only pages need not be loaded
+    from user space before first use. *)
+
+type direction = In | Out | Inout
+
+val direction_name : direction -> string
+
+type t = private {
+  id : int;  (** coprocessor-visible identifier, 0..254 *)
+  buf : Rvi_os.Uspace.buf;  (** backing user-space buffer *)
+  dir : direction;
+  stream : bool;  (** sequential-access hint enabling prefetch *)
+}
+
+val make :
+  id:int -> buf:Rvi_os.Uspace.buf -> dir:direction -> ?stream:bool -> unit -> t
+(** Raises [Invalid_argument] for identifiers outside [0, 254] or an empty
+    buffer. [stream] defaults to [false]. *)
+
+val size : t -> int
+
+val page_span : t -> Rvi_mem.Page.geometry -> int
+(** Number of pages the object occupies. *)
+
+val bytes_on_page : t -> Rvi_mem.Page.geometry -> vpn:int -> int
+(** How many bytes of the object live on virtual page [vpn] — a full page
+    except possibly the last. Zero if [vpn] is beyond the object. *)
+
+val user_offset : t -> Rvi_mem.Page.geometry -> vpn:int -> int
+(** Offset of that page's data inside the user buffer. *)
+
+val pp : Format.formatter -> t -> unit

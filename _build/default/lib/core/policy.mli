@@ -1,0 +1,47 @@
+(** Page replacement policies (paper §3.3).
+
+    "When no page is available for allocation, several replacement policies
+    are possible (e.g., first-in first-out, least recently used, random)."
+    All three are implemented, plus the classic second-chance (clock)
+    approximation of LRU; the [abl-policy] ablation compares them.
+
+    The policy chooses among candidate frames described by hardware-kept
+    metadata: load stamp (frame table), last-access stamp and reference bit
+    (IMU TLB). *)
+
+type candidate = {
+  frame : int;
+  page : int * int;  (** (object identifier, virtual page) held in it *)
+  loaded_at : int;  (** IMU cycle when the page was placed *)
+  last_access : int;  (** IMU cycle of the most recent translated access *)
+  referenced : bool;  (** hardware reference bit *)
+  dirty : bool;
+}
+
+type t
+
+val fifo : unit -> t
+val lru : unit -> t
+val random : seed:int -> t
+val second_chance : unit -> t
+
+val oracle : trace:(int * int) array -> position:(unit -> int) -> t
+(** Belady's optimal replacement, made online by profiling: [trace] is the
+    page reference string recorded on a previous run of the same workload
+    (the coprocessor's access sequence does not depend on the policy, so
+    it replays exactly), and [position] reports how many references the
+    current run has performed. The victim is the candidate whose next use
+    lies farthest in the future. This is the "efficient allocation
+    algorithms" direction the paper's conclusion calls for. *)
+
+val name : t -> string
+
+val all_names : string list
+val of_name : ?seed:int -> string -> t option
+(** [of_name "random"] needs [seed] (defaults to 42). *)
+
+val choose : t -> clear_ref:(int -> unit) -> candidate array -> int
+(** Picks the victim frame. [clear_ref frame] lets the second-chance scan
+    strip hardware reference bits as it passes. The candidate array must be
+    non-empty ([Invalid_argument] otherwise). Deterministic for a given
+    policy state and candidate list. *)

@@ -1,0 +1,23 @@
+type t = Off | Sequential of { depth : int }
+
+let off = Off
+
+let sequential ~depth =
+  if depth < 1 then invalid_arg "Prefetch.sequential: depth < 1";
+  Sequential { depth }
+
+let name = function
+  | Off -> "off"
+  | Sequential { depth } -> Printf.sprintf "sequential-%d" depth
+
+let predict t ~stream ~vpn ~last_vpn =
+  match t with
+  | Off -> []
+  | Sequential { depth } ->
+    if not stream then []
+    else
+      let rec go d acc =
+        if d > depth || vpn + d > last_vpn then List.rev acc
+        else go (d + 1) ((vpn + d) :: acc)
+      in
+      go 1 []

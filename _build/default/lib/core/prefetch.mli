@@ -1,0 +1,21 @@
+(** Page prefetching (paper §3.3, §4.1).
+
+    "Speculative actions as prefetching could be used in order to avoid
+    translation misses". The predictor runs inside the fault handler: when
+    an object carrying the stream hint faults on page [v], the next [depth]
+    pages are loaded into any *free* frames in the same service — saving
+    their future fault round-trips (interrupt entry, decode, resume). The
+    prefetcher never evicts on speculation. *)
+
+type t = Off | Sequential of { depth : int }
+
+val off : t
+val sequential : depth:int -> t
+(** Raises [Invalid_argument] if [depth < 1]. *)
+
+val name : t -> string
+
+val predict : t -> stream:bool -> vpn:int -> last_vpn:int -> int list
+(** Virtual pages to fetch speculatively after a fault on [vpn] of an
+    object whose last page is [last_vpn]. Empty when disabled, when the
+    object lacks the stream hint, or at the end of the object. *)

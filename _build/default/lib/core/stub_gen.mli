@@ -1,0 +1,51 @@
+(** C stub generation for the application side.
+
+    The paper's §2 triple is "an appropriately augmented OS, a compiler,
+    and a synthesiser". {!Vhdl_gen} covers the synthesiser's input; this
+    module covers the compiler's output: given the object arrangement a
+    software and a hardware designer agreed on, it emits the C header and
+    wrapper the application links against — the Figure 6 calling sequence
+    with no platform detail in sight.
+
+    The generated wrapper performs, in order: [FPGA_LOAD],
+    one [FPGA_MAP_OBJECT] per declared object, [FPGA_EXECUTE] with the
+    scalar parameters, and returns the syscall status. *)
+
+type c_type = U8 | S16 | U16 | S32 | U32
+
+val c_type_name : c_type -> string
+(** The [stdint.h] spelling, e.g. ["uint32_t"]. *)
+
+type obj_spec = {
+  id : int;  (** coprocessor-visible identifier *)
+  c_name : string;  (** parameter name in the generated API *)
+  ty : c_type;
+  dir : Mapped_object.direction;
+  stream : bool;
+}
+
+type spec = {
+  app : string;  (** C identifier prefix, e.g. ["idea"] *)
+  objects : obj_spec list;
+  params : string list;  (** scalar parameter names, in page order *)
+}
+
+val make : app:string -> objects:obj_spec list -> params:string list -> spec
+(** Validates identifiers and uniqueness of object ids.
+    Raises [Invalid_argument] otherwise. *)
+
+val header : spec -> string
+(** [<app>_vif.h]: object-id macros, the run prototype. *)
+
+val source : spec -> string
+(** [<app>_vif.c]: the wrapper implementation over the three services. *)
+
+val emit_all : spec -> (string * string) list
+(** [(filename, contents)] pairs. *)
+
+(** Canned specifications for the shipped coprocessors. *)
+
+val vecadd_spec : spec
+val adpcm_spec : spec
+val idea_spec : spec
+val fir_spec : spec

@@ -1,0 +1,145 @@
+type entry = {
+  mutable valid : bool;
+  mutable obj_id : int;
+  mutable vpn : int;
+  mutable ppn : int;
+  mutable dirty : bool;
+  mutable referenced : bool;
+  mutable last_access : int;
+}
+
+type organization = Fully_associative | Direct_mapped | Set_associative of int
+
+let organization_name = function
+  | Fully_associative -> "cam"
+  | Direct_mapped -> "direct-mapped"
+  | Set_associative n -> Printf.sprintf "%d-way" n
+
+type t = {
+  slots : entry array;
+  organization : organization;
+  stats : Rvi_sim.Stats.t;
+}
+
+let fresh_entry () =
+  {
+    valid = false;
+    obj_id = 0;
+    vpn = 0;
+    ppn = 0;
+    dirty = false;
+    referenced = false;
+    last_access = 0;
+  }
+
+let create ?(organization = Fully_associative) ~entries () =
+  if entries < 1 then invalid_arg "Tlb.create: need at least one entry";
+  (match organization with
+  | Set_associative n when n < 1 || entries mod n <> 0 ->
+    invalid_arg "Tlb.create: ways must divide the entry count"
+  | Set_associative _ | Fully_associative | Direct_mapped -> ());
+  {
+    slots = Array.init entries (fun _ -> fresh_entry ());
+    organization;
+    stats = Rvi_sim.Stats.create ();
+  }
+
+let entries t = Array.length t.slots
+let organization t = t.organization
+
+(* The index hash a hardware TLB would compute from the tag bits. *)
+let hash ~obj_id ~vpn = (vpn lxor (obj_id * 7)) land max_int
+
+let way_slots t ~obj_id ~vpn =
+  let n = Array.length t.slots in
+  match t.organization with
+  | Fully_associative -> List.init n (fun i -> i)
+  | Direct_mapped -> [ hash ~obj_id ~vpn mod n ]
+  | Set_associative ways ->
+    let sets = n / ways in
+    let set = hash ~obj_id ~vpn mod sets in
+    List.init ways (fun w -> (set * ways) + w)
+
+let free_way_slot t ~obj_id ~vpn =
+  List.find_opt
+    (fun slot -> not t.slots.(slot).valid)
+    (way_slots t ~obj_id ~vpn)
+
+type lookup = Hit of int | Miss
+
+let lookup t ~obj_id ~vpn =
+  let rec go = function
+    | [] -> Miss
+    | i :: rest ->
+      let e = t.slots.(i) in
+      if e.valid && e.obj_id = obj_id && e.vpn = vpn then Hit i else go rest
+  in
+  go (way_slots t ~obj_id ~vpn)
+
+let translate t ~obj_id ~vpn ~stamp ~wr =
+  match lookup t ~obj_id ~vpn with
+  | Miss ->
+    Rvi_sim.Stats.incr t.stats "misses";
+    None
+  | Hit i ->
+    let e = t.slots.(i) in
+    if wr then e.dirty <- true;
+    e.referenced <- true;
+    e.last_access <- stamp;
+    Rvi_sim.Stats.incr t.stats "hits";
+    Some e.ppn
+
+let check_slot t slot op =
+  if slot < 0 || slot >= Array.length t.slots then
+    invalid_arg (Printf.sprintf "Tlb.%s: slot %d out of range" op slot)
+
+let insert t ~slot ~obj_id ~vpn ~ppn =
+  check_slot t slot "insert";
+  let e = t.slots.(slot) in
+  e.valid <- true;
+  e.obj_id <- obj_id;
+  e.vpn <- vpn;
+  e.ppn <- ppn;
+  e.dirty <- false;
+  e.referenced <- false;
+  e.last_access <- 0;
+  Rvi_sim.Stats.incr t.stats "refills"
+
+let free_slot t =
+  let rec go i =
+    if i >= Array.length t.slots then None
+    else if not t.slots.(i).valid then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let slot_of_ppn t ~ppn =
+  let rec go i =
+    if i >= Array.length t.slots then None
+    else if t.slots.(i).valid && t.slots.(i).ppn = ppn then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let invalidate t ~slot =
+  check_slot t slot "invalidate";
+  if t.slots.(slot).valid then begin
+    t.slots.(slot).valid <- false;
+    Rvi_sim.Stats.incr t.stats "invalidations"
+  end
+
+let invalidate_all t =
+  Array.iteri (fun slot _ -> invalidate t ~slot) t.slots
+
+let get t ~slot =
+  check_slot t slot "get";
+  t.slots.(slot)
+
+let clear_referenced t ~slot =
+  check_slot t slot "clear_referenced";
+  t.slots.(slot).referenced <- false
+
+let valid_count t =
+  Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.slots
+
+let stats t = t.stats

@@ -1,0 +1,74 @@
+(** The IMU's translation look-aside buffer.
+
+    A small fully-associative table (content-addressable memory in the real
+    IMU) mapping (object identifier, virtual page number) to a physical
+    dual-port-RAM page. Entries carry validity, dirtiness and a hardware
+    reference bit/stamp, "like in typical VMM systems" (paper §3.2).
+
+    The hardware side ({!lookup}) is exercised by the IMU on every
+    coprocessor access; the software side (insert/invalidate) is driven by
+    the VIM over the register interface. *)
+
+type entry = private {
+  mutable valid : bool;
+  mutable obj_id : int;
+  mutable vpn : int;
+  mutable ppn : int;  (** physical page inside the dual-port RAM *)
+  mutable dirty : bool;  (** set by hardware on a translated write *)
+  mutable referenced : bool;  (** set by hardware on any translated access *)
+  mutable last_access : int;  (** hardware stamp of the last access *)
+}
+
+type organization =
+  | Fully_associative
+      (** the paper's CAM: any entry can hold any translation *)
+  | Direct_mapped  (** entry index = hash(object, page) — smallest area *)
+  | Set_associative of int  (** n-way: CAM cells only within a set *)
+
+val organization_name : organization -> string
+
+type t
+
+val create : ?organization:organization -> entries:int -> unit -> t
+(** Default {!Fully_associative}. [Set_associative n] requires [n] to
+    divide [entries]. *)
+
+val entries : t -> int
+val organization : t -> organization
+
+val way_slots : t -> obj_id:int -> vpn:int -> int list
+(** The slots allowed to hold this translation under the TLB's
+    organisation (all of them for the CAM). Refills must pick among
+    these. *)
+
+type lookup = Hit of int (* slot *) | Miss
+
+val lookup : t -> obj_id:int -> vpn:int -> lookup
+(** CAM match on the upper address bits. Does not touch usage metadata. *)
+
+val translate : t -> obj_id:int -> vpn:int -> stamp:int -> wr:bool -> int option
+(** Hardware access path: on a hit returns the physical page and updates
+    the dirty/reference/stamp metadata. *)
+
+val insert : t -> slot:int -> obj_id:int -> vpn:int -> ppn:int -> unit
+(** Software refill. The entry starts clean and unreferenced. *)
+
+val free_slot : t -> int option
+(** An invalid slot, if any. *)
+
+val free_way_slot : t -> obj_id:int -> vpn:int -> int option
+(** An invalid slot among {!way_slots}, if any. *)
+
+val slot_of_ppn : t -> ppn:int -> int option
+(** The valid slot translating to a physical page, if any. *)
+
+val invalidate : t -> slot:int -> unit
+val invalidate_all : t -> unit
+
+val get : t -> slot:int -> entry
+val clear_referenced : t -> slot:int -> unit
+
+val valid_count : t -> int
+
+val stats : t -> Rvi_sim.Stats.t
+(** ["hits"], ["misses"], ["refills"], ["invalidations"]. *)

@@ -1,0 +1,61 @@
+(** VHDL skeleton generation for the virtualisation interface.
+
+    §2 of the paper: "an appropriately augmented OS, a compiler, and a
+    synthesiser must be sufficient to port the accelerated application
+    across different systems". The synthesis side starts from interface
+    declarations; this module emits them so a hardware designer targets
+    exactly the simulated contract:
+
+    - the portable coprocessor entity with the Figure 4 [CP_*] port
+      (identical on every platform);
+    - the platform-specific IMU entity, its generics derived from a
+      device/bit-stream pair (page geometry, TLB depth, CAM latency);
+    - a top-level "stripe" wrapper instantiating both and exposing the
+      dual-port-RAM pins;
+    - a package with the shared constants.
+
+    Output is plain VHDL-93 text; tests check its structure, and it gives
+    downstream users a synthesisable starting point that matches the
+    simulation bit for bit at the interface. *)
+
+type design = {
+  name : string;  (** coprocessor entity name, e.g. ["idea_core"] *)
+  device : Rvi_fpga.Device.t;
+  imu_config : Imu.config;
+  data_width : int;  (** widest coprocessor access in bits (8/16/32) *)
+}
+
+val make :
+  name:string ->
+  device:Rvi_fpga.Device.t ->
+  ?imu_config:Imu.config ->
+  ?data_width:int ->
+  unit ->
+  design
+(** Defaults: the 4-cycle IMU, 32-bit data. Raises [Invalid_argument] for
+    an empty or non-identifier name or an unsupported width. *)
+
+val package_vhdl : design -> string
+(** [<name>_vif_pkg]: address widths, object-id width, page constants. *)
+
+val coproc_entity_vhdl : design -> string
+(** The portable entity declaration the coprocessor designer fills in. *)
+
+val imu_entity_vhdl : design -> string
+(** The platform-specific IMU entity with TLB generics and the dual-port
+    RAM pins of Figure 4. *)
+
+val toplevel_vhdl : design -> string
+(** The stripe wrapper instantiating the IMU and the coprocessor. *)
+
+val emit_all : design -> (string * string) list
+(** [(filename, contents)] for the four units, in compile order. *)
+
+val testbench_vhdl : ?max_cycles:int -> design -> wave:Rvi_hw.Wave.t -> string
+(** A self-checking VHDL testbench generated from a golden-model capture
+    (e.g. {!Rvi_harness.Platform.trace} of a verified run): one process
+    replays the coprocessor-side stimulus cycle by cycle and asserts the
+    IMU-side responses ([CP_TLBHIT], [CP_DIN], [CP_START]) against the
+    recorded values. This is how the simulated model hands co-simulation
+    vectors to an RTL flow. At most [max_cycles] (default 4096) leading
+    cycles are emitted. *)

@@ -1,0 +1,572 @@
+module Simtime = Rvi_sim.Simtime
+module Engine = Rvi_sim.Engine
+module Stats = Rvi_sim.Stats
+module Kernel = Rvi_os.Kernel
+module Accounting = Rvi_os.Accounting
+module Cost_model = Rvi_os.Cost_model
+
+let src = Logs.Src.create "rvi.vim" ~doc:"Virtual Interface Manager"
+
+module Log = (val Logs.src_log src)
+
+type transfer_mode = Single | Double
+
+type copy_engine = Cpu | Dma_engine of Rvi_mem.Dma.t
+
+type config = {
+  policy : Policy.t;
+  transfer : transfer_mode;
+  prefetch : Prefetch.t;
+  overlap_prefetch : bool;
+  copy_engine : copy_engine;
+  eager_mapping : bool;
+  watchdog : Simtime.t;
+}
+
+let default_config () =
+  {
+    policy = Policy.fifo ();
+    transfer = Double;
+    prefetch = Prefetch.off;
+    overlap_prefetch = false;
+    copy_engine = Cpu;
+    eager_mapping = true;
+    watchdog = Simtime.of_ms 10_000;
+  }
+
+type error =
+  | Unmapped_object of int
+  | Object_overflow of { obj_id : int; vpn : int }
+  | No_frames
+  | Too_many_params of { given : int; capacity : int }
+  | Hardware_stall
+  | Nothing_loaded
+
+let error_to_string = function
+  | Unmapped_object id -> Printf.sprintf "access to unmapped object %d" id
+  | Object_overflow { obj_id; vpn } ->
+    Printf.sprintf "object %d accessed beyond its end (page %d)" obj_id vpn
+  | No_frames -> "dual-port memory too small (need parameter page + 1 frame)"
+  | Too_many_params { given; capacity } ->
+    Printf.sprintf "%d scalar parameters exceed the parameter page (%d words)"
+      given capacity
+  | Hardware_stall -> "coprocessor made no progress before the watchdog"
+  | Nothing_loaded -> "no bit-stream loaded"
+
+type t = {
+  kernel : Kernel.t;
+  dpram : Rvi_mem.Dpram.t;
+  imu : Imu.t;
+  ahb : Rvi_mem.Ahb.t;
+  clocks : Rvi_sim.Clock.t list;
+  cfg : config;
+  geom : Rvi_mem.Page.geometry;
+  frames : Frame_table.t;
+  objects : (int, Mapped_object.t) Hashtbl.t;
+  written_back : (int * int, unit) Hashtbl.t;
+      (* (obj, vpn) pairs evicted dirty: must be reloaded on refault even
+         for output-only objects, or earlier results would be lost *)
+  frame_dirty : (int, unit) Hashtbl.t;
+      (* dirtiness folded out of evicted TLB entries (TLB smaller than the
+         frame pool) *)
+  mutable caller : int option; (* pid sleeping in FPGA_EXECUTE *)
+  mutable finished : bool;
+  mutable error : error option;
+  stats : Stats.t;
+}
+
+let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
+  let t =
+    {
+      kernel;
+      dpram;
+      imu;
+      ahb;
+      clocks;
+      cfg;
+      geom = Rvi_mem.Dpram.geometry dpram;
+      frames = Frame_table.create ~frames:(Rvi_mem.Dpram.n_pages dpram);
+      objects = Hashtbl.create 8;
+      written_back = Hashtbl.create 64;
+      frame_dirty = Hashtbl.create 16;
+      caller = None;
+      finished = false;
+      error = None;
+      stats = Stats.create ();
+    }
+  in
+  Rvi_os.Irq.register (Kernel.irq kernel) ~line:irq_line ~name:"imu"
+    (fun () -> handle_irq t);
+  t
+
+and handle_irq t =
+  let cost = Kernel.cost t.kernel in
+  (* Read SR/AR over the bus and decode the cause. *)
+  Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.fault_decode;
+  let sr = Imu.read_sr t.imu in
+  if Imu_regs.test sr Imu_regs.sr_fin then handle_fin t
+  else if Imu_regs.test sr Imu_regs.sr_fault then handle_fault t
+  else
+    (* Spurious interrupt: counted, otherwise ignored. *)
+    Stats.incr t.stats "spurious_irqs"
+
+and charge_copy t bytes =
+  match t.cfg.copy_engine with
+  | Cpu ->
+    let factor = match t.cfg.transfer with Single -> 1 | Double -> 2 in
+    let cycles = factor * Rvi_mem.Ahb.copy_cycles t.ahb ~bytes in
+    Kernel.charge t.kernel Accounting.Sw_dp ~cycles
+  | Dma_engine dma ->
+    (* Program the channel, then wait out the burst; a DMA moves the data
+       once regardless of the transfer-mode setting. *)
+    Kernel.charge t.kernel Accounting.Sw_dp
+      ~cycles:(Rvi_mem.Dma.setup_cycles dma);
+    Kernel.charge_time t.kernel Accounting.Sw_dp
+      (Rvi_mem.Dma.transfer_time dma ~bytes)
+
+(* Dirtiness of the page in [frame]: hardware TLB bit plus anything folded
+   back when a TLB entry was evicted while the page stayed resident. *)
+and frame_is_dirty t ~frame =
+  let tlb = Imu.tlb t.imu in
+  let hw =
+    match Tlb.slot_of_ppn tlb ~ppn:frame with
+    | Some slot -> (Tlb.get tlb ~slot).Tlb.dirty
+    | None -> false
+  in
+  hw || Hashtbl.mem t.frame_dirty frame
+
+(* Write the page held in [frame] back to its user buffer if it is dirty
+   and its object accepts writes. Input-only objects are never written
+   back — the direction flag is the paper's optimisation hint. *)
+and writeback_if_dirty t ~frame ~obj_id ~vpn =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> ()
+  | Some obj ->
+    if frame_is_dirty t ~frame then begin
+      match obj.Mapped_object.dir with
+      | Mapped_object.In -> Stats.incr t.stats "dirty_in_dropped"
+      | Mapped_object.Out | Mapped_object.Inout ->
+        let len = Mapped_object.bytes_on_page obj t.geom ~vpn in
+        if len > 0 then begin
+          let tmp = Bytes.create len in
+          Rvi_mem.Dpram.store_page t.dpram ~page:frame tmp ~dst:0 ~len;
+          let sdram = Kernel.sdram t.kernel in
+          let dst =
+            obj.Mapped_object.buf.Rvi_os.Uspace.addr
+            + Mapped_object.user_offset obj t.geom ~vpn
+          in
+          Rvi_mem.Sdram.blit_in tmp ~src:0 sdram ~dst ~len;
+          charge_copy t len;
+          Hashtbl.replace t.written_back (obj_id, vpn) ();
+          Stats.incr t.stats "writebacks"
+        end
+    end
+
+(* Drop the TLB entry translating to [frame], folding its dirty bit into
+   the software table first. *)
+and invalidate_tlb_for_frame t ~frame =
+  let tlb = Imu.tlb t.imu in
+  match Tlb.slot_of_ppn tlb ~ppn:frame with
+  | None -> ()
+  | Some slot ->
+    let cost = Kernel.cost t.kernel in
+    if (Tlb.get tlb ~slot).Tlb.dirty then Hashtbl.replace t.frame_dirty frame ();
+    Tlb.invalidate tlb ~slot;
+    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update
+
+and evict t ~frame =
+  (match Frame_table.slot t.frames ~frame with
+  | Frame_table.Held { obj_id; vpn; _ } ->
+    (* Unmap, then drain: an access whose CAM hit preceded the
+       invalidation may still be in flight inside the IMU; give it one
+       full translation window (an SR read's worth of CPU time) to land in
+       the old frame before the contents are snapshotted and the frame
+       reused. Only then copy out. *)
+    invalidate_tlb_for_frame t ~frame;
+    Kernel.charge t.kernel Accounting.Sw_imu
+      ~cycles:(Kernel.cost t.kernel).Cost_model.fault_decode;
+    writeback_if_dirty t ~frame ~obj_id ~vpn;
+    Stats.incr t.stats "evictions"
+  | Frame_table.Param -> Stats.incr t.stats "param_releases"
+  | Frame_table.Free -> ());
+  Hashtbl.remove t.frame_dirty frame;
+  Frame_table.release t.frames ~frame;
+  let cost = Kernel.cost t.kernel in
+  Kernel.charge t.kernel Accounting.Sw_os ~cycles:cost.Cost_model.page_bookkeeping
+
+and candidates ?(exclude = []) t =
+  let tlb = Imu.tlb t.imu in
+  Frame_table.resident t.frames
+  |> List.filter (fun (frame, _obj, _vpn) -> not (List.mem frame exclude))
+  |> List.map (fun (frame, obj_id, vpn) ->
+         let loaded_at =
+           match Frame_table.slot t.frames ~frame with
+           | Frame_table.Held { loaded_at; _ } -> loaded_at
+           | Frame_table.Free | Frame_table.Param -> 0
+         in
+         match Tlb.slot_of_ppn tlb ~ppn:frame with
+         | Some slot ->
+           let e = Tlb.get tlb ~slot in
+           {
+             Policy.frame;
+             page = (obj_id, vpn);
+             loaded_at;
+             last_access = e.Tlb.last_access;
+             referenced = e.Tlb.referenced;
+             dirty = frame_is_dirty t ~frame;
+           }
+         | None ->
+           {
+             Policy.frame;
+             page = (obj_id, vpn);
+             loaded_at;
+             last_access = loaded_at;
+             referenced = false;
+             dirty = frame_is_dirty t ~frame;
+           })
+  |> Array.of_list
+
+(* Find a frame for a new page: a free one, the spent parameter page, or a
+   victim chosen by the replacement policy. *)
+and obtain_frame ?(exclude = []) ?(clean_only = false) t =
+  match Frame_table.free_frame t.frames with
+  | Some frame -> Some frame
+  | None -> (
+    match (Frame_table.param_frame t.frames, Imu.params_done t.imu) with
+    | Some frame, true ->
+      Imu.set_param_page t.imu None;
+      evict t ~frame;
+      Some frame
+    | _ ->
+      let cands = candidates ~exclude t in
+      let cands =
+        if clean_only then
+          Array.of_list
+            (List.filter
+               (fun c -> not c.Policy.dirty)
+               (Array.to_list cands))
+        else cands
+      in
+      if Array.length cands = 0 then None
+      else begin
+        let tlb = Imu.tlb t.imu in
+        let clear_ref frame =
+          match Tlb.slot_of_ppn tlb ~ppn:frame with
+          | Some slot -> Tlb.clear_referenced tlb ~slot
+          | None -> ()
+        in
+        let victim = Policy.choose t.cfg.policy ~clear_ref cands in
+        evict t ~frame:victim;
+        Some victim
+      end)
+
+(* Place (obj, vpn) into [frame]: move data if needed and refill the TLB.
+   [protect] names a page whose TLB entry must survive (the page whose
+   fault is being serviced): if the refill cannot avoid its slot, the
+   refill is skipped — the page stays resident and a later touch takes a
+   cheap refill fault. *)
+and install_page ?protect t ~frame ~obj ~vpn =
+  let obj_id = obj.Mapped_object.id in
+  let len = Mapped_object.bytes_on_page obj t.geom ~vpn in
+  let needs_load =
+    match obj.Mapped_object.dir with
+    | Mapped_object.In | Mapped_object.Inout -> true
+    | Mapped_object.Out -> Hashtbl.mem t.written_back (obj_id, vpn)
+  in
+  if needs_load then begin
+    let sdram = Kernel.sdram t.kernel in
+    let src =
+      obj.Mapped_object.buf.Rvi_os.Uspace.addr
+      + Mapped_object.user_offset obj t.geom ~vpn
+    in
+    let tmp = Bytes.create len in
+    Rvi_mem.Sdram.blit_out sdram ~src tmp ~dst:0 ~len;
+    Rvi_mem.Dpram.load_page t.dpram ~page:frame tmp ~src:0 ~len;
+    charge_copy t len;
+    Stats.incr t.stats "pages_loaded"
+  end
+  else begin
+    (* Output-only page touched for the first time: no transfer, just a
+       clean frame (cleared for determinism; a real module would simply
+       map it). *)
+    Rvi_mem.Dpram.clear_page t.dpram ~page:frame;
+    Stats.incr t.stats "pages_cleared"
+  end;
+  Frame_table.hold t.frames ~frame ~obj_id ~vpn ~loaded_at:(Imu.cycle t.imu);
+  Hashtbl.remove t.frame_dirty frame;
+  refill_tlb ?protect t ~frame ~obj_id ~vpn
+
+and refill_tlb ?protect t ~frame ~obj_id ~vpn =
+  let tlb = Imu.tlb t.imu in
+  let cost = Kernel.cost t.kernel in
+  let protected_slot s =
+    match protect with
+    | None -> false
+    | Some (pobj, pvpn) ->
+      let e = Tlb.get tlb ~slot:s in
+      e.Tlb.valid && e.Tlb.obj_id = pobj && e.Tlb.vpn = pvpn
+  in
+  let slot =
+    match Tlb.free_way_slot tlb ~obj_id ~vpn with
+    | Some slot -> Some slot
+    | None ->
+      (* No free slot in the allowed ways (TLB smaller than the frame pool,
+         or a conflict in a non-CAM organisation): evict the least recently
+         used non-protected entry among them, folding its dirty bit into
+         the software table. The page itself stays resident — a later touch
+         is a cheap refill fault. *)
+      let lru_slot = ref (-1) and lru_stamp = ref max_int in
+      List.iter
+        (fun s ->
+          if not (protected_slot s) then begin
+            let e = Tlb.get tlb ~slot:s in
+            if e.Tlb.valid && e.Tlb.last_access < !lru_stamp then begin
+              lru_slot := s;
+              lru_stamp := e.Tlb.last_access
+            end
+          end)
+        (Tlb.way_slots tlb ~obj_id ~vpn);
+      if !lru_slot < 0 then None
+      else begin
+        let slot = !lru_slot in
+        let e = Tlb.get tlb ~slot in
+        if e.Tlb.valid && e.Tlb.dirty then
+          Hashtbl.replace t.frame_dirty e.Tlb.ppn ();
+        Tlb.invalidate tlb ~slot;
+        Some slot
+      end
+  in
+  match slot with
+  | Some slot ->
+    Tlb.insert tlb ~slot ~obj_id ~vpn ~ppn:frame;
+    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update
+  | None ->
+    (* Every usable way holds the protected page: leave the new page
+       resident without a translation. *)
+    Stats.incr t.stats "tlb_refill_skipped"
+
+(* Speculatively pull the next page(s) of a streaming object in during the
+   same fault service, saving their future interrupt round-trips. The
+   eviction policy applies as for demand faults, except that the pages
+   touched by this very service are protected from becoming victims. *)
+and try_prefetch t ~obj ~vpn ~protect =
+  let protect_page = (obj.Mapped_object.id, vpn) in
+  let last_vpn = Mapped_object.page_span obj t.geom - 1 in
+  let predictions =
+    Prefetch.predict t.cfg.prefetch ~stream:obj.Mapped_object.stream ~vpn
+      ~last_vpn
+  in
+  let obj_id = obj.Mapped_object.id in
+  List.fold_left
+    (fun protect pvpn ->
+      if Frame_table.find t.frames ~obj_id ~vpn:pvpn <> None then protect
+      else
+        (* Speculation never forces a write-back: evict clean pages only
+           (the readahead discipline), or skip. *)
+        match obtain_frame ~exclude:protect ~clean_only:true t with
+        | Some frame ->
+          install_page ~protect:protect_page t ~frame ~obj ~vpn:pvpn;
+          Stats.incr t.stats "prefetched";
+          frame :: protect
+        | None -> protect)
+    protect predictions
+  |> ignore
+
+and handle_fault t =
+  Stats.incr t.stats "faults";
+  let service_start = Kernel.now t.kernel in
+  Log.debug (fun m ->
+      m "page fault: %s"
+        (match Imu.fault t.imu with
+        | Some (o, v) -> Printf.sprintf "object %d page %d" o v
+        | None -> "spurious"));
+  match Imu.fault t.imu with
+  | None -> Stats.incr t.stats "spurious_irqs"
+  | Some (obj_id, vpn) -> (
+    match Hashtbl.find_opt t.objects obj_id with
+    | None -> t.error <- Some (Unmapped_object obj_id)
+    | Some obj ->
+      if vpn >= Mapped_object.page_span obj t.geom then
+        t.error <- Some (Object_overflow { obj_id; vpn })
+      else begin
+        let resumed = ref false in
+        let resume () =
+          if not !resumed then begin
+            resumed := true;
+            Imu.write_cr t.imu Imu_regs.cr_resume
+          end
+        in
+        (match Frame_table.find t.frames ~obj_id ~vpn with
+        | Some frame ->
+          (* Page already resident: the TLB had no room for its entry.
+             Pure refill. *)
+          Stats.incr t.stats "tlb_refill_faults";
+          refill_tlb t ~frame ~obj_id ~vpn
+        | None -> (
+          match obtain_frame t with
+          | None -> t.error <- Some No_frames
+          | Some frame ->
+            install_page t ~frame ~obj ~vpn;
+            if t.cfg.overlap_prefetch then begin
+              (* Restart the coprocessor first: the speculative transfers
+                 below then overlap its execution. *)
+              resume ();
+              try_prefetch t ~obj ~vpn ~protect:[ frame ]
+            end
+            else try_prefetch t ~obj ~vpn ~protect:[ frame ]));
+        if t.error = None then resume ();
+        Stats.observe t.stats "fault_service_us"
+          (Simtime.to_us (Simtime.sub (Kernel.now t.kernel) service_start))
+      end)
+
+(* FPGA_EXECUTE "performs the mapping": before the coprocessor starts, as
+   many object pages as there are free frames are placed eagerly, in object
+   identifier order. Working sets that fit the dual-port memory therefore
+   run without a single fault — the paper's 2 KB adpcmdecode case — and
+   larger ones only fault on the tail. *)
+and premap t =
+  let objs =
+    Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []
+    |> List.sort (fun a b ->
+           Int.compare a.Mapped_object.id b.Mapped_object.id)
+  in
+  List.iter
+    (fun obj ->
+      let span = Mapped_object.page_span obj t.geom in
+      for vpn = 0 to span - 1 do
+        match Frame_table.free_frame t.frames with
+        | Some frame ->
+          if Frame_table.find t.frames ~obj_id:obj.Mapped_object.id ~vpn = None
+          then begin
+            install_page t ~frame ~obj ~vpn;
+            Stats.incr t.stats "premapped"
+          end
+        | None -> ()
+      done)
+    objs
+
+and handle_fin t =
+  Log.debug (fun m ->
+      m "end of operation: flushing %d resident pages"
+        (Frame_table.held_count t.frames));
+  let cost = Kernel.cost t.kernel in
+  (* Copy back to user space all the dirty data currently in the dual-port
+     memory, then drop every mapping. *)
+  List.iter
+    (fun (frame, obj_id, vpn) ->
+      writeback_if_dirty t ~frame ~obj_id ~vpn;
+      invalidate_tlb_for_frame t ~frame;
+      Frame_table.release t.frames ~frame;
+      Hashtbl.remove t.frame_dirty frame)
+    (Frame_table.resident t.frames);
+  (match Frame_table.param_frame t.frames with
+  | Some frame ->
+    Frame_table.release t.frames ~frame;
+    Imu.set_param_page t.imu None
+  | None -> ());
+  Kernel.charge t.kernel Accounting.Sw_os ~cycles:cost.Cost_model.page_bookkeeping;
+  (match t.caller with
+  | Some pid ->
+    Kernel.charge t.kernel Accounting.Sw_os ~cycles:cost.Cost_model.process_wakeup;
+    Rvi_os.Sched.wake (Kernel.sched t.kernel) ~pid
+  | None -> ());
+  t.finished <- true
+
+let config t = t.cfg
+let kernel t = t.kernel
+
+let map_object t obj =
+  let id = obj.Mapped_object.id in
+  if Hashtbl.mem t.objects id then
+    Error (Printf.sprintf "object identifier %d already mapped" id)
+  else begin
+    Hashtbl.add t.objects id obj;
+    Ok ()
+  end
+
+let unmap_all t = Hashtbl.reset t.objects
+
+let objects t =
+  Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []
+  |> List.sort (fun a b -> Int.compare a.Mapped_object.id b.Mapped_object.id)
+
+let find_object t ~id = Hashtbl.find_opt t.objects id
+
+let execute t ~params =
+  let param_capacity = Rvi_mem.Dpram.page_size t.dpram / 4 in
+  if Frame_table.frames t.frames < 2 then Error No_frames
+  else if List.length params > param_capacity then
+    Error (Too_many_params { given = List.length params; capacity = param_capacity })
+  else begin
+    let kernel = t.kernel in
+    let cost = Kernel.cost kernel in
+    let engine = Kernel.engine kernel in
+    let irq = Kernel.irq kernel in
+    (* Reset the interface state left by any previous execution. *)
+    Frame_table.release_all t.frames;
+    Tlb.invalidate_all (Imu.tlb t.imu);
+    Imu.write_cr t.imu Imu_regs.cr_reset;
+    Hashtbl.reset t.written_back;
+    Hashtbl.reset t.frame_dirty;
+    t.finished <- false;
+    t.error <- None;
+    Stats.incr t.stats "executions";
+    (* Seed the parameter-passing page (physical page 0); cleared first so
+       a short parameter list never exposes a previous run's words. *)
+    Frame_table.set_param t.frames ~frame:0;
+    Rvi_mem.Dpram.clear_page t.dpram ~page:0;
+    Imu.set_param_page t.imu (Some 0);
+    List.iteri
+      (fun i v ->
+        Rvi_mem.Dpram.cpu_write32 t.dpram (4 * i) v;
+        Kernel.charge kernel Accounting.Sw_os ~cycles:cost.Cost_model.param_word)
+      params;
+    if t.cfg.eager_mapping then premap t;
+    (* Put the caller to interruptible sleep for the duration. *)
+    let sched = Kernel.sched kernel in
+    let caller = Rvi_os.Sched.current sched in
+    if caller.Rvi_os.Proc.pid <> 0 then begin
+      t.caller <- Some caller.Rvi_os.Proc.pid;
+      Rvi_os.Sched.sleep_current sched
+    end
+    else t.caller <- None;
+    List.iter Rvi_sim.Clock.start t.clocks;
+    Imu.write_cr t.imu Imu_regs.cr_start;
+    let deadline = Simtime.add (Engine.now engine) t.cfg.watchdog in
+    let acct = Kernel.accounting kernel in
+    let result =
+      let rec pump hw_seg_start =
+        Engine.run_while engine (fun () ->
+            (not (Rvi_os.Irq.any_pending irq))
+            && (not t.finished) && t.error = None
+            && Simtime.(Engine.now engine < deadline));
+        Accounting.add acct Accounting.Hw
+          (Simtime.sub (Engine.now engine) hw_seg_start);
+        if Rvi_os.Irq.any_pending irq then begin
+          ignore (Kernel.service_interrupts kernel);
+          if t.finished || t.error <> None then ()
+          else if Simtime.(Engine.now engine < deadline) then
+            pump (Engine.now engine)
+          else t.error <- Some Hardware_stall
+        end
+        else if t.finished || t.error <> None then ()
+        else t.error <- Some Hardware_stall
+      in
+      (try pump (Engine.now engine)
+       with Engine.Stalled -> t.error <- Some Hardware_stall);
+      match t.error with Some e -> Error e | None -> Ok ()
+    in
+    List.iter Rvi_sim.Clock.stop t.clocks;
+    (match t.caller with
+    | Some pid ->
+      (* The fin handler already woke the caller on the happy path; on an
+         error path wake it here so it can observe the failure. *)
+      Rvi_os.Sched.wake sched ~pid;
+      ignore (Rvi_os.Sched.schedule sched);
+      t.caller <- None
+    | None -> ());
+    result
+  end
+
+let stats t = t.stats
+let frame_table t = t.frames

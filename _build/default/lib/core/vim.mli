@@ -1,0 +1,102 @@
+(** The Virtual Interface Manager (paper §3.3) — the OS half of the
+    virtualisation layer, a kernel module in the original system.
+
+    It owns the dual-port RAM as a pool of page frames, keeps the mapping
+    between (object, virtual page) pairs and frames, and responds to the
+    two IMU interrupt causes:
+
+    - {b page fault} — the coprocessor touched a page not in the dual-port
+      memory: pick a frame (evicting by the configured policy if none is
+      free, writing dirty contents back to user space), load the missing
+      data, refill the TLB and resume translation;
+    - {b end of operation} — flush every dirty resident page back to user
+      space and wake the sleeping caller.
+
+    All software work is charged to the kernel's ledger: decode and TLB
+    manipulation to [Sw_imu], data movement to [Sw_dp] (doubled in
+    [Double] transfer mode — the naive bounce-buffer implementation the
+    paper measures and promises to remove), the rest to [Sw_os]. *)
+
+type transfer_mode =
+  | Single  (** one copy per page movement *)
+  | Double
+      (** the paper's "simple implementation of the VIM which makes two
+          transfers each time a page is loaded or unloaded" *)
+
+type copy_engine =
+  | Cpu  (** uncached processor loads/stores over the AHB (the paper) *)
+  | Dma_engine of Rvi_mem.Dma.t
+      (** the stripe's DMA controller: cheap per word, CPU only pays the
+          channel setup. Implies single transfers. *)
+
+type config = {
+  policy : Policy.t;
+  transfer : transfer_mode;
+  prefetch : Prefetch.t;
+  overlap_prefetch : bool;
+      (** resume the coprocessor before performing speculative loads, so
+          the transfers overlap hardware execution — the paper's §4.1
+          future work ("allowing overlapping of processor and coprocessor
+          execution") *)
+  copy_engine : copy_engine;
+  eager_mapping : bool;
+      (** pre-map object pages at [FPGA_EXECUTE] ("performs the mapping",
+          §3.1); disable for pure demand paging *)
+  watchdog : Rvi_sim.Simtime.t;
+      (** abort limit on a single coprocessor execution *)
+}
+
+val default_config : unit -> config
+(** The paper's measured system: FIFO, [Double] transfers by [Cpu],
+    prefetch off (hence no overlap), 10 s watchdog. *)
+
+type error =
+  | Unmapped_object of int
+  | Object_overflow of { obj_id : int; vpn : int }
+  | No_frames
+  | Too_many_params of { given : int; capacity : int }
+      (** more scalar parameters than the parameter page holds *)
+  | Hardware_stall
+  | Nothing_loaded
+
+val error_to_string : error -> string
+
+type t
+
+val create :
+  ?irq_line:int ->
+  kernel:Rvi_os.Kernel.t ->
+  dpram:Rvi_mem.Dpram.t ->
+  imu:Imu.t ->
+  ahb:Rvi_mem.Ahb.t ->
+  clocks:Rvi_sim.Clock.t list ->
+  config ->
+  t
+(** [clocks] are the hardware clock domains to run during execution. The
+    IMU interrupt handler is installed on the kernel's [irq_line]
+    (default 0); multiprogramming setups give each configured design its
+    own line. *)
+
+val config : t -> config
+val kernel : t -> Rvi_os.Kernel.t
+
+val map_object : t -> Mapped_object.t -> (unit, string) result
+(** Declares an object ([FPGA_MAP_OBJECT] backend). Fails on a duplicate
+    identifier. *)
+
+val unmap_all : t -> unit
+val objects : t -> Mapped_object.t list
+val find_object : t -> id:int -> Mapped_object.t option
+
+val execute : t -> params:int list -> (unit, error) result
+(** [FPGA_EXECUTE] backend: resets the IMU, seeds the parameter page,
+    starts the coprocessor, sleeps the caller, services faults until the
+    end-of-operation interrupt, flushes dirty pages and wakes the caller. *)
+
+val stats : t -> Rvi_sim.Stats.t
+(** ["faults"], ["tlb_refill_faults"], ["evictions"], ["writebacks"],
+    ["pages_loaded"], ["pages_cleared"], ["prefetched"],
+    ["param_releases"], ["executions"]. *)
+
+val frame_table : t -> Frame_table.t
+(** Exposed for tests and for the ablation harness. *)

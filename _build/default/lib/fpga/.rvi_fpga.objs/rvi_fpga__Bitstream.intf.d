@@ -1,0 +1,1 @@
+lib/fpga/bitstream.mli: Format

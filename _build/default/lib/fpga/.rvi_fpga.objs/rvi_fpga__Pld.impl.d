@@ -1,0 +1,1 @@
+lib/fpga/pld.ml: Bitstream Device Format

@@ -1,0 +1,1 @@
+lib/fpga/pld.mli: Bitstream Device Format

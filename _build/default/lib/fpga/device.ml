@@ -1,0 +1,64 @@
+type t = {
+  name : string;
+  logic_elements : int;
+  dpram_bytes : int;
+  page_size : int;
+  cpu_freq_hz : int;
+  ahb : Rvi_mem.Ahb.t;
+}
+
+let epxa1 =
+  {
+    name = "EPXA1";
+    logic_elements = 4_160;
+    dpram_bytes = 16 * 1024;
+    page_size = 2 * 1024;
+    cpu_freq_hz = 133_000_000;
+    ahb = Rvi_mem.Ahb.default;
+  }
+
+let epxa4 =
+  {
+    epxa1 with
+    name = "EPXA4";
+    logic_elements = 16_640;
+    dpram_bytes = 64 * 1024;
+  }
+
+let epxa10 =
+  {
+    epxa1 with
+    name = "EPXA10";
+    logic_elements = 38_400;
+    dpram_bytes = 128 * 1024;
+  }
+
+(* Cross-vendor port: the Xilinx Virtex-II Pro the paper cites alongside
+   the Excalibur ([17]). PowerPC 405 at 300 MHz, block-RAM buffer organised
+   as eight 4 KB pages, PLB instead of AHB (cheaper per uncached word at
+   the higher core clock). Porting the VIM here is exactly the recompile-
+   the-module exercise of §4. *)
+let xc2vp7 =
+  {
+    name = "XC2VP7";
+    logic_elements = 11_088;
+    dpram_bytes = 32 * 1024;
+    page_size = 4 * 1024;
+    cpu_freq_hz = 300_000_000;
+    ahb = Rvi_mem.Ahb.make ~word_bytes:4 ~setup_cycles:150 ~cycles_per_word:14;
+  }
+
+let all = [ epxa1; epxa4; epxa10; xc2vp7 ]
+
+let by_name name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun d -> String.lowercase_ascii d.name = target) all
+
+let geometry d =
+  Rvi_mem.Page.geometry ~page_size:d.page_size
+    ~n_pages:(d.dpram_bytes / d.page_size)
+
+let pp ppf d =
+  Format.fprintf ppf "%s (%d LEs, %d KB dual-port RAM, CPU %d MHz)" d.name
+    d.logic_elements (d.dpram_bytes / 1024)
+    (d.cpu_freq_hz / 1_000_000)

@@ -1,0 +1,39 @@
+(** Reconfigurable-SoC device catalogue.
+
+    The paper demonstrates the system on an Altera Excalibur EPXA1 and notes
+    that porting to the larger EPXA4/EPXA10 parts — which differ in PLD size
+    and dual-port memory size — requires only recompiling the kernel module.
+    This catalogue carries the parameters the experiments depend on; logic
+    element counts are the published device capacities and dual-port RAM
+    sizes grow with the family as in the datasheets (the EPXA1 figure of
+    eight 2 KB pages is the one the paper states). *)
+
+type t = {
+  name : string;
+  logic_elements : int;  (** PLD capacity available to coprocessors + IMU *)
+  dpram_bytes : int;  (** dual-port RAM reachable by PLD and CPU *)
+  page_size : int;  (** OS page granule inside the dual-port RAM *)
+  cpu_freq_hz : int;  (** ARM-stripe processor clock *)
+  ahb : Rvi_mem.Ahb.t;  (** CPU <-> dual-port RAM transfer costs *)
+}
+
+val epxa1 : t
+(** The paper's board: ARM at 133 MHz, 16 KB dual-port RAM as 8 x 2 KB. *)
+
+val epxa4 : t
+val epxa10 : t
+
+val xc2vp7 : t
+(** The cross-vendor port: a Xilinx Virtex-II Pro (the paper's other cited
+    platform family) — PowerPC 405 at 300 MHz, 32 KB of block RAM as eight
+    4 KB pages, PLB bus costs. *)
+
+val all : t list
+
+val by_name : string -> t option
+(** Case-insensitive lookup, e.g. ["EPXA4"]. *)
+
+val geometry : t -> Rvi_mem.Page.geometry
+(** Page geometry of the device's dual-port RAM. *)
+
+val pp : Format.formatter -> t -> unit

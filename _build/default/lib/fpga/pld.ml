@@ -1,0 +1,55 @@
+type error =
+  | Too_large of { required : int; available : int }
+  | Locked_by of int
+  | Not_owner of int
+  | Empty
+
+type t = {
+  dev : Device.t;
+  mutable loaded : Bitstream.t option;
+  mutable owner : int option;
+  mutable reconfigurations : int;
+}
+
+let pp_error ppf = function
+  | Too_large { required; available } ->
+    Format.fprintf ppf "bit-stream needs %d LEs, device has %d" required available
+  | Locked_by pid -> Format.fprintf ppf "PLD locked by process %d" pid
+  | Not_owner pid -> Format.fprintf ppf "process %d does not own the PLD" pid
+  | Empty -> Format.fprintf ppf "no bit-stream configured"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let create dev = { dev; loaded = None; owner = None; reconfigurations = 0 }
+let device t = t.dev
+
+let configure t ~pid bs =
+  match t.owner with
+  | Some other when other <> pid -> Error (Locked_by other)
+  | Some _ | None ->
+    if bs.Bitstream.logic_elements > t.dev.Device.logic_elements then
+      Error
+        (Too_large
+           {
+             required = bs.Bitstream.logic_elements;
+             available = t.dev.Device.logic_elements;
+           })
+    else begin
+      t.loaded <- Some bs;
+      t.owner <- Some pid;
+      t.reconfigurations <- t.reconfigurations + 1;
+      Ok ()
+    end
+
+let release t ~pid =
+  match t.owner with
+  | None -> Error Empty
+  | Some other when other <> pid -> Error (Not_owner pid)
+  | Some _ ->
+    t.owner <- None;
+    t.loaded <- None;
+    Ok ()
+
+let loaded t = t.loaded
+let owner t = t.owner
+let reconfigurations t = t.reconfigurations

@@ -1,0 +1,36 @@
+(** The reconfigurable lattice (PLD).
+
+    Holds at most one configured bit-stream at a time. [FPGA_LOAD]
+    "ensures the exclusive use of the resource": the lattice is locked by
+    the owning process until released. Configuration checks that the design
+    fits the device — the paper notes that IDEA's parallelism was limited by
+    the EPXA1's PLD resources, so over-capacity designs must be rejected,
+    not silently accepted. *)
+
+type t
+
+type error =
+  | Too_large of { required : int; available : int }
+      (** bit-stream needs more logic elements than the device has *)
+  | Locked_by of int  (** another process (pid) holds the lattice *)
+  | Not_owner of int  (** release attempted by a process that is not the owner *)
+  | Empty  (** release attempted with nothing configured *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val create : Device.t -> t
+val device : t -> Device.t
+
+val configure : t -> pid:int -> Bitstream.t -> (unit, error) result
+(** Loads a bit-stream and locks the lattice for [pid]. A process that
+    already owns the lattice may reconfigure it. *)
+
+val release : t -> pid:int -> (unit, error) result
+(** Unlocks and clears the configuration. Only the owner may release. *)
+
+val loaded : t -> Bitstream.t option
+val owner : t -> int option
+
+val reconfigurations : t -> int
+(** Number of successful [configure] calls, for the scheduling ablations. *)

@@ -1,0 +1,1 @@
+lib/harness/calibration.ml: Rvi_coproc Rvi_fpga Rvi_mem

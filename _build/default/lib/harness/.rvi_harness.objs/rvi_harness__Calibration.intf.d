@@ -1,0 +1,1 @@
+lib/harness/calibration.mli: Rvi_fpga

@@ -1,0 +1,1 @@
+lib/harness/config.ml: Option Printf Rvi_core Rvi_fpga Rvi_sim

@@ -1,0 +1,1 @@
+lib/harness/config.mli: Rvi_core Rvi_fpga

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Bytes Calibration Char Config Float Format Jobs List Mrc Option Platform Printf Report Runner Rvi_coproc Rvi_core Rvi_fpga Rvi_hw Rvi_mem Rvi_os Rvi_sim Workload

@@ -1,0 +1,1 @@
+lib/harness/jobs.ml: Array Bytes Calibration Char Config List Rvi_coproc Rvi_core Rvi_fpga Rvi_mem Rvi_os Rvi_sim Workload

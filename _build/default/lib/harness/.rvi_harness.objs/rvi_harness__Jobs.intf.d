@@ -1,0 +1,1 @@
+lib/harness/jobs.mli: Config Rvi_sim

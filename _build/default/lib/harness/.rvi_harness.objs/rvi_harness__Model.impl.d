@@ -1,0 +1,1 @@
+lib/harness/model.ml: Calibration Config Format Rvi_coproc Rvi_core Rvi_fpga Rvi_mem

@@ -1,0 +1,1 @@
+lib/harness/model.mli: Config Format

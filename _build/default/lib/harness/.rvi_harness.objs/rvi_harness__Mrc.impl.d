@@ -1,0 +1,1 @@
+lib/harness/mrc.ml: Array Format Hashtbl List Queue Rvi_core

@@ -1,0 +1,1 @@
+lib/harness/mrc.mli: Format Rvi_core

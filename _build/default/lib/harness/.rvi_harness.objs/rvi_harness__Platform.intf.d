@@ -1,0 +1,1 @@
+lib/harness/platform.mli: Bytes Config Rvi_coproc Rvi_core Rvi_fpga Rvi_hw Rvi_mem Rvi_os Rvi_sim

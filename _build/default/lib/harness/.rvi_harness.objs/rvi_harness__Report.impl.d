@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Char Float Format List Printf Rvi_sim String

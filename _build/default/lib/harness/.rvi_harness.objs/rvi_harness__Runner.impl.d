@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Bytes Calibration Char Config List Platform Printf Report Rvi_coproc Rvi_core Rvi_fpga Rvi_mem Rvi_os Rvi_sim

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Bytes Config Report Rvi_coproc Rvi_core Rvi_fpga

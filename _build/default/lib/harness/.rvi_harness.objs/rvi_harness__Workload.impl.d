@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Bytes Char Float Rvi_coproc Rvi_sim

@@ -1,0 +1,80 @@
+type imu_kind = Four_cycle | Pipelined
+
+let imu_kind_name = function
+  | Four_cycle -> "4-cycle"
+  | Pipelined -> "pipelined"
+
+type t = {
+  device : Rvi_fpga.Device.t;
+  policy : unit -> Rvi_core.Policy.t;
+  policy_name : string;
+  transfer : Rvi_core.Vim.transfer_mode;
+  prefetch : Rvi_core.Prefetch.t;
+  overlap_prefetch : bool;
+  copy_engine : Rvi_core.Vim.copy_engine;
+  eager_mapping : bool;
+  imu_kind : imu_kind;
+  tlb_entries : int option;
+  tlb_organization : Rvi_core.Tlb.organization;
+  seed : int;
+}
+
+let default () =
+  {
+    device = Rvi_fpga.Device.epxa1;
+    policy = Rvi_core.Policy.fifo;
+    policy_name = "fifo";
+    transfer = Rvi_core.Vim.Double;
+    prefetch = Rvi_core.Prefetch.off;
+    overlap_prefetch = false;
+    copy_engine = Rvi_core.Vim.Cpu;
+    eager_mapping = true;
+    imu_kind = Four_cycle;
+    tlb_entries = None;
+    tlb_organization = Rvi_core.Tlb.Fully_associative;
+    seed = 42;
+  }
+
+let with_policy t name =
+  match Rvi_core.Policy.of_name ~seed:t.seed name with
+  | Some _ ->
+    {
+      t with
+      policy = (fun () -> Option.get (Rvi_core.Policy.of_name ~seed:t.seed name));
+      policy_name = name;
+    }
+  | None -> invalid_arg (Printf.sprintf "Config.with_policy: unknown policy %S" name)
+
+let describe t =
+  Printf.sprintf "%s, %s, %s transfer, prefetch %s, %s IMU, TLB %s"
+    t.device.Rvi_fpga.Device.name t.policy_name
+    (match t.transfer with Rvi_core.Vim.Single -> "single" | Rvi_core.Vim.Double -> "double")
+    (Rvi_core.Prefetch.name t.prefetch)
+    (imu_kind_name t.imu_kind)
+    (match t.tlb_entries with None -> "full" | Some n -> string_of_int n)
+
+let n_pages t = t.device.Rvi_fpga.Device.dpram_bytes / t.device.Rvi_fpga.Device.page_size
+
+let imu_config t =
+  let tlb_entries = Option.value t.tlb_entries ~default:(n_pages t) in
+  let base =
+    match t.imu_kind with
+    | Four_cycle -> Rvi_core.Imu.default_config
+    | Pipelined -> Rvi_core.Imu.pipelined_config
+  in
+  {
+    base with
+    Rvi_core.Imu.tlb_entries;
+    tlb_organization = t.tlb_organization;
+  }
+
+let vim_config t =
+  {
+    Rvi_core.Vim.policy = t.policy ();
+    transfer = t.transfer;
+    prefetch = t.prefetch;
+    overlap_prefetch = t.overlap_prefetch;
+    copy_engine = t.copy_engine;
+    eager_mapping = t.eager_mapping;
+    watchdog = Rvi_sim.Simtime.of_ms 30_000;
+  }

@@ -1,0 +1,39 @@
+(** System configuration for a reproduction run.
+
+    Bundles everything that varies across the paper's experiments and our
+    ablations: the device (hence dual-port RAM geometry), the replacement
+    policy, the transfer mode, prefetching, the IMU variant and the TLB
+    size. Policies carry state, so the configuration stores a constructor
+    and every run gets a fresh instance. *)
+
+type imu_kind = Four_cycle | Pipelined
+
+val imu_kind_name : imu_kind -> string
+
+type t = {
+  device : Rvi_fpga.Device.t;
+  policy : unit -> Rvi_core.Policy.t;
+  policy_name : string;
+  transfer : Rvi_core.Vim.transfer_mode;
+  prefetch : Rvi_core.Prefetch.t;
+  overlap_prefetch : bool;
+      (** overlap speculative transfers with coprocessor execution *)
+  copy_engine : Rvi_core.Vim.copy_engine;
+  eager_mapping : bool;  (** pre-map pages at FPGA_EXECUTE (the default) *)
+  imu_kind : imu_kind;
+  tlb_entries : int option;  (** [None]: one entry per dual-port page *)
+  tlb_organization : Rvi_core.Tlb.organization;
+  seed : int;
+}
+
+val default : unit -> t
+(** The paper's measured system: EPXA1, FIFO replacement, double CPU
+    transfers, no prefetch, 4-cycle IMU, TLB entry per page, seed 42. *)
+
+val with_policy : t -> string -> t
+(** Replace the policy by name ([Invalid_argument] on unknown names). *)
+
+val describe : t -> string
+
+val imu_config : t -> Rvi_core.Imu.config
+val vim_config : t -> Rvi_core.Vim.config

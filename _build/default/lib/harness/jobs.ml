@@ -1,0 +1,227 @@
+module Simtime = Rvi_sim.Simtime
+module Clock = Rvi_sim.Clock
+module Kernel = Rvi_os.Kernel
+module Uspace = Rvi_os.Uspace
+module Accounting = Rvi_os.Accounting
+module Cost_model = Rvi_os.Cost_model
+module Device = Rvi_fpga.Device
+
+type app_kind = Adpcm | Idea | Fir
+
+let app_name = function Adpcm -> "adpcm" | Idea -> "idea" | Fir -> "fir"
+
+type job = { kind : app_kind; seed : int; input_bytes : int }
+
+type discipline = Fcfs | Grouped
+
+let discipline_name = function Fcfs -> "fcfs" | Grouped -> "grouped"
+
+type result = {
+  jobs_done : int;
+  all_verified : bool;
+  makespan : Simtime.t;
+  reconfigurations : int;
+  configuration_time : Simtime.t;
+}
+
+type station = {
+  kind : app_kind;
+  bitstream : Rvi_fpga.Bitstream.t;
+  vim : Rvi_core.Vim.t;
+  run_job : job -> bool; (* maps, executes, verifies *)
+}
+
+let bitstream_of = function
+  | Adpcm -> Calibration.adpcm_bitstream
+  | Idea -> Calibration.idea_bitstream
+  | Fir -> Calibration.fir_bitstream
+
+(* One station = the hardware a bit-stream instantiates (IMU + coprocessor
+   on their clock domain) plus the VIM bound to it on a dedicated
+   interrupt line. All stations share the kernel, the PLD and the
+   dual-port RAM; only the station whose bit-stream is configured has its
+   clock running. *)
+let make_station (cfg : Config.t) ~kernel ~dpram ~irq_line kind =
+  let bitstream = bitstream_of kind in
+  let port = Rvi_core.Cp_port.create () in
+  let imu =
+    Rvi_core.Imu.create ~config:(Config.imu_config cfg) ~port ~dpram
+      ~raise_irq:(fun () -> Rvi_os.Irq.raise_line (Kernel.irq kernel) ~line:irq_line)
+      ()
+  in
+  let clock =
+    Clock.create (Kernel.engine kernel)
+      ~name:(app_name kind ^ "-pld")
+      ~freq_hz:bitstream.Rvi_fpga.Bitstream.imu_freq_hz
+  in
+  let vim =
+    Rvi_core.Vim.create ~irq_line ~kernel ~dpram ~imu
+      ~ahb:cfg.Config.device.Device.ahb ~clocks:[ clock ]
+      (Config.vim_config cfg)
+  in
+  let vport, coproc =
+    match kind with
+    | Adpcm -> Rvi_coproc.Adpcm_coproc.Virtual.create port
+    | Idea -> Rvi_coproc.Idea_coproc.Virtual.create port
+    | Fir -> Rvi_coproc.Fir_coproc.Virtual.create port
+  in
+  Clock.add clock (Rvi_core.Imu.component imu);
+  Clock.add clock (Rvi_coproc.Vport.sync_component vport);
+  Clock.add clock
+    ~divide:bitstream.Rvi_fpga.Bitstream.coproc_divide
+    coproc.Rvi_coproc.Coproc.component;
+  let map vim ~id ~buf ~dir ~stream =
+    match
+      Rvi_core.Vim.map_object vim
+        (Rvi_core.Mapped_object.make ~id ~buf ~dir ~stream ())
+    with
+    | Ok () -> ()
+    | Error msg -> failwith ("Jobs: map_object failed: " ^ msg)
+  in
+  let run_job (job : job) =
+    Rvi_core.Vim.unmap_all vim;
+    match job.kind with
+    | Adpcm ->
+      let input = Workload.adpcm_stream ~seed:job.seed ~bytes:job.input_bytes in
+      let in_buf = Uspace.of_bytes kernel input in
+      let out_buf =
+        Uspace.alloc kernel (Rvi_coproc.Adpcm_ref.decoded_size job.input_bytes)
+      in
+      map vim ~id:Rvi_coproc.Adpcm_coproc.obj_in ~buf:in_buf
+        ~dir:Rvi_core.Mapped_object.In ~stream:true;
+      map vim ~id:Rvi_coproc.Adpcm_coproc.obj_out ~buf:out_buf
+        ~dir:Rvi_core.Mapped_object.Out ~stream:true;
+      (match Rvi_core.Vim.execute vim ~params:[ job.input_bytes ] with
+      | Ok () ->
+        Bytes.equal (Uspace.read kernel out_buf)
+          (Rvi_coproc.Adpcm_ref.decode input)
+      | Error _ -> false)
+    | Idea ->
+      let key = Workload.idea_key ~seed:job.seed in
+      let input = Workload.idea_plaintext ~seed:job.seed ~bytes:job.input_bytes in
+      let in_buf = Uspace.of_bytes kernel input in
+      let out_buf = Uspace.alloc kernel job.input_bytes in
+      map vim ~id:Rvi_coproc.Idea_coproc.obj_in ~buf:in_buf
+        ~dir:Rvi_core.Mapped_object.In ~stream:true;
+      map vim ~id:Rvi_coproc.Idea_coproc.obj_out ~buf:out_buf
+        ~dir:Rvi_core.Mapped_object.Out ~stream:true;
+      (match
+         Rvi_core.Vim.execute vim
+           ~params:
+             (Rvi_coproc.Idea_coproc.params
+                ~n_blocks:(job.input_bytes / 8)
+                ~decrypt:false ~key)
+       with
+      | Ok () ->
+        Bytes.equal (Uspace.read kernel out_buf)
+          (Rvi_coproc.Idea_ref.ecb ~key ~decrypt:false input)
+      | Error _ -> false)
+    | Fir ->
+      let coeffs = Workload.fir_coeffs ~taps:16 in
+      let shift = 12 in
+      let taps = Array.length coeffs in
+      let input = Workload.fir_signal ~seed:job.seed ~bytes:job.input_bytes in
+      let coeff_bytes = Bytes.create (2 * taps) in
+      Array.iteri
+        (fun i c ->
+          let u = c land 0xFFFF in
+          Bytes.set coeff_bytes (2 * i) (Char.chr (u land 0xFF));
+          Bytes.set coeff_bytes ((2 * i) + 1) (Char.chr ((u lsr 8) land 0xFF)))
+        coeffs;
+      let in_buf = Uspace.of_bytes kernel input in
+      let coeff_buf = Uspace.of_bytes kernel coeff_bytes in
+      let out_buf =
+        Uspace.alloc kernel (Rvi_coproc.Fir_ref.output_bytes ~taps job.input_bytes)
+      in
+      map vim ~id:Rvi_coproc.Fir_coproc.obj_in ~buf:in_buf
+        ~dir:Rvi_core.Mapped_object.In ~stream:true;
+      map vim ~id:Rvi_coproc.Fir_coproc.obj_coeff ~buf:coeff_buf
+        ~dir:Rvi_core.Mapped_object.In ~stream:false;
+      map vim ~id:Rvi_coproc.Fir_coproc.obj_out ~buf:out_buf
+        ~dir:Rvi_core.Mapped_object.Out ~stream:true;
+      (match
+         Rvi_core.Vim.execute vim
+           ~params:
+             (Rvi_coproc.Fir_coproc.params
+                ~n_out:((job.input_bytes / 2) - taps + 1)
+                ~taps ~shift)
+       with
+      | Ok () ->
+        Bytes.equal (Uspace.read kernel out_buf)
+          (Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input)
+      | Error _ -> false)
+  in
+  { kind; bitstream; vim; run_job }
+
+let run (cfg : Config.t) ~jobs discipline =
+  let engine = Rvi_sim.Engine.create () in
+  let cost = Cost_model.default ~cpu_freq_hz:cfg.Config.device.Device.cpu_freq_hz in
+  let kernel = Kernel.create ~engine ~cost ~sdram_bytes:(4 * 1024 * 1024) () in
+  let dpram = Rvi_mem.Dpram.create (Device.geometry cfg.Config.device) in
+  let pld = Rvi_fpga.Pld.create cfg.Config.device in
+  let sched = Kernel.sched kernel in
+  let dispatcher = Rvi_os.Sched.spawn sched ~name:"dispatcher" in
+  ignore (Rvi_os.Sched.schedule sched);
+  let kinds =
+    List.fold_left
+      (fun acc (j : job) -> if List.mem j.kind acc then acc else acc @ [ j.kind ])
+      [] jobs
+  in
+  let stations =
+    List.mapi (fun i kind -> make_station cfg ~kernel ~dpram ~irq_line:i kind) kinds
+  in
+  let station_of kind = List.find (fun s -> s.kind = kind) stations in
+  let order =
+    match discipline with
+    | Fcfs -> jobs
+    | Grouped ->
+      List.stable_sort
+        (fun (a : job) (b : job) -> compare (app_name a.kind) (app_name b.kind))
+        jobs
+  in
+  let pid = dispatcher.Rvi_os.Proc.pid in
+  let config_time = ref Simtime.zero in
+  let t0 = Kernel.now kernel in
+  let all_verified = ref true in
+  let done_count = ref 0 in
+  List.iter
+    (fun (job : job) ->
+      let st = station_of job.kind in
+      if Rvi_fpga.Pld.loaded pld <> Some st.bitstream then begin
+        (match Rvi_fpga.Pld.owner pld with
+        | Some owner -> (
+          match Rvi_fpga.Pld.release pld ~pid:owner with
+          | Ok () -> ()
+          | Error _ -> failwith "Jobs: release failed")
+        | None -> ());
+        let t_cfg = Kernel.now kernel in
+        Kernel.charge kernel Accounting.Sw_os
+          ~cycles:cost.Cost_model.configure_pld;
+        (match Rvi_fpga.Pld.configure pld ~pid st.bitstream with
+        | Ok () -> ()
+        | Error e -> failwith ("Jobs: " ^ Rvi_fpga.Pld.error_to_string e));
+        config_time :=
+          Simtime.add !config_time (Simtime.sub (Kernel.now kernel) t_cfg)
+      end;
+      let ok = st.run_job job in
+      if not ok then all_verified := false;
+      incr done_count;
+      (* Job buffers are dead now; recycle the arena. *)
+      Rvi_mem.Sdram.release_all (Kernel.sdram kernel))
+    order;
+  {
+    jobs_done = !done_count;
+    all_verified = !all_verified;
+    makespan = Simtime.sub (Kernel.now kernel) t0;
+    reconfigurations = Rvi_fpga.Pld.reconfigurations pld;
+    configuration_time = !config_time;
+  }
+
+let mixed_batch ~seed ~jobs_per_app =
+  List.concat
+    (List.init jobs_per_app (fun i ->
+         [
+           { kind = Adpcm; seed = seed + (3 * i); input_bytes = 4 * 1024 };
+           { kind = Idea; seed = seed + (3 * i) + 1; input_bytes = 4 * 1024 };
+           { kind = Fir; seed = seed + (3 * i) + 2; input_bytes = 8 * 1024 };
+         ]))

@@ -1,0 +1,44 @@
+(** Multiprogramming the reconfigurable lattice.
+
+    [FPGA_LOAD] "ensures the exclusive use of the resource" (§3.1), which
+    makes the lattice a scheduled resource as soon as several applications
+    want coprocessors — the concern of the related work the paper cites
+    (Walder & Platzner; Dales). This module models that workload: a batch
+    of jobs from different applications, each needing its own bit-stream,
+    executed on one device under a dispatch discipline.
+
+    Because the Excalibur reconfigures in tens of milliseconds, the
+    discipline matters: first-come-first-served over an interleaved
+    arrival order thrashes the configuration port, while batching jobs by
+    bit-stream amortises it. The experiment quantifies exactly that
+    trade-off. *)
+
+type app_kind = Adpcm | Idea | Fir
+
+val app_name : app_kind -> string
+
+type job = { kind : app_kind; seed : int; input_bytes : int }
+
+type discipline =
+  | Fcfs  (** run jobs in arrival order, reconfiguring whenever needed *)
+  | Grouped  (** stable-sort by bit-stream first (batching dispatcher) *)
+
+val discipline_name : discipline -> string
+
+type result = {
+  jobs_done : int;
+  all_verified : bool;
+  makespan : Rvi_sim.Simtime.t;  (** submission of first to completion of last *)
+  reconfigurations : int;
+  configuration_time : Rvi_sim.Simtime.t;  (** total time spent reconfiguring *)
+}
+
+val run : Config.t -> jobs:job list -> discipline -> result
+(** Builds one platform (kernel, PLD, dual-port RAM) with a station per
+    application kind — its own IMU, clock domain, VIM on a dedicated
+    interrupt line — and dispatches the batch. Every job's output is
+    verified against its software reference. *)
+
+val mixed_batch : seed:int -> jobs_per_app:int -> job list
+(** The standard experiment workload: interleaved adpcm (4 KB), IDEA
+    (4 KB) and FIR (8 KB) jobs. *)

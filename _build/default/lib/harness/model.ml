@@ -1,0 +1,109 @@
+module Device = Rvi_fpga.Device
+
+type prediction = {
+  hw_ms : float;
+  dp_compulsory_ms : float;
+  compulsory_pages : int;
+}
+
+(* Issue-to-consume cycles for a blocking virtual access, coprocessor and
+   IMU on one clock. The request pulse leaves on the issue edge; the IMU
+   latches it one edge later, searches for [lookup_states] edges, performs
+   the access on the next edge, and the synchroniser hands the response to
+   the coprocessor on the edge after that. With a zero-cycle search the
+   latch edge performs the access itself. *)
+let access_round_trip cfg =
+  let l = (Config.imu_config cfg).Rvi_core.Imu.lookup_states in
+  if l = 0 then 2 else l + 3
+
+(* The same access seen from a coprocessor on a divided clock: the IMU
+   pipeline (pulse, latch, search, access, synchroniser) runs at the fast
+   clock, and the coprocessor consumes on its next own edge. *)
+let access_round_trip_divided cfg ~divide =
+  let imu_cycles = access_round_trip cfg in
+  (imu_cycles + divide - 1) / divide
+
+let ms_of_cycles ~hz cycles = float_of_int cycles /. float_of_int hz *. 1e3
+
+(* Compulsory page movement: every input page in once, every output page
+   back once, each a distinct kernel transfer. *)
+let dp_compulsory cfg ~in_bytes ~out_bytes =
+  let device = cfg.Config.device in
+  let geom = Device.geometry device in
+  let page = geom.Rvi_mem.Page.page_size in
+  let factor =
+    match (cfg.Config.copy_engine, cfg.Config.transfer) with
+    | Rvi_core.Vim.Dma_engine _, _ -> 1
+    | Rvi_core.Vim.Cpu, Rvi_core.Vim.Single -> 1
+    | Rvi_core.Vim.Cpu, Rvi_core.Vim.Double -> 2
+  in
+  let pages len = (len + page - 1) / page in
+  let per_direction len =
+    let full = len / page and tail = len mod page in
+    let cycles =
+      (full * Rvi_mem.Ahb.copy_cycles device.Device.ahb ~bytes:page)
+      + if tail > 0 then Rvi_mem.Ahb.copy_cycles device.Device.ahb ~bytes:tail else 0
+    in
+    factor * cycles
+  in
+  let cycles = per_direction in_bytes + per_direction out_bytes in
+  ( ms_of_cycles ~hz:device.Device.cpu_freq_hz cycles,
+    pages in_bytes + pages out_bytes )
+
+let adpcm_vim cfg ~input_bytes =
+  let acc = access_round_trip cfg in
+  (* Per compressed byte: one byte fetch plus two decoded samples, each a
+     serial decode of [decode_cycles] (the write issue is the last decode
+     cycle) and a blocking 16-bit store. *)
+  let per_byte = (3 * acc) + (2 * Rvi_coproc.Adpcm_coproc.decode_cycles) in
+  let hw_cycles = input_bytes * per_byte in
+  let dp_compulsory_ms, compulsory_pages =
+    dp_compulsory cfg ~in_bytes:input_bytes
+      ~out_bytes:(Rvi_coproc.Adpcm_ref.decoded_size input_bytes)
+  in
+  {
+    hw_ms = ms_of_cycles ~hz:Calibration.adpcm_clock_hz hw_cycles;
+    dp_compulsory_ms;
+    compulsory_pages;
+  }
+
+let idea_vim cfg ~input_bytes =
+  let divide = Calibration.idea_divide in
+  let acc = access_round_trip_divided cfg ~divide in
+  (* Steady-state initiation interval: one stage latency, plus the two
+     fetch accesses serialised on the single port (the retire accesses of
+     the previous block overlap the stages), plus one insert cycle. *)
+  let ii = Rvi_coproc.Idea_coproc.stage_cycles + (2 * acc) + 1 in
+  let n_blocks = input_bytes / 8 in
+  let hw_cycles = n_blocks * ii in
+  let dp_compulsory_ms, compulsory_pages =
+    dp_compulsory cfg ~in_bytes:input_bytes ~out_bytes:input_bytes
+  in
+  {
+    hw_ms =
+      ms_of_cycles ~hz:(Calibration.idea_imu_clock_hz / divide) hw_cycles;
+    dp_compulsory_ms;
+    compulsory_pages;
+  }
+
+let fir_vim cfg ~taps ~input_bytes =
+  let acc = access_round_trip cfg in
+  (* Per output: one sample fetch, [taps] MAC cycles (the write issues on
+     the last one), one blocking 16-bit store, one slide cycle. *)
+  let per_output = (2 * acc) + (taps * Rvi_coproc.Fir_coproc.mac_cycles_per_tap) + 2 in
+  let n_out = (input_bytes / 2) - taps + 1 in
+  let hw_cycles = n_out * per_output in
+  let dp_compulsory_ms, compulsory_pages =
+    dp_compulsory cfg ~in_bytes:(input_bytes + (2 * taps))
+      ~out_bytes:(Rvi_coproc.Fir_ref.output_bytes ~taps input_bytes)
+  in
+  {
+    hw_ms = ms_of_cycles ~hz:Calibration.adpcm_clock_hz hw_cycles;
+    dp_compulsory_ms;
+    compulsory_pages;
+  }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "predicted HW %.3f ms, compulsory DP %.3f ms over %d pages" p.hw_ms
+    p.dp_compulsory_ms p.compulsory_pages

@@ -1,0 +1,34 @@
+(** Closed-form performance model of the virtualised system.
+
+    A longer version of the paper would carry these equations in an
+    appendix: execution time decomposed into coprocessor data-path cycles,
+    interface-translation cycles and OS page-movement costs, all derived
+    from the design constants rather than fitted to runs. The test suite
+    holds the model against the cycle-level simulator — if either drifts,
+    [model/*] tests fail, which protects both the simulator (against
+    accidental timing regressions) and the documentation (against going
+    stale).
+
+    The model covers the hardware time exactly up to protocol details (it
+    is derived from the same FSMs) and the compulsory data movement; it
+    deliberately does not predict replacement-policy-dependent refault
+    traffic, reporting instead the compulsory lower bound. *)
+
+type prediction = {
+  hw_ms : float;  (** coprocessor + IMU time *)
+  dp_compulsory_ms : float;
+      (** user <-> dual-port movement if every page moved exactly once *)
+  compulsory_pages : int;  (** distinct data pages touched *)
+}
+
+val access_round_trip : Config.t -> int
+(** Coprocessor cycles from issuing a virtual access to consuming its
+    response, for a coprocessor clocked with the IMU: one request pulse,
+    [lookup_states] search cycles, the access cycle, the synchroniser
+    stage and the consume cycle. *)
+
+val adpcm_vim : Config.t -> input_bytes:int -> prediction
+val idea_vim : Config.t -> input_bytes:int -> prediction
+val fir_vim : Config.t -> taps:int -> input_bytes:int -> prediction
+
+val pp : Format.formatter -> prediction -> unit

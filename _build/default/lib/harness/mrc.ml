@@ -1,0 +1,114 @@
+type page = int * int
+
+let record imu =
+  let acc = ref [] in
+  let probe e =
+    acc := (e.Rvi_core.Imu.obj_id, e.Rvi_core.Imu.vpn) :: !acc
+  in
+  Rvi_core.Imu.set_trace imu (Some probe);
+  fun () ->
+    Rvi_core.Imu.set_trace imu None;
+    Array.of_list (List.rev !acc)
+
+let distinct_pages refs =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun p -> Hashtbl.replace seen p ()) refs;
+  Hashtbl.length seen
+
+(* Mattson's stack algorithm with a simple list-based stack: traces here
+   are short (thousands of references over tens of pages), so the O(depth)
+   search per reference is immaterial. *)
+let lru_stack_distances refs =
+  let stack = ref [] in
+  Array.map
+    (fun p ->
+      let rec split i acc = function
+        | [] -> (None, List.rev acc)
+        | q :: rest when q = p -> (Some i, List.rev_append acc rest)
+        | q :: rest -> split (i + 1) (q :: acc) rest
+      in
+      let distance, remainder = split 0 [] !stack in
+      stack := p :: remainder;
+      distance)
+    refs
+
+let lru_misses refs ~max_frames =
+  if max_frames < 1 then invalid_arg "Mrc.lru_misses: max_frames < 1";
+  let distances = lru_stack_distances refs in
+  (* By the inclusion property, a reference at stack distance d misses in
+     every pool of size <= d. *)
+  let misses = Array.make max_frames 0 in
+  Array.iter
+    (fun d ->
+      (* A reference at stack distance d hits in every pool of at least
+         d + 1 frames and misses in all smaller ones. *)
+      let first_hit_size = match d with Some d -> d + 1 | None -> max_int in
+      for k = 1 to max_frames do
+        if k < first_hit_size then misses.(k - 1) <- misses.(k - 1) + 1
+      done)
+    distances;
+  misses
+
+let fifo_misses refs ~frames =
+  if frames < 1 then invalid_arg "Mrc.fifo_misses: frames < 1";
+  let queue = Queue.create () in
+  let resident = Hashtbl.create 64 in
+  let misses = ref 0 in
+  Array.iter
+    (fun p ->
+      if not (Hashtbl.mem resident p) then begin
+        incr misses;
+        if Hashtbl.length resident = frames then begin
+          let victim = Queue.pop queue in
+          Hashtbl.remove resident victim
+        end;
+        Hashtbl.replace resident p ();
+        Queue.push p queue
+      end)
+    refs;
+  !misses
+
+let pp_curve ppf ~frames_available ~lru ~refs =
+  Format.fprintf ppf "frames  LRU misses  miss ratio@.";
+  Array.iteri
+    (fun i m ->
+      let k = i + 1 in
+      Format.fprintf ppf "%5d %11d  %8.2f%%%s@." k m
+        (100.0 *. float_of_int m /. float_of_int (max 1 refs))
+        (if k = frames_available then "   <- this device" else ""))
+    lru
+
+let opt_misses refs ~frames =
+  if frames < 1 then invalid_arg "Mrc.opt_misses: frames < 1";
+  let n = Array.length refs in
+  (* next.(i) = index of the next reference to refs.(i) after i, or n. *)
+  let next = Array.make n n in
+  let last = Hashtbl.create 64 in
+  for i = n - 1 downto 0 do
+    (match Hashtbl.find_opt last refs.(i) with
+    | Some j -> next.(i) <- j
+    | None -> next.(i) <- n);
+    Hashtbl.replace last refs.(i) i
+  done;
+  let resident = Hashtbl.create 16 in
+  (* page -> next use index *)
+  let misses = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if Hashtbl.mem resident p then Hashtbl.replace resident p next.(i)
+      else begin
+        incr misses;
+        if Hashtbl.length resident = frames then begin
+          (* Belady: evict the resident page used farthest in the future. *)
+          let victim, _ =
+            Hashtbl.fold
+              (fun q u (bq, bu) -> if u > bu then (q, u) else (bq, bu))
+              resident
+              (p, -1)
+          in
+          Hashtbl.remove resident victim
+        end;
+        Hashtbl.replace resident p next.(i)
+      end)
+    refs;
+  !misses

@@ -1,0 +1,41 @@
+(** Miss-ratio-curve analysis over coprocessor access traces.
+
+    The paper closes by calling for "the development of efficient
+    allocation algorithms in the OS". The first tool such work needs is
+    the miss-ratio curve of a workload: how many page faults a policy
+    would take for every possible number of dual-port page frames. This
+    module computes it from an IMU access trace — LRU analytically in one
+    pass via Mattson's stack algorithm (LRU obeys the inclusion property,
+    so a single stack simulation covers every memory size at once), FIFO
+    by direct simulation per size (FIFO famously does not: Belady's
+    anomaly, which {!fifo_misses} lets you observe). *)
+
+type page = int * int
+(** (object identifier, virtual page number). *)
+
+val record : Rvi_core.Imu.t -> unit -> page array
+(** [record imu] installs a trace probe; the returned thunk detaches it
+    and yields the page reference string seen so far. *)
+
+val distinct_pages : page array -> int
+(** Compulsory misses — the number of distinct pages referenced. *)
+
+val lru_stack_distances : page array -> int option array
+(** Per reference: its LRU stack distance (0 = most recently used), or
+    [None] for a first touch. *)
+
+val lru_misses : page array -> max_frames:int -> int array
+(** [lru_misses refs ~max_frames].(k-1) is the number of misses an LRU
+    pool of [k] frames takes on the reference string. Non-increasing in
+    [k]; converges to {!distinct_pages}. *)
+
+val fifo_misses : page array -> frames:int -> int
+(** Misses of a FIFO pool of the given size (direct simulation). *)
+
+val pp_curve :
+  Format.formatter -> frames_available:int -> lru:int array -> refs:int -> unit
+(** Renders the curve with a marker at the machine's actual frame count. *)
+
+val opt_misses : page array -> frames:int -> int
+(** Misses of Belady's optimal (clairvoyant) replacement — the lower bound
+    any online policy is judged against. *)

@@ -1,0 +1,64 @@
+module Clock = Rvi_sim.Clock
+module Kernel = Rvi_os.Kernel
+module Device = Rvi_fpga.Device
+
+type t = {
+  engine : Rvi_sim.Engine.t;
+  kernel : Rvi_os.Kernel.t;
+  dpram : Rvi_mem.Dpram.t;
+  pld : Rvi_fpga.Pld.t;
+  port : Rvi_core.Cp_port.t;
+  imu : Rvi_core.Imu.t;
+  clock : Rvi_sim.Clock.t;
+  vim : Rvi_core.Vim.t;
+  api : Rvi_core.Api.t;
+  vport : Rvi_coproc.Vport.t;
+  coproc : Rvi_coproc.Coproc.t;
+  proc : Rvi_os.Proc.t;
+}
+
+let create ?(app_name = "app") ?(sdram_bytes = 4 * 1024 * 1024) (cfg : Config.t)
+    ~bitstream ~make =
+  let engine = Rvi_sim.Engine.create () in
+  let cost =
+    Rvi_os.Cost_model.default ~cpu_freq_hz:cfg.Config.device.Device.cpu_freq_hz
+  in
+  let kernel = Kernel.create ~engine ~cost ~sdram_bytes () in
+  let dpram = Rvi_mem.Dpram.create (Device.geometry cfg.Config.device) in
+  let pld = Rvi_fpga.Pld.create cfg.Config.device in
+  let port = Rvi_core.Cp_port.create () in
+  let imu =
+    Rvi_core.Imu.create ~config:(Config.imu_config cfg) ~port ~dpram
+      ~raise_irq:(fun () -> Rvi_os.Irq.raise_line (Kernel.irq kernel) ~line:0)
+      ()
+  in
+  let clock =
+    Clock.create engine ~name:"pld"
+      ~freq_hz:bitstream.Rvi_fpga.Bitstream.imu_freq_hz
+  in
+  let vim =
+    Rvi_core.Vim.create ~kernel ~dpram ~imu ~ahb:cfg.Config.device.Device.ahb
+      ~clocks:[ clock ] (Config.vim_config cfg)
+  in
+  let api = Rvi_core.Api.install ~kernel ~vim ~pld in
+  let vport, coproc = make port in
+  Clock.add clock (Rvi_core.Imu.component imu);
+  Clock.add clock (Rvi_coproc.Vport.sync_component vport);
+  Clock.add clock
+    ~divide:bitstream.Rvi_fpga.Bitstream.coproc_divide
+    coproc.Rvi_coproc.Coproc.component;
+  let sched = Kernel.sched kernel in
+  let proc = Rvi_os.Sched.spawn sched ~name:app_name in
+  ignore (Rvi_os.Sched.schedule sched);
+  { engine; kernel; dpram; pld; port; imu; clock; vim; api; vport; coproc; proc }
+
+let alloc t n = Rvi_os.Uspace.alloc t.kernel n
+let alloc_bytes t b = Rvi_os.Uspace.of_bytes t.kernel b
+let read t buf = Rvi_os.Uspace.read t.kernel buf
+
+let trace t =
+  let wave = Rvi_hw.Wave.create () in
+  Rvi_hw.Wave.add_signal wave ~name:"clk" ~width:1 (fun () -> 1);
+  Rvi_core.Cp_port.probe t.port wave;
+  Rvi_hw.Wave.attach wave t.clock;
+  wave

@@ -1,0 +1,40 @@
+(** One assembled reconfigurable platform.
+
+    Builds the whole machine from a {!Config.t} and a bit-stream: engine,
+    kernel, dual-port RAM, PLD, IMU (on its clock), VIM, the syscall API
+    and a coprocessor instantiated behind the virtual interface. This is
+    what the examples and the runner share; tests use it to poke the
+    internals. *)
+
+type t = {
+  engine : Rvi_sim.Engine.t;
+  kernel : Rvi_os.Kernel.t;
+  dpram : Rvi_mem.Dpram.t;
+  pld : Rvi_fpga.Pld.t;
+  port : Rvi_core.Cp_port.t;
+  imu : Rvi_core.Imu.t;
+  clock : Rvi_sim.Clock.t;
+  vim : Rvi_core.Vim.t;
+  api : Rvi_core.Api.t;
+  vport : Rvi_coproc.Vport.t;
+  coproc : Rvi_coproc.Coproc.t;
+  proc : Rvi_os.Proc.t;  (** the application process, already scheduled *)
+}
+
+val create :
+  ?app_name:string ->
+  ?sdram_bytes:int ->
+  Config.t ->
+  bitstream:Rvi_fpga.Bitstream.t ->
+  make:(Rvi_core.Cp_port.t -> Rvi_coproc.Vport.t * Rvi_coproc.Coproc.t) ->
+  t
+(** Components are registered on the clock in hardware order: IMU, port
+    synchroniser, coprocessor (on the bit-stream's divided clock). *)
+
+val alloc : t -> int -> Rvi_os.Uspace.buf
+val alloc_bytes : t -> Bytes.t -> Rvi_os.Uspace.buf
+val read : t -> Rvi_os.Uspace.buf -> Bytes.t
+
+val trace : t -> Rvi_hw.Wave.t
+(** Attaches (once) a waveform tracer probing the whole CP port on the
+    platform clock and returns it. *)

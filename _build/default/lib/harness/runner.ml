@@ -1,0 +1,464 @@
+module Simtime = Rvi_sim.Simtime
+module Engine = Rvi_sim.Engine
+module Clock = Rvi_sim.Clock
+module Stats = Rvi_sim.Stats
+module Kernel = Rvi_os.Kernel
+module Accounting = Rvi_os.Accounting
+module Uspace = Rvi_os.Uspace
+module Device = Rvi_fpga.Device
+
+type vobject = {
+  id : int;
+  dir : Rvi_core.Mapped_object.direction;
+  stream : bool;
+  init : Bytes.t option;
+  size : int;
+}
+
+let make_kernel (cfg : Config.t) =
+  let engine = Engine.create () in
+  let cost =
+    Rvi_os.Cost_model.default ~cpu_freq_hz:cfg.Config.device.Device.cpu_freq_hz
+  in
+  (* The board carries 64 MB; the workloads use well under 4 MB, and a
+     smaller arena keeps host-side allocation off the measurement path. *)
+  let kernel = Kernel.create ~engine ~cost ~sdram_bytes:(4 * 1024 * 1024) () in
+  (engine, kernel)
+
+let spawn_app kernel name =
+  let sched = Kernel.sched kernel in
+  let proc = Rvi_os.Sched.spawn sched ~name in
+  ignore (Rvi_os.Sched.schedule sched);
+  proc
+
+let row_base ~app ~version ~input_bytes =
+  {
+    Report.app;
+    version;
+    input_bytes;
+    outcome = Report.Measured;
+    total = Simtime.zero;
+    hw = Simtime.zero;
+    sw_dp = Simtime.zero;
+    sw_imu = Simtime.zero;
+    sw_app = Simtime.zero;
+    sw_os = Simtime.zero;
+    faults = 0;
+    evictions = 0;
+    writebacks = 0;
+    tlb_refill_faults = 0;
+    prefetched = 0;
+    accesses = 0;
+    verified = false;
+  }
+
+(* [total] is wall time on the simulated clock, not the ledger sum: when
+   transfers overlap coprocessor execution (overlapped prefetch, DMA), the
+   category sum exceeds the elapsed time. *)
+let fill_times row kernel ~wall =
+  let acct = Kernel.accounting kernel in
+  {
+    row with
+    Report.total = wall;
+    hw = Accounting.get acct Accounting.Hw;
+    sw_dp = Accounting.get acct Accounting.Sw_dp;
+    sw_imu = Accounting.get acct Accounting.Sw_imu;
+    sw_app = Accounting.get acct Accounting.Sw_app;
+    sw_os = Accounting.get acct Accounting.Sw_os;
+  }
+
+let run_virtual (cfg : Config.t) ~app ~bitstream ~make ~objects ~params
+    ~input_bytes ~verify =
+  let p = Platform.create ~app_name:app cfg ~bitstream ~make in
+  let kernel = p.Platform.kernel in
+  let api = p.Platform.api in
+  let vim = p.Platform.vim in
+  let imu = p.Platform.imu in
+  (* Allocate the user buffers and map the objects, as Figure 6 does. *)
+  let bufs =
+    List.map
+      (fun o ->
+        let buf = Uspace.alloc kernel o.size in
+        (match o.init with
+        | Some data ->
+          if Bytes.length data <> o.size then
+            invalid_arg "Runner.run_virtual: init size mismatch";
+          Uspace.write kernel buf data
+        | None -> ());
+        (o, buf))
+      objects
+  in
+  let row = row_base ~app ~version:"VIM" ~input_bytes in
+  let fail msg = { row with Report.outcome = Report.Failed msg } in
+  let ( let* ) r f =
+    match r with
+    | Ok () -> f ()
+    | Error e ->
+      let detail =
+        match Rvi_core.Api.last_error api with
+        | Some d -> Printf.sprintf "%s (%s)" (Rvi_os.Syscall.errno_name e) d
+        | None -> Rvi_os.Syscall.errno_name e
+      in
+      fail detail
+  in
+  let* () = Rvi_core.Api.fpga_load api bitstream in
+  let rec map_all = function
+    | [] -> Ok ()
+    | (o, buf) :: rest -> (
+      match
+        Rvi_core.Api.fpga_map_object api ~id:o.id ~buf ~dir:o.dir
+          ~stream:o.stream ()
+      with
+      | Ok () -> map_all rest
+      | Error e -> Error e)
+  in
+  let* () = map_all bufs in
+  (* The paper's figures measure the accelerated kernel, not the one-time
+     configuration: drop the FPGA_LOAD / FPGA_MAP_OBJECT costs from the
+     ledger before executing. *)
+  Accounting.reset (Kernel.accounting kernel);
+  let t0 = Kernel.now kernel in
+  let* () = Rvi_core.Api.fpga_execute api ~params in
+  let wall = Simtime.sub (Kernel.now kernel) t0 in
+  let read_obj id =
+    let _, buf = List.find (fun (o, _) -> o.id = id) bufs in
+    Uspace.read kernel buf
+  in
+  let verified = verify read_obj in
+  let vstats = Rvi_core.Vim.stats vim in
+  let istats = Rvi_core.Imu.stats imu in
+  {
+    (fill_times row kernel ~wall) with
+    Report.verified;
+    faults = Stats.get vstats "faults";
+    evictions = Stats.get vstats "evictions";
+    writebacks = Stats.get vstats "writebacks";
+    tlb_refill_faults = Stats.get vstats "tlb_refill_faults";
+    prefetched = Stats.get vstats "prefetched";
+    accesses = Stats.get istats "accesses";
+  }
+
+let run_normal (cfg : Config.t) ~app ~clock_hz ~coproc_divide ~make ~objects
+    ~params ~input_bytes ~verify =
+  let _engine, kernel = make_kernel cfg in
+  let dpram = Rvi_mem.Dpram.create (Device.geometry cfg.Config.device) in
+  let dport = Rvi_coproc.Dport.create ~dpram in
+  let coproc = make dport in
+  let clock = Clock.create (Kernel.engine kernel) ~name:"pld" ~freq_hz:clock_hz in
+  Clock.add clock ~divide:coproc_divide coproc.Rvi_coproc.Coproc.component;
+  ignore (spawn_app kernel app);
+  let bufs =
+    List.map
+      (fun o ->
+        let buf = Uspace.alloc kernel o.size in
+        (match o.init with
+        | Some data -> Uspace.write kernel buf data
+        | None -> ());
+        ( { Rvi_coproc.Normal_driver.region = o.id; buf; dir = o.dir },
+          o ))
+      objects
+  in
+  let row = row_base ~app ~version:"NORMAL" ~input_bytes in
+  let t0 = Kernel.now kernel in
+  match
+    Rvi_coproc.Normal_driver.run ~kernel ~dpram
+      ~ahb:cfg.Config.device.Device.ahb ~clocks:[ clock ] ~dport ~coproc
+      ~regions:(List.map fst bufs) ~params ()
+  with
+  | Ok () ->
+    let read_obj id =
+      let spec, _ =
+        List.find (fun (s, _) -> s.Rvi_coproc.Normal_driver.region = id) bufs
+      in
+      Uspace.read kernel spec.Rvi_coproc.Normal_driver.buf
+    in
+    let verified = verify read_obj in
+    let wall = Simtime.sub (Kernel.now kernel) t0 in
+    {
+      (fill_times row kernel ~wall) with
+      Report.verified;
+      accesses = Rvi_coproc.Dport.accesses dport;
+    }
+  | Error (Rvi_coproc.Normal_driver.Exceeds_memory _) ->
+    { row with Report.outcome = Report.Exceeds_memory }
+  | Error e ->
+    { row with Report.outcome = Report.Failed (Rvi_coproc.Normal_driver.error_to_string e) }
+
+let run_sw (cfg : Config.t) ~app ~input_bytes ~cycles ~work =
+  let _engine, kernel = make_kernel cfg in
+  ignore (spawn_app kernel app);
+  let t0 = Kernel.now kernel in
+  let verified = work () in
+  Kernel.charge kernel Accounting.Sw_app ~cycles;
+  let wall = Simtime.sub (Kernel.now kernel) t0 in
+  let row = row_base ~app ~version:"SW" ~input_bytes in
+  { (fill_times row kernel ~wall) with Report.verified }
+
+(* {1 adpcmdecode} *)
+
+let adpcm_sw cfg ~input =
+  let samples = 2 * Bytes.length input in
+  run_sw cfg ~app:"adpcmdecode" ~input_bytes:(Bytes.length input)
+    ~cycles:(samples * Rvi_coproc.Adpcm_coproc.sw_cycles_per_sample)
+    ~work:(fun () ->
+      Bytes.length (Rvi_coproc.Adpcm_ref.decode input)
+      = Rvi_coproc.Adpcm_ref.decoded_size (Bytes.length input))
+
+let adpcm_objects input =
+  let n = Bytes.length input in
+  [
+    {
+      id = Rvi_coproc.Adpcm_coproc.obj_in;
+      dir = Rvi_core.Mapped_object.In;
+      stream = true;
+      init = Some input;
+      size = n;
+    };
+    {
+      id = Rvi_coproc.Adpcm_coproc.obj_out;
+      dir = Rvi_core.Mapped_object.Out;
+      stream = true;
+      init = None;
+      size = Rvi_coproc.Adpcm_ref.decoded_size n;
+    };
+  ]
+
+let adpcm_verify input read_obj =
+  Bytes.equal (read_obj Rvi_coproc.Adpcm_coproc.obj_out)
+    (Rvi_coproc.Adpcm_ref.decode input)
+
+let adpcm_vim cfg ~input =
+  run_virtual cfg ~app:"adpcmdecode" ~bitstream:Calibration.adpcm_bitstream
+    ~make:Rvi_coproc.Adpcm_coproc.Virtual.create ~objects:(adpcm_objects input)
+    ~params:[ Bytes.length input ]
+    ~input_bytes:(Bytes.length input) ~verify:(adpcm_verify input)
+
+let adpcm_normal cfg ~input =
+  let module M = Rvi_coproc.Adpcm_coproc.Make (Rvi_coproc.Dport) in
+  run_normal cfg ~app:"adpcmdecode" ~clock_hz:Calibration.adpcm_clock_hz
+    ~coproc_divide:1 ~make:M.create ~objects:(adpcm_objects input)
+    ~params:[ Bytes.length input ]
+    ~input_bytes:(Bytes.length input) ~verify:(adpcm_verify input)
+
+(* {1 IDEA} *)
+
+let idea_sw cfg ~key ~input =
+  let blocks = Bytes.length input / 8 in
+  run_sw cfg ~app:"idea" ~input_bytes:(Bytes.length input)
+    ~cycles:(blocks * Rvi_coproc.Idea_coproc.sw_cycles_per_block)
+    ~work:(fun () ->
+      Bytes.length (Rvi_coproc.Idea_ref.ecb ~key ~decrypt:false input)
+      = Bytes.length input)
+
+let idea_objects input =
+  let n = Bytes.length input in
+  [
+    {
+      id = Rvi_coproc.Idea_coproc.obj_in;
+      dir = Rvi_core.Mapped_object.In;
+      stream = true;
+      init = Some input;
+      size = n;
+    };
+    {
+      id = Rvi_coproc.Idea_coproc.obj_out;
+      dir = Rvi_core.Mapped_object.Out;
+      stream = true;
+      init = None;
+      size = n;
+    };
+  ]
+
+let idea_verify ~key ~decrypt input read_obj =
+  Bytes.equal (read_obj Rvi_coproc.Idea_coproc.obj_out)
+    (Rvi_coproc.Idea_ref.ecb ~key ~decrypt input)
+
+let idea_params ~decrypt ~key input =
+  Rvi_coproc.Idea_coproc.params ~n_blocks:(Bytes.length input / 8) ~decrypt ~key
+
+let idea_vim ?(decrypt = false) cfg ~key ~input =
+  run_virtual cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
+    ~make:Rvi_coproc.Idea_coproc.Virtual.create ~objects:(idea_objects input)
+    ~params:(idea_params ~decrypt ~key input)
+    ~input_bytes:(Bytes.length input)
+    ~verify:(idea_verify ~key ~decrypt input)
+
+let idea_normal ?(decrypt = false) cfg ~key ~input =
+  let module M = Rvi_coproc.Idea_coproc.Make (Rvi_coproc.Dport) in
+  run_normal cfg ~app:"idea" ~clock_hz:Calibration.idea_imu_clock_hz
+    ~coproc_divide:Calibration.idea_divide ~make:M.create
+    ~objects:(idea_objects input)
+    ~params:(idea_params ~decrypt ~key input)
+    ~input_bytes:(Bytes.length input)
+    ~verify:(idea_verify ~key ~decrypt input)
+
+(* {1 vector add} *)
+
+let bytes_of_words words =
+  let b = Bytes.create (4 * Array.length words) in
+  Array.iteri
+    (fun i w ->
+      for k = 0 to 3 do
+        Bytes.set b ((4 * i) + k) (Char.chr ((w lsr (8 * k)) land 0xFF))
+      done)
+    words;
+  b
+
+let words_of_bytes b =
+  Array.init
+    (Bytes.length b / 4)
+    (fun i ->
+      let byte k = Char.code (Bytes.get b ((4 * i) + k)) in
+      byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+
+let vecadd_sw cfg ~a ~b =
+  run_sw cfg ~app:"vecadd" ~input_bytes:(8 * Array.length a)
+    ~cycles:(Array.length a * Rvi_coproc.Vecadd.sw_cycles_per_element)
+    ~work:(fun () ->
+      Array.length (Rvi_coproc.Vecadd.reference ~a ~b) = Array.length a)
+
+let vecadd_vim cfg ~a ~b =
+  let n = Array.length a in
+  let objects =
+    [
+      {
+        id = Rvi_coproc.Vecadd.obj_a;
+        dir = Rvi_core.Mapped_object.In;
+        stream = true;
+        init = Some (bytes_of_words a);
+        size = 4 * n;
+      };
+      {
+        id = Rvi_coproc.Vecadd.obj_b;
+        dir = Rvi_core.Mapped_object.In;
+        stream = true;
+        init = Some (bytes_of_words b);
+        size = 4 * n;
+      };
+      {
+        id = Rvi_coproc.Vecadd.obj_c;
+        dir = Rvi_core.Mapped_object.Out;
+        stream = true;
+        init = None;
+        size = 4 * n;
+      };
+    ]
+  in
+  run_virtual cfg ~app:"vecadd" ~bitstream:Calibration.vecadd_bitstream
+    ~make:Rvi_coproc.Vecadd.Virtual.create ~objects ~params:[ n ]
+    ~input_bytes:(8 * n)
+    ~verify:(fun read_obj ->
+      words_of_bytes (read_obj Rvi_coproc.Vecadd.obj_c)
+      = Rvi_coproc.Vecadd.reference ~a ~b)
+
+(* {1 FIR} *)
+
+let fir_sw cfg ~coeffs ~shift ~input =
+  let taps = Array.length coeffs in
+  let n_out = (Bytes.length input / 2) - taps + 1 in
+  let cycles =
+    n_out
+    * ((taps * Rvi_coproc.Fir_ref.sw_cycles_per_tap)
+      + Rvi_coproc.Fir_ref.sw_cycles_per_output)
+  in
+  run_sw cfg ~app:"fir" ~input_bytes:(Bytes.length input) ~cycles
+    ~work:(fun () ->
+      Bytes.length (Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input)
+      = Rvi_coproc.Fir_ref.output_bytes ~taps (Bytes.length input))
+
+let fir_objects ~coeffs input =
+  let taps = Array.length coeffs in
+  let coeff_bytes =
+    let b = Bytes.create (2 * taps) in
+    Array.iteri
+      (fun i c ->
+        let u = c land 0xFFFF in
+        Bytes.set b (2 * i) (Char.chr (u land 0xFF));
+        Bytes.set b ((2 * i) + 1) (Char.chr ((u lsr 8) land 0xFF)))
+      coeffs;
+    b
+  in
+  [
+    {
+      id = Rvi_coproc.Fir_coproc.obj_in;
+      dir = Rvi_core.Mapped_object.In;
+      stream = true;
+      init = Some input;
+      size = Bytes.length input;
+    };
+    {
+      id = Rvi_coproc.Fir_coproc.obj_coeff;
+      dir = Rvi_core.Mapped_object.In;
+      stream = false;
+      init = Some coeff_bytes;
+      size = 2 * taps;
+    };
+    {
+      id = Rvi_coproc.Fir_coproc.obj_out;
+      dir = Rvi_core.Mapped_object.Out;
+      stream = true;
+      init = None;
+      size = Rvi_coproc.Fir_ref.output_bytes ~taps (Bytes.length input);
+    };
+  ]
+
+let fir_params ~coeffs ~shift input =
+  let taps = Array.length coeffs in
+  Rvi_coproc.Fir_coproc.params
+    ~n_out:((Bytes.length input / 2) - taps + 1)
+    ~taps ~shift
+
+let fir_verify ~coeffs ~shift input read_obj =
+  Bytes.equal
+    (read_obj Rvi_coproc.Fir_coproc.obj_out)
+    (Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input)
+
+let fir_vim cfg ~coeffs ~shift ~input =
+  run_virtual cfg ~app:"fir" ~bitstream:Calibration.fir_bitstream
+    ~make:Rvi_coproc.Fir_coproc.Virtual.create
+    ~objects:(fir_objects ~coeffs input)
+    ~params:(fir_params ~coeffs ~shift input)
+    ~input_bytes:(Bytes.length input)
+    ~verify:(fir_verify ~coeffs ~shift input)
+
+let fir_normal cfg ~coeffs ~shift ~input =
+  let module M = Rvi_coproc.Fir_coproc.Make (Rvi_coproc.Dport) in
+  run_normal cfg ~app:"fir" ~clock_hz:Calibration.adpcm_clock_hz
+    ~coproc_divide:1 ~make:M.create
+    ~objects:(fir_objects ~coeffs input)
+    ~params:(fir_params ~coeffs ~shift input)
+    ~input_bytes:(Bytes.length input)
+    ~verify:(fir_verify ~coeffs ~shift input)
+
+(* {1 IDEA in CBC mode (extension)} *)
+
+let idea_cbc_objects = idea_objects
+
+let idea_cbc_vim cfg ~mode ~key ~iv ~input =
+  let decrypt =
+    match mode with
+    | Rvi_coproc.Idea_coproc.Ecb_decrypt | Rvi_coproc.Idea_coproc.Cbc_decrypt ->
+      true
+    | Rvi_coproc.Idea_coproc.Ecb_encrypt | Rvi_coproc.Idea_coproc.Cbc_encrypt ->
+      false
+  in
+  let expected =
+    match mode with
+    | Rvi_coproc.Idea_coproc.Ecb_encrypt | Rvi_coproc.Idea_coproc.Ecb_decrypt ->
+      Rvi_coproc.Idea_ref.ecb ~key ~decrypt input
+    | Rvi_coproc.Idea_coproc.Cbc_encrypt | Rvi_coproc.Idea_coproc.Cbc_decrypt ->
+      Rvi_coproc.Idea_ref.cbc ~key ~decrypt ~iv input
+  in
+  let row =
+    run_virtual cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
+      ~make:Rvi_coproc.Idea_coproc.Virtual.create
+      ~objects:(idea_cbc_objects input)
+      ~params:
+        (Rvi_coproc.Idea_coproc.params_mode
+           ~n_blocks:(Bytes.length input / 8)
+           ~mode ~key ~iv ())
+      ~input_bytes:(Bytes.length input)
+      ~verify:(fun read_obj ->
+        Bytes.equal (read_obj Rvi_coproc.Idea_coproc.obj_out) expected)
+  in
+  { row with Report.version = "VIM/" ^ Rvi_coproc.Idea_coproc.mode_name mode }

@@ -1,0 +1,88 @@
+(** System assembly and measurement runs.
+
+    One function per (application, version) pair; each run builds a fresh
+    simulated platform from a {!Config.t}, executes the workload through
+    the full stack (syscalls, VIM, IMU, coprocessor) or the corresponding
+    baseline, verifies the output against the software reference
+    bit-for-bit, and returns a {!Report.row}. *)
+
+(** {1 Generic builders (used by the experiments and the tests)} *)
+
+type vobject = {
+  id : int;
+  dir : Rvi_core.Mapped_object.direction;
+  stream : bool;
+  init : Bytes.t option;  (** initial contents for In/Inout objects *)
+  size : int;
+}
+
+val run_virtual :
+  Config.t ->
+  app:string ->
+  bitstream:Rvi_fpga.Bitstream.t ->
+  make:(Rvi_core.Cp_port.t -> Rvi_coproc.Vport.t * Rvi_coproc.Coproc.t) ->
+  objects:vobject list ->
+  params:int list ->
+  input_bytes:int ->
+  verify:((int -> Bytes.t) -> bool) ->
+  Report.row
+(** Full VIM-based run. [verify] receives an accessor from object id to
+    final user-space contents. *)
+
+val run_normal :
+  Config.t ->
+  app:string ->
+  clock_hz:int ->
+  coproc_divide:int ->
+  make:(Rvi_coproc.Dport.t -> Rvi_coproc.Coproc.t) ->
+  objects:vobject list ->
+  params:int list ->
+  input_bytes:int ->
+  verify:((int -> Bytes.t) -> bool) ->
+  Report.row
+(** Normal-coprocessor run (manual placement, no OS support). Produces an
+    [Exceeds_memory] outcome when the working set does not fit. *)
+
+val run_sw :
+  Config.t ->
+  app:string ->
+  input_bytes:int ->
+  cycles:int ->
+  work:(unit -> bool) ->
+  Report.row
+(** Pure-software run: executes [work] (the reference computation,
+    returning the verification result) and charges [cycles] of CPU time. *)
+
+(** {1 The paper's applications} *)
+
+val adpcm_sw : Config.t -> input:Bytes.t -> Report.row
+val adpcm_vim : Config.t -> input:Bytes.t -> Report.row
+val adpcm_normal : Config.t -> input:Bytes.t -> Report.row
+
+val idea_sw : Config.t -> key:int array -> input:Bytes.t -> Report.row
+val idea_vim :
+  ?decrypt:bool -> Config.t -> key:int array -> input:Bytes.t -> Report.row
+val idea_normal :
+  ?decrypt:bool -> Config.t -> key:int array -> input:Bytes.t -> Report.row
+
+val vecadd_sw : Config.t -> a:int array -> b:int array -> Report.row
+val vecadd_vim : Config.t -> a:int array -> b:int array -> Report.row
+
+val fir_sw :
+  Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
+
+val fir_vim :
+  Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
+
+val fir_normal :
+  Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
+
+val idea_cbc_vim :
+  Config.t ->
+  mode:Rvi_coproc.Idea_coproc.mode ->
+  key:int array ->
+  iv:int array ->
+  input:Bytes.t ->
+  Report.row
+(** IDEA under an explicit block-cipher mode (the CBC extension); the row's
+    version is tagged with the mode name. *)

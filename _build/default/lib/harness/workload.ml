@@ -1,0 +1,63 @@
+module Prng = Rvi_sim.Prng
+
+let adpcm_stream ~seed ~bytes =
+  let prng = Prng.create ~seed in
+  (* Two samples per compressed byte; 16-bit little-endian PCM. *)
+  let n_samples = 2 * bytes in
+  let pcm = Bytes.create (2 * n_samples) in
+  let phase = ref 0.0 and freq = ref 0.02 in
+  for i = 0 to n_samples - 1 do
+    (* A tone whose pitch wanders plus a little noise: keeps the ADPCM
+       predictor exercised across its whole step table. *)
+    freq := Float.max 0.002 (Float.min 0.2 (!freq +. (float_of_int (Prng.int prng 21 - 10) /. 5e3)));
+    phase := !phase +. !freq;
+    let tone = 9000.0 *. sin !phase in
+    let noise = float_of_int (Prng.int prng 2001 - 1000) in
+    let sample = int_of_float (tone +. noise) in
+    let v = sample land 0xFFFF in
+    Bytes.set pcm (2 * i) (Char.chr (v land 0xFF));
+    Bytes.set pcm ((2 * i) + 1) (Char.chr ((v lsr 8) land 0xFF))
+  done;
+  Rvi_coproc.Adpcm_ref.encode pcm
+
+let random_bytes ~seed ~n =
+  let prng = Prng.create ~seed in
+  let b = Bytes.create n in
+  Prng.fill_bytes prng b;
+  b
+
+let idea_key ~seed =
+  let prng = Prng.create ~seed:(seed lxor 0x1DEA) in
+  Array.init 8 (fun _ -> Prng.int prng 0x10000)
+
+let idea_plaintext ~seed ~bytes =
+  if bytes mod 8 <> 0 then
+    invalid_arg "Workload.idea_plaintext: need a multiple of 8 bytes";
+  random_bytes ~seed ~n:bytes
+
+let vectors ~seed ~n =
+  let prng = Prng.create ~seed in
+  let gen () = Array.init n (fun _ -> Prng.int prng 0x1_0000_0000) in
+  let a = gen () in
+  let b = gen () in
+  (a, b)
+
+let fir_signal ~seed ~bytes =
+  if bytes mod 2 <> 0 then invalid_arg "Workload.fir_signal: odd byte count";
+  let prng = Prng.create ~seed:(seed lxor 0xF17) in
+  let n = bytes / 2 in
+  let b = Bytes.create bytes in
+  for i = 0 to n - 1 do
+    let t = float_of_int i in
+    let tone =
+      (7000.0 *. sin (0.05 *. t)) +. (4000.0 *. sin (0.31 *. t))
+      +. (2000.0 *. sin (0.47 *. t))
+    in
+    let noise = float_of_int (Prng.int prng 4001 - 2000) in
+    let v = int_of_float (tone +. noise) land 0xFFFF in
+    Bytes.set b (2 * i) (Char.chr (v land 0xFF));
+    Bytes.set b ((2 * i) + 1) (Char.chr ((v lsr 8) land 0xFF))
+  done;
+  b
+
+let fir_coeffs ~taps = Rvi_coproc.Fir_ref.lowpass ~taps ~cutoff:0.12

@@ -1,0 +1,1 @@
+lib/hw/wave.ml: Array Buffer Char List Printf Rvi_sim Stdlib String

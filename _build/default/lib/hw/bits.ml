@@ -1,0 +1,86 @@
+type t = { width : int; value : int }
+
+let check_width width =
+  if width < 1 || width > 62 then invalid_arg "Bits: width out of [1, 62]"
+
+let mask width = (1 lsl width) - 1
+
+let make ~width v =
+  check_width width;
+  if v < 0 then invalid_arg "Bits.make: negative value";
+  { width; value = v land mask width }
+
+let width t = t.width
+let to_int t = t.value
+let zero ~width = make ~width 0
+
+let ones ~width =
+  check_width width;
+  { width; value = mask width }
+
+let max_int ~width =
+  check_width width;
+  mask width
+
+let same_width a b op =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let add a b =
+  same_width a b "add";
+  { a with value = (a.value + b.value) land mask a.width }
+
+let sub a b =
+  same_width a b "sub";
+  { a with value = (a.value - b.value) land mask a.width }
+
+let succ a = { a with value = (a.value + 1) land mask a.width }
+
+let logand a b = same_width a b "logand"; { a with value = a.value land b.value }
+let logor a b = same_width a b "logor"; { a with value = a.value lor b.value }
+let logxor a b = same_width a b "logxor"; { a with value = a.value lxor b.value }
+let lognot a = { a with value = lnot a.value land mask a.width }
+
+let shift_left a n =
+  if n < 0 then invalid_arg "Bits.shift_left: negative shift";
+  let v = if n >= a.width then 0 else (a.value lsl n) land mask a.width in
+  { a with value = v }
+
+let shift_right a n =
+  if n < 0 then invalid_arg "Bits.shift_right: negative shift";
+  let v = if n >= a.width then 0 else a.value lsr n in
+  { a with value = v }
+
+let bit t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.bit: index out of range";
+  (t.value lsr i) land 1 = 1
+
+let set_bit t i b =
+  if i < 0 || i >= t.width then invalid_arg "Bits.set_bit: index out of range";
+  let v = if b then t.value lor (1 lsl i) else t.value land lnot (1 lsl i) in
+  { t with value = v land mask t.width }
+
+let slice ~hi ~lo t =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg "Bits.slice: bad range";
+  make ~width:(hi - lo + 1) ((t.value lsr lo) land mask (hi - lo + 1))
+
+let concat hi lo =
+  let width = hi.width + lo.width in
+  check_width width;
+  { width; value = (hi.value lsl lo.width) lor lo.value }
+
+let equal a b = a.width = b.width && a.value = b.value
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Int.compare a.value b.value
+
+let pp ppf t =
+  Format.fprintf ppf "%d'h%0*x" t.width ((t.width + 3) / 4) t.value
+
+let pp_bin ppf t =
+  Format.fprintf ppf "%d'b" t.width;
+  for i = t.width - 1 downto 0 do
+    Format.pp_print_char ppf (if bit t i then '1' else '0')
+  done

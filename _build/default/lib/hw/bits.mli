@@ -1,0 +1,60 @@
+(** Fixed-width bit vectors.
+
+    Values are unsigned integers of a declared width between 1 and 62 bits,
+    the range used by every bus and register in the modelled system
+    (addresses, 16/32-bit data words, TLB tags). All arithmetic wraps
+    modulo [2^width], like hardware registers. *)
+
+type t
+
+val width : t -> int
+val to_int : t -> int
+
+val make : width:int -> int -> t
+(** [make ~width v] truncates [v] to [width] bits. Raises [Invalid_argument]
+    unless [1 <= width <= 62] and [v >= 0]. *)
+
+val zero : width:int -> t
+val ones : width:int -> t
+(** All bits set. *)
+
+val max_int : width:int -> int
+(** Largest value representable in [width] bits. *)
+
+val add : t -> t -> t
+(** Wrapping addition; operands must have equal width. *)
+
+val sub : t -> t -> t
+(** Wrapping subtraction (two's complement); equal widths required. *)
+
+val succ : t -> t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Logical shifts; bits shifted out are lost, width is preserved. *)
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (LSB = 0). Raises [Invalid_argument] if out of
+    range. *)
+
+val set_bit : t -> int -> bool -> t
+
+val slice : hi:int -> lo:int -> t -> t
+(** [slice ~hi ~lo v] extracts bits [hi..lo] inclusive as a vector of width
+    [hi - lo + 1]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo] forms a vector with [hi] in the upper bits. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal with width annotation, e.g. [12'h0a3]. *)
+
+val pp_bin : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type 'a t = {
+  fsm_name : string;
+  reg : 'a Reg.t;
+  show_fn : 'a -> string;
+  mutable transitions : int;
+}
+
+let create ~name ~init ~show =
+  { fsm_name = name; reg = Reg.create init; show_fn = show; transitions = 0 }
+
+let state t = Reg.get t.reg
+let goto t s = Reg.set t.reg s
+let stay t = Reg.set t.reg (Reg.get t.reg)
+
+let commit t =
+  let before = Reg.get t.reg in
+  Reg.commit t.reg;
+  if Reg.get t.reg <> before then t.transitions <- t.transitions + 1
+
+let reset t s = Reg.reset t.reg s
+let name t = t.fsm_name
+let show t = t.show_fn (Reg.get t.reg)
+let transitions t = t.transitions

@@ -1,0 +1,30 @@
+(** Finite-state-machine scaffolding.
+
+    A thin layer over {!Reg} that names the machine, exposes the current
+    state during the compute phase, and renders states for waveform and log
+    output. Coprocessor and IMU control paths are written as [Fsm]s. *)
+
+type 'a t
+
+val create : name:string -> init:'a -> show:('a -> string) -> 'a t
+
+val state : 'a t -> 'a
+(** Committed (pre-edge) state — what combinational logic sees. *)
+
+val goto : 'a t -> 'a -> unit
+(** Selects the state entered at the next commit. *)
+
+val stay : 'a t -> unit
+(** Explicitly keep the current state (equivalent to [goto m (state m)]). *)
+
+val commit : 'a t -> unit
+
+val reset : 'a t -> 'a -> unit
+
+val name : 'a t -> string
+
+val show : 'a t -> string
+(** Rendering of the committed state. *)
+
+val transitions : 'a t -> int
+(** Number of commits that changed the state (machine activity measure). *)

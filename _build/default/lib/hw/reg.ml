@@ -1,0 +1,11 @@
+type 'a t = { mutable cur : 'a; mutable next : 'a }
+
+let create v = { cur = v; next = v }
+let get t = t.cur
+let set t v = t.next <- v
+let peek_next t = t.next
+let commit t = t.cur <- t.next
+
+let reset t v =
+  t.cur <- v;
+  t.next <- v

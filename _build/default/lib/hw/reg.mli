@@ -1,0 +1,28 @@
+(** Two-phase registers.
+
+    A register holds a committed value, visible to everyone, and a pending
+    next value written during a clock domain's compute phase. {!commit}
+    latches the pending value at the clock edge. Components built from
+    these registers obey register-transfer semantics under {!Rvi_sim.Clock}:
+    every compute phase sees the values committed on the previous edge. *)
+
+type 'a t
+
+val create : 'a -> 'a t
+(** A register whose committed and pending values both start at the given
+    reset value. *)
+
+val get : 'a t -> 'a
+(** The committed value. *)
+
+val set : 'a t -> 'a -> unit
+(** Schedules a new value for the next commit. Last write wins. *)
+
+val peek_next : 'a t -> 'a
+(** The pending value ({!get} if nothing was written since last commit). *)
+
+val commit : 'a t -> unit
+(** Latches the pending value. *)
+
+val reset : 'a t -> 'a -> unit
+(** Forces both committed and pending values (asynchronous reset). *)

@@ -1,0 +1,158 @@
+type probe = {
+  name : string;
+  width : int;
+  sample_fn : unit -> int;
+  mutable data : int array;
+  mutable len : int;
+}
+
+type t = { mutable probes : probe list (* reversed *) }
+
+let create () = { probes = [] }
+
+let add_signal t ~name ~width f =
+  if width < 1 || width > 62 then invalid_arg "Wave.add_signal: bad width";
+  let p = { name; width; sample_fn = f; data = Array.make 64 0; len = 0 } in
+  t.probes <- p :: t.probes
+
+let probes_in_order t = List.rev t.probes
+
+let push p v =
+  if p.len = Array.length p.data then begin
+    let bigger = Array.make (2 * p.len) 0 in
+    Array.blit p.data 0 bigger 0 p.len;
+    p.data <- bigger
+  end;
+  p.data.(p.len) <- v;
+  p.len <- p.len + 1
+
+let sample t =
+  List.iter
+    (fun p ->
+      let mask = (1 lsl p.width) - 1 in
+      push p (p.sample_fn () land mask))
+    t.probes
+
+let attach t clock = Rvi_sim.Clock.on_edge clock (fun _ -> sample t)
+
+let length t = match t.probes with [] -> 0 | p :: _ -> p.len
+
+let find t name =
+  match List.find_opt (fun p -> p.name = name) t.probes with
+  | Some p -> p
+  | None -> raise Not_found
+
+let values t name =
+  let p = find t name in
+  Array.sub p.data 0 p.len
+
+(* One column of the diagram is [cell] characters wide; the first character
+   carries the edge (transition) information. *)
+let render_ascii ?(from_cycle = 0) ?cycles t =
+  let total = length t in
+  let n =
+    match cycles with
+    | Some n -> Stdlib.min n (total - from_cycle)
+    | None -> total - from_cycle
+  in
+  let n = Stdlib.max n 0 in
+  let name_w =
+    List.fold_left (fun acc p -> Stdlib.max acc (String.length p.name)) 0 t.probes
+  in
+  let buf = Buffer.create 1024 in
+  let cell = 4 in
+  (* Header ruler with cycle numbers. *)
+  Buffer.add_string buf (String.make (name_w + 2) ' ');
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%-*d" cell (from_cycle + i))
+  done;
+  Buffer.add_char buf '\n';
+  let render_probe p =
+    Buffer.add_string buf (Printf.sprintf "%-*s  " name_w p.name);
+    if p.width = 1 then
+      for i = 0 to n - 1 do
+        let v = p.data.(from_cycle + i) in
+        let prev = if from_cycle + i = 0 then v else p.data.(from_cycle + i - 1) in
+        let edge =
+          if prev = v then if v = 1 then '-' else '_'
+          else if v = 1 then '/'
+          else '\\'
+        in
+        let level = if v = 1 then '-' else '_' in
+        Buffer.add_char buf edge;
+        Buffer.add_string buf (String.make (cell - 1) level)
+      done
+    else
+      for i = 0 to n - 1 do
+        let v = p.data.(from_cycle + i) in
+        (* Always print the value in the first window column so a signal
+           that last changed before the window is still readable. *)
+        let prev =
+          if i = 0 then -1 else p.data.(from_cycle + i - 1)
+        in
+        if v <> prev then begin
+          let s = Printf.sprintf "%x" v in
+          let s =
+            if String.length s > cell - 1 then String.sub s 0 (cell - 1) else s
+          in
+          Buffer.add_char buf '|';
+          Buffer.add_string buf s;
+          Buffer.add_string buf (String.make (cell - 1 - String.length s) ' ')
+        end
+        else Buffer.add_string buf (String.make cell ' ')
+      done
+  in
+  List.iter
+    (fun p ->
+      render_probe p;
+      Buffer.add_char buf '\n')
+    (probes_in_order t);
+  Buffer.contents buf
+
+let vcd_id i =
+  (* Printable VCD identifier: base-94 over '!'..'~'. *)
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 94 then acc else go ((i / 94) - 1) acc
+  in
+  go i ""
+
+let to_vcd ?(timescale_ps = 1000) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version rvi Wave $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %d ps $end\n" timescale_ps);
+  Buffer.add_string buf "$scope module top $end\n";
+  let probes = probes_in_order t in
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" p.width (vcd_id i) p.name))
+    probes;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let emit_value buf p i v =
+    if p.width = 1 then Buffer.add_string buf (Printf.sprintf "%d%s\n" v (vcd_id i))
+    else begin
+      Buffer.add_char buf 'b';
+      let any = ref false in
+      for b = p.width - 1 downto 0 do
+        let bit = (v lsr b) land 1 in
+        if bit = 1 then any := true;
+        if !any || b = 0 then Buffer.add_char buf (if bit = 1 then '1' else '0')
+      done;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (vcd_id i);
+      Buffer.add_char buf '\n'
+    end
+  in
+  for cycle = 0 to length t - 1 do
+    Buffer.add_string buf (Printf.sprintf "#%d\n" (cycle * timescale_ps));
+    List.iteri
+      (fun i p ->
+        let v = p.data.(cycle) in
+        let changed = cycle = 0 || p.data.(cycle - 1) <> v in
+        if changed then emit_value buf p i v)
+      probes
+  done;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Waveform capture and rendering.
+
+    Records the value of named signals on every clock edge and renders them
+    as an ASCII timing diagram (used to regenerate the paper's Figure 7) or
+    as a VCD dump loadable in GTKWave. *)
+
+type t
+
+val create : unit -> t
+
+val add_signal : t -> name:string -> width:int -> (unit -> int) -> unit
+(** Registers a probe. The sampling function is called once per {!sample};
+    its result is truncated to [width] bits. Must be called before the
+    first sample. *)
+
+val sample : t -> unit
+(** Records one column (one clock cycle) for every signal. *)
+
+val attach : t -> Rvi_sim.Clock.t -> unit
+(** Samples automatically after each edge of the clock. *)
+
+val length : t -> int
+(** Number of columns recorded. *)
+
+val values : t -> string -> int array
+(** The recorded samples of one signal. Raises [Not_found] for an unknown
+    name. *)
+
+val render_ascii : ?from_cycle:int -> ?cycles:int -> t -> string
+(** A timing diagram: one line per signal, 1-bit signals drawn with
+    [_/¯\\], wider signals with their hexadecimal values at each change. *)
+
+val to_vcd : ?timescale_ps:int -> t -> string
+(** A Value Change Dump of the whole capture. [timescale_ps] is the time
+    per column (default 1000, i.e. 1 ns). *)

@@ -1,0 +1,1 @@
+lib/mem/dma.ml: Rvi_sim

@@ -1,0 +1,1 @@
+lib/mem/dma.mli: Rvi_sim

@@ -1,0 +1,1 @@
+lib/mem/dpram.ml: Page Printf Ram Rvi_sim

@@ -1,0 +1,1 @@
+lib/mem/dpram.mli: Bytes Page Rvi_sim

@@ -1,0 +1,1 @@
+lib/mem/ram.ml: Bytes Char Printf

@@ -1,0 +1,19 @@
+type t = { word_bytes : int; setup_cycles : int; cycles_per_word : int }
+
+let make ~word_bytes ~setup_cycles ~cycles_per_word =
+  if word_bytes <= 0 || setup_cycles < 0 || cycles_per_word <= 0 then
+    invalid_arg "Ahb.make: non-positive parameter";
+  { word_bytes; setup_cycles; cycles_per_word }
+
+(* An uncached load/store pair across the AHB to on-chip RAM costs about 20
+   CPU cycles on the 133 MHz ARM922T: pipeline stalls on the uncached load
+   plus bus arbitration. See Rvi_harness.Calibration for the derivation. *)
+let default = { word_bytes = 4; setup_cycles = 120; cycles_per_word = 20 }
+
+let words t ~bytes =
+  if bytes < 0 then invalid_arg "Ahb.words: negative size";
+  (bytes + t.word_bytes - 1) / t.word_bytes
+
+let copy_cycles t ~bytes =
+  if bytes = 0 then 0
+  else t.setup_cycles + (words t ~bytes * t.cycles_per_word)

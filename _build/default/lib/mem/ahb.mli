@@ -1,0 +1,28 @@
+(** AMBA AHB transfer-cost model.
+
+    On the Excalibur, the processor reaches the dual-port RAM through the
+    AHB; those accesses are uncached and considerably slower than cached
+    SDRAM accesses, which is why the paper's dual-port-memory management
+    time dominates the virtualisation overhead. This module knows how many
+    CPU cycles a kernel copy of a given size costs; the time itself is
+    charged by the kernel's cost model. *)
+
+type t = {
+  word_bytes : int;  (** bus word width in bytes (4 on the EPXA1 AHB) *)
+  setup_cycles : int;  (** per-transfer software + arbitration setup *)
+  cycles_per_word : int;
+      (** CPU cycles per bus word moved by a load/store pair, uncached *)
+}
+
+val default : t
+(** Calibrated for the 133 MHz ARM922T of the EPXA1 (see
+    {!Rvi_harness.Calibration}). *)
+
+val make : word_bytes:int -> setup_cycles:int -> cycles_per_word:int -> t
+
+val words : t -> bytes:int -> int
+(** Bus words needed for a transfer of [bytes] (rounded up). *)
+
+val copy_cycles : t -> bytes:int -> int
+(** CPU cycles to copy [bytes] between SDRAM and the dual-port RAM. Zero
+    bytes costs zero (no transfer issued). *)

@@ -1,0 +1,23 @@
+type t = {
+  word_bytes : int;
+  setup_cycles : int;
+  bus_hz : int;
+  bus_cycles_per_word : int;
+}
+
+let make ~word_bytes ~setup_cycles ~bus_hz ~bus_cycles_per_word =
+  if word_bytes <= 0 || setup_cycles < 0 || bus_hz <= 0 || bus_cycles_per_word <= 0
+  then invalid_arg "Dma.make: non-positive parameter";
+  { word_bytes; setup_cycles; bus_hz; bus_cycles_per_word }
+
+let default =
+  { word_bytes = 4; setup_cycles = 300; bus_hz = 66_000_000; bus_cycles_per_word = 1 }
+
+let setup_cycles t = t.setup_cycles
+
+let transfer_time t ~bytes =
+  if bytes < 0 then invalid_arg "Dma.transfer_time: negative size";
+  if bytes = 0 then Rvi_sim.Simtime.zero
+  else
+    let words = (bytes + t.word_bytes - 1) / t.word_bytes in
+    Rvi_sim.Simtime.of_cycles ~hz:t.bus_hz (words * t.bus_cycles_per_word)

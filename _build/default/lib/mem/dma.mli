@@ -1,0 +1,26 @@
+(** DMA engine between SDRAM and the dual-port RAM.
+
+    The Excalibur stripe contains a DMA controller the paper's simple VIM
+    does not use — its announced single-transfer rework is the natural
+    place to use it. Programming the channel costs CPU cycles; the burst
+    itself then streams at bus rate without the per-word uncached-access
+    stalls that make processor copies so expensive (one word per bus cycle
+    instead of ~20 CPU cycles per word). *)
+
+type t = {
+  word_bytes : int;
+  setup_cycles : int;  (** CPU cycles to program the channel descriptor *)
+  bus_hz : int;  (** burst clock *)
+  bus_cycles_per_word : int;
+}
+
+val default : t
+(** 32-bit words, 300-cycle setup, 66 MHz AHB bursting one word/cycle. *)
+
+val make :
+  word_bytes:int -> setup_cycles:int -> bus_hz:int -> bus_cycles_per_word:int -> t
+
+val setup_cycles : t -> int
+
+val transfer_time : t -> bytes:int -> Rvi_sim.Simtime.t
+(** Burst duration for a transfer of [bytes]; zero bytes take no time. *)

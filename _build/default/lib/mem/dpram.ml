@@ -1,0 +1,54 @@
+type t = { ram : Ram.t; geom : Page.geometry; stats : Rvi_sim.Stats.t }
+
+let create geom =
+  {
+    ram = Ram.create ~size:(Page.total_bytes geom);
+    geom;
+    stats = Rvi_sim.Stats.create ();
+  }
+
+let geometry t = t.geom
+let size t = Ram.size t.ram
+let n_pages t = t.geom.Page.n_pages
+let page_size t = t.geom.Page.page_size
+
+let read t ~width addr =
+  Rvi_sim.Stats.incr t.stats "pld_reads";
+  Ram.read t.ram ~width addr
+
+let write t ~width addr v =
+  Rvi_sim.Stats.incr t.stats "pld_writes";
+  Ram.write t.ram ~width addr v
+
+let check_page t page op =
+  if page < 0 || page >= n_pages t then
+    invalid_arg (Printf.sprintf "Dpram.%s: page %d out of [0, %d)" op page (n_pages t))
+
+let load_page t ~page buf ~src ~len =
+  check_page t page "load_page";
+  if len < 0 || len > page_size t then invalid_arg "Dpram.load_page: bad length";
+  let base = Page.base t.geom page in
+  Ram.blit_from_bytes buf ~src t.ram ~dst:base ~len;
+  if len < page_size t then Ram.fill t.ram ~pos:(base + len) ~len:(page_size t - len) '\000';
+  Rvi_sim.Stats.incr t.stats "pages_loaded"
+
+let store_page t ~page buf ~dst ~len =
+  check_page t page "store_page";
+  if len < 0 || len > page_size t then invalid_arg "Dpram.store_page: bad length";
+  let base = Page.base t.geom page in
+  Ram.blit_to_bytes t.ram ~src:base buf ~dst ~len;
+  Rvi_sim.Stats.incr t.stats "pages_stored"
+
+let clear_page t ~page =
+  check_page t page "clear_page";
+  Ram.fill t.ram ~pos:(Page.base t.geom page) ~len:(page_size t) '\000'
+
+let cpu_read32 t addr =
+  Rvi_sim.Stats.incr t.stats "cpu_words";
+  Ram.read32 t.ram addr
+
+let cpu_write32 t addr v =
+  Rvi_sim.Stats.incr t.stats "cpu_words";
+  Ram.write32 t.ram addr v
+
+let stats t = t.stats

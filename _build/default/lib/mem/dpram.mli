@@ -1,0 +1,44 @@
+(** Dual-port RAM.
+
+    The on-chip memory reachable both by the PLD (directly) and by the
+    processor (over the AHB). It is excluded from the processor's virtual
+    memory map and managed by the OS as a small pool of pages — eight 2 KB
+    pages on the EPXA1. One port is used by the coprocessor through the
+    IMU; the other by the kernel when loading and flushing pages.
+
+    The two ports never race in the modelled system (the paper notes the
+    processor and coprocessor never access it at the same time), so a single
+    storage array with two access interfaces is a faithful model. *)
+
+type t
+
+val create : Page.geometry -> t
+val geometry : t -> Page.geometry
+val size : t -> int
+val n_pages : t -> int
+val page_size : t -> int
+
+(** {1 PLD-side port (used by the IMU)} *)
+
+val read : t -> width:int -> int -> int
+val write : t -> width:int -> int -> int -> unit
+
+(** {1 Processor-side port (used by the kernel over the bus)} *)
+
+val load_page : t -> page:int -> Bytes.t -> src:int -> len:int -> unit
+(** Copies [len] bytes ([<= page_size]) from a user buffer into the page;
+    the remainder of the page is zero-filled. *)
+
+val store_page : t -> page:int -> Bytes.t -> dst:int -> len:int -> unit
+(** Copies the first [len] bytes of the page out to a user buffer. *)
+
+val clear_page : t -> page:int -> unit
+
+val cpu_read32 : t -> int -> int
+val cpu_write32 : t -> int -> int -> unit
+(** Word access from the processor side (register-style accesses used when
+    the kernel seeds the parameter page). *)
+
+val stats : t -> Rvi_sim.Stats.t
+(** Port traffic counters: ["pld_reads"], ["pld_writes"], ["cpu_words"],
+    ["pages_loaded"], ["pages_stored"]. *)

@@ -1,0 +1,19 @@
+type geometry = { page_size : int; n_pages : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let geometry ~page_size ~n_pages =
+  if not (is_power_of_two page_size) || page_size < 16 then
+    invalid_arg "Page.geometry: page_size must be a power of two >= 16";
+  if n_pages < 1 then invalid_arg "Page.geometry: n_pages >= 1 required";
+  { page_size; n_pages }
+
+let total_bytes g = g.page_size * g.n_pages
+let vpn g addr = addr / g.page_size
+let offset g addr = addr land (g.page_size - 1)
+let base g page = page * g.page_size
+let page_count g ~len = (len + g.page_size - 1) / g.page_size
+
+let pp ppf g =
+  Format.fprintf ppf "%d pages x %d B (%d B total)" g.n_pages g.page_size
+    (total_bytes g)

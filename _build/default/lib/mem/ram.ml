@@ -1,0 +1,77 @@
+type t = { data : Bytes.t }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Ram.create: non-positive size";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t addr bytes op =
+  if addr < 0 || addr + bytes > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Ram.%s: address %#x (+%d) out of [0, %#x)" op addr bytes
+         (Bytes.length t.data))
+
+let read8 t addr =
+  check t addr 1 "read8";
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write8 t addr v =
+  check t addr 1 "write8";
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let read16 t addr =
+  check t addr 2 "read16";
+  Char.code (Bytes.unsafe_get t.data addr)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+
+let write16 t addr v =
+  check t addr 2 "write16";
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let read32 t addr =
+  check t addr 4 "read32";
+  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let write32 t addr v =
+  check t addr 4 "write32";
+  for i = 0 to 3 do
+    Bytes.unsafe_set t.data (addr + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let read t ~width addr =
+  match width with
+  | 8 -> read8 t addr
+  | 16 -> read16 t addr
+  | 32 -> read32 t addr
+  | _ -> invalid_arg "Ram.read: width must be 8, 16 or 32"
+
+let write t ~width addr v =
+  match width with
+  | 8 -> write8 t addr v
+  | 16 -> write16 t addr v
+  | 32 -> write32 t addr v
+  | _ -> invalid_arg "Ram.write: width must be 8, 16 or 32"
+
+let blit_from_bytes src ~src:spos t ~dst ~len =
+  check t dst len "blit_from_bytes";
+  Bytes.blit src spos t.data dst len
+
+let blit_to_bytes t ~src dst ~dst:dpos ~len =
+  check t src len "blit_to_bytes";
+  Bytes.blit t.data src dst dpos len
+
+let blit src ~src:spos dst ~dst:dpos ~len =
+  check src spos len "blit(src)";
+  check dst dpos len "blit(dst)";
+  Bytes.blit src.data spos dst.data dpos len
+
+let fill t ~pos ~len c =
+  check t pos len "fill";
+  Bytes.fill t.data pos len c
+
+let dump t ~pos ~len =
+  check t pos len "dump";
+  Bytes.sub t.data pos len

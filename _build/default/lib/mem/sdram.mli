@@ -1,0 +1,35 @@
+(** External SDRAM holding user-space data.
+
+    The 64 MB board memory where application buffers live. The simulated
+    kernel copies pages between here and the dual-port RAM; applications
+    (and software baselines) read and write their buffers directly. A bump
+    allocator hands out buffer addresses — the simulated processes never
+    free individual buffers, whole address spaces are discarded at once,
+    exactly like the arena lifetime of the short-lived benchmark programs. *)
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+
+val alloc : t -> ?align:int -> int -> int
+(** [alloc t n] reserves [n] bytes and returns their base address.
+    [align] (default 4, power of two) aligns the base. Raises [Out_of_memory]
+    if the arena is exhausted. *)
+
+val used : t -> int
+val release_all : t -> unit
+(** Resets the allocator (contents are left in place). *)
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read16 : t -> int -> int
+val write16 : t -> int -> int -> unit
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit
+
+val write_bytes : t -> int -> Bytes.t -> unit
+val read_bytes : t -> int -> len:int -> Bytes.t
+
+val blit_out : t -> src:int -> Bytes.t -> dst:int -> len:int -> unit
+val blit_in : Bytes.t -> src:int -> t -> dst:int -> len:int -> unit

@@ -1,0 +1,1 @@
+lib/os/accounting.ml: Array Format List Rvi_sim

@@ -1,0 +1,1 @@
+lib/os/accounting.mli: Format Rvi_sim

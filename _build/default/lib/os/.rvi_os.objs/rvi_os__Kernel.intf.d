@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Accounting Cost_model Irq Rvi_mem Rvi_sim Sched Syscall

@@ -1,0 +1,1 @@
+lib/os/syscall.ml: Hashtbl List Option Printf String

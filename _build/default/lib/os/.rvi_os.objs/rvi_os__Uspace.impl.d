@@ -1,0 +1,1 @@
+lib/os/uspace.ml: Bytes Kernel Rvi_mem

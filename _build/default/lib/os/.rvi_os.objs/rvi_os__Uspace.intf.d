@@ -1,0 +1,1 @@
+lib/os/uspace.mli: Bytes Kernel

@@ -1,0 +1,41 @@
+type category = Hw | Sw_dp | Sw_imu | Sw_app | Sw_os
+
+let categories = [ Hw; Sw_dp; Sw_imu; Sw_app; Sw_os ]
+
+let category_name = function
+  | Hw -> "HW"
+  | Sw_dp -> "SW(DP)"
+  | Sw_imu -> "SW(IMU)"
+  | Sw_app -> "SW(app)"
+  | Sw_os -> "SW(OS)"
+
+let index = function Hw -> 0 | Sw_dp -> 1 | Sw_imu -> 2 | Sw_app -> 3 | Sw_os -> 4
+
+type t = { mutable ledger : Rvi_sim.Simtime.t array }
+
+let create () = { ledger = Array.make 5 Rvi_sim.Simtime.zero }
+
+let add t cat d =
+  let i = index cat in
+  t.ledger.(i) <- Rvi_sim.Simtime.add t.ledger.(i) d
+
+let get t cat = t.ledger.(index cat)
+
+let total t =
+  Array.fold_left Rvi_sim.Simtime.add Rvi_sim.Simtime.zero t.ledger
+
+let reset t = t.ledger <- Array.make 5 Rvi_sim.Simtime.zero
+
+let fraction t cat =
+  let tot = Rvi_sim.Simtime.to_ps (total t) in
+  if tot = 0 then 0.0
+  else float_of_int (Rvi_sim.Simtime.to_ps (get t cat)) /. float_of_int tot
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-8s %a@," (category_name c) Rvi_sim.Simtime.pp
+        (get t c))
+    categories;
+  Format.fprintf ppf "total    %a@]" Rvi_sim.Simtime.pp (total t)

@@ -1,0 +1,30 @@
+(** Execution-time ledger.
+
+    The paper splits VIM-based execution time into three components:
+    hardware time (coprocessor + IMU), software time for dual-port-RAM
+    management, and software time for IMU management. The ledger tracks
+    those, plus the application's own compute time (for the pure-software
+    version) and residual OS overhead (syscall entry/exit, wakeup). *)
+
+type category =
+  | Hw  (** time spent in the coprocessor and the IMU *)
+  | Sw_dp  (** OS time moving data between user space and dual-port RAM *)
+  | Sw_imu  (** OS time decoding faults and updating the translation table *)
+  | Sw_app  (** application software compute (pure-software version) *)
+  | Sw_os  (** residual OS overhead: syscalls, configuration, wakeup *)
+
+val categories : category list
+val category_name : category -> string
+
+type t
+
+val create : unit -> t
+val add : t -> category -> Rvi_sim.Simtime.t -> unit
+val get : t -> category -> Rvi_sim.Simtime.t
+val total : t -> Rvi_sim.Simtime.t
+val reset : t -> unit
+
+val fraction : t -> category -> float
+(** Share of the total in [0, 1]; 0 when the total is zero. *)
+
+val pp : Format.formatter -> t -> unit

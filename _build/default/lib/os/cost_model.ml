@@ -1,0 +1,35 @@
+type t = {
+  cpu_freq_hz : int;
+  syscall_entry : int;
+  syscall_exit : int;
+  irq_entry : int;
+  irq_exit : int;
+  fault_decode : int;
+  tlb_update : int;
+  page_bookkeeping : int;
+  param_word : int;
+  configure_pld : int;
+  process_wakeup : int;
+}
+
+let default ~cpu_freq_hz =
+  if cpu_freq_hz <= 0 then invalid_arg "Cost_model.default: bad frequency";
+  {
+    cpu_freq_hz;
+    syscall_entry = 600;
+    syscall_exit = 400;
+    irq_entry = 500;
+    irq_exit = 350;
+    fault_decode = 450;
+    tlb_update = 180;
+    page_bookkeeping = 250;
+    param_word = 40;
+    configure_pld = 4_000_000;
+    process_wakeup = 800;
+  }
+
+let time_of_cycles t n =
+  if n < 0 then invalid_arg "Cost_model.time_of_cycles: negative cycles";
+  Rvi_sim.Simtime.of_cycles ~hz:t.cpu_freq_hz n
+
+let cycles_of_time t d = Rvi_sim.Simtime.cycles_of ~hz:t.cpu_freq_hz d

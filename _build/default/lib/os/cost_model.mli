@@ -1,0 +1,29 @@
+(** Software execution-cost model.
+
+    The simulated ARM does not interpret instructions; instead every kernel
+    and application activity is charged a calibrated number of CPU cycles,
+    which the kernel converts to simulated time. Constants are derived from
+    the EPXA1's 133 MHz ARM922T running Linux 2.4 (see
+    {!Rvi_harness.Calibration} for the derivations and sensitivity notes). *)
+
+type t = {
+  cpu_freq_hz : int;
+  syscall_entry : int;  (** trap, argument copy, dispatch *)
+  syscall_exit : int;
+  irq_entry : int;  (** interrupt latency + prologue *)
+  irq_exit : int;
+  fault_decode : int;
+      (** read AR/SR over the bus, identify object and virtual page *)
+  tlb_update : int;  (** write one IMU TLB entry over the bus *)
+  page_bookkeeping : int;  (** frame-table and replacement-policy update *)
+  param_word : int;  (** store one scalar parameter to the parameter page *)
+  configure_pld : int;  (** drive one bit-stream into the lattice *)
+  process_wakeup : int;  (** mark the sleeping caller runnable and switch *)
+}
+
+val default : cpu_freq_hz:int -> t
+
+val time_of_cycles : t -> int -> Rvi_sim.Simtime.t
+(** Simulated duration of [n] CPU cycles. *)
+
+val cycles_of_time : t -> Rvi_sim.Simtime.t -> int

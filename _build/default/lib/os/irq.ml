@@ -1,0 +1,55 @@
+type line_state = {
+  mutable handler : (string * (unit -> unit)) option;
+  mutable pending : bool;
+}
+
+type t = { lines : line_state array; mutable raised_total : int }
+
+let create ?(lines = 8) () =
+  if lines < 1 then invalid_arg "Irq.create: need at least one line";
+  {
+    lines = Array.init lines (fun _ -> { handler = None; pending = false });
+    raised_total = 0;
+  }
+
+let check t line op =
+  if line < 0 || line >= Array.length t.lines then
+    invalid_arg (Printf.sprintf "Irq.%s: line %d out of range" op line)
+
+let register t ~line ~name f =
+  check t line "register";
+  match t.lines.(line).handler with
+  | Some (existing, _) ->
+    invalid_arg
+      (Printf.sprintf "Irq.register: line %d already claimed by %s" line existing)
+  | None -> t.lines.(line).handler <- Some (name, f)
+
+let raise_line t ~line =
+  check t line "raise_line";
+  if not t.lines.(line).pending then begin
+    t.lines.(line).pending <- true;
+    t.raised_total <- t.raised_total + 1
+  end
+
+let any_pending t = Array.exists (fun l -> l.pending) t.lines
+
+let dispatch_one t =
+  let rec find i =
+    if i >= Array.length t.lines then None
+    else if t.lines.(i).pending then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i ->
+    t.lines.(i).pending <- false;
+    (match t.lines.(i).handler with
+    | Some (_, f) -> f ()
+    | None -> failwith (Printf.sprintf "Irq: pending line %d has no handler" i));
+    true
+
+let dispatch_all t =
+  let rec go n = if dispatch_one t then go (n + 1) else n in
+  go 0
+
+let raised_total t = t.raised_total

@@ -1,0 +1,31 @@
+(** Interrupt controller.
+
+    Hardware (the IMU) raises a line; the simulated CPU notices pending
+    lines between events and dispatches the registered handler. Lower line
+    numbers have higher priority, matching the Excalibur's vectored
+    controller. Handlers run in interrupt context — they must not sleep. *)
+
+type t
+
+val create : ?lines:int -> unit -> t
+(** [lines] defaults to 8. *)
+
+val register : t -> line:int -> name:string -> (unit -> unit) -> unit
+(** Installs a handler. Raises [Invalid_argument] if the line is out of
+    range or already claimed. *)
+
+val raise_line : t -> line:int -> unit
+(** Marks the line pending. Idempotent while pending (level-triggered). *)
+
+val any_pending : t -> bool
+
+val dispatch_one : t -> bool
+(** Services the highest-priority pending line: clears it and runs its
+    handler. Returns [false] if nothing was pending. A pending line without
+    a handler raises [Failure] — that is a system integration bug. *)
+
+val dispatch_all : t -> int
+(** Services until nothing is pending; returns the number serviced. *)
+
+val raised_total : t -> int
+(** Total interrupts raised since creation. *)

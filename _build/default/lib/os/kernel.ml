@@ -1,0 +1,56 @@
+type t = {
+  engine : Rvi_sim.Engine.t;
+  cost : Cost_model.t;
+  acct : Accounting.t;
+  irq : Irq.t;
+  sched : Sched.t;
+  sdram : Rvi_mem.Sdram.t;
+  syscalls : Syscall.t;
+  stats : Rvi_sim.Stats.t;
+}
+
+let create ~engine ~cost ?(sdram_bytes = 64 * 1024 * 1024) () =
+  {
+    engine;
+    cost;
+    acct = Accounting.create ();
+    irq = Irq.create ();
+    sched = Sched.create ();
+    sdram = Rvi_mem.Sdram.create ~size:sdram_bytes;
+    syscalls = Syscall.create ();
+    stats = Rvi_sim.Stats.create ();
+  }
+
+let engine t = t.engine
+let cost t = t.cost
+let accounting t = t.acct
+let irq t = t.irq
+let sched t = t.sched
+let sdram t = t.sdram
+let syscalls t = t.syscalls
+let stats t = t.stats
+let now t = Rvi_sim.Engine.now t.engine
+
+let charge_time t cat d =
+  Accounting.add t.acct cat d;
+  Rvi_sim.Engine.advance t.engine d
+
+let charge t cat ~cycles =
+  charge_time t cat (Cost_model.time_of_cycles t.cost cycles)
+
+let syscall t ~number args =
+  Rvi_sim.Stats.incr t.stats "syscalls";
+  charge t Accounting.Sw_os ~cycles:t.cost.Cost_model.syscall_entry;
+  let r = Syscall.dispatch t.syscalls ~number args in
+  charge t Accounting.Sw_os ~cycles:t.cost.Cost_model.syscall_exit;
+  r
+
+let service_interrupts t =
+  let serviced = ref 0 in
+  while Irq.any_pending t.irq do
+    charge t Accounting.Sw_imu ~cycles:t.cost.Cost_model.irq_entry;
+    if Irq.dispatch_one t.irq then incr serviced;
+    charge t Accounting.Sw_imu ~cycles:t.cost.Cost_model.irq_exit
+  done;
+  if !serviced > 0 then Rvi_sim.Stats.incr t.stats ~by:!serviced "interrupts";
+  !serviced

@@ -1,0 +1,46 @@
+(** The simulated operating-system kernel.
+
+    Glues together the engine (time), the cost model (how long software
+    takes), the ledger (where that time is attributed), the interrupt
+    controller, the scheduler and the system-call table. Kernel modules —
+    the VIM — register interrupt handlers and syscalls against it.
+
+    Charging a cost runs the engine forward, so hardware clock domains keep
+    ticking underneath kernel activity: while the OS services a page fault,
+    the stalled IMU keeps sampling its inputs, exactly like on the board. *)
+
+type t
+
+val create :
+  engine:Rvi_sim.Engine.t ->
+  cost:Cost_model.t ->
+  ?sdram_bytes:int ->
+  unit ->
+  t
+(** [sdram_bytes] defaults to 64 MB, the paper's board memory. *)
+
+val engine : t -> Rvi_sim.Engine.t
+val cost : t -> Cost_model.t
+val accounting : t -> Accounting.t
+val irq : t -> Irq.t
+val sched : t -> Sched.t
+val sdram : t -> Rvi_mem.Sdram.t
+val syscalls : t -> Syscall.t
+val stats : t -> Rvi_sim.Stats.t
+
+val now : t -> Rvi_sim.Simtime.t
+
+val charge : t -> Accounting.category -> cycles:int -> unit
+(** Attributes [cycles] of CPU work to the category and consumes the
+    corresponding simulated time (hardware events inside the span run). *)
+
+val charge_time : t -> Accounting.category -> Rvi_sim.Simtime.t -> unit
+
+val syscall : t -> number:int -> int array -> Syscall.result
+(** Full syscall path: charges entry cost, dispatches, charges exit cost.
+    Entry/exit overhead is attributed to [Sw_os]. *)
+
+val service_interrupts : t -> int
+(** Dispatches every pending interrupt, charging entry/exit costs to
+    [Sw_imu] (the only interrupt source in this system is the IMU). Returns
+    the number serviced. *)

@@ -1,0 +1,36 @@
+type state = Ready | Running | Sleeping | Exited
+
+let state_name = function
+  | Ready -> "ready"
+  | Running -> "running"
+  | Sleeping -> "sleeping"
+  | Exited -> "exited"
+
+type t = {
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable wakeups : int;
+}
+
+let make ~pid ~name = { pid; name; state = Ready; wakeups = 0 }
+
+let legal from into =
+  match (from, into) with
+  | Ready, Running | Running, Ready -> true
+  | Running, Sleeping | Running, Exited -> true
+  | Sleeping, Ready -> true
+  | Exited, _ -> false
+  | Ready, (Sleeping | Exited) -> false
+  | Sleeping, (Running | Sleeping | Exited) -> false
+  | Running, Running | Ready, Ready -> true
+
+let set_state t into =
+  if not (legal t.state into) then
+    invalid_arg
+      (Printf.sprintf "Proc.set_state: %s: illegal %s -> %s" t.name
+         (state_name t.state) (state_name into));
+  if t.state = Sleeping && into = Ready then t.wakeups <- t.wakeups + 1;
+  t.state <- into
+
+let pp ppf t = Format.fprintf ppf "[%d] %s (%s)" t.pid t.name (state_name t.state)

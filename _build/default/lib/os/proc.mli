@@ -1,0 +1,26 @@
+(** Simulated processes.
+
+    [FPGA_EXECUTE] "puts the calling process in an interruptible sleep
+    mode"; the process table and states exist so that the syscall layer can
+    model that honestly (and so the scheduler ablations can run competing
+    processes). *)
+
+type state = Ready | Running | Sleeping | Exited
+
+val state_name : state -> string
+
+type t = private {
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable wakeups : int;  (** times this process was woken from sleep *)
+}
+
+val make : pid:int -> name:string -> t
+(** A fresh process in state [Ready]. *)
+
+val set_state : t -> state -> unit
+(** Enforces legal transitions; raises [Invalid_argument] on, e.g.,
+    waking an [Exited] process. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = {
+  idle : Proc.t;
+  mutable procs : Proc.t list; (* excluding idle, creation order *)
+  mutable cur : Proc.t;
+  mutable next_pid : int;
+  mutable switches : int;
+  mutable cursor : int; (* round-robin position in [procs] *)
+}
+
+let create () =
+  let idle = Proc.make ~pid:0 ~name:"idle" in
+  Proc.set_state idle Proc.Running;
+  { idle; procs = []; cur = idle; next_pid = 1; switches = 0; cursor = 0 }
+
+let spawn t ~name =
+  let p = Proc.make ~pid:t.next_pid ~name in
+  t.next_pid <- t.next_pid + 1;
+  t.procs <- t.procs @ [ p ];
+  p
+
+let current t = t.cur
+
+let find t ~pid =
+  if pid = 0 then Some t.idle
+  else List.find_opt (fun p -> p.Proc.pid = pid) t.procs
+
+let pick_ready t =
+  let n = List.length t.procs in
+  if n = 0 then None
+  else begin
+    let arr = Array.of_list t.procs in
+    let rec go i =
+      if i >= n then None
+      else
+        let p = arr.((t.cursor + i) mod n) in
+        if p.Proc.state = Proc.Ready then begin
+          t.cursor <- (t.cursor + i + 1) mod n;
+          Some p
+        end
+        else go (i + 1)
+    in
+    go 0
+  end
+
+let switch_to t p =
+  if p != t.cur then begin
+    if t.cur.Proc.state = Proc.Running then Proc.set_state t.cur Proc.Ready;
+    if p.Proc.state = Proc.Ready then Proc.set_state p Proc.Running;
+    t.cur <- p;
+    t.switches <- t.switches + 1
+  end
+
+let schedule t =
+  (match pick_ready t with
+  | Some p -> switch_to t p
+  | None ->
+    if t.cur.Proc.state <> Proc.Running then begin
+      if t.idle.Proc.state = Proc.Ready then Proc.set_state t.idle Proc.Running;
+      if t.idle != t.cur then t.switches <- t.switches + 1;
+      t.cur <- t.idle
+    end);
+  t.cur
+
+let sleep_current t =
+  if t.cur == t.idle then invalid_arg "Sched.sleep_current: idle task cannot sleep";
+  Proc.set_state t.cur Proc.Sleeping;
+  ignore (schedule t)
+
+let wake t ~pid =
+  match find t ~pid with
+  | Some p when p.Proc.state = Proc.Sleeping -> Proc.set_state p Proc.Ready
+  | Some _ | None -> ()
+
+let exit_current t =
+  if t.cur == t.idle then invalid_arg "Sched.exit_current: idle task cannot exit";
+  Proc.set_state t.cur Proc.Exited;
+  ignore (schedule t)
+
+let context_switches t = t.switches
+let processes t = t.idle :: t.procs

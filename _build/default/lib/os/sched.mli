@@ -1,0 +1,38 @@
+(** Round-robin scheduler over the process table.
+
+    Minimal but real: a run queue, a current process, sleep/wake
+    transitions. During a coprocessor run the caller sleeps and — unless an
+    overlap workload is registered — the idle task runs, exactly as on the
+    paper's single-application Linux setup. *)
+
+type t
+
+val create : unit -> t
+(** Contains only the idle task (pid 0). *)
+
+val spawn : t -> name:string -> Proc.t
+(** Allocates a pid and enqueues a new [Ready] process. *)
+
+val current : t -> Proc.t
+(** The running process (the idle task if nothing else is runnable). *)
+
+val find : t -> pid:int -> Proc.t option
+
+val schedule : t -> Proc.t
+(** Picks the next [Ready] process round-robin, makes it [Running] (moving
+    the previous one back to [Ready] if it was running) and returns it.
+    Returns the idle task when the run queue is empty. *)
+
+val sleep_current : t -> unit
+(** Puts the current process to sleep and schedules another. The idle task
+    cannot sleep. *)
+
+val wake : t -> pid:int -> unit
+(** Makes a sleeping process [Ready]. No-op if it is not sleeping. *)
+
+val exit_current : t -> unit
+
+val context_switches : t -> int
+
+val processes : t -> Proc.t list
+(** All processes, idle task first. *)

@@ -1,0 +1,63 @@
+type result = int
+
+type errno = ENOSYS | EINVAL | EBUSY | ENOMEM | ENOSPC | EFAULT | EIO
+
+let errno_code = function
+  | ENOSYS -> 38
+  | EINVAL -> 22
+  | EBUSY -> 16
+  | ENOMEM -> 12
+  | ENOSPC -> 28
+  | EFAULT -> 14
+  | EIO -> 5
+
+let errno_of_code = function
+  | 38 -> Some ENOSYS
+  | 22 -> Some EINVAL
+  | 16 -> Some EBUSY
+  | 12 -> Some ENOMEM
+  | 28 -> Some ENOSPC
+  | 14 -> Some EFAULT
+  | 5 -> Some EIO
+  | _ -> None
+
+let errno_name = function
+  | ENOSYS -> "ENOSYS"
+  | EINVAL -> "EINVAL"
+  | EBUSY -> "EBUSY"
+  | ENOMEM -> "ENOMEM"
+  | ENOSPC -> "ENOSPC"
+  | EFAULT -> "EFAULT"
+  | EIO -> "EIO"
+
+let err e = -errno_code e
+
+let fpga_load = 3200
+let fpga_map_object = 3201
+let fpga_execute = 3202
+let fpga_unload = 3203
+
+type entry = { name : string; handler : int array -> result; mutable calls : int }
+
+type t = { table : (int, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 8 }
+
+let register t ~number ~name handler =
+  if Hashtbl.mem t.table number then
+    invalid_arg (Printf.sprintf "Syscall.register: number %d already bound" number);
+  Hashtbl.add t.table number { name; handler; calls = 0 }
+
+let name_of t ~number =
+  Option.map (fun e -> e.name) (Hashtbl.find_opt t.table number)
+
+let dispatch t ~number args =
+  match Hashtbl.find_opt t.table number with
+  | None -> err ENOSYS
+  | Some e ->
+    e.calls <- e.calls + 1;
+    e.handler args
+
+let invocations t =
+  Hashtbl.fold (fun _ e acc -> (e.name, e.calls) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,41 @@
+(** System-call table.
+
+    The virtualisation layer adds three services — [FPGA_LOAD],
+    [FPGA_MAP_OBJECT] and [FPGA_EXECUTE] — registered here by the VIM
+    module. Numbers mirror a real syscall table: dense small integers,
+    dispatch by index, integer arguments and result (negative = errno). *)
+
+type result = int
+(** Non-negative on success; a negated {!errno} on failure. *)
+
+type errno = ENOSYS | EINVAL | EBUSY | ENOMEM | ENOSPC | EFAULT | EIO
+
+val errno_code : errno -> int
+(** Positive code (e.g. [EINVAL] = 22, matching Linux). *)
+
+val errno_of_code : int -> errno option
+val errno_name : errno -> string
+
+val err : errno -> result
+(** [err e] is [- errno_code e]. *)
+
+val fpga_load : int
+val fpga_map_object : int
+val fpga_execute : int
+val fpga_unload : int
+(** The four service numbers (3200..3203, an unused range). *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> number:int -> name:string -> (int array -> result) -> unit
+(** Raises [Invalid_argument] if the number is already bound. *)
+
+val name_of : t -> number:int -> string option
+
+val dispatch : t -> number:int -> int array -> result
+(** Runs the handler; unknown numbers return [-ENOSYS]. *)
+
+val invocations : t -> (string * int) list
+(** Per-syscall invocation counts. *)

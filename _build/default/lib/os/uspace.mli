@@ -1,0 +1,29 @@
+(** User-space buffers.
+
+    Applications allocate their vectors here — addresses in the simulated
+    SDRAM — and pass them to [FPGA_MAP_OBJECT] exactly like a C program
+    passes heap pointers. The software baselines operate on the same
+    buffers, so VIM-based and pure-software runs are compared on identical
+    data. *)
+
+type buf = private { addr : int; size : int }
+
+val alloc : Kernel.t -> int -> buf
+(** Word-aligned allocation of the given size in bytes. *)
+
+val of_bytes : Kernel.t -> Bytes.t -> buf
+(** Allocates and initialises a buffer with a copy of the data. *)
+
+val write : Kernel.t -> buf -> Bytes.t -> unit
+(** Overwrites the buffer. Raises [Invalid_argument] on size mismatch. *)
+
+val read : Kernel.t -> buf -> Bytes.t
+(** Snapshot of the buffer contents. *)
+
+val sub : buf -> pos:int -> len:int -> buf
+(** A view of a slice of the buffer (no copy; same address space). *)
+
+val view : Kernel.t -> addr:int -> size:int -> buf
+(** Reconstructs a buffer descriptor from a raw address/size pair, as the
+    kernel does when a syscall passes a user pointer. Raises
+    [Invalid_argument] if the range is outside the SDRAM. *)

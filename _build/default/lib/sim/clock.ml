@@ -1,0 +1,78 @@
+type component = {
+  name : string;
+  compute : unit -> unit;
+  commit : unit -> unit;
+}
+
+let component ~name ~compute ~commit = { name; compute; commit }
+
+type slot = { comp : component; divide : int; phase : int }
+
+type t = {
+  engine : Engine.t;
+  clk_name : string;
+  freq_hz : int;
+  period : Simtime.t;
+  mutable slots : slot list; (* in registration order *)
+  mutable observers : (int -> unit) list; (* in registration order *)
+  mutable cycles : int;
+  mutable running : bool;
+  mutable generation : int; (* invalidates edges scheduled before a stop *)
+}
+
+let create engine ~name ~freq_hz =
+  {
+    engine;
+    clk_name = name;
+    freq_hz;
+    period = Simtime.period_of_hz freq_hz;
+    slots = [];
+    observers = [];
+    cycles = 0;
+    running = false;
+    generation = 0;
+  }
+
+let add ?(divide = 1) ?(phase = 0) t comp =
+  if divide < 1 then invalid_arg "Clock.add: divide < 1";
+  if phase < 0 || phase >= divide then invalid_arg "Clock.add: bad phase";
+  t.slots <- t.slots @ [ { comp; divide; phase } ]
+
+let on_edge t f = t.observers <- t.observers @ [ f ]
+
+let enabled t slot = t.cycles mod slot.divide = slot.phase
+
+let edge t =
+  let active = List.filter (enabled t) t.slots in
+  List.iter (fun s -> s.comp.compute ()) active;
+  List.iter (fun s -> s.comp.commit ()) active;
+  let cycle = t.cycles in
+  t.cycles <- t.cycles + 1;
+  List.iter (fun f -> f cycle) t.observers
+
+let rec schedule_edge t =
+  let gen = t.generation in
+  Engine.schedule_after t.engine t.period (fun () ->
+      if t.running && gen = t.generation then begin
+        edge t;
+        schedule_edge t
+      end)
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    t.generation <- t.generation + 1;
+    schedule_edge t
+  end
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    t.generation <- t.generation + 1
+  end
+
+let running t = t.running
+let cycles t = t.cycles
+let freq_hz t = t.freq_hz
+let period t = t.period
+let name t = t.clk_name

@@ -1,0 +1,48 @@
+(** Clock domains driving synchronous components.
+
+    A clock fires a rising edge every period. On each edge, every registered
+    component first has its [compute] function called (it reads the values
+    that other components committed on previous edges and decides its next
+    state) and then its [commit] function (it publishes the new state). The
+    two-phase discipline gives register-transfer semantics: all components
+    observe a consistent pre-edge snapshot regardless of registration order.
+
+    A component registered with [~divide:n] only ticks on edges where
+    [cycle mod n = phase]; this models a slower derived clock, e.g. the
+    paper's 6 MHz IDEA core deriving from the 24 MHz memory clock. *)
+
+type component = {
+  name : string;
+  compute : unit -> unit;
+  commit : unit -> unit;
+}
+
+val component :
+  name:string -> compute:(unit -> unit) -> commit:(unit -> unit) -> component
+
+type t
+
+val create : Engine.t -> name:string -> freq_hz:int -> t
+(** Creates a stopped clock attached to [engine]. *)
+
+val add : ?divide:int -> ?phase:int -> t -> component -> unit
+(** Registers a component. [divide] defaults to 1 (every edge); [phase]
+    defaults to 0 and must satisfy [0 <= phase < divide]. *)
+
+val on_edge : t -> (int -> unit) -> unit
+(** Registers an observer called after all commits on each edge with the
+    just-completed cycle index. Used by waveform tracers. *)
+
+val start : t -> unit
+(** Starts the clock: the first edge fires one period from now. Idempotent. *)
+
+val stop : t -> unit
+(** Stops the clock after the current edge, if any. Idempotent. *)
+
+val running : t -> bool
+val cycles : t -> int
+(** Number of edges fired since creation. *)
+
+val freq_hz : t -> int
+val period : t -> Simtime.t
+val name : t -> string

@@ -1,0 +1,50 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable now : Simtime.t;
+  mutable events_processed : int;
+}
+
+exception Stalled
+
+let create () =
+  { queue = Event_queue.create (); now = Simtime.zero; events_processed = 0 }
+
+let now t = t.now
+
+let schedule_at t time f =
+  if Simtime.(time < t.now) then
+    invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time f
+
+let schedule_after t delay f = schedule_at t (Simtime.add t.now delay) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    t.events_processed <- t.events_processed + 1;
+    f ();
+    true
+
+let run_until t deadline =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when Simtime.(time <= deadline) ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Simtime.(t.now < deadline) then t.now <- deadline
+
+let advance t dt = run_until t (Simtime.add t.now dt)
+
+let run_while t cond =
+  let rec loop () =
+    if cond () then
+      if step t then loop () else raise Stalled
+  in
+  loop ()
+
+let events_processed t = t.events_processed

@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the global simulated clock and an event queue. Hardware
+    clock domains ({!Clock}) schedule their edges here; the simulated
+    operating system consumes software time by running the engine forward
+    with {!advance}. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Simtime.t
+(** Current simulated time. *)
+
+val schedule_at : t -> Simtime.t -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] when simulated time reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> Simtime.t -> (unit -> unit) -> unit
+(** [schedule_after t delay f] is [schedule_at t (now t + delay) f]. *)
+
+val step : t -> bool
+(** Executes the earliest pending event. Returns [false] (and does nothing)
+    if no event is pending. *)
+
+val run_until : t -> Simtime.t -> unit
+(** Executes every event scheduled strictly before or at the given time,
+    then sets the clock to exactly that time. *)
+
+val advance : t -> Simtime.t -> unit
+(** [advance t dt] is [run_until t (now t + dt)]: consumes [dt] of simulated
+    time, executing any hardware events that fall inside the span. This is
+    how software execution cost is charged to the timeline. *)
+
+val run_while : t -> (unit -> bool) -> unit
+(** [run_while t cond] steps the engine as long as [cond ()] is [true] and
+    events remain. Raises [Stalled] if the queue drains while [cond] still
+    holds — that means the simulated hardware deadlocked. *)
+
+exception Stalled
+(** Raised by {!run_while} when no event can make further progress. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far (for engine benchmarks). *)

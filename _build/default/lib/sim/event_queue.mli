@@ -1,0 +1,24 @@
+(** Priority queue of timestamped events.
+
+    A classic array-backed binary min-heap. Events carry an insertion
+    sequence number so that two events scheduled for the same instant pop in
+    insertion order, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:Simtime.t -> 'a -> unit
+(** [push q ~time x] inserts [x] with priority [time]. *)
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Removes and returns the event with the smallest time (ties broken by
+    insertion order), or [None] if the queue is empty. *)
+
+val peek_time : 'a t -> Simtime.t option
+(** The time of the next event without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulator must be reproducible run to run, so every stochastic
+    choice (random replacement policy, workload generation) draws from an
+    explicitly seeded generator rather than the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int
+(** A uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val byte : t -> int
+(** Uniform in [0, 255]. *)
+
+val bool : t -> bool
+
+val fill_bytes : t -> Bytes.t -> unit
+(** Overwrites the whole buffer with pseudo-random bytes. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream. *)

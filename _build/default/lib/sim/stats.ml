@@ -1,0 +1,52 @@
+type acc = {
+  mutable count : int;
+  mutable min : float;
+  mutable max : float;
+  mutable sum : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  summaries : (string, acc) Hashtbl.t;
+}
+
+type summary = { count : int; min : float; max : float; mean : float }
+
+let create () = { counters = Hashtbl.create 16; summaries = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name x =
+  match Hashtbl.find_opt t.summaries name with
+  | Some a ->
+    a.count <- a.count + 1;
+    a.min <- Float.min a.min x;
+    a.max <- Float.max a.max x;
+    a.sum <- a.sum +. x
+  | None -> Hashtbl.add t.summaries name { count = 1; min = x; max = x; sum = x }
+
+let summary t name =
+  match Hashtbl.find_opt t.summaries name with
+  | None -> None
+  | Some a ->
+    Some { count = a.count; min = a.min; max = a.max; mean = a.sum /. float_of_int a.count }
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.summaries
+
+let pp ppf t =
+  let items = counters t in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@," k v) items;
+  Format.fprintf ppf "@]"

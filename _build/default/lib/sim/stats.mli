@@ -1,0 +1,28 @@
+(** Named event counters and running scalar summaries.
+
+    Lightweight instrumentation shared by every simulated component:
+    a table of integer counters plus streaming min/max/mean summaries. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Increments counter [name] (created at 0 on first use). *)
+
+val get : t -> string -> int
+(** Current value of a counter, 0 if never incremented. *)
+
+val observe : t -> string -> float -> unit
+(** Feeds a sample into the named scalar summary. *)
+
+type summary = { count : int; min : float; max : float; mean : float }
+
+val summary : t -> string -> summary option
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_coproc.ml: Alcotest Array Bytes Char Gen List QCheck QCheck_alcotest Rvi_coproc Rvi_core Rvi_harness Rvi_mem Rvi_os Rvi_sim String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Rvi_coproc Rvi_core Rvi_fpga Rvi_harness Rvi_hw Rvi_mem Rvi_os Rvi_sim String

@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest List Rvi_fpga Rvi_mem String

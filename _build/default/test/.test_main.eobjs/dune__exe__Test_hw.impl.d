@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Format List QCheck QCheck_alcotest Rvi_hw String

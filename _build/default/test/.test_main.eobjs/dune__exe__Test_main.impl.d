@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_coproc Test_core Test_fpga Test_harness Test_hw Test_mem Test_os Test_rtl Test_sim Test_vim

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char QCheck QCheck_alcotest Rvi_mem Rvi_sim

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Bytes List Rvi_os Rvi_sim

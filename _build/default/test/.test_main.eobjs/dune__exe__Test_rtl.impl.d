@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Bytes List Printf QCheck QCheck_alcotest Rvi_coproc Rvi_core Rvi_fpga Rvi_harness Rvi_mem Rvi_sim Test_vim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Format List QCheck QCheck_alcotest Rvi_hw Rvi_sim

@@ -1,0 +1,1 @@
+test/test_vim.ml: Alcotest Array Bytes Char List Option QCheck QCheck_alcotest Queue Rvi_coproc Rvi_core Rvi_fpga Rvi_harness Rvi_mem Rvi_os Rvi_sim

@@ -1,0 +1,831 @@
+(* Unit and cycle-level tests for the paper's core contribution (rvi_core):
+   registers, TLB, frame table, policies, prefetcher, and the IMU state
+   machine driven edge by edge. *)
+
+module Simtime = Rvi_sim.Simtime
+module Engine = Rvi_sim.Engine
+module Clock = Rvi_sim.Clock
+module Cp_port = Rvi_core.Cp_port
+module Imu_regs = Rvi_core.Imu_regs
+module Tlb = Rvi_core.Tlb
+module Imu = Rvi_core.Imu
+module Frame_table = Rvi_core.Frame_table
+module Policy = Rvi_core.Policy
+module Prefetch = Rvi_core.Prefetch
+module Mapped_object = Rvi_core.Mapped_object
+module Vport = Rvi_coproc.Vport
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Imu_regs} *)
+
+let test_ar_encoding () =
+  let ar = Imu_regs.ar_encode ~obj_id:0xAB ~addr:0x123456 in
+  checki "obj" 0xAB (Imu_regs.ar_obj ar);
+  checki "addr" 0x123456 (Imu_regs.ar_addr ar);
+  Alcotest.check_raises "obj range"
+    (Invalid_argument "Imu_regs.ar_encode: bad object id") (fun () ->
+      ignore (Imu_regs.ar_encode ~obj_id:256 ~addr:0))
+
+let prop_ar_roundtrip =
+  QCheck.Test.make ~name:"AR encode/decode roundtrip" ~count:300
+    QCheck.(pair (int_bound 255) (int_bound 0xFF_FFFF))
+    (fun (obj_id, addr) ->
+      let ar = Imu_regs.ar_encode ~obj_id ~addr in
+      Imu_regs.ar_obj ar = obj_id && Imu_regs.ar_addr ar = addr)
+
+let test_sr_bits () =
+  let sr = Imu_regs.sr_encode ~fault:true ~fin:false ~busy:true ~params_done:false in
+  checkb "fault" true (Imu_regs.test sr Imu_regs.sr_fault);
+  checkb "fin" false (Imu_regs.test sr Imu_regs.sr_fin);
+  checkb "busy" true (Imu_regs.test sr Imu_regs.sr_busy);
+  checkb "params" false (Imu_regs.test sr Imu_regs.sr_params_done)
+
+(* {1 Tlb} *)
+
+let test_tlb_basic () =
+  let tlb = Tlb.create ~entries:4 () in
+  checki "entries" 4 (Tlb.entries tlb);
+  checkb "initially empty" true (Tlb.lookup tlb ~obj_id:0 ~vpn:0 = Tlb.Miss);
+  Tlb.insert tlb ~slot:1 ~obj_id:3 ~vpn:7 ~ppn:5;
+  (match Tlb.lookup tlb ~obj_id:3 ~vpn:7 with
+  | Tlb.Hit 1 -> ()
+  | Tlb.Hit _ | Tlb.Miss -> Alcotest.fail "lookup miss");
+  checkb "ppn reverse lookup" true (Tlb.slot_of_ppn tlb ~ppn:5 = Some 1);
+  checkb "free slot exists" true (Tlb.free_slot tlb = Some 0);
+  checki "valid count" 1 (Tlb.valid_count tlb)
+
+let test_tlb_translate_metadata () =
+  let tlb = Tlb.create ~entries:2 () in
+  Tlb.insert tlb ~slot:0 ~obj_id:1 ~vpn:2 ~ppn:3;
+  let e = Tlb.get tlb ~slot:0 in
+  checkb "clean after insert" true ((not e.Tlb.dirty) && not e.Tlb.referenced);
+  checkb "read hit" true (Tlb.translate tlb ~obj_id:1 ~vpn:2 ~stamp:11 ~wr:false = Some 3);
+  checkb "referenced set, clean kept" true (e.Tlb.referenced && not e.Tlb.dirty);
+  checki "stamp" 11 e.Tlb.last_access;
+  checkb "write hit" true (Tlb.translate tlb ~obj_id:1 ~vpn:2 ~stamp:12 ~wr:true = Some 3);
+  checkb "dirty after write" true e.Tlb.dirty;
+  checkb "miss" true (Tlb.translate tlb ~obj_id:1 ~vpn:9 ~stamp:13 ~wr:false = None);
+  checki "hit count" 2 (Rvi_sim.Stats.get (Tlb.stats tlb) "hits");
+  checki "miss count" 1 (Rvi_sim.Stats.get (Tlb.stats tlb) "misses");
+  Tlb.clear_referenced tlb ~slot:0;
+  checkb "ref cleared" true (not e.Tlb.referenced)
+
+let test_tlb_invalidate () =
+  let tlb = Tlb.create ~entries:3 () in
+  Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0;
+  Tlb.insert tlb ~slot:1 ~obj_id:0 ~vpn:1 ~ppn:1;
+  Tlb.invalidate tlb ~slot:0;
+  checkb "gone" true (Tlb.lookup tlb ~obj_id:0 ~vpn:0 = Tlb.Miss);
+  Tlb.invalidate_all tlb;
+  checki "all invalid" 0 (Tlb.valid_count tlb);
+  checki "invalidations counted" 2
+    (Rvi_sim.Stats.get (Tlb.stats tlb) "invalidations")
+
+let prop_tlb_dirty_only_on_write =
+  QCheck.Test.make ~name:"tlb dirty bit set exactly by writes" ~count:200
+    QCheck.(list bool)
+    (fun writes ->
+      let tlb = Tlb.create ~entries:1 () in
+      Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0;
+      List.iteri
+        (fun i wr -> ignore (Tlb.translate tlb ~obj_id:0 ~vpn:0 ~stamp:i ~wr))
+        writes;
+      (Tlb.get tlb ~slot:0).Tlb.dirty = List.exists (fun w -> w) writes)
+
+(* {1 Frame_table} *)
+
+let test_frame_table () =
+  let ft = Frame_table.create ~frames:4 in
+  checki "frames" 4 (Frame_table.frames ft);
+  checkb "all free" true (Frame_table.free_frame ft = Some 0);
+  Frame_table.set_param ft ~frame:0;
+  checkb "param tracked" true (Frame_table.param_frame ft = Some 0);
+  Frame_table.hold ft ~frame:1 ~obj_id:5 ~vpn:2 ~loaded_at:100;
+  checkb "find" true (Frame_table.find ft ~obj_id:5 ~vpn:2 = Some 1);
+  checki "held" 1 (Frame_table.held_count ft);
+  checkb "resident" true (Frame_table.resident ft = [ (1, 5, 2) ]);
+  Alcotest.check_raises "double hold"
+    (Invalid_argument "Frame_table.hold: frame not free") (fun () ->
+      Frame_table.hold ft ~frame:1 ~obj_id:0 ~vpn:0 ~loaded_at:0);
+  Alcotest.check_raises "duplicate pair"
+    (Invalid_argument "Frame_table.hold: object 5 page 2 already in frame 1")
+    (fun () -> Frame_table.hold ft ~frame:2 ~obj_id:5 ~vpn:2 ~loaded_at:0);
+  Frame_table.release ft ~frame:1;
+  checkb "released" true (Frame_table.find ft ~obj_id:5 ~vpn:2 = None);
+  Frame_table.release_all ft;
+  checkb "param cleared too" true (Frame_table.param_frame ft = None)
+
+let prop_frame_conservation =
+  QCheck.Test.make ~name:"frame table conserves holds minus releases"
+    ~count:200
+    QCheck.(list (pair (int_bound 7) bool))
+    (fun ops ->
+      let ft = Frame_table.create ~frames:8 in
+      let model = Array.make 8 false in
+      List.iteri
+        (fun i (frame, hold) ->
+          if hold then begin
+            if not model.(frame) then begin
+              (* unique (obj, vpn) per op index *)
+              Frame_table.hold ft ~frame ~obj_id:(i mod 200) ~vpn:i ~loaded_at:i;
+              model.(frame) <- true
+            end
+          end
+          else begin
+            Frame_table.release ft ~frame;
+            model.(frame) <- false
+          end)
+        ops;
+      Frame_table.held_count ft
+      = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 model)
+
+(* {1 Policy} *)
+
+let cand ~frame ~loaded_at ~last_access ~referenced ~dirty =
+  { Policy.frame; page = (0, frame); loaded_at; last_access; referenced; dirty }
+
+let test_policy_fifo () =
+  let p = Policy.fifo () in
+  let cands =
+    [|
+      cand ~frame:0 ~loaded_at:30 ~last_access:1 ~referenced:true ~dirty:false;
+      cand ~frame:1 ~loaded_at:10 ~last_access:99 ~referenced:true ~dirty:true;
+      cand ~frame:2 ~loaded_at:20 ~last_access:5 ~referenced:false ~dirty:false;
+    |]
+  in
+  checki "oldest load wins" 1 (Policy.choose p ~clear_ref:ignore cands)
+
+let test_policy_lru () =
+  let p = Policy.lru () in
+  let cands =
+    [|
+      cand ~frame:0 ~loaded_at:1 ~last_access:50 ~referenced:false ~dirty:false;
+      cand ~frame:1 ~loaded_at:2 ~last_access:40 ~referenced:false ~dirty:false;
+      cand ~frame:2 ~loaded_at:3 ~last_access:60 ~referenced:false ~dirty:false;
+    |]
+  in
+  checki "least recently used wins" 1 (Policy.choose p ~clear_ref:ignore cands);
+  (* A page never touched since load falls back to its load stamp. *)
+  let cands2 =
+    [|
+      cand ~frame:0 ~loaded_at:70 ~last_access:0 ~referenced:false ~dirty:false;
+      cand ~frame:1 ~loaded_at:2 ~last_access:40 ~referenced:false ~dirty:false;
+    |]
+  in
+  checki "untouched page uses load stamp" 1 (Policy.choose p ~clear_ref:ignore cands2)
+
+let test_policy_random_deterministic () =
+  let cands =
+    Array.init 6 (fun frame ->
+        cand ~frame ~loaded_at:frame ~last_access:frame ~referenced:false
+          ~dirty:false)
+  in
+  let run seed =
+    let p = Policy.random ~seed in
+    List.init 10 (fun _ -> Policy.choose p ~clear_ref:ignore cands)
+  in
+  Alcotest.(check (list int)) "same seed, same picks" (run 7) (run 7);
+  checkb "in range" true (List.for_all (fun f -> f >= 0 && f < 6) (run 11))
+
+let test_policy_second_chance () =
+  let p = Policy.second_chance () in
+  let cleared = ref [] in
+  let cands =
+    [|
+      cand ~frame:0 ~loaded_at:0 ~last_access:0 ~referenced:true ~dirty:false;
+      cand ~frame:1 ~loaded_at:0 ~last_access:0 ~referenced:false ~dirty:false;
+    |]
+  in
+  let victim =
+    Policy.choose p ~clear_ref:(fun f -> cleared := f :: !cleared) cands
+  in
+  checki "skips referenced" 1 victim;
+  Alcotest.(check (list int)) "stripped the skipped frame" [ 0 ] !cleared;
+  (* All referenced: one full revolution clears, then the scan start wins. *)
+  let p2 = Policy.second_chance () in
+  let all_ref =
+    Array.init 3 (fun frame ->
+        cand ~frame ~loaded_at:0 ~last_access:0 ~referenced:true ~dirty:false)
+  in
+  let v2 = Policy.choose p2 ~clear_ref:ignore all_ref in
+  checkb "picks something" true (v2 >= 0 && v2 < 3)
+
+let test_policy_names () =
+  checkb "all named" true
+    (List.for_all
+       (fun n -> Policy.of_name n <> None)
+       Policy.all_names);
+  checkb "unknown" true (Policy.of_name "belady" = None);
+  Alcotest.check_raises "empty candidates"
+    (Invalid_argument "Policy.choose: no candidates") (fun () ->
+      ignore (Policy.choose (Policy.fifo ()) ~clear_ref:ignore [||]))
+
+let prop_policy_victim_valid =
+  QCheck.Test.make ~name:"every policy picks one of the candidates" ~count:200
+    QCheck.(pair (int_bound 3) (int_range 1 8))
+    (fun (which, n) ->
+      let p =
+        match which with
+        | 0 -> Policy.fifo ()
+        | 1 -> Policy.lru ()
+        | 2 -> Policy.random ~seed:n
+        | _ -> Policy.second_chance ()
+      in
+      let cands =
+        Array.init n (fun frame ->
+            cand ~frame:(frame * 2) ~loaded_at:frame
+              ~last_access:(n - frame) ~referenced:(frame mod 2 = 0)
+              ~dirty:false)
+      in
+      let v = Policy.choose p ~clear_ref:ignore cands in
+      Array.exists (fun c -> c.Policy.frame = v) cands)
+
+(* {1 Prefetch} *)
+
+let test_prefetch () =
+  Alcotest.(check (list int)) "off" []
+    (Prefetch.predict Prefetch.off ~stream:true ~vpn:0 ~last_vpn:9);
+  let p = Prefetch.sequential ~depth:2 in
+  Alcotest.(check (list int)) "two ahead" [ 4; 5 ]
+    (Prefetch.predict p ~stream:true ~vpn:3 ~last_vpn:9);
+  Alcotest.(check (list int)) "clipped at object end" [ 9 ]
+    (Prefetch.predict p ~stream:true ~vpn:8 ~last_vpn:9);
+  Alcotest.(check (list int)) "nothing past the end" []
+    (Prefetch.predict p ~stream:true ~vpn:9 ~last_vpn:9);
+  Alcotest.(check (list int)) "needs the stream hint" []
+    (Prefetch.predict p ~stream:false ~vpn:3 ~last_vpn:9);
+  Alcotest.check_raises "bad depth"
+    (Invalid_argument "Prefetch.sequential: depth < 1") (fun () ->
+      ignore (Prefetch.sequential ~depth:0))
+
+(* {1 Mapped_object} *)
+
+let geom = Rvi_mem.Page.geometry ~page_size:2048 ~n_pages:8
+
+let test_mapped_object () =
+  let engine = Engine.create () in
+  let kernel =
+    Rvi_os.Kernel.create ~engine
+      ~cost:(Rvi_os.Cost_model.default ~cpu_freq_hz:133_000_000)
+      ~sdram_bytes:(64 * 1024) ()
+  in
+  let buf = Rvi_os.Uspace.alloc kernel 5000 in
+  let obj = Mapped_object.make ~id:3 ~buf ~dir:Mapped_object.Inout () in
+  checki "size" 5000 (Mapped_object.size obj);
+  checki "span" 3 (Mapped_object.page_span obj geom);
+  checki "full page" 2048 (Mapped_object.bytes_on_page obj geom ~vpn:1);
+  checki "tail page" (5000 - 4096) (Mapped_object.bytes_on_page obj geom ~vpn:2);
+  checki "beyond" 0 (Mapped_object.bytes_on_page obj geom ~vpn:3);
+  checki "user offset" 4096 (Mapped_object.user_offset obj geom ~vpn:2);
+  Alcotest.check_raises "id 255 reserved"
+    (Invalid_argument "Mapped_object.make: identifier out of [0, 254]")
+    (fun () -> ignore (Mapped_object.make ~id:255 ~buf ~dir:Mapped_object.In ()))
+
+(* {1 IMU at cycle level} *)
+
+type rig = {
+  engine : Engine.t;
+  clock : Clock.t;
+  dpram : Rvi_mem.Dpram.t;
+  port : Cp_port.t;
+  imu : Imu.t;
+  vport : Vport.t;
+  irqs : int ref;
+}
+
+(* A bare IMU on a 1 MHz clock with a Vport for hand-driven accesses. *)
+let make_rig ?(config = Imu.default_config) () =
+  let engine = Engine.create () in
+  let dpram = Rvi_mem.Dpram.create geom in
+  let port = Cp_port.create () in
+  let irqs = ref 0 in
+  let imu = Imu.create ~config ~port ~dpram ~raise_irq:(fun () -> incr irqs) () in
+  let clock = Clock.create engine ~name:"c" ~freq_hz:1_000_000 in
+  let vport = Vport.create port in
+  Clock.add clock (Imu.component imu);
+  Clock.add clock (Vport.sync_component vport);
+  { engine; clock; dpram; port; imu; vport; irqs }
+
+(* Run the rig for [n] edges, calling [driver] as a coprocessor compute
+   function on each edge. *)
+let run_rig rig ~edges driver =
+  let cycle = ref 0 in
+  Clock.add rig.clock
+    (Clock.component ~name:"driver"
+       ~compute:(fun () ->
+         Vport.sample rig.vport;
+         driver !cycle;
+         incr cycle)
+       ~commit:(fun () -> Vport.commit rig.vport));
+  Clock.start rig.clock;
+  Engine.run_until rig.engine (Simtime.of_us edges);
+  Clock.stop rig.clock
+
+let test_imu_hit_latency () =
+  let rig = make_rig () in
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:4 ~vpn:0 ~ppn:2;
+  Rvi_mem.Dpram.write rig.dpram ~width:32 (2 * 2048) 0xDEAD;
+  let issued_at = ref (-1) and data_at = ref (-1) and got = ref 0 in
+  run_rig rig ~edges:20 (fun cycle ->
+      if cycle = 2 then begin
+        issued_at := cycle;
+        Vport.issue rig.vport ~region:4 ~addr:0 ~wr:false ~width:Cp_port.W32
+          ~data:0
+      end;
+      if Vport.ready rig.vport then begin
+        data_at := cycle;
+        got := Vport.data rig.vport
+      end);
+  checki "data value" 0xDEAD !got;
+  (* Pulse committed on edge 2; the IMU latches on 3, searches on 4-5 and
+     performs the access on 6 — CP_TLBHIT on the 4th edge after the request,
+     as in Figure 7. The synchroniser hands the data to the coprocessor one
+     edge later. *)
+  checki "coprocessor-visible latency" 5 (!data_at - !issued_at);
+  checki "no faults" 0 !(rig.irqs);
+  checki "one access" 1 (Rvi_sim.Stats.get (Imu.stats rig.imu) "accesses");
+  checki "one read" 1 (Rvi_sim.Stats.get (Imu.stats rig.imu) "reads")
+
+let test_imu_pipelined_latency () =
+  let rig = make_rig ~config:Imu.pipelined_config () in
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:1 ~vpn:0 ~ppn:1;
+  let issued_at = ref (-1) and data_at = ref (-1) in
+  run_rig rig ~edges:20 (fun cycle ->
+      if cycle = 2 then begin
+        issued_at := cycle;
+        Vport.issue rig.vport ~region:1 ~addr:8 ~wr:false ~width:Cp_port.W32
+          ~data:0
+      end;
+      if Vport.ready rig.vport then data_at := cycle);
+  checkb "pipelined is faster" true (!data_at - !issued_at < 4);
+  checkb "completed" true (!data_at > 0)
+
+let test_imu_write_sets_dirty () =
+  let rig = make_rig () in
+  let tlb = Imu.tlb rig.imu in
+  Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:1 ~ppn:3;
+  let done_ = ref false in
+  run_rig rig ~edges:20 (fun cycle ->
+      if cycle = 1 then
+        Vport.issue rig.vport ~region:0 ~addr:(2048 + 12) ~wr:true
+          ~width:Cp_port.W16 ~data:0xBEEF;
+      if Vport.ready rig.vport then done_ := true);
+  checkb "write completed" true !done_;
+  checki "memory updated" 0xBEEF
+    (Rvi_mem.Dpram.read rig.dpram ~width:16 ((3 * 2048) + 12));
+  checkb "dirty bit set by hardware" true (Tlb.get tlb ~slot:0).Tlb.dirty
+
+let test_imu_fault_and_resume () =
+  let rig = make_rig () in
+  let data_at = ref (-1) and got = ref 0 in
+  run_rig rig ~edges:40 (fun cycle ->
+      if cycle = 1 then
+        Vport.issue rig.vport ~region:9 ~addr:4096 ~wr:false ~width:Cp_port.W32
+          ~data:0;
+      (* Play the VIM: service the fault at cycle 15. *)
+      if cycle = 15 then begin
+        checki "exactly one interrupt" 1 !(rig.irqs);
+        checkb "fault identifies the page" true (Imu.fault rig.imu = Some (9, 2));
+        checki "AR has the virtual address"
+          (Imu_regs.ar_encode ~obj_id:9 ~addr:4096)
+          (Imu.read_ar rig.imu);
+        checkb "SR fault bit" true
+          (Imu_regs.test (Imu.read_sr rig.imu) Imu_regs.sr_fault);
+        Rvi_mem.Dpram.write rig.dpram ~width:32 (5 * 2048) 0x5A5A;
+        Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:9 ~vpn:2 ~ppn:5;
+        Imu.write_cr rig.imu Imu_regs.cr_resume
+      end;
+      if Vport.ready rig.vport then begin
+        data_at := cycle;
+        got := Vport.data rig.vport
+      end);
+  checkb "completed after resume" true (!data_at > 15);
+  checki "correct data after resume" 0x5A5A !got;
+  let stalls = Rvi_sim.Stats.get (Imu.stats rig.imu) "stall_cycles" in
+  checkb "stalled for the service window" true (stalls >= 10 && stalls <= 14)
+
+let test_imu_double_fault_detected () =
+  let rig = make_rig () in
+  let boom = ref false in
+  (try
+     run_rig rig ~edges:40 (fun cycle ->
+         if cycle = 1 then
+           Vport.issue rig.vport ~region:3 ~addr:0 ~wr:false ~width:Cp_port.W32
+             ~data:0;
+         (* Resume without installing any translation: an OS bug the
+            hardware must flag rather than loop on. *)
+         if cycle = 10 then Imu.write_cr rig.imu Imu_regs.cr_resume)
+   with Failure msg ->
+     boom := true;
+     checkb "diagnostic names the page" true (String.length msg > 0));
+  checkb "double fault detected" true !boom
+
+let test_imu_param_page_and_start () =
+  let rig = make_rig () in
+  Imu.set_param_page rig.imu (Some 0);
+  Rvi_mem.Dpram.cpu_write32 rig.dpram 0 777;
+  Imu.write_cr rig.imu Imu_regs.cr_start;
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:1;
+  let started_at = ref (-1) and param = ref (-1) and phase = ref 0 in
+  run_rig rig ~edges:40 (fun cycle ->
+      if Vport.start_seen rig.vport && !started_at < 0 then begin
+        started_at := cycle;
+        Vport.issue rig.vport ~region:Cp_port.param_obj ~addr:0 ~wr:false
+          ~width:Cp_port.W32 ~data:0;
+        phase := 1
+      end
+      else if Vport.ready rig.vport && !phase = 1 then begin
+        param := Vport.data rig.vport;
+        checkb "params not consumed during param reads" true
+          (not (Imu.params_done rig.imu));
+        Vport.issue rig.vport ~region:0 ~addr:0 ~wr:false ~width:Cp_port.W32
+          ~data:0;
+        phase := 2
+      end
+      else if Vport.ready rig.vport && !phase = 2 then phase := 3;
+      ignore cycle);
+  checkb "start pulse delivered" true (!started_at >= 0);
+  checki "parameter read through the param page" 777 !param;
+  checki "finished both accesses" 3 !phase;
+  checkb "params consumed after first data access" true (Imu.params_done rig.imu);
+  checki "param reads counted" 1
+    (Rvi_sim.Stats.get (Imu.stats rig.imu) "param_reads")
+
+let test_imu_fin_edge () =
+  let rig = make_rig () in
+  run_rig rig ~edges:20 (fun cycle ->
+      if cycle = 3 then Vport.finish rig.vport);
+  checkb "fin latched" true (Imu.finished rig.imu);
+  checki "fin raised one interrupt" 1 !(rig.irqs);
+  (* Reset must not re-trigger on the still-held CP_FIN level. *)
+  Imu.write_cr rig.imu Imu_regs.cr_reset;
+  checkb "cleared by reset" true (not (Imu.finished rig.imu));
+  Clock.start rig.clock;
+  Engine.run_until rig.engine (Simtime.of_us 30);
+  Clock.stop rig.clock;
+  checkb "held level not re-latched" true (not (Imu.finished rig.imu));
+  checki "no extra interrupt" 1 !(rig.irqs)
+
+let test_imu_alignment_guard () =
+  let rig = make_rig () in
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0;
+  let boom = ref false in
+  (try
+     run_rig rig ~edges:20 (fun cycle ->
+         if cycle = 1 then
+           (* A 32-bit access straddling the page boundary. *)
+           Vport.issue rig.vport ~region:0 ~addr:2046 ~wr:false
+             ~width:Cp_port.W32 ~data:0)
+   with Failure _ -> boom := true);
+  checkb "page-crossing access rejected" true !boom
+
+let suite =
+  [
+    Alcotest.test_case "imu_regs/ar" `Quick test_ar_encoding;
+    QCheck_alcotest.to_alcotest prop_ar_roundtrip;
+    Alcotest.test_case "imu_regs/sr" `Quick test_sr_bits;
+    Alcotest.test_case "tlb/basic" `Quick test_tlb_basic;
+    Alcotest.test_case "tlb/translate-metadata" `Quick test_tlb_translate_metadata;
+    Alcotest.test_case "tlb/invalidate" `Quick test_tlb_invalidate;
+    QCheck_alcotest.to_alcotest prop_tlb_dirty_only_on_write;
+    Alcotest.test_case "frame_table/basic" `Quick test_frame_table;
+    QCheck_alcotest.to_alcotest prop_frame_conservation;
+    Alcotest.test_case "policy/fifo" `Quick test_policy_fifo;
+    Alcotest.test_case "policy/lru" `Quick test_policy_lru;
+    Alcotest.test_case "policy/random-deterministic" `Quick
+      test_policy_random_deterministic;
+    Alcotest.test_case "policy/second-chance" `Quick test_policy_second_chance;
+    Alcotest.test_case "policy/names" `Quick test_policy_names;
+    QCheck_alcotest.to_alcotest prop_policy_victim_valid;
+    Alcotest.test_case "prefetch/predict" `Quick test_prefetch;
+    Alcotest.test_case "mapped_object/pages" `Quick test_mapped_object;
+    Alcotest.test_case "imu/hit-latency-fig7" `Quick test_imu_hit_latency;
+    Alcotest.test_case "imu/pipelined-latency" `Quick test_imu_pipelined_latency;
+    Alcotest.test_case "imu/write-dirty" `Quick test_imu_write_sets_dirty;
+    Alcotest.test_case "imu/fault-resume" `Quick test_imu_fault_and_resume;
+    Alcotest.test_case "imu/double-fault" `Quick test_imu_double_fault_detected;
+    Alcotest.test_case "imu/param-page-start" `Quick test_imu_param_page_and_start;
+    Alcotest.test_case "imu/fin-edge" `Quick test_imu_fin_edge;
+    Alcotest.test_case "imu/alignment" `Quick test_imu_alignment_guard;
+  ]
+
+(* {1 VHDL generation} *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_vhdl_package () =
+  let d =
+    Rvi_core.Vhdl_gen.make ~name:"idea_core" ~device:Rvi_fpga.Device.epxa1 ()
+  in
+  let pkg = Rvi_core.Vhdl_gen.package_vhdl d in
+  checkb "package name" true (contains_sub pkg "package idea_core_vif_pkg is");
+  checkb "page offset bits (2 KB pages)" true
+    (contains_sub pkg "PAGE_OFFS_W : natural := 11");
+  checkb "ppn bits (8 pages)" true (contains_sub pkg "PPN_W       : natural := 3");
+  checkb "tlb depth" true (contains_sub pkg "TLB_ENTRIES : natural := 8");
+  checkb "param object id" true (contains_sub pkg "PARAM_OBJ   : natural := 255")
+
+let test_vhdl_entities () =
+  let d =
+    Rvi_core.Vhdl_gen.make ~name:"fir8" ~device:Rvi_fpga.Device.epxa4
+      ~imu_config:Rvi_core.Imu.pipelined_config ~data_width:16 ()
+  in
+  let coproc = Rvi_core.Vhdl_gen.coproc_entity_vhdl d in
+  checkb "portable entity" true (contains_sub coproc "entity fir8 is");
+  checkb "coproc drives cp_access" true
+    (contains_sub coproc "cp_access : out std_logic");
+  checkb "coproc samples cp_tlbhit" true
+    (contains_sub coproc "cp_tlbhit : in  std_logic");
+  checkb "no physical signal on the portable side" true
+    (not (contains_sub coproc "dp_addr"));
+  let imu = Rvi_core.Vhdl_gen.imu_entity_vhdl d in
+  checkb "imu mirrors direction" true
+    (contains_sub imu "cp_access : in  std_logic");
+  checkb "imu exposes dual-port pins" true (contains_sub imu "dp_addr   : out");
+  checkb "imu has registers" true
+    (contains_sub imu "bus_ar" && contains_sub imu "bus_sr"
+    && contains_sub imu "bus_cr");
+  checkb "imu interrupts" true (contains_sub imu "int_pld");
+  let top = Rvi_core.Vhdl_gen.toplevel_vhdl d in
+  checkb "top instantiates both" true
+    (contains_sub top "entity work.fir8" && contains_sub top "entity work.fir8_imu")
+
+let test_vhdl_emit_all () =
+  let d = Rvi_core.Vhdl_gen.make ~name:"x1" ~device:Rvi_fpga.Device.epxa10 () in
+  let files = Rvi_core.Vhdl_gen.emit_all d in
+  checki "four units" 4 (List.length files);
+  checkb "compile order starts with the package" true
+    (fst (List.hd files) = "x1_vif_pkg.vhd");
+  (* EPXA10: 64 pages of 2 KB -> 6 PPN bits, 17 DP address bits. *)
+  checkb "device-specific widths" true
+    (contains_sub (List.assoc "x1_vif_pkg.vhd" files) "PPN_W       : natural := 6")
+
+let test_vhdl_validation () =
+  Alcotest.check_raises "bad identifier"
+    (Invalid_argument "Vhdl_gen.make: name must be a VHDL identifier")
+    (fun () ->
+      ignore (Rvi_core.Vhdl_gen.make ~name:"2fast" ~device:Rvi_fpga.Device.epxa1 ()));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Vhdl_gen.make: data_width must be 8, 16 or 32")
+    (fun () ->
+      ignore
+        (Rvi_core.Vhdl_gen.make ~name:"ok" ~device:Rvi_fpga.Device.epxa1
+           ~data_width:24 ()))
+
+let vhdl_suite =
+  [
+    Alcotest.test_case "vhdl/package" `Quick test_vhdl_package;
+    Alcotest.test_case "vhdl/entities" `Quick test_vhdl_entities;
+    Alcotest.test_case "vhdl/emit-all" `Quick test_vhdl_emit_all;
+    Alcotest.test_case "vhdl/validation" `Quick test_vhdl_validation;
+  ]
+
+let suite = suite @ vhdl_suite
+
+(* {1 C stub generation} *)
+
+let test_stub_header () =
+  let h = Rvi_core.Stub_gen.header Rvi_core.Stub_gen.vecadd_spec in
+  checkb "guard" true (contains_sub h "#ifndef ADD_VECTORS_VIF_H");
+  checkb "object macros" true
+    (contains_sub h "#define ADD_VECTORS_OBJ_A 0"
+    && contains_sub h "#define ADD_VECTORS_OBJ_C 2");
+  checkb "prototype mirrors Figure 6" true
+    (contains_sub h
+       "int add_vectors_run(uint32_t *a, size_t a_len, uint32_t *b, size_t \
+        b_len, uint32_t *c, size_t c_len, int32_t size)")
+
+let test_stub_source () =
+  let c = Rvi_core.Stub_gen.source Rvi_core.Stub_gen.adpcm_spec in
+  checkb "maps input with stream hint" true
+    (contains_sub c "FPGA_MAP_OBJECT(ADPCMDECODE_OBJ_INPUT, input");
+  checkb "stream flag" true (contains_sub c "FPGA_OBJ_IN | FPGA_OBJ_STREAM");
+  checkb "output direction" true (contains_sub c "FPGA_OBJ_OUT");
+  checkb "executes with the scalar" true
+    (contains_sub c "FPGA_EXECUTE(1, (int32_t)input_bytes)")
+
+let test_stub_validation () =
+  Alcotest.check_raises "bad app"
+    (Invalid_argument "Stub_gen.make: bad app name") (fun () ->
+      ignore (Rvi_core.Stub_gen.make ~app:"9lives" ~objects:[] ~params:[]));
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Stub_gen.make: duplicate object identifiers") (fun () ->
+      ignore
+        (Rvi_core.Stub_gen.make ~app:"x"
+           ~objects:
+             [
+               {
+                 Rvi_core.Stub_gen.id = 1;
+                 c_name = "p";
+                 ty = Rvi_core.Stub_gen.U8;
+                 dir = Rvi_core.Mapped_object.In;
+                 stream = false;
+               };
+               {
+                 Rvi_core.Stub_gen.id = 1;
+                 c_name = "q";
+                 ty = Rvi_core.Stub_gen.U8;
+                 dir = Rvi_core.Mapped_object.Out;
+                 stream = false;
+               };
+             ]
+           ~params:[]))
+
+let test_stub_canned () =
+  List.iter
+    (fun spec ->
+      let files = Rvi_core.Stub_gen.emit_all spec in
+      checki "two files" 2 (List.length files))
+    Rvi_core.Stub_gen.[ vecadd_spec; adpcm_spec; idea_spec; fir_spec ]
+
+let stub_suite =
+  [
+    Alcotest.test_case "stubs/header" `Quick test_stub_header;
+    Alcotest.test_case "stubs/source" `Quick test_stub_source;
+    Alcotest.test_case "stubs/validation" `Quick test_stub_validation;
+    Alcotest.test_case "stubs/canned" `Quick test_stub_canned;
+  ]
+
+let suite = suite @ stub_suite
+
+(* {1 TLB organisations} *)
+
+let test_tlb_organizations () =
+  let dm = Tlb.create ~organization:Tlb.Direct_mapped ~entries:8 () in
+  checki "direct-mapped has one way" 1
+    (List.length (Tlb.way_slots dm ~obj_id:1 ~vpn:5));
+  let sa = Tlb.create ~organization:(Tlb.Set_associative 2) ~entries:8 () in
+  checki "2-way has two slots" 2 (List.length (Tlb.way_slots sa ~obj_id:1 ~vpn:5));
+  let fa = Tlb.create ~entries:8 () in
+  checki "cam allows all slots" 8 (List.length (Tlb.way_slots fa ~obj_id:1 ~vpn:5));
+  (* A translation inserted in its way is found; one placed elsewhere is
+     invisible to the indexed lookup, like real hardware. *)
+  let slot = List.hd (Tlb.way_slots dm ~obj_id:3 ~vpn:9) in
+  Tlb.insert dm ~slot ~obj_id:3 ~vpn:9 ~ppn:1;
+  checkb "hit in its way" true (Tlb.lookup dm ~obj_id:3 ~vpn:9 = Tlb.Hit slot);
+  checkb "free way slot reported" true
+    (Tlb.free_way_slot dm ~obj_id:3 ~vpn:9 = None);
+  Alcotest.check_raises "ways must divide entries"
+    (Invalid_argument "Tlb.create: ways must divide the entry count")
+    (fun () -> ignore (Tlb.create ~organization:(Tlb.Set_associative 3) ~entries:8 ()))
+
+let test_tlb_org_end_to_end () =
+  (* Full runs stay bit-exact under every organisation; cheaper ones just
+     take conflict refill faults. *)
+  let input = Rvi_harness.Workload.adpcm_stream ~seed:60 ~bytes:4096 in
+  List.iter
+    (fun org ->
+      let cfg =
+        { (Rvi_harness.Config.default ()) with
+          Rvi_harness.Config.tlb_organization = org }
+      in
+      let row = Rvi_harness.Runner.adpcm_vim cfg ~input in
+      checkb (Tlb.organization_name org) true (Rvi_harness.Report.ok row))
+    [ Tlb.Fully_associative; Tlb.Set_associative 2; Tlb.Direct_mapped ]
+
+let org_suite =
+  [
+    Alcotest.test_case "tlb/organizations" `Quick test_tlb_organizations;
+    Alcotest.test_case "tlb/organizations-e2e" `Quick test_tlb_org_end_to_end;
+  ]
+
+let suite = suite @ org_suite
+
+(* {1 VHDL testbench generation from a golden capture} *)
+
+let test_vhdl_testbench () =
+  (* Record a tiny verified run, then emit the testbench from it. *)
+  let p =
+    Rvi_harness.Platform.create (Rvi_harness.Config.default ())
+      ~bitstream:Rvi_harness.Calibration.vecadd_bitstream
+      ~make:Rvi_coproc.Vecadd.Virtual.create
+  in
+  let wave = Rvi_harness.Platform.trace p in
+  let a, b = Rvi_harness.Workload.vectors ~seed:9 ~n:4 in
+  let to_bytes words =
+    let bts = Bytes.create (4 * Array.length words) in
+    Array.iteri
+      (fun i w ->
+        for k = 0 to 3 do
+          Bytes.set bts ((4 * i) + k) (Char.chr ((w lsr (8 * k)) land 0xFF))
+        done)
+      words;
+    bts
+  in
+  let buf_a = Rvi_harness.Platform.alloc_bytes p (to_bytes a) in
+  let buf_b = Rvi_harness.Platform.alloc_bytes p (to_bytes b) in
+  let buf_c = Rvi_harness.Platform.alloc p 16 in
+  let ok = function Ok () -> () | Error _ -> Alcotest.fail "setup" in
+  ok (Rvi_core.Api.fpga_load p.Rvi_harness.Platform.api
+        Rvi_harness.Calibration.vecadd_bitstream);
+  ok (Rvi_core.Api.fpga_map_object p.Rvi_harness.Platform.api ~id:0 ~buf:buf_a
+        ~dir:Rvi_core.Mapped_object.In ());
+  ok (Rvi_core.Api.fpga_map_object p.Rvi_harness.Platform.api ~id:1 ~buf:buf_b
+        ~dir:Rvi_core.Mapped_object.In ());
+  ok (Rvi_core.Api.fpga_map_object p.Rvi_harness.Platform.api ~id:2 ~buf:buf_c
+        ~dir:Rvi_core.Mapped_object.Out ());
+  ok (Rvi_core.Api.fpga_execute p.Rvi_harness.Platform.api ~params:[ 4 ]);
+  let d =
+    Rvi_core.Vhdl_gen.make ~name:"vecadd" ~device:Rvi_fpga.Device.epxa1 ()
+  in
+  let tb = Rvi_core.Vhdl_gen.testbench_vhdl d ~wave in
+  checkb "entity" true (contains_sub tb "entity vecadd_tb is");
+  checkb "has stimulus" true (contains_sub tb "cp_access <= '1'");
+  checkb "asserts responses" true (contains_sub tb "assert cp_tlbhit = '1'");
+  checkb "asserts data" true (contains_sub tb "assert cp_din = std_logic_vector");
+  checkb "one vector block per cycle" true
+    (contains_sub tb
+       (Printf.sprintf "-- cycle %d" (Rvi_hw.Wave.length wave - 1)));
+  checkb "self-reporting" true (contains_sub tb "vectors passed")
+
+let tb_suite =
+  [ Alcotest.test_case "vhdl/testbench-from-capture" `Quick test_vhdl_testbench ]
+
+let suite = suite @ tb_suite
+
+(* {1 Pipelined IMU constructor} *)
+
+let test_imu_pipelined_module () =
+  let dpram =
+    Rvi_mem.Dpram.create (Rvi_mem.Page.geometry ~page_size:2048 ~n_pages:8)
+  in
+  let port = Cp_port.create () in
+  let imu =
+    Rvi_core.Imu_pipelined.create ~tlb_entries:4 ~port ~dpram
+      ~raise_irq:ignore ()
+  in
+  checki "zero lookup states" 0 (Imu.config imu).Imu.lookup_states;
+  checki "tlb entries honoured" 4 (Tlb.entries (Imu.tlb imu))
+
+let pipelined_suite =
+  [ Alcotest.test_case "imu/pipelined-constructor" `Quick test_imu_pipelined_module ]
+
+let suite = suite @ pipelined_suite
+
+(* {1 More IMU edge cases} *)
+
+let test_imu_reset_mid_fault () =
+  let rig = make_rig () in
+  run_rig rig ~edges:20 (fun cycle ->
+      if cycle = 1 then
+        Vport.issue rig.vport ~region:5 ~addr:0 ~wr:false ~width:Cp_port.W32
+          ~data:0;
+      (* Abort the whole execution instead of servicing the fault. *)
+      if cycle = 10 then Imu.write_cr rig.imu Imu_regs.cr_reset);
+  checkb "fault cleared by reset" true (Imu.fault rig.imu = None);
+  checkb "SR clean" true
+    (not (Imu_regs.test (Imu.read_sr rig.imu) Imu_regs.sr_fault));
+  checkb "not busy" true
+    (not (Imu_regs.test (Imu.read_sr rig.imu) Imu_regs.sr_busy))
+
+let test_rtl_double_fault_guard () =
+  (* The RTL refinement keeps the same integration tripwire as the
+     behavioural machine. *)
+  let engine = Engine.create () in
+  let dpram = Rvi_mem.Dpram.create geom in
+  let port = Cp_port.create () in
+  let imu = Rvi_core.Imu_rtl.create ~port ~dpram ~raise_irq:ignore () in
+  let clock = Clock.create engine ~name:"c" ~freq_hz:1_000_000 in
+  let vport = Vport.create port in
+  Clock.add clock (Rvi_core.Imu_rtl.component imu);
+  Clock.add clock (Vport.sync_component vport);
+  let cycle = ref 0 in
+  Clock.add clock
+    (Clock.component ~name:"driver"
+       ~compute:(fun () ->
+         Vport.sample vport;
+         if !cycle = 1 then
+           Vport.issue vport ~region:3 ~addr:0 ~wr:false ~width:Cp_port.W32
+             ~data:0;
+         if !cycle = 10 then
+           Rvi_core.Imu_rtl.write_cr imu Imu_regs.cr_resume;
+         incr cycle)
+       ~commit:(fun () -> Vport.commit vport));
+  Clock.start clock;
+  let boom = ref false in
+  (try Engine.run_until engine (Simtime.of_us 30)
+   with Failure _ -> boom := true);
+  checkb "rtl double fault detected" true !boom
+
+let test_cp_port_reset () =
+  let p = Cp_port.create () in
+  p.Cp_port.cp_access <- true;
+  p.Cp_port.cp_fin <- true;
+  p.Cp_port.cp_obj <- 9;
+  Cp_port.reset p;
+  checkb "all deasserted" true
+    ((not p.Cp_port.cp_access) && (not p.Cp_port.cp_fin) && p.Cp_port.cp_obj = 0)
+
+let edge_suite =
+  [
+    Alcotest.test_case "imu/reset-mid-fault" `Quick test_imu_reset_mid_fault;
+    Alcotest.test_case "rtl/double-fault-guard" `Quick test_rtl_double_fault_guard;
+    Alcotest.test_case "cp_port/reset" `Quick test_cp_port_reset;
+  ]
+
+let suite = suite @ edge_suite

@@ -1,0 +1,105 @@
+(* Unit tests for the device/bit-stream/PLD models (rvi_fpga). *)
+
+module Device = Rvi_fpga.Device
+module Bitstream = Rvi_fpga.Bitstream
+module Pld = Rvi_fpga.Pld
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_device_catalogue () =
+  checki "epxa1 pages"
+    8
+    (Device.epxa1.Device.dpram_bytes / Device.epxa1.Device.page_size);
+  checkb "epxa4 bigger" true
+    (Device.epxa4.Device.dpram_bytes > Device.epxa1.Device.dpram_bytes);
+  checkb "epxa10 biggest" true
+    (Device.epxa10.Device.logic_elements > Device.epxa4.Device.logic_elements);
+  checkb "lookup case-insensitive" true (Device.by_name "epxa4" = Some Device.epxa4);
+  checkb "unknown" true (Device.by_name "virtex" = None);
+  checki "catalogue size" 4 (List.length Device.all);
+  checkb "cross-vendor entry" true (Device.by_name "xc2vp7" = Some Device.xc2vp7);
+  checki "xilinx pages" 8
+    (Device.xc2vp7.Device.dpram_bytes / Device.xc2vp7.Device.page_size);
+  let g = Device.geometry Device.epxa1 in
+  checki "geometry total" (16 * 1024) (Rvi_mem.Page.total_bytes g)
+
+let test_bitstream () =
+  let bs =
+    Bitstream.make ~name:"x" ~logic_elements:100 ~imu_freq_hz:24_000_000
+      ~coproc_divide:4 ~param_words:2 ()
+  in
+  checki "coproc freq" 6_000_000 (Bitstream.coproc_freq_hz bs);
+  Alcotest.check_raises "bad LEs"
+    (Invalid_argument "Bitstream.make: logic_elements <= 0") (fun () ->
+      ignore (Bitstream.make ~name:"x" ~logic_elements:0 ~imu_freq_hz:1 ~param_words:0 ()));
+  Alcotest.check_raises "bad divide"
+    (Invalid_argument "Bitstream.make: coproc_divide < 1") (fun () ->
+      ignore
+        (Bitstream.make ~name:"x" ~logic_elements:1 ~imu_freq_hz:1
+           ~coproc_divide:0 ~param_words:0 ()))
+
+let small_bs =
+  Bitstream.make ~name:"small" ~logic_elements:100 ~imu_freq_hz:40_000_000
+    ~param_words:1 ()
+
+let test_pld_configure_release () =
+  let pld = Pld.create Device.epxa1 in
+  checkb "empty" true (Pld.loaded pld = None);
+  (match Pld.configure pld ~pid:1 small_bs with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "configure failed");
+  checkb "loaded" true (Pld.loaded pld = Some small_bs);
+  checkb "owner" true (Pld.owner pld = Some 1);
+  checki "reconfigurations" 1 (Pld.reconfigurations pld);
+  (match Pld.release pld ~pid:1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "release failed");
+  checkb "released" true (Pld.loaded pld = None && Pld.owner pld = None)
+
+let test_pld_exclusive () =
+  let pld = Pld.create Device.epxa1 in
+  (match Pld.configure pld ~pid:1 small_bs with Ok () -> () | Error _ -> assert false);
+  (* Another process may not steal the lattice. *)
+  (match Pld.configure pld ~pid:2 small_bs with
+  | Error (Pld.Locked_by 1) -> ()
+  | Ok () | Error _ -> Alcotest.fail "lock not enforced");
+  (* But the owner may reconfigure. *)
+  (match Pld.configure pld ~pid:1 small_bs with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "owner reconfigure refused");
+  (* Only the owner may release. *)
+  (match Pld.release pld ~pid:2 with
+  | Error (Pld.Not_owner 2) -> ()
+  | Ok () | Error _ -> Alcotest.fail "foreign release accepted")
+
+let test_pld_too_large () =
+  let pld = Pld.create Device.epxa1 in
+  let big =
+    Bitstream.make ~name:"big" ~logic_elements:1_000_000 ~imu_freq_hz:1_000_000
+      ~param_words:0 ()
+  in
+  match Pld.configure pld ~pid:1 big with
+  | Error (Pld.Too_large { required = 1_000_000; available = 4_160 }) -> ()
+  | Ok () | Error _ -> Alcotest.fail "oversized bit-stream accepted"
+
+let test_pld_release_empty () =
+  let pld = Pld.create Device.epxa1 in
+  match Pld.release pld ~pid:1 with
+  | Error Pld.Empty -> ()
+  | Ok () | Error _ -> Alcotest.fail "empty release accepted"
+
+let test_error_strings () =
+  checkb "message mentions LEs" true
+    (String.length (Pld.error_to_string (Pld.Too_large { required = 9; available = 1 })) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "device/catalogue" `Quick test_device_catalogue;
+    Alcotest.test_case "bitstream/validation" `Quick test_bitstream;
+    Alcotest.test_case "pld/configure-release" `Quick test_pld_configure_release;
+    Alcotest.test_case "pld/exclusive-lock" `Quick test_pld_exclusive;
+    Alcotest.test_case "pld/too-large" `Quick test_pld_too_large;
+    Alcotest.test_case "pld/release-empty" `Quick test_pld_release_empty;
+    Alcotest.test_case "pld/error-strings" `Quick test_error_strings;
+  ]

@@ -1,0 +1,16 @@
+(* Test entry point: one Alcotest suite per library plus integration. *)
+
+let () =
+  Alcotest.run "rvi"
+    [
+      ("sim", Test_sim.suite);
+      ("hw", Test_hw.suite);
+      ("mem", Test_mem.suite);
+      ("fpga", Test_fpga.suite);
+      ("os", Test_os.suite);
+      ("core", Test_core.suite);
+      ("vim", Test_vim.suite);
+      ("rtl", Test_rtl.suite);
+      ("coproc", Test_coproc.suite);
+      ("harness", Test_harness.suite);
+    ]

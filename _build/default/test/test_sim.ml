@@ -1,0 +1,333 @@
+(* Unit and property tests for the simulation kernel (rvi_sim). *)
+
+module Simtime = Rvi_sim.Simtime
+module Event_queue = Rvi_sim.Event_queue
+module Engine = Rvi_sim.Engine
+module Clock = Rvi_sim.Clock
+module Stats = Rvi_sim.Stats
+module Prng = Rvi_sim.Prng
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Simtime} *)
+
+let test_time_units () =
+  checki "ns" 1_000 (Simtime.to_ps (Simtime.of_ns 1));
+  checki "us" 1_000_000 (Simtime.to_ps (Simtime.of_us 1));
+  checki "ms" 1_000_000_000 (Simtime.to_ps (Simtime.of_ms 1));
+  check (Alcotest.float 1e-9) "to_ms" 1.5 (Simtime.to_ms (Simtime.of_us 1500));
+  check (Alcotest.float 1e-9) "to_s" 0.002 (Simtime.to_s (Simtime.of_ms 2))
+
+let test_time_arith () =
+  let a = Simtime.of_ns 3 and b = Simtime.of_ns 5 in
+  checki "add" 8_000 (Simtime.to_ps (Simtime.add a b));
+  checki "sub" 2_000 (Simtime.to_ps (Simtime.sub b a));
+  checki "mul" 15_000 (Simtime.to_ps (Simtime.mul a 5));
+  checkb "le" true Simtime.(a <= b);
+  checkb "lt" true Simtime.(a < b);
+  checki "min" 3_000 (Simtime.to_ps (Simtime.min a b));
+  checki "max" 5_000 (Simtime.to_ps (Simtime.max a b));
+  Alcotest.check_raises "sub negative" (Invalid_argument "Simtime.sub: negative result")
+    (fun () -> ignore (Simtime.sub a b))
+
+let test_time_invalid () =
+  Alcotest.check_raises "negative ps" (Invalid_argument "Simtime.of_ps: negative")
+    (fun () -> ignore (Simtime.of_ps (-1)));
+  Alcotest.check_raises "zero hz"
+    (Invalid_argument "Simtime.period_of_hz: non-positive frequency") (fun () ->
+      ignore (Simtime.period_of_hz 0))
+
+let test_period () =
+  checki "133MHz period" 7518 (Simtime.to_ps (Simtime.period_of_hz 133_000_000));
+  checki "40MHz period" 25_000 (Simtime.to_ps (Simtime.period_of_hz 40_000_000));
+  checki "cycles at 1GHz" 1000 (Simtime.cycles_of ~hz:1_000_000_000 (Simtime.of_us 1));
+  checki "of_cycles" 25_000_000
+    (Simtime.to_ps (Simtime.of_cycles ~hz:40_000_000 1000))
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Simtime.pp t in
+  check Alcotest.string "zero" "0s" (s Simtime.zero);
+  check Alcotest.string "ps" "500ps" (s (Simtime.of_ps 500));
+  check Alcotest.string "ms" "2.000ms" (s (Simtime.of_ms 2))
+
+(* {1 Event_queue} *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:(Simtime.of_ns 5) "c";
+  Event_queue.push q ~time:(Simtime.of_ns 1) "a";
+  Event_queue.push q ~time:(Simtime.of_ns 3) "b";
+  let pop () =
+    match Event_queue.pop q with Some (_, x) -> x | None -> "empty"
+  in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  checkb "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  let t = Simtime.of_ns 7 in
+  List.iter (fun x -> Event_queue.push q ~time:t x) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Event_queue.pop q with
+    | Some (_, x) -> drain (x :: acc)
+    | None -> List.rev acc
+  in
+  check Alcotest.(list int) "insertion order preserved" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_queue_peek_clear () =
+  let q = Event_queue.create () in
+  checkb "peek empty" true (Event_queue.peek_time q = None);
+  Event_queue.push q ~time:(Simtime.of_ns 2) ();
+  checkb "peek" true (Event_queue.peek_time q = Some (Simtime.of_ns 2));
+  checki "length" 1 (Event_queue.length q);
+  Event_queue.clear q;
+  checki "cleared" 0 (Event_queue.length q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event_queue pops in nondecreasing time order"
+    ~count:200
+    QCheck.(list (int_bound 100_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:(Simtime.of_ps t) ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> Simtime.(last <= t) && drain t
+      in
+      drain Simtime.zero)
+
+let prop_queue_conserves =
+  QCheck.Test.make ~name:"event_queue conserves elements" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i x -> Event_queue.push q ~time:(Simtime.of_ps (abs x)) (i, x))
+        xs;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> acc
+        | Some (_, e) -> drain (e :: acc)
+      in
+      let out = drain [] in
+      List.sort compare out = List.sort compare (List.mapi (fun i x -> (i, x)) xs))
+
+(* {1 Engine} *)
+
+let test_engine_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e (Simtime.of_ns 10) (fun () -> log := 10 :: !log);
+  Engine.schedule_at e (Simtime.of_ns 5) (fun () -> log := 5 :: !log);
+  Engine.run_until e (Simtime.of_ns 7);
+  check Alcotest.(list int) "only first fired" [ 5 ] !log;
+  checki "time advanced to deadline" (Simtime.to_ps (Simtime.of_ns 7))
+    (Simtime.to_ps (Engine.now e));
+  Engine.run_until e (Simtime.of_ns 20);
+  check Alcotest.(list int) "both fired" [ 10; 5 ] !log
+
+let test_engine_advance () =
+  let e = Engine.create () in
+  Engine.advance e (Simtime.of_us 3);
+  checki "advance moves clock" (Simtime.to_ps (Simtime.of_us 3))
+    (Simtime.to_ps (Engine.now e))
+
+let test_engine_past_schedule () =
+  let e = Engine.create () in
+  Engine.advance e (Simtime.of_ns 100);
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule_at e (Simtime.of_ns 10) ignore)
+
+let test_engine_cascade () =
+  (* An event scheduling another event inside the same run. *)
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule_after e (Simtime.of_ns 1) (fun () ->
+      incr hits;
+      Engine.schedule_after e (Simtime.of_ns 1) (fun () -> incr hits));
+  Engine.run_until e (Simtime.of_ns 10);
+  checki "cascaded" 2 !hits
+
+let test_engine_run_while_stall () =
+  let e = Engine.create () in
+  Alcotest.check_raises "stalled" Engine.Stalled (fun () ->
+      Engine.run_while e (fun () -> true))
+
+(* {1 Clock} *)
+
+let test_clock_edges () =
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let ticks = ref 0 in
+  Clock.add c (Clock.component ~name:"n" ~compute:(fun () -> incr ticks) ~commit:ignore);
+  Clock.start c;
+  Engine.run_until e (Simtime.of_us 10);
+  checki "10 edges in 10us at 1MHz" 10 !ticks;
+  checki "cycles" 10 (Clock.cycles c);
+  Clock.stop c;
+  Engine.run_until e (Simtime.of_us 20);
+  checki "no edges while stopped" 10 !ticks
+
+let test_clock_two_phase () =
+  (* Component B must see A's value from the previous edge, regardless of
+     registration order. *)
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let a = Rvi_hw.Reg.create 0 in
+  let seen = ref [] in
+  Clock.add c
+    (Clock.component ~name:"a"
+       ~compute:(fun () -> Rvi_hw.Reg.set a (Rvi_hw.Reg.get a + 1))
+       ~commit:(fun () -> Rvi_hw.Reg.commit a));
+  Clock.add c
+    (Clock.component ~name:"b"
+       ~compute:(fun () -> seen := Rvi_hw.Reg.get a :: !seen)
+       ~commit:ignore);
+  Clock.start c;
+  Engine.run_until e (Simtime.of_us 3);
+  check Alcotest.(list int) "b sees pre-edge values" [ 2; 1; 0 ] !seen
+
+let test_clock_divide () =
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let fast = ref 0 and slow = ref 0 in
+  Clock.add c (Clock.component ~name:"f" ~compute:(fun () -> incr fast) ~commit:ignore);
+  Clock.add c ~divide:4
+    (Clock.component ~name:"s" ~compute:(fun () -> incr slow) ~commit:ignore);
+  Clock.start c;
+  Engine.run_until e (Simtime.of_us 16);
+  checki "fast edges" 16 !fast;
+  checki "slow edges" 4 !slow
+
+let test_clock_divide_phase () =
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let cycles_seen = ref [] in
+  Clock.add c ~divide:4 ~phase:2
+    (Clock.component ~name:"p"
+       ~compute:(fun () -> cycles_seen := Clock.cycles c :: !cycles_seen)
+       ~commit:ignore);
+  Clock.start c;
+  Engine.run_until e (Simtime.of_us 12);
+  check Alcotest.(list int) "phase offset" [ 10; 6; 2 ] !cycles_seen
+
+let test_clock_bad_args () =
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1000 in
+  Alcotest.check_raises "bad divide" (Invalid_argument "Clock.add: divide < 1")
+    (fun () ->
+      Clock.add c ~divide:0 (Clock.component ~name:"x" ~compute:ignore ~commit:ignore));
+  Alcotest.check_raises "bad phase" (Invalid_argument "Clock.add: bad phase")
+    (fun () ->
+      Clock.add c ~divide:2 ~phase:2
+        (Clock.component ~name:"x" ~compute:ignore ~commit:ignore))
+
+let test_clock_observer () =
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let seen = ref [] in
+  Clock.on_edge c (fun cycle -> seen := cycle :: !seen);
+  Clock.start c;
+  Engine.run_until e (Simtime.of_us 3);
+  check Alcotest.(list int) "observer cycles" [ 2; 1; 0 ] !seen
+
+(* {1 Stats} *)
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s ~by:4 "a";
+  Stats.incr s "b";
+  checki "a" 5 (Stats.get s "a");
+  checki "b" 1 (Stats.get s "b");
+  checki "absent" 0 (Stats.get s "zzz");
+  check
+    Alcotest.(list (pair string int))
+    "sorted counters"
+    [ ("a", 5); ("b", 1) ]
+    (Stats.counters s);
+  Stats.observe s "lat" 1.0;
+  Stats.observe s "lat" 3.0;
+  (match Stats.summary s "lat" with
+  | Some { Stats.count; min; max; mean } ->
+    checki "count" 2 count;
+    check (Alcotest.float 1e-9) "min" 1.0 min;
+    check (Alcotest.float 1e-9) "max" 3.0 max;
+    check (Alcotest.float 1e-9) "mean" 2.0 mean
+  | None -> Alcotest.fail "missing summary");
+  Stats.reset s;
+  checki "reset" 0 (Stats.get s "a")
+
+(* {1 Prng} *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    checki "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  checkb "streams differ" true (!same < 5)
+
+let prop_prng_bounds =
+  QCheck.Test.make ~name:"prng int stays within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let v = Prng.int p bound in
+      v >= 0 && v < bound)
+
+let test_prng_fill () =
+  let p = Prng.create ~seed:9 in
+  let b = Bytes.make 64 '\000' in
+  Prng.fill_bytes p b;
+  let nonzero = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr nonzero) b;
+  checkb "mostly nonzero" true (!nonzero > 48)
+
+let test_prng_split () =
+  let p = Prng.create ~seed:5 in
+  let q = Prng.split p in
+  checkb "split stream differs" true (Prng.next p <> Prng.next q)
+
+let suite =
+  [
+    Alcotest.test_case "simtime/units" `Quick test_time_units;
+    Alcotest.test_case "simtime/arith" `Quick test_time_arith;
+    Alcotest.test_case "simtime/invalid" `Quick test_time_invalid;
+    Alcotest.test_case "simtime/period" `Quick test_period;
+    Alcotest.test_case "simtime/pp" `Quick test_time_pp;
+    Alcotest.test_case "event_queue/order" `Quick test_queue_order;
+    Alcotest.test_case "event_queue/fifo-ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "event_queue/peek-clear" `Quick test_queue_peek_clear;
+    QCheck_alcotest.to_alcotest prop_queue_sorted;
+    QCheck_alcotest.to_alcotest prop_queue_conserves;
+    Alcotest.test_case "engine/schedule" `Quick test_engine_schedule;
+    Alcotest.test_case "engine/advance" `Quick test_engine_advance;
+    Alcotest.test_case "engine/past" `Quick test_engine_past_schedule;
+    Alcotest.test_case "engine/cascade" `Quick test_engine_cascade;
+    Alcotest.test_case "engine/stall" `Quick test_engine_run_while_stall;
+    Alcotest.test_case "clock/edges" `Quick test_clock_edges;
+    Alcotest.test_case "clock/two-phase" `Quick test_clock_two_phase;
+    Alcotest.test_case "clock/divide" `Quick test_clock_divide;
+    Alcotest.test_case "clock/divide-phase" `Quick test_clock_divide_phase;
+    Alcotest.test_case "clock/bad-args" `Quick test_clock_bad_args;
+    Alcotest.test_case "clock/observer" `Quick test_clock_observer;
+    Alcotest.test_case "stats/counters-summaries" `Quick test_stats;
+    Alcotest.test_case "prng/deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng/seed-sensitivity" `Quick test_prng_seed_sensitivity;
+    QCheck_alcotest.to_alcotest prop_prng_bounds;
+    Alcotest.test_case "prng/fill" `Quick test_prng_fill;
+    Alcotest.test_case "prng/split" `Quick test_prng_split;
+  ]

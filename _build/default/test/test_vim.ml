@@ -1,0 +1,327 @@
+(* Focused unit tests for the VIM's bookkeeping, driven through a real
+   platform so every path exercises the actual hardware underneath, plus
+   the port-equivalence property that underpins the paper's portability
+   claim. *)
+
+module Simtime = Rvi_sim.Simtime
+module Engine = Rvi_sim.Engine
+module Clock = Rvi_sim.Clock
+module Stats = Rvi_sim.Stats
+module Config = Rvi_harness.Config
+module Platform = Rvi_harness.Platform
+module Calibration = Rvi_harness.Calibration
+module Workload = Rvi_harness.Workload
+module Api = Rvi_core.Api
+module Vim = Rvi_core.Vim
+module Cp_port = Rvi_core.Cp_port
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let cfg () = Config.default ()
+
+let vecadd_platform ?(cfg = cfg ()) () =
+  Platform.create ~app_name:"vimtest" cfg
+    ~bitstream:Calibration.vecadd_bitstream
+    ~make:Rvi_coproc.Vecadd.Virtual.create
+
+let to_bytes words =
+  let b = Bytes.create (4 * Array.length words) in
+  Array.iteri
+    (fun i w ->
+      for k = 0 to 3 do
+        Bytes.set b ((4 * i) + k) (Char.chr ((w lsr (8 * k)) land 0xFF))
+      done)
+    words;
+  b
+
+let run_vecadd p n =
+  let a, b = Workload.vectors ~seed:5 ~n in
+  let buf_a = Platform.alloc_bytes p (to_bytes a) in
+  let buf_b = Platform.alloc_bytes p (to_bytes b) in
+  let buf_c = Platform.alloc p (4 * n) in
+  let ok = function Ok () -> () | Error _ -> Alcotest.fail "setup failed" in
+  ok (Api.fpga_load p.Platform.api Calibration.vecadd_bitstream);
+  ok
+    (Api.fpga_map_object p.Platform.api ~id:0 ~buf:buf_a
+       ~dir:Rvi_core.Mapped_object.In ~stream:true ());
+  ok
+    (Api.fpga_map_object p.Platform.api ~id:1 ~buf:buf_b
+       ~dir:Rvi_core.Mapped_object.In ~stream:true ());
+  ok
+    (Api.fpga_map_object p.Platform.api ~id:2 ~buf:buf_c
+       ~dir:Rvi_core.Mapped_object.Out ~stream:true ());
+  ok (Api.fpga_execute p.Platform.api ~params:[ n ]);
+  let expected = to_bytes (Rvi_coproc.Vecadd.reference ~a ~b) in
+  checkb "output correct" true (Bytes.equal (Platform.read p buf_c) expected)
+
+(* {1 Pre-mapping (FPGA_EXECUTE "performs the mapping")} *)
+
+let test_premap_fills_frames () =
+  let p = vecadd_platform () in
+  (* 3 objects x 1 page each + parameter page: everything pre-maps. *)
+  run_vecadd p 128;
+  let s = Vim.stats p.Platform.vim in
+  checki "three pages pre-mapped" 3 (Stats.get s "premapped");
+  checki "no demand faults" 0 (Stats.get s "faults")
+
+let test_premap_stops_at_capacity () =
+  let p = vecadd_platform () in
+  (* 3 objects x 4 pages = 12 pages against 7 data frames. *)
+  run_vecadd p 2048;
+  let s = Vim.stats p.Platform.vim in
+  checki "pre-maps exactly the free frames" 7 (Stats.get s "premapped");
+  checkb "remaining pages fault in" true (Stats.get s "faults" > 0)
+
+(* {1 Frame and TLB state after completion} *)
+
+let test_clean_state_after_fin () =
+  let p = vecadd_platform () in
+  run_vecadd p 1024;
+  checki "no frames held after flush" 0
+    (Rvi_core.Frame_table.held_count (Vim.frame_table p.Platform.vim));
+  checkb "no parameter page held" true
+    (Rvi_core.Frame_table.param_frame (Vim.frame_table p.Platform.vim) = None);
+  checki "TLB fully invalidated" 0
+    (Rvi_core.Tlb.valid_count (Rvi_core.Imu.tlb p.Platform.imu))
+
+(* {1 Parameter-page recycling (§3.2)} *)
+
+let test_param_page_recycled_under_pressure () =
+  let p = vecadd_platform () in
+  (* Large run: the spent parameter page must be reclaimed for data. *)
+  run_vecadd p 4096;
+  let s = Vim.stats p.Platform.vim in
+  checki "parameter page released once" 1 (Stats.get s "param_releases")
+
+let test_param_page_kept_when_room () =
+  let p = vecadd_platform () in
+  run_vecadd p 128;
+  let s = Vim.stats p.Platform.vim in
+  checki "no need to recycle" 0 (Stats.get s "param_releases")
+
+(* {1 Write-back of evicted output pages (correctness corner)} *)
+
+let test_written_back_pages_reload () =
+  (* An output page evicted dirty and faulted in again must come back from
+     user space with its earlier contents — otherwise results are lost.
+     vecadd with many pages on a tiny 4-frame memory forces exactly that. *)
+  let device =
+    { Rvi_fpga.Device.epxa1 with Rvi_fpga.Device.dpram_bytes = 8 * 1024; name = "TINY8" }
+  in
+  let p = vecadd_platform ~cfg:{ (cfg ()) with Config.device } () in
+  run_vecadd p 3000;
+  let s = Vim.stats p.Platform.vim in
+  checkb "evictions happened" true (Stats.get s "evictions" > 0);
+  checkb "write-backs happened" true (Stats.get s "writebacks" > 0)
+
+(* {1 Double transfers cost exactly twice (unit-level)} *)
+
+let test_transfer_factor () =
+  let run transfer =
+    let p = vecadd_platform ~cfg:{ (cfg ()) with Config.transfer } () in
+    run_vecadd p 2048;
+    Rvi_os.Accounting.get
+      (Rvi_os.Kernel.accounting p.Platform.kernel)
+      Rvi_os.Accounting.Sw_dp
+  in
+  let double = run Vim.Double and single = run Vim.Single in
+  checki "double is exactly twice single"
+    (2 * Simtime.to_ps single)
+    (Simtime.to_ps double)
+
+(* {1 Port equivalence: the portability claim as a property}
+
+   The same coprocessor FSM runs behind the virtual port (through IMU,
+   TLB, VIM, page faults) and behind the direct physical port. For random
+   access scripts the data read and the memory effects must be identical.
+   This is the module-system enforcement of §2's portability goal, checked
+   dynamically. *)
+
+module Script_coproc (P : Rvi_coproc.Mem_port.S) = struct
+  (* Replays a list of accesses: (region, addr, width, write?, data). *)
+  type action = int * int * Cp_port.width * bool * int
+
+  type m = {
+    port : P.t;
+    script : action array;
+    mutable index : int;
+    mutable started : bool;
+    mutable waiting : bool;
+    reads : (int * int) Queue.t; (* (script index, value) *)
+  }
+
+  let compute m =
+    P.sample m.port;
+    if (not m.started) && P.start_seen m.port then m.started <- true;
+    if m.started then
+      if m.waiting then begin
+        if P.ready m.port then begin
+          let region, _, _, wr, _ = m.script.(m.index) in
+          ignore region;
+          if not wr then Queue.push (m.index, P.data m.port) m.reads;
+          m.index <- m.index + 1;
+          m.waiting <- false;
+          if m.index >= Array.length m.script then P.finish m.port
+        end
+      end
+      else if m.index < Array.length m.script && not (P.busy m.port) then begin
+        let region, addr, width, wr, data = m.script.(m.index) in
+        P.issue m.port ~region ~addr ~wr ~width ~data;
+        m.waiting <- true
+      end
+
+  let create port script =
+    let m =
+      {
+        port;
+        script = Array.of_list script;
+        index = 0;
+        started = false;
+        waiting = false;
+        reads = Queue.create ();
+      }
+    in
+    ( m,
+      {
+        Rvi_coproc.Coproc.name = "script";
+        component =
+          Clock.component ~name:"script"
+            ~compute:(fun () -> compute m)
+            ~commit:(fun () -> P.commit m.port);
+        finished = (fun () -> m.index >= Array.length m.script);
+        reset = ignore;
+        stats = Stats.create ();
+      } )
+end
+
+let random_script prng ~obj_bytes ~n =
+  List.init n (fun _ ->
+      let region = Rvi_sim.Prng.int prng 2 in
+      let width, bytes =
+        match Rvi_sim.Prng.int prng 3 with
+        | 0 -> (Cp_port.W8, 1)
+        | 1 -> (Cp_port.W16, 2)
+        | _ -> (Cp_port.W32, 4)
+      in
+      let addr = Rvi_sim.Prng.int prng (obj_bytes - bytes + 1) in
+      (* Keep accesses aligned within pages by aligning to the width. *)
+      let addr = addr - (addr mod bytes) in
+      let wr = region = 1 && Rvi_sim.Prng.bool prng in
+      let data = Rvi_sim.Prng.int prng 0x1000000 in
+      (region, addr, width, wr, data))
+
+let run_script_virtual script ~obj_bytes ~init0 ~init1 =
+  let module SC = Script_coproc (Rvi_coproc.Vport) in
+  let made = ref None in
+  let p =
+    Platform.create (cfg ()) ~bitstream:Calibration.vecadd_bitstream
+      ~make:(fun port ->
+        let vport = Rvi_coproc.Vport.create port in
+        let m, coproc = SC.create vport script in
+        made := Some m;
+        (vport, coproc))
+  in
+  let m = Option.get !made in
+  let buf0 = Platform.alloc_bytes p init0 in
+  let buf1 = Platform.alloc_bytes p init1 in
+  let ok = function Ok () -> () | Error _ -> Alcotest.fail "setup failed" in
+  ok (Api.fpga_load p.Platform.api Calibration.vecadd_bitstream);
+  ok
+    (Api.fpga_map_object p.Platform.api ~id:0 ~buf:buf0
+       ~dir:Rvi_core.Mapped_object.In ());
+  ok
+    (Api.fpga_map_object p.Platform.api ~id:1 ~buf:buf1
+       ~dir:Rvi_core.Mapped_object.Inout ());
+  ok (Api.fpga_execute p.Platform.api ~params:[ 0 ]);
+  ignore obj_bytes;
+  let reads = List.of_seq (Queue.to_seq m.reads) in
+  (reads, Platform.read p buf1)
+
+let run_script_direct script ~obj_bytes ~init0 ~init1 =
+  let module SC = Script_coproc (Rvi_coproc.Dport) in
+  let engine = Engine.create () in
+  let cost = Rvi_os.Cost_model.default ~cpu_freq_hz:133_000_000 in
+  let kernel = Rvi_os.Kernel.create ~engine ~cost ~sdram_bytes:(1024 * 1024) () in
+  let dpram =
+    Rvi_mem.Dpram.create (Rvi_fpga.Device.geometry Rvi_fpga.Device.epxa1)
+  in
+  let dport = Rvi_coproc.Dport.create ~dpram in
+  let m, coproc = SC.create dport script in
+  let clock = Clock.create engine ~name:"c" ~freq_hz:40_000_000 in
+  Clock.add clock ~divide:1 coproc.Rvi_coproc.Coproc.component;
+  let buf0 = Rvi_os.Uspace.of_bytes kernel init0 in
+  let buf1 = Rvi_os.Uspace.of_bytes kernel init1 in
+  let regions =
+    [
+      {
+        Rvi_coproc.Normal_driver.region = 0;
+        buf = buf0;
+        dir = Rvi_core.Mapped_object.In;
+      };
+      {
+        Rvi_coproc.Normal_driver.region = 1;
+        buf = buf1;
+        dir = Rvi_core.Mapped_object.Inout;
+      };
+    ]
+  in
+  (match
+     Rvi_coproc.Normal_driver.run ~kernel ~dpram ~ahb:Rvi_mem.Ahb.default
+       ~clocks:[ clock ] ~dport ~coproc ~regions ~params:[ 0 ] ()
+   with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "direct run failed: %s"
+      (Rvi_coproc.Normal_driver.error_to_string e));
+  ignore obj_bytes;
+  let reads = List.of_seq (Queue.to_seq m.reads) in
+  (reads, Rvi_os.Uspace.read kernel buf1)
+
+let prop_port_equivalence =
+  QCheck.Test.make ~name:"virtual and direct ports are observably equivalent"
+    ~count:8
+    QCheck.(pair (int_bound 10_000) (int_range 20 120))
+    (fun (seed, n) ->
+      let obj_bytes = 4096 in
+      let prng = Rvi_sim.Prng.create ~seed in
+      let script = random_script prng ~obj_bytes ~n in
+      let init0 = Workload.random_bytes ~seed:(seed + 1) ~n:obj_bytes in
+      let init1 = Workload.random_bytes ~seed:(seed + 2) ~n:obj_bytes in
+      let r_virt = run_script_virtual script ~obj_bytes ~init0 ~init1 in
+      let r_dir = run_script_direct script ~obj_bytes ~init0 ~init1 in
+      fst r_virt = fst r_dir && Bytes.equal (snd r_virt) (snd r_dir))
+
+let suite =
+  [
+    Alcotest.test_case "vim/premap-fills" `Quick test_premap_fills_frames;
+    Alcotest.test_case "vim/premap-capacity" `Quick test_premap_stops_at_capacity;
+    Alcotest.test_case "vim/clean-after-fin" `Quick test_clean_state_after_fin;
+    Alcotest.test_case "vim/param-page-recycled" `Quick
+      test_param_page_recycled_under_pressure;
+    Alcotest.test_case "vim/param-page-kept" `Quick test_param_page_kept_when_room;
+    Alcotest.test_case "vim/writeback-reload" `Quick test_written_back_pages_reload;
+    Alcotest.test_case "vim/transfer-factor" `Quick test_transfer_factor;
+    QCheck_alcotest.to_alcotest prop_port_equivalence;
+  ]
+
+let test_param_page_overflow () =
+  let p = vecadd_platform () in
+  let ok = function Ok () -> () | Error _ -> Alcotest.fail "setup failed" in
+  ok (Api.fpga_load p.Platform.api Calibration.vecadd_bitstream);
+  let buf = Platform.alloc p 64 in
+  ok
+    (Api.fpga_map_object p.Platform.api ~id:0 ~buf
+       ~dir:Rvi_core.Mapped_object.In ());
+  (* 513 words cannot fit a 2 KB parameter page; they must be rejected
+     rather than silently overwriting the first data frame. *)
+  match
+    Api.fpga_execute p.Platform.api ~params:(List.init 513 (fun i -> i))
+  with
+  | Error Rvi_os.Syscall.EINVAL -> ()
+  | Ok () -> Alcotest.fail "oversized parameter list accepted"
+  | Error e -> Alcotest.failf "wrong errno %s" (Rvi_os.Syscall.errno_name e)
+
+let suite = suite @ [
+  Alcotest.test_case "vim/param-page-overflow" `Quick test_param_page_overflow;
+]
