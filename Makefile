@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean
+.PHONY: all build test bench examples check clean
 
 all: build
 
@@ -7,6 +7,17 @@ build:
 
 test:
 	dune runtest
+
+# Everything CI runs: a clean build, the test suite, and a guard against
+# accidentally committing the dune build tree.
+check:
+	dune build @all
+	dune runtest
+	@if git ls-files --error-unmatch _build >/dev/null 2>&1 || \
+	   git diff --cached --name-only --diff-filter=AM | grep -q '^_build/'; then \
+	  echo "error: _build/ is tracked or staged; it must stay ignored" >&2; \
+	  exit 1; \
+	fi
 
 bench:
 	dune exec bench/main.exe

@@ -77,7 +77,7 @@ let bench_event_queue =
 let bench_tlb =
   let tlb = Rvi_core.Tlb.create ~entries:8 () in
   for s = 0 to 7 do
-    Rvi_core.Tlb.insert tlb ~slot:s ~obj_id:(s mod 3) ~vpn:s ~ppn:s
+    Rvi_core.Tlb.insert tlb ~slot:s ~obj_id:(s mod 3) ~vpn:s ~ppn:s ~stamp:0
   done;
   Test.make ~name:"tlb/translate-hit"
     (Staged.stage (fun () ->

@@ -216,7 +216,32 @@ let run_cmd =
       value & opt int 4096
       & info [ "size" ] ~docv:"BYTES" ~doc:"Input size in bytes.")
   in
-  let run cfg csv app version size =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a structured event trace of the run to $(docv).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Chrome
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:
+            "Trace format: chrome (a trace_event JSON document loadable in \
+             Perfetto or about://tracing) or jsonl (one flat JSON object per \
+             event, round-trippable).")
+  in
+  let run cfg csv app version size trace_out trace_format =
+    let cfg =
+      if trace_out = None then cfg
+      else
+        {
+          cfg with
+          Rvi_harness.Config.trace = Some (Rvi_obs.Trace.create ());
+        }
+    in
     let row =
       match app with
       | `Adpcm -> (
@@ -261,11 +286,30 @@ let run_cmd =
     in
     Rvi_harness.Report.print_table ppf [ row ];
     emit ~csv [ row ];
+    (match (trace_out, cfg.Rvi_harness.Config.trace) with
+    | Some path, Some tr ->
+      let events = Rvi_obs.Trace.events tr in
+      let contents =
+        match trace_format with
+        | `Jsonl -> Rvi_obs.Export.to_jsonl events
+        | `Chrome -> Rvi_obs.Export.to_chrome events
+      in
+      (try
+         Rvi_obs.Export.write_file path contents;
+         Printf.printf "wrote %s (%d events%s)\n" path (List.length events)
+           (let d = Rvi_obs.Trace.dropped tr in
+            if d > 0 then Printf.sprintf ", %d dropped" d else "")
+       with Sys_error msg ->
+         Printf.eprintf "rvisim: cannot write trace: %s\n" msg;
+         exit 1)
+    | _ -> ());
     if not (Rvi_harness.Report.ok row) then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application/version/size point.")
-    Term.(const run $ config_term $ csv $ app_arg $ version $ size)
+    Term.(
+      const run $ config_term $ csv $ app_arg $ version $ size $ trace_out
+      $ trace_format)
 
 let ext_fir_cmd =
   let run cfg csv sizes =

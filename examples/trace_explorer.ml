@@ -10,16 +10,25 @@
    - how did the shipped FIFO VIM actually do?
 
    It also dumps the first micro-seconds of the signal-level capture as a
-   VCD file for a waveform viewer, and a self-checking VHDL testbench
-   generated from the same capture.
+   VCD file for a waveform viewer, a self-checking VHDL testbench
+   generated from the same capture, and the structured event trace in both
+   exporter formats (Chrome trace_event for Perfetto, JSONL for scripts),
+   with a span-level breakdown of where fault-service time went.
 
    Run with:  dune exec examples/trace_explorer.exe *)
 
 module Platform = Rvi_harness.Platform
 module Mrc = Rvi_harness.Mrc
+module Trace = Rvi_obs.Trace
+module Export = Rvi_obs.Export
 
 let () =
-  let cfg = Rvi_harness.Config.default () in
+  let cfg =
+    {
+      (Rvi_harness.Config.default ()) with
+      Rvi_harness.Config.trace = Some (Trace.create ());
+    }
+  in
   let input = Rvi_harness.Workload.adpcm_stream ~seed:11 ~bytes:(8 * 1024) in
   let p =
     Platform.create ~app_name:"explorer" cfg
@@ -77,4 +86,49 @@ let () =
   let oc = open_out "adpcmdecode_tb.vhd" in
   output_string oc tb;
   close_out oc;
-  Printf.printf "wrote adpcmdecode_tb.vhd (co-simulation vectors)\n"
+  Printf.printf "wrote adpcmdecode_tb.vhd (co-simulation vectors)\n";
+  (* Structured event trace: both exporter formats, then answer "where did
+     the fault-service time go?" from the spans themselves. *)
+  match cfg.Rvi_harness.Config.trace with
+  | None -> ()
+  | Some tr ->
+    let events = Trace.events tr in
+    Export.write_file "adpcm_trace.json" (Export.to_chrome events);
+    Export.write_file "adpcm_trace.jsonl" (Export.to_jsonl events);
+    let reread =
+      let ic = open_in "adpcm_trace.jsonl" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Export.of_jsonl s
+    in
+    Printf.printf
+      "wrote adpcm_trace.json (Chrome trace_event; load in Perfetto)\n";
+    Printf.printf "wrote adpcm_trace.jsonl (%d events, %d re-read back)\n"
+      (List.length events) (List.length reread);
+    let us e = Rvi_sim.Simtime.to_us e.Trace.dur in
+    let total pred =
+      List.fold_left
+        (fun acc e -> if pred e.Trace.kind then acc +. us e else acc)
+        0.0 events
+    in
+    let faults =
+      List.filter
+        (fun e -> match e.Trace.kind with Trace.Fault _ -> true | _ -> false)
+        events
+    in
+    Printf.printf
+      "\nfault service from the trace: %d spans, %.1f us total\n\
+      \  SWimu decode %.1f us + SWdp copy %.1f us + TLB update %.1f us\n"
+      (List.length faults)
+      (total (function Trace.Fault _ -> true | _ -> false))
+      (total (function Trace.Decode -> true | _ -> false))
+      (total (function Trace.Copy _ -> true | _ -> false))
+      (total (function Trace.Tlb_update _ -> true | _ -> false));
+    match
+      List.fold_left
+        (fun acc e ->
+          match acc with Some w when us w >= us e -> acc | _ -> Some e)
+        None faults
+    with
+    | Some e -> Format.printf "slowest fault: %a@." Trace.pp_event e
+    | None -> ()

@@ -93,7 +93,7 @@ let check_slot t slot op =
   if slot < 0 || slot >= Array.length t.slots then
     invalid_arg (Printf.sprintf "Tlb.%s: slot %d out of range" op slot)
 
-let insert t ~slot ~obj_id ~vpn ~ppn =
+let insert t ~slot ~obj_id ~vpn ~ppn ~stamp =
   check_slot t slot "insert";
   let e = t.slots.(slot) in
   e.valid <- true;
@@ -102,7 +102,10 @@ let insert t ~slot ~obj_id ~vpn ~ppn =
   e.ppn <- ppn;
   e.dirty <- false;
   e.referenced <- false;
-  e.last_access <- 0;
+  (* Stamp the refill with the current cycle: a fresh entry is the most
+     recently used, not the least. Stamping 0 here made every LRU scan
+     re-victimise the page whose fault was just serviced. *)
+  e.last_access <- stamp;
   Rvi_sim.Stats.incr t.stats "refills"
 
 let free_slot t =

@@ -50,8 +50,11 @@ val translate : t -> obj_id:int -> vpn:int -> stamp:int -> wr:bool -> int option
 (** Hardware access path: on a hit returns the physical page and updates
     the dirty/reference/stamp metadata. *)
 
-val insert : t -> slot:int -> obj_id:int -> vpn:int -> ppn:int -> unit
-(** Software refill. The entry starts clean and unreferenced. *)
+val insert : t -> slot:int -> obj_id:int -> vpn:int -> ppn:int -> stamp:int -> unit
+(** Software refill. The entry starts clean and unreferenced, with its
+    usage stamp set to [stamp] (the current IMU cycle): a just-refilled
+    entry counts as most recently used, so LRU scans do not immediately
+    re-victimise the page whose fault was just serviced. *)
 
 val free_slot : t -> int option
 (** An invalid slot, if any. *)

@@ -4,6 +4,7 @@ module Stats = Rvi_sim.Stats
 module Kernel = Rvi_os.Kernel
 module Accounting = Rvi_os.Accounting
 module Cost_model = Rvi_os.Cost_model
+module Trace = Rvi_obs.Trace
 
 let src = Logs.Src.create "rvi.vim" ~doc:"Virtual Interface Manager"
 
@@ -75,6 +76,20 @@ type t = {
   stats : Stats.t;
 }
 
+(* Event-trace emission: no-ops unless a trace is attached to the kernel.
+   [emit] records an instant at the current time; [span] records an
+   interval from [t0] to now (spans are emitted at completion). *)
+let emit t ?dur kind =
+  match Kernel.trace t.kernel with
+  | Some tr -> Trace.emit tr ~at:(Kernel.now t.kernel) ?dur kind
+  | None -> ()
+
+let span t ~t0 kind =
+  match Kernel.trace t.kernel with
+  | Some tr ->
+    Trace.emit tr ~at:t0 ~dur:(Simtime.sub (Kernel.now t.kernel) t0) kind
+  | None -> ()
+
 let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
   let t =
     {
@@ -102,10 +117,12 @@ let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
 and handle_irq t =
   let cost = Kernel.cost t.kernel in
   (* Read SR/AR over the bus and decode the cause. *)
+  let t0 = Kernel.now t.kernel in
   Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.fault_decode;
+  span t ~t0 Trace.Decode;
   let sr = Imu.read_sr t.imu in
   if Imu_regs.test sr Imu_regs.sr_fin then handle_fin t
-  else if Imu_regs.test sr Imu_regs.sr_fault then handle_fault t
+  else if Imu_regs.test sr Imu_regs.sr_fault then handle_fault t ~t0
   else
     (* Spurious interrupt: counted, otherwise ignored. *)
     Stats.incr t.stats "spurious_irqs"
@@ -115,14 +132,17 @@ and charge_copy t bytes =
   | Cpu ->
     let factor = match t.cfg.transfer with Single -> 1 | Double -> 2 in
     let cycles = factor * Rvi_mem.Ahb.copy_cycles t.ahb ~bytes in
-    Kernel.charge t.kernel Accounting.Sw_dp ~cycles
+    let t0 = Kernel.now t.kernel in
+    Kernel.charge t.kernel Accounting.Sw_dp ~cycles;
+    span t ~t0 (Trace.Copy { bytes; dma = false })
   | Dma_engine dma ->
     (* Program the channel, then wait out the burst; a DMA moves the data
        once regardless of the transfer-mode setting. *)
     Kernel.charge t.kernel Accounting.Sw_dp
       ~cycles:(Rvi_mem.Dma.setup_cycles dma);
+    let notify ~bytes time = emit t ~dur:time (Trace.Copy { bytes; dma = true }) in
     Kernel.charge_time t.kernel Accounting.Sw_dp
-      (Rvi_mem.Dma.transfer_time dma ~bytes)
+      (Rvi_mem.Dma.transfer ~notify dma ~bytes)
 
 (* Dirtiness of the page in [frame]: hardware TLB bit plus anything folded
    back when a TLB entry was evicted while the page stayed resident. *)
@@ -158,6 +178,7 @@ and writeback_if_dirty t ~frame ~obj_id ~vpn =
           Rvi_mem.Sdram.blit_in tmp ~src:0 sdram ~dst ~len;
           charge_copy t len;
           Hashtbl.replace t.written_back (obj_id, vpn) ();
+          emit t (Trace.Page_writeback { obj_id; vpn; frame; bytes = len });
           Stats.incr t.stats "writebacks"
         end
     end
@@ -172,11 +193,13 @@ and invalidate_tlb_for_frame t ~frame =
     let cost = Kernel.cost t.kernel in
     if (Tlb.get tlb ~slot).Tlb.dirty then Hashtbl.replace t.frame_dirty frame ();
     Tlb.invalidate tlb ~slot;
-    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update
+    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update;
+    emit t (Trace.Tlb_invalidate { ppn = frame })
 
 and evict t ~frame =
   (match Frame_table.slot t.frames ~frame with
   | Frame_table.Held { obj_id; vpn; _ } ->
+    let dirty = frame_is_dirty t ~frame in
     (* Unmap, then drain: an access whose CAM hit preceded the
        invalidation may still be in flight inside the IMU; give it one
        full translation window (an SR read's worth of CPU time) to land in
@@ -186,6 +209,9 @@ and evict t ~frame =
     Kernel.charge t.kernel Accounting.Sw_imu
       ~cycles:(Kernel.cost t.kernel).Cost_model.fault_decode;
     writeback_if_dirty t ~frame ~obj_id ~vpn;
+    emit t
+      (Trace.Page_evict
+         { obj_id; vpn; frame; policy = Policy.name t.cfg.policy; dirty });
     Stats.incr t.stats "evictions"
   | Frame_table.Param -> Stats.incr t.stats "param_releases"
   | Frame_table.Free -> ());
@@ -283,6 +309,7 @@ and install_page ?protect t ~frame ~obj ~vpn =
     Rvi_mem.Sdram.blit_out sdram ~src tmp ~dst:0 ~len;
     Rvi_mem.Dpram.load_page t.dpram ~page:frame tmp ~src:0 ~len;
     charge_copy t len;
+    emit t (Trace.Page_load { obj_id; vpn; frame; bytes = len });
     Stats.incr t.stats "pages_loaded"
   end
   else begin
@@ -338,8 +365,12 @@ and refill_tlb ?protect t ~frame ~obj_id ~vpn =
   in
   match slot with
   | Some slot ->
-    Tlb.insert tlb ~slot ~obj_id ~vpn ~ppn:frame;
-    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update
+    let t0 = Kernel.now t.kernel in
+    (* Stamp the refill with the current IMU cycle so the entry is the
+       most recently used — see Tlb.insert. *)
+    Tlb.insert tlb ~slot ~obj_id ~vpn ~ppn:frame ~stamp:(Imu.cycle t.imu);
+    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update;
+    span t ~t0 (Trace.Tlb_update { obj_id; vpn; ppn = frame })
   | None ->
     (* Every usable way holds the protected page: leave the new page
        resident without a translation. *)
@@ -366,15 +397,17 @@ and try_prefetch t ~obj ~vpn ~protect =
         match obtain_frame ~exclude:protect ~clean_only:true t with
         | Some frame ->
           install_page ~protect:protect_page t ~frame ~obj ~vpn:pvpn;
+          emit t (Trace.Prefetch { obj_id; vpn = pvpn; frame });
           Stats.incr t.stats "prefetched";
           frame :: protect
         | None -> protect)
     protect predictions
   |> ignore
 
-and handle_fault t =
+and handle_fault t ~t0 =
   Stats.incr t.stats "faults";
-  let service_start = Kernel.now t.kernel in
+  (* Service time is measured from interrupt decode ([t0]): the SR/AR read
+     is part of what the coprocessor waits out. *)
   Log.debug (fun m ->
       m "page fault: %s"
         (match Imu.fault t.imu with
@@ -396,10 +429,12 @@ and handle_fault t =
             Imu.write_cr t.imu Imu_regs.cr_resume
           end
         in
+        let refill_only = ref false in
         (match Frame_table.find t.frames ~obj_id ~vpn with
         | Some frame ->
           (* Page already resident: the TLB had no room for its entry.
              Pure refill. *)
+          refill_only := true;
           Stats.incr t.stats "tlb_refill_faults";
           refill_tlb t ~frame ~obj_id ~vpn
         | None -> (
@@ -415,8 +450,9 @@ and handle_fault t =
             end
             else try_prefetch t ~obj ~vpn ~protect:[ frame ]));
         if t.error = None then resume ();
+        span t ~t0 (Trace.Fault { obj_id; vpn; refill_only = !refill_only });
         Stats.observe t.stats "fault_service_us"
-          (Simtime.to_us (Simtime.sub (Kernel.now t.kernel) service_start))
+          (Simtime.to_us (Simtime.sub (Kernel.now t.kernel) t0))
       end)
 
 (* FPGA_EXECUTE "performs the mapping": before the coprocessor starts, as
@@ -511,6 +547,8 @@ let execute t ~params =
     t.finished <- false;
     t.error <- None;
     Stats.incr t.stats "executions";
+    let texec = Kernel.now kernel in
+    emit t Trace.Exec_begin;
     (* Seed the parameter-passing page (physical page 0); cleared first so
        a short parameter list never exposes a previous run's words. *)
     Frame_table.set_param t.frames ~frame:0;
@@ -547,24 +585,35 @@ let execute t ~params =
           if t.finished || t.error <> None then ()
           else if Simtime.(Engine.now engine < deadline) then
             pump (Engine.now engine)
-          else t.error <- Some Hardware_stall
+          else begin
+            emit t Trace.Watchdog;
+            t.error <- Some Hardware_stall
+          end
         end
         else if t.finished || t.error <> None then ()
-        else t.error <- Some Hardware_stall
+        else begin
+          emit t Trace.Watchdog;
+          t.error <- Some Hardware_stall
+        end
       in
       (try pump (Engine.now engine)
-       with Engine.Stalled -> t.error <- Some Hardware_stall);
+       with Engine.Stalled ->
+         emit t Trace.Watchdog;
+         t.error <- Some Hardware_stall);
       match t.error with Some e -> Error e | None -> Ok ()
     in
     List.iter Rvi_sim.Clock.stop t.clocks;
     (match t.caller with
     | Some pid ->
-      (* The fin handler already woke the caller on the happy path; on an
-         error path wake it here so it can observe the failure. *)
-      Rvi_os.Sched.wake sched ~pid;
+      (* The fin handler already woke the caller on the happy path — waking
+         again here was a double-wake (a redundant [Sched.wake] on a ready
+         process). Only the error paths that bypass [handle_fin] still need
+         the wake so the caller can observe the failure. *)
+      if not t.finished then Rvi_os.Sched.wake sched ~pid;
       ignore (Rvi_os.Sched.schedule sched);
       t.caller <- None
     | None -> ());
+    span t ~t0:texec (Trace.Exec_end { ok = Result.is_ok result });
     result
   end
 

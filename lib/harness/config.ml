@@ -17,6 +17,7 @@ type t = {
   tlb_entries : int option;
   tlb_organization : Rvi_core.Tlb.organization;
   seed : int;
+  trace : Rvi_obs.Trace.t option;
 }
 
 let default () =
@@ -33,6 +34,7 @@ let default () =
     tlb_entries = None;
     tlb_organization = Rvi_core.Tlb.Fully_associative;
     seed = 42;
+    trace = None;
   }
 
 let with_policy t name =

@@ -24,6 +24,9 @@ type t = {
   tlb_entries : int option;  (** [None]: one entry per dual-port page *)
   tlb_organization : Rvi_core.Tlb.organization;
   seed : int;
+  trace : Rvi_obs.Trace.t option;
+      (** structured event trace attached to every platform built from this
+          configuration; events accumulate across runs (see {!Rvi_obs}) *)
 }
 
 val default : unit -> t

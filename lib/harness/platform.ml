@@ -24,6 +24,9 @@ let create ?(app_name = "app") ?(sdram_bytes = 4 * 1024 * 1024) (cfg : Config.t)
     Rvi_os.Cost_model.default ~cpu_freq_hz:cfg.Config.device.Device.cpu_freq_hz
   in
   let kernel = Kernel.create ~engine ~cost ~sdram_bytes () in
+  (match cfg.Config.trace with
+  | Some _ as tr -> Kernel.set_trace kernel tr
+  | None -> ());
   let dpram = Rvi_mem.Dpram.create (Device.geometry cfg.Config.device) in
   let pld = Rvi_fpga.Pld.create cfg.Config.device in
   let port = Rvi_core.Cp_port.create () in

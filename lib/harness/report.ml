@@ -19,6 +19,8 @@ type row = {
   tlb_refill_faults : int;
   prefetched : int;
   accesses : int;
+  fault_p95_us : float;
+  fault_p99_us : float;
   verified : bool;
 }
 
@@ -32,7 +34,18 @@ let speedup ~baseline r =
   | _ -> None
 
 let size_label bytes =
-  if bytes >= 1024 && bytes mod 1024 = 0 then Printf.sprintf "%dKB" (bytes / 1024)
+  (* Non-KiB-aligned sizes used to fall through to bytes ("1536B"); render
+     them as fractional KB instead, trimming a trailing ".0". *)
+  if bytes >= 1024 then
+    if bytes mod 1024 = 0 then Printf.sprintf "%dKB" (bytes / 1024)
+    else
+      let kb = float_of_int bytes /. 1024.0 in
+      let s = Printf.sprintf "%.2f" kb in
+      let s =
+        let n = String.length s in
+        if String.ends_with ~suffix:"0" s then String.sub s 0 (n - 1) else s
+      in
+      s ^ "KB"
   else Printf.sprintf "%dB" bytes
 
 let ms t = Simtime.to_ms t
@@ -40,17 +53,18 @@ let ms t = Simtime.to_ms t
 let print_table ?title ppf rows =
   (match title with Some s -> Format.fprintf ppf "%s@." s | None -> ());
   Format.fprintf ppf
-    "%-14s %-8s %-7s %10s %9s %9s %9s %7s %6s %6s %5s  %s@." "app" "version"
-    "input" "total(ms)" "HW(ms)" "SWdp(ms)" "SWimu(ms)" "faults" "evict"
-    "wback" "acc/k" "ok";
+    "%-14s %-8s %-7s %10s %9s %9s %9s %7s %8s %8s %6s %6s %5s  %s@." "app"
+    "version" "input" "total(ms)" "HW(ms)" "SWdp(ms)" "SWimu(ms)" "faults"
+    "p95(us)" "p99(us)" "evict" "wback" "acc/k" "ok";
   List.iter
     (fun r ->
       match r.outcome with
       | Measured ->
         Format.fprintf ppf
-          "%-14s %-8s %-7s %10.3f %9.3f %9.3f %9.3f %7d %6d %6d %5d  %s@."
+          "%-14s %-8s %-7s %10.3f %9.3f %9.3f %9.3f %7d %8.2f %8.2f %6d %6d %5d  %s@."
           r.app r.version (size_label r.input_bytes) (ms r.total) (ms r.hw)
-          (ms r.sw_dp) (ms r.sw_imu) r.faults r.evictions r.writebacks
+          (ms r.sw_dp) (ms r.sw_imu) r.faults r.fault_p95_us r.fault_p99_us
+          r.evictions r.writebacks
           (r.accesses / 1000)
           (if r.verified then "yes" else "NO")
       | Exceeds_memory ->
@@ -119,7 +133,7 @@ let bar_chart ?(width = 52) ~title ~baseline_version ppf rows =
 let csv rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "app,version,input_bytes,outcome,total_ms,hw_ms,sw_dp_ms,sw_imu_ms,sw_app_ms,sw_os_ms,faults,evictions,writebacks,tlb_refill_faults,prefetched,accesses,verified\n";
+    "app,version,input_bytes,outcome,total_ms,hw_ms,sw_dp_ms,sw_imu_ms,sw_app_ms,sw_os_ms,faults,fault_p95_us,fault_p99_us,evictions,writebacks,tlb_refill_faults,prefetched,accesses,verified\n";
   List.iter
     (fun r ->
       let outcome =
@@ -129,11 +143,12 @@ let csv rows =
         | Failed m -> Printf.sprintf "failed(%s)" m
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%b\n"
+        (Printf.sprintf
+           "%s,%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%b\n"
            r.app r.version r.input_bytes outcome (ms r.total) (ms r.hw)
            (ms r.sw_dp) (ms r.sw_imu) (ms r.sw_app) (ms r.sw_os) r.faults
-           r.evictions r.writebacks r.tlb_refill_faults r.prefetched r.accesses
-           r.verified))
+           r.fault_p95_us r.fault_p99_us r.evictions r.writebacks
+           r.tlb_refill_faults r.prefetched r.accesses r.verified))
     rows;
   Buffer.contents buf
 
@@ -161,10 +176,11 @@ let json rows =
       | Failed m -> "failed: " ^ m
     in
     Printf.sprintf
-      {|{"app":"%s","version":"%s","input_bytes":%d,"outcome":"%s","total_ms":%.6f,"hw_ms":%.6f,"sw_dp_ms":%.6f,"sw_imu_ms":%.6f,"sw_app_ms":%.6f,"sw_os_ms":%.6f,"faults":%d,"evictions":%d,"writebacks":%d,"tlb_refill_faults":%d,"prefetched":%d,"accesses":%d,"verified":%b}|}
+      {|{"app":"%s","version":"%s","input_bytes":%d,"outcome":"%s","total_ms":%.6f,"hw_ms":%.6f,"sw_dp_ms":%.6f,"sw_imu_ms":%.6f,"sw_app_ms":%.6f,"sw_os_ms":%.6f,"faults":%d,"fault_p95_us":%.3f,"fault_p99_us":%.3f,"evictions":%d,"writebacks":%d,"tlb_refill_faults":%d,"prefetched":%d,"accesses":%d,"verified":%b}|}
       (json_escape r.app) (json_escape r.version) r.input_bytes
       (json_escape outcome) (ms r.total) (ms r.hw) (ms r.sw_dp) (ms r.sw_imu)
-      (ms r.sw_app) (ms r.sw_os) r.faults r.evictions r.writebacks
-      r.tlb_refill_faults r.prefetched r.accesses r.verified
+      (ms r.sw_app) (ms r.sw_os) r.faults r.fault_p95_us r.fault_p99_us
+      r.evictions r.writebacks r.tlb_refill_faults r.prefetched r.accesses
+      r.verified
   in
   "[\n  " ^ String.concat ",\n  " (List.map row_json rows) ^ "\n]\n"

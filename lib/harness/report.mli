@@ -27,6 +27,8 @@ type row = {
   tlb_refill_faults : int;
   prefetched : int;
   accesses : int;
+  fault_p95_us : float;  (** 95th-percentile fault-service time, µs *)
+  fault_p99_us : float;  (** 99th-percentile fault-service time, µs *)
   verified : bool;  (** output bit-exact against the software reference *)
 }
 
@@ -37,7 +39,8 @@ val speedup : baseline:row -> row -> float option
 (** [total baseline / total row]; [None] unless both rows measured. *)
 
 val size_label : int -> string
-(** ["2KB"], ["512B"]... *)
+(** ["2KB"], ["512B"], and fractional KB for non-aligned sizes:
+    [size_label 1536 = "1.5KB"]. *)
 
 val print_table : ?title:string -> Format.formatter -> row list -> unit
 (** Aligned table: size, outcome, total and component times, counts,

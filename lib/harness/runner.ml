@@ -49,6 +49,8 @@ let row_base ~app ~version ~input_bytes =
     tlb_refill_faults = 0;
     prefetched = 0;
     accesses = 0;
+    fault_p95_us = 0.0;
+    fault_p99_us = 0.0;
     verified = false;
   }
 
@@ -127,6 +129,11 @@ let run_virtual (cfg : Config.t) ~app ~bitstream ~make ~objects ~params
   let verified = verify read_obj in
   let vstats = Rvi_core.Vim.stats vim in
   let istats = Rvi_core.Imu.stats imu in
+  let fault_p95_us, fault_p99_us =
+    match Stats.summary vstats "fault_service_us" with
+    | Some s -> (s.Stats.p95, s.Stats.p99)
+    | None -> (0.0, 0.0)
+  in
   {
     (fill_times row kernel ~wall) with
     Report.verified;
@@ -136,6 +143,8 @@ let run_virtual (cfg : Config.t) ~app ~bitstream ~make ~objects ~params
     tlb_refill_faults = Stats.get vstats "tlb_refill_faults";
     prefetched = Stats.get vstats "prefetched";
     accesses = Stats.get istats "accesses";
+    fault_p95_us;
+    fault_p99_us;
   }
 
 let run_normal (cfg : Config.t) ~app ~clock_hz ~coproc_divide ~make ~objects

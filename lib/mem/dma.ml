@@ -21,3 +21,10 @@ let transfer_time t ~bytes =
   else
     let words = (bytes + t.word_bytes - 1) / t.word_bytes in
     Rvi_sim.Simtime.of_cycles ~hz:t.bus_hz (words * t.bus_cycles_per_word)
+
+let transfer ?notify t ~bytes =
+  let time = transfer_time t ~bytes in
+  (match notify with
+  | Some f when bytes > 0 -> f ~bytes time
+  | Some _ | None -> ());
+  time

@@ -24,3 +24,8 @@ val setup_cycles : t -> int
 
 val transfer_time : t -> bytes:int -> Rvi_sim.Simtime.t
 (** Burst duration for a transfer of [bytes]; zero bytes take no time. *)
+
+val transfer : ?notify:(bytes:int -> Rvi_sim.Simtime.t -> unit) -> t -> bytes:int -> Rvi_sim.Simtime.t
+(** Like {!transfer_time}, but reports each non-empty burst to [notify]
+    first — the hook the observability layer uses to put DMA transfers on
+    the event trace. *)

@@ -1,0 +1,256 @@
+(* Trace exporters and the JSON-lines reader.
+
+   Two formats:
+   - JSON lines: one flat object per event, stream-friendly, read back by
+     {!of_jsonl} (round-trip safe);
+   - Chrome trace_event: a [{"traceEvents":[...]}] document that
+     about://tracing and Perfetto load directly, rendering every
+     FPGA_EXECUTE as a timeline of nested spans (execute > interrupt >
+     fault service > decode / copy / TLB-update segments). *)
+
+module Simtime = Rvi_sim.Simtime
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_to_json = function
+  | Trace.Int i -> string_of_int i
+  | Trace.Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Trace.Bool b -> if b then "true" else "false"
+
+(* {1 JSON lines} *)
+
+let event_to_json (e : Trace.event) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"ts_ps\":%d,\"dur_ps\":%d,\"kind\":\"%s\""
+       e.Trace.seq
+       (Simtime.to_ps e.Trace.at)
+       (Simtime.to_ps e.Trace.dur)
+       (Trace.kind_name e.Trace.kind));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" k (arg_to_json v)))
+    (Trace.args e.Trace.kind);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_json e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* {2 Reader}
+
+   A minimal parser for the flat objects {!to_jsonl} emits: string, integer
+   and boolean values only, no nesting. Not a general JSON parser. *)
+
+exception Parse_error of string
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos >= n || line.[!pos] <> c then fail (Printf.sprintf "expected %c" c);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "dangling escape";
+          (match line.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if !pos + 4 >= n then fail "short unicode escape";
+            let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
+            pos := !pos + 4;
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else fail "non-ASCII escape unsupported"
+          | c -> fail (Printf.sprintf "unknown escape \\%c" c));
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_value () =
+    skip_ws ();
+    if !pos >= n then fail "missing value"
+    else
+      match line.[!pos] with
+      | '"' -> Trace.Str (parse_string ())
+      | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Trace.Bool true
+        end
+        else fail "bad literal"
+      | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Trace.Bool false
+        end
+        else fail "bad literal"
+      | '-' | '0' .. '9' ->
+        let start = !pos in
+        if line.[!pos] = '-' then incr pos;
+        while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr pos
+        done;
+        Trace.Int (int_of_string (String.sub line start (!pos - start)))
+      | _ -> fail "unsupported value"
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !pos < n && line.[!pos] = '}' then incr pos
+  else begin
+    let rec members () =
+      let key = (skip_ws (); parse_string ()) in
+      expect ':';
+      let v = parse_value () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        members ()
+      end
+      else expect '}'
+    in
+    members ()
+  end;
+  List.rev !fields
+
+let event_of_json line =
+  let fields = parse_object line in
+  let lookup k = List.assoc_opt k fields in
+  let int k =
+    match lookup k with
+    | Some (Trace.Int i) -> i
+    | _ -> raise (Parse_error (Printf.sprintf "missing integer field %S" k))
+  in
+  let kind_name =
+    match lookup "kind" with
+    | Some (Trace.Str s) -> s
+    | _ -> raise (Parse_error "missing \"kind\"")
+  in
+  match Trace.kind_of_name kind_name lookup with
+  | Some kind ->
+    {
+      Trace.seq = int "seq";
+      at = Simtime.of_ps (int "ts_ps");
+      dur = Simtime.of_ps (int "dur_ps");
+      kind;
+    }
+  | None -> raise (Parse_error (Printf.sprintf "unknown kind %S" kind_name))
+
+let of_jsonl s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map event_of_json
+
+(* {1 Chrome trace_event} *)
+
+let span_tid = 1
+let instant_tid = 2
+
+let is_span (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Exec_end _ | Trace.Fault _ | Trace.Decode | Trace.Copy _
+  | Trace.Tlb_update _ | Trace.Irq_service ->
+    true
+  | _ -> false
+
+let chrome_name (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Exec_end _ -> "execute"
+  | Trace.Fault { refill_only; _ } ->
+    if refill_only then "fault-service (refill)" else "fault-service"
+  | Trace.Decode -> "SWimu decode"
+  | Trace.Copy { dma; _ } -> if dma then "SWdp copy (DMA)" else "SWdp copy"
+  | Trace.Tlb_update _ -> "TLB update"
+  | k -> Trace.kind_name k
+
+let chrome_event (e : Trace.event) =
+  let args =
+    Trace.args e.Trace.kind
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (arg_to_json v))
+    |> String.concat ","
+  in
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"ts\":%.6f,\"args\":{%s}"
+      (json_escape (chrome_name e))
+      (Trace.category e.Trace.kind)
+      (Simtime.to_us e.Trace.at) args
+  in
+  if is_span e then
+    Printf.sprintf "{%s,\"ph\":\"X\",\"tid\":%d,\"dur\":%.6f}" common span_tid
+      (Simtime.to_us e.Trace.dur)
+  else Printf.sprintf "{%s,\"ph\":\"i\",\"tid\":%d,\"s\":\"t\"}" common instant_tid
+
+let metadata =
+  [
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rvisim\"}}";
+    Printf.sprintf
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"VIM service\"}}"
+      span_tid;
+    Printf.sprintf
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"interface events\"}}"
+      instant_tid;
+  ]
+
+let to_chrome events =
+  (* Spans are emitted at completion: restore start-time order, longest
+     first at equal starts, so the viewer nests them correctly. *)
+  let sorted =
+    List.stable_sort
+      (fun (a : Trace.event) (b : Trace.event) ->
+        match Simtime.compare a.Trace.at b.Trace.at with
+        | 0 -> Simtime.compare b.Trace.dur a.Trace.dur
+        | c -> c)
+      events
+  in
+  let entries = metadata @ List.map chrome_event sorted in
+  "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+  ^ String.concat ",\n" entries
+  ^ "\n]}\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,200 @@
+module Simtime = Rvi_sim.Simtime
+
+type kind =
+  | Exec_begin
+  | Exec_end of { ok : bool }
+  | Fault of { obj_id : int; vpn : int; refill_only : bool }
+  | Decode
+  | Copy of { bytes : int; dma : bool }
+  | Tlb_update of { obj_id : int; vpn : int; ppn : int }
+  | Tlb_invalidate of { ppn : int }
+  | Page_load of { obj_id : int; vpn : int; frame : int; bytes : int }
+  | Page_writeback of { obj_id : int; vpn : int; frame : int; bytes : int }
+  | Page_evict of {
+      obj_id : int;
+      vpn : int;
+      frame : int;
+      policy : string;
+      dirty : bool;
+    }
+  | Prefetch of { obj_id : int; vpn : int; frame : int }
+  | Irq_raise of { line : int; name : string }
+  | Irq_service
+  | Watchdog
+
+type event = { seq : int; at : Simtime.t; dur : Simtime.t; kind : kind }
+
+type t = {
+  buf : event array;
+  capacity : int;
+  mutable len : int;
+  mutable head : int; (* index of the oldest event when len = capacity *)
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+let dummy = { seq = -1; at = Simtime.zero; dur = Simtime.zero; kind = Exec_begin }
+
+let create ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Trace.create: need at least one slot";
+  {
+    buf = Array.make capacity dummy;
+    capacity;
+    len = 0;
+    head = 0;
+    next_seq = 0;
+    dropped = 0;
+  }
+
+let emit t ~at ?(dur = Simtime.zero) kind =
+  let e = { seq = t.next_seq; at; dur; kind } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len < t.capacity then begin
+    t.buf.((t.head + t.len) mod t.capacity) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Ring full: overwrite the oldest event. *)
+    t.buf.(t.head) <- e;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = t.len
+let dropped t = t.dropped
+let emitted t = t.next_seq
+
+let events t =
+  List.init t.len (fun i -> t.buf.((t.head + i) mod t.capacity))
+
+let clear t =
+  t.len <- 0;
+  t.head <- 0;
+  t.dropped <- 0
+
+let kind_name = function
+  | Exec_begin -> "exec_begin"
+  | Exec_end _ -> "exec"
+  | Fault _ -> "fault"
+  | Decode -> "decode"
+  | Copy _ -> "copy"
+  | Tlb_update _ -> "tlb_update"
+  | Tlb_invalidate _ -> "tlb_invalidate"
+  | Page_load _ -> "page_load"
+  | Page_writeback _ -> "page_writeback"
+  | Page_evict _ -> "page_evict"
+  | Prefetch _ -> "prefetch"
+  | Irq_raise _ -> "irq_raise"
+  | Irq_service -> "irq_service"
+  | Watchdog -> "watchdog"
+
+type arg = Int of int | Str of string | Bool of bool
+
+(* Structured payload of each kind, used by both exporters so they never
+   disagree about field names. *)
+let args = function
+  | Exec_begin | Decode | Irq_service | Watchdog -> []
+  | Exec_end { ok } -> [ ("ok", Bool ok) ]
+  | Fault { obj_id; vpn; refill_only } ->
+    [ ("obj", Int obj_id); ("vpn", Int vpn); ("refill_only", Bool refill_only) ]
+  | Copy { bytes; dma } -> [ ("bytes", Int bytes); ("dma", Bool dma) ]
+  | Tlb_update { obj_id; vpn; ppn } ->
+    [ ("obj", Int obj_id); ("vpn", Int vpn); ("ppn", Int ppn) ]
+  | Tlb_invalidate { ppn } -> [ ("ppn", Int ppn) ]
+  | Page_load { obj_id; vpn; frame; bytes } ->
+    [ ("obj", Int obj_id); ("vpn", Int vpn); ("frame", Int frame); ("bytes", Int bytes) ]
+  | Page_writeback { obj_id; vpn; frame; bytes } ->
+    [ ("obj", Int obj_id); ("vpn", Int vpn); ("frame", Int frame); ("bytes", Int bytes) ]
+  | Page_evict { obj_id; vpn; frame; policy; dirty } ->
+    [
+      ("obj", Int obj_id);
+      ("vpn", Int vpn);
+      ("frame", Int frame);
+      ("policy", Str policy);
+      ("dirty", Bool dirty);
+    ]
+  | Prefetch { obj_id; vpn; frame } ->
+    [ ("obj", Int obj_id); ("vpn", Int vpn); ("frame", Int frame) ]
+  | Irq_raise { line; name } -> [ ("line", Int line); ("name", Str name) ]
+
+(* Inverse of {!args} ∘ {!kind_name}: rebuild a kind from its name and a
+   field lookup. Returns [None] on unknown names or missing fields. *)
+let kind_of_name name lookup =
+  let int k = match lookup k with Some (Int i) -> Some i | _ -> None in
+  let str k = match lookup k with Some (Str s) -> Some s | _ -> None in
+  let bool k = match lookup k with Some (Bool b) -> Some b | _ -> None in
+  let ( let* ) = Option.bind in
+  match name with
+  | "exec_begin" -> Some Exec_begin
+  | "exec" ->
+    let* ok = bool "ok" in
+    Some (Exec_end { ok })
+  | "fault" ->
+    let* obj_id = int "obj" in
+    let* vpn = int "vpn" in
+    let* refill_only = bool "refill_only" in
+    Some (Fault { obj_id; vpn; refill_only })
+  | "decode" -> Some Decode
+  | "copy" ->
+    let* bytes = int "bytes" in
+    let* dma = bool "dma" in
+    Some (Copy { bytes; dma })
+  | "tlb_update" ->
+    let* obj_id = int "obj" in
+    let* vpn = int "vpn" in
+    let* ppn = int "ppn" in
+    Some (Tlb_update { obj_id; vpn; ppn })
+  | "tlb_invalidate" ->
+    let* ppn = int "ppn" in
+    Some (Tlb_invalidate { ppn })
+  | "page_load" ->
+    let* obj_id = int "obj" in
+    let* vpn = int "vpn" in
+    let* frame = int "frame" in
+    let* bytes = int "bytes" in
+    Some (Page_load { obj_id; vpn; frame; bytes })
+  | "page_writeback" ->
+    let* obj_id = int "obj" in
+    let* vpn = int "vpn" in
+    let* frame = int "frame" in
+    let* bytes = int "bytes" in
+    Some (Page_writeback { obj_id; vpn; frame; bytes })
+  | "page_evict" ->
+    let* obj_id = int "obj" in
+    let* vpn = int "vpn" in
+    let* frame = int "frame" in
+    let* policy = str "policy" in
+    let* dirty = bool "dirty" in
+    Some (Page_evict { obj_id; vpn; frame; policy; dirty })
+  | "prefetch" ->
+    let* obj_id = int "obj" in
+    let* vpn = int "vpn" in
+    let* frame = int "frame" in
+    Some (Prefetch { obj_id; vpn; frame })
+  | "irq_raise" ->
+    let* line = int "line" in
+    let* name = str "name" in
+    Some (Irq_raise { line; name })
+  | "irq_service" -> Some Irq_service
+  | "watchdog" -> Some Watchdog
+  | _ -> None
+
+(* The paper's time categories, for exporters that color by category. *)
+let category = function
+  | Exec_begin | Exec_end _ -> "exec"
+  | Fault _ | Irq_service -> "vim"
+  | Decode | Tlb_update _ | Tlb_invalidate _ -> "swimu"
+  | Copy _ -> "swdp"
+  | Page_load _ | Page_writeback _ | Page_evict _ | Prefetch _ -> "paging"
+  | Irq_raise _ | Watchdog -> "irq"
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a+%a] %s" Simtime.pp e.at Simtime.pp e.dur
+    (kind_name e.kind);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Int i -> Format.fprintf ppf " %s=%d" k i
+      | Str s -> Format.fprintf ppf " %s=%s" k s
+      | Bool b -> Format.fprintf ppf " %s=%b" k b)
+    (args e.kind)

@@ -1,0 +1,80 @@
+(** Ring-buffered structured event trace.
+
+    Every interesting step of a virtualised execution — fault service,
+    TLB refills and invalidations, page movement with the policy's victim
+    choice, prefetch, DMA copies, interrupt entry/exit, the watchdog —
+    is recorded as a structured event carrying its simulated start time
+    and duration. The buffer is a fixed-capacity ring: tracing a run of
+    any length costs bounded memory, and the newest events win.
+
+    Spans (events with a non-zero duration) are emitted at completion
+    with a retrospective start time, so buffer order is emission order,
+    not start-time order; exporters sort when a format requires it. *)
+
+module Simtime = Rvi_sim.Simtime
+
+type kind =
+  | Exec_begin  (** instant: FPGA_EXECUTE entered *)
+  | Exec_end of { ok : bool }  (** span over the whole FPGA_EXECUTE *)
+  | Fault of { obj_id : int; vpn : int; refill_only : bool }
+      (** span over one fault service, interrupt decode included *)
+  | Decode  (** span: SR/AR read and cause decode (SW-IMU) *)
+  | Copy of { bytes : int; dma : bool }  (** span: data movement (SW-DP) *)
+  | Tlb_update of { obj_id : int; vpn : int; ppn : int }
+      (** span: TLB refill write (SW-IMU) *)
+  | Tlb_invalidate of { ppn : int }
+  | Page_load of { obj_id : int; vpn : int; frame : int; bytes : int }
+  | Page_writeback of { obj_id : int; vpn : int; frame : int; bytes : int }
+  | Page_evict of {
+      obj_id : int;
+      vpn : int;
+      frame : int;
+      policy : string;  (** replacement policy that chose this victim *)
+      dirty : bool;
+    }
+  | Prefetch of { obj_id : int; vpn : int; frame : int }
+  | Irq_raise of { line : int; name : string }
+  | Irq_service  (** span: interrupt entry to exit *)
+  | Watchdog  (** the execution watchdog fired *)
+
+type event = { seq : int; at : Simtime.t; dur : Simtime.t; kind : kind }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 65536 events. *)
+
+val emit : t -> at:Simtime.t -> ?dur:Simtime.t -> kind -> unit
+(** Records an event ([dur] defaults to zero: an instant). When the ring
+    is full the oldest event is overwritten and {!dropped} grows. *)
+
+val length : t -> int
+(** Events currently held. *)
+
+val emitted : t -> int
+(** Events ever emitted (= next sequence number). *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val events : t -> event list
+(** Held events, oldest first. *)
+
+val clear : t -> unit
+
+(** {2 Structured payloads (shared by exporters)} *)
+
+type arg = Int of int | Str of string | Bool of bool
+
+val kind_name : kind -> string
+val args : kind -> (string * arg) list
+
+val kind_of_name : string -> (string -> arg option) -> kind option
+(** [kind_of_name name lookup] rebuilds a kind from its {!kind_name} and
+    a field accessor — the inverse used by trace readers. *)
+
+val category : kind -> string
+(** The paper's time category this event belongs to ("swimu", "swdp",
+    "vim", "paging", "exec", "irq"). *)
+
+val pp_event : Format.formatter -> event -> unit

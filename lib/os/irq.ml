@@ -3,14 +3,21 @@ type line_state = {
   mutable pending : bool;
 }
 
-type t = { lines : line_state array; mutable raised_total : int }
+type t = {
+  lines : line_state array;
+  mutable raised_total : int;
+  mutable observer : (line:int -> name:string -> unit) option;
+}
 
 let create ?(lines = 8) () =
   if lines < 1 then invalid_arg "Irq.create: need at least one line";
   {
     lines = Array.init lines (fun _ -> { handler = None; pending = false });
     raised_total = 0;
+    observer = None;
   }
+
+let set_observer t obs = t.observer <- obs
 
 let check t line op =
   if line < 0 || line >= Array.length t.lines then
@@ -28,7 +35,14 @@ let raise_line t ~line =
   check t line "raise_line";
   if not t.lines.(line).pending then begin
     t.lines.(line).pending <- true;
-    t.raised_total <- t.raised_total + 1
+    t.raised_total <- t.raised_total + 1;
+    match t.observer with
+    | Some f ->
+      let name =
+        match t.lines.(line).handler with Some (n, _) -> n | None -> "?"
+      in
+      f ~line ~name
+    | None -> ()
   end
 
 let any_pending t = Array.exists (fun l -> l.pending) t.lines

@@ -17,6 +17,11 @@ val register : t -> line:int -> name:string -> (unit -> unit) -> unit
 val raise_line : t -> line:int -> unit
 (** Marks the line pending. Idempotent while pending (level-triggered). *)
 
+val set_observer : t -> (line:int -> name:string -> unit) option -> unit
+(** Installs (or clears) a hook called once per raising edge — each time a
+    line turns pending — with the line number and its handler's name. The
+    observability layer uses it to timestamp interrupt arrivals. *)
+
 val any_pending : t -> bool
 
 val dispatch_one : t -> bool

@@ -7,6 +7,7 @@ type t = {
   sdram : Rvi_mem.Sdram.t;
   syscalls : Syscall.t;
   stats : Rvi_sim.Stats.t;
+  mutable trace : Rvi_obs.Trace.t option;
 }
 
 let create ~engine ~cost ?(sdram_bytes = 64 * 1024 * 1024) () =
@@ -19,6 +20,7 @@ let create ~engine ~cost ?(sdram_bytes = 64 * 1024 * 1024) () =
     sdram = Rvi_mem.Sdram.create ~size:sdram_bytes;
     syscalls = Syscall.create ();
     stats = Rvi_sim.Stats.create ();
+    trace = None;
   }
 
 let engine t = t.engine
@@ -30,6 +32,20 @@ let sdram t = t.sdram
 let syscalls t = t.syscalls
 let stats t = t.stats
 let now t = Rvi_sim.Engine.now t.engine
+let trace t = t.trace
+
+let set_trace t tr =
+  t.trace <- tr;
+  (* Interrupt arrivals are hardware events (the IMU raising its line);
+     timestamp them as they happen, not when the CPU gets around to the
+     handler. *)
+  Irq.set_observer t.irq
+    (match tr with
+    | None -> None
+    | Some tr ->
+      Some
+        (fun ~line ~name ->
+          Rvi_obs.Trace.emit tr ~at:(now t) (Rvi_obs.Trace.Irq_raise { line; name })))
 
 let charge_time t cat d =
   Accounting.add t.acct cat d;
@@ -48,9 +64,16 @@ let syscall t ~number args =
 let service_interrupts t =
   let serviced = ref 0 in
   while Irq.any_pending t.irq do
+    let t0 = now t in
     charge t Accounting.Sw_imu ~cycles:t.cost.Cost_model.irq_entry;
     if Irq.dispatch_one t.irq then incr serviced;
-    charge t Accounting.Sw_imu ~cycles:t.cost.Cost_model.irq_exit
+    charge t Accounting.Sw_imu ~cycles:t.cost.Cost_model.irq_exit;
+    match t.trace with
+    | Some tr ->
+      Rvi_obs.Trace.emit tr ~at:t0
+        ~dur:(Rvi_sim.Simtime.sub (now t) t0)
+        Rvi_obs.Trace.Irq_service
+    | None -> ()
   done;
   if !serviced > 0 then Rvi_sim.Stats.incr t.stats ~by:!serviced "interrupts";
   !serviced

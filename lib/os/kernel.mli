@@ -30,6 +30,13 @@ val stats : t -> Rvi_sim.Stats.t
 
 val now : t -> Rvi_sim.Simtime.t
 
+val set_trace : t -> Rvi_obs.Trace.t option -> unit
+(** Attaches (or detaches) a structured event trace. Kernel paths —
+    interrupt arrival and service — then emit events into it, and kernel
+    modules (the VIM) find it through {!trace} to add their own. *)
+
+val trace : t -> Rvi_obs.Trace.t option
+
 val charge : t -> Accounting.category -> cycles:int -> unit
 (** Attributes [cycles] of CPU work to the category and consumes the
     corresponding simulated time (hardware events inside the span run). *)

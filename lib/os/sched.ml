@@ -5,12 +5,21 @@ type t = {
   mutable next_pid : int;
   mutable switches : int;
   mutable cursor : int; (* round-robin position in [procs] *)
+  mutable redundant_wakes : int;
 }
 
 let create () =
   let idle = Proc.make ~pid:0 ~name:"idle" in
   Proc.set_state idle Proc.Running;
-  { idle; procs = []; cur = idle; next_pid = 1; switches = 0; cursor = 0 }
+  {
+    idle;
+    procs = [];
+    cur = idle;
+    next_pid = 1;
+    switches = 0;
+    cursor = 0;
+    redundant_wakes = 0;
+  }
 
 let spawn t ~name =
   let p = Proc.make ~pid:t.next_pid ~name in
@@ -69,7 +78,14 @@ let sleep_current t =
 let wake t ~pid =
   match find t ~pid with
   | Some p when p.Proc.state = Proc.Sleeping -> Proc.set_state p Proc.Ready
-  | Some _ | None -> ()
+  | Some _ ->
+    (* Waking a process that is not sleeping is harmless but points at a
+       double-wake bug in the caller; count it so tests can assert it
+       never happens. *)
+    t.redundant_wakes <- t.redundant_wakes + 1
+  | None -> ()
+
+let redundant_wakes t = t.redundant_wakes
 
 let exit_current t =
   if t.cur == t.idle then invalid_arg "Sched.exit_current: idle task cannot exit";

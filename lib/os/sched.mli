@@ -28,7 +28,12 @@ val sleep_current : t -> unit
     cannot sleep. *)
 
 val wake : t -> pid:int -> unit
-(** Makes a sleeping process [Ready]. No-op if it is not sleeping. *)
+(** Makes a sleeping process [Ready]. No-op if it is not sleeping — but
+    such redundant wakes are counted (see {!redundant_wakes}): a caller
+    waking a process twice has a double-wake bug. *)
+
+val redundant_wakes : t -> int
+(** Number of {!wake} calls that found an existing process not sleeping. *)
 
 val exit_current : t -> unit
 

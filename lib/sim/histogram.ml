@@ -1,0 +1,99 @@
+(* Fixed-bin logarithmic histogram: bounded memory whatever the stream
+   length, with a bounded relative error set by the bin growth factor.
+   Samples at or below zero land in a dedicated underflow bin (simulated
+   durations are never negative, but zero-length services do occur). *)
+
+(* gamma^1024 spans ~1e-6 .. 1e15 with gamma = 1.048576^(1/2)... use an
+   explicit growth factor: each bin covers [gamma^i, gamma^(i+1)). *)
+let gamma = 1.05
+let log_gamma = Float.log gamma
+
+(* Bin 0 covers [min_value, min_value * gamma); values below min_value
+   (but > 0) clamp into bin 0, values beyond the top clamp into the last
+   bin. 1024 bins at 5% growth cover ~21 decades — microseconds to weeks
+   when samples are microsecond latencies. *)
+let n_bins = 1024
+let min_value = 1e-6
+
+type t = {
+  bins : int array;
+  mutable underflow : int; (* samples <= 0 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  {
+    bins = Array.make n_bins 0;
+    underflow = 0;
+    count = 0;
+    sum = 0.0;
+    min = Float.infinity;
+    max = Float.neg_infinity;
+  }
+
+let bin_index x =
+  if x <= 0.0 then -1
+  else
+    let i = int_of_float (Float.floor (Float.log (x /. min_value) /. log_gamma)) in
+    if i < 0 then 0 else if i >= n_bins then n_bins - 1 else i
+
+(* Geometric midpoint of a bin — the value reported for any sample that
+   fell into it. *)
+let bin_value i =
+  if i < 0 then 0.0
+  else min_value *. (gamma ** (float_of_int i +. 0.5))
+
+let add t x =
+  (if x <= 0.0 then t.underflow <- t.underflow + 1
+   else
+     let i = bin_index x in
+     t.bins.(i) <- t.bins.(i) + 1);
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+let sum t = t.sum
+let min t = if t.count = 0 then 0.0 else t.min
+let max t = if t.count = 0 then 0.0 else t.max
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(* The q-th percentile (q in [0,100]): the representative value of the bin
+   holding the ceil(q/100 * count)-th smallest sample. Exact for the
+   underflow bin (those samples are <= 0, reported as 0). *)
+let percentile t q =
+  if q < 0.0 || q > 100.0 then invalid_arg "Histogram.percentile: q outside [0,100]";
+  if t.count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q /. 100.0 *. float_of_int t.count)) in
+      if r < 1 then 1 else r
+    in
+    if rank <= t.underflow then 0.0
+    else begin
+      let remaining = ref (rank - t.underflow) in
+      let result = ref (bin_value (n_bins - 1)) in
+      (try
+         for i = 0 to n_bins - 1 do
+           remaining := !remaining - t.bins.(i);
+           if !remaining <= 0 then begin
+             result := bin_value i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let reset t =
+  Array.fill t.bins 0 n_bins 0;
+  t.underflow <- 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- Float.infinity;
+  t.max <- Float.neg_infinity

@@ -1,0 +1,37 @@
+(** Fixed-bin logarithmic histogram.
+
+    Bounded memory (1024 bins at 5% geometric growth, ~21 decades of
+    range) whatever the stream length, supporting percentile queries with
+    a bounded relative error: a reported percentile is the geometric
+    midpoint of the bin containing the exact order statistic, so it is
+    always within one bin (a factor of the growth ratio) of the exact
+    value. Non-positive samples are kept in a dedicated underflow bin and
+    reported as 0. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val min : t -> float
+(** Exact running minimum (0 when empty). *)
+
+val max : t -> float
+(** Exact running maximum (0 when empty). *)
+
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in [0..100]. Raises [Invalid_argument]
+    outside that range; 0 when empty. *)
+
+val bin_index : float -> int
+(** The bin a value falls into (-1 for the underflow bin) — exposed so
+    tests can assert the one-bin error bound. *)
+
+val bin_value : int -> float
+(** Representative (geometric midpoint) value of a bin. *)
+
+val reset : t -> unit

@@ -1,16 +1,17 @@
-type acc = {
-  mutable count : int;
-  mutable min : float;
-  mutable max : float;
-  mutable sum : float;
-}
-
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  summaries : (string, acc) Hashtbl.t;
+  summaries : (string, Histogram.t) Hashtbl.t;
 }
 
-type summary = { count : int; min : float; max : float; mean : float }
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
 
 let create () = { counters = Hashtbl.create 16; summaries = Hashtbl.create 16 }
 
@@ -24,18 +25,28 @@ let get t name =
 
 let observe t name x =
   match Hashtbl.find_opt t.summaries name with
-  | Some a ->
-    a.count <- a.count + 1;
-    a.min <- Float.min a.min x;
-    a.max <- Float.max a.max x;
-    a.sum <- a.sum +. x
-  | None -> Hashtbl.add t.summaries name { count = 1; min = x; max = x; sum = x }
+  | Some h -> Histogram.add h x
+  | None ->
+    let h = Histogram.create () in
+    Histogram.add h x;
+    Hashtbl.add t.summaries name h
+
+let histogram t name = Hashtbl.find_opt t.summaries name
 
 let summary t name =
   match Hashtbl.find_opt t.summaries name with
   | None -> None
-  | Some a ->
-    Some { count = a.count; min = a.min; max = a.max; mean = a.sum /. float_of_int a.count }
+  | Some h ->
+    Some
+      {
+        count = Histogram.count h;
+        min = Histogram.min h;
+        max = Histogram.max h;
+        mean = Histogram.mean h;
+        p50 = Histogram.percentile h 50.0;
+        p95 = Histogram.percentile h 95.0;
+        p99 = Histogram.percentile h 99.0;
+      }
 
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []

@@ -1,7 +1,9 @@
 (** Named event counters and running scalar summaries.
 
     Lightweight instrumentation shared by every simulated component:
-    a table of integer counters plus streaming min/max/mean summaries. *)
+    a table of integer counters plus streaming summaries backed by
+    bounded-memory {!Histogram}s, so every summary answers percentile
+    queries (p50/p95/p99) as well as min/max/mean. *)
 
 type t
 
@@ -16,9 +18,20 @@ val get : t -> string -> int
 val observe : t -> string -> float -> unit
 (** Feeds a sample into the named scalar summary. *)
 
-type summary = { count : int; min : float; max : float; mean : float }
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;  (** median, within one histogram bin of exact *)
+  p95 : float;
+  p99 : float;
+}
 
 val summary : t -> string -> summary option
+
+val histogram : t -> string -> Histogram.t option
+(** The histogram backing a summary, for arbitrary percentile queries. *)
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)

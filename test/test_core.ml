@@ -48,7 +48,7 @@ let test_tlb_basic () =
   let tlb = Tlb.create ~entries:4 () in
   checki "entries" 4 (Tlb.entries tlb);
   checkb "initially empty" true (Tlb.lookup tlb ~obj_id:0 ~vpn:0 = Tlb.Miss);
-  Tlb.insert tlb ~slot:1 ~obj_id:3 ~vpn:7 ~ppn:5;
+  Tlb.insert tlb ~slot:1 ~obj_id:3 ~vpn:7 ~ppn:5 ~stamp:0;
   (match Tlb.lookup tlb ~obj_id:3 ~vpn:7 with
   | Tlb.Hit 1 -> ()
   | Tlb.Hit _ | Tlb.Miss -> Alcotest.fail "lookup miss");
@@ -58,7 +58,7 @@ let test_tlb_basic () =
 
 let test_tlb_translate_metadata () =
   let tlb = Tlb.create ~entries:2 () in
-  Tlb.insert tlb ~slot:0 ~obj_id:1 ~vpn:2 ~ppn:3;
+  Tlb.insert tlb ~slot:0 ~obj_id:1 ~vpn:2 ~ppn:3 ~stamp:0;
   let e = Tlb.get tlb ~slot:0 in
   checkb "clean after insert" true ((not e.Tlb.dirty) && not e.Tlb.referenced);
   checkb "read hit" true (Tlb.translate tlb ~obj_id:1 ~vpn:2 ~stamp:11 ~wr:false = Some 3);
@@ -74,8 +74,8 @@ let test_tlb_translate_metadata () =
 
 let test_tlb_invalidate () =
   let tlb = Tlb.create ~entries:3 () in
-  Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0;
-  Tlb.insert tlb ~slot:1 ~obj_id:0 ~vpn:1 ~ppn:1;
+  Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0 ~stamp:0;
+  Tlb.insert tlb ~slot:1 ~obj_id:0 ~vpn:1 ~ppn:1 ~stamp:0;
   Tlb.invalidate tlb ~slot:0;
   checkb "gone" true (Tlb.lookup tlb ~obj_id:0 ~vpn:0 = Tlb.Miss);
   Tlb.invalidate_all tlb;
@@ -88,7 +88,7 @@ let prop_tlb_dirty_only_on_write =
     QCheck.(list bool)
     (fun writes ->
       let tlb = Tlb.create ~entries:1 () in
-      Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0;
+      Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0 ~stamp:0;
       List.iteri
         (fun i wr -> ignore (Tlb.translate tlb ~obj_id:0 ~vpn:0 ~stamp:i ~wr))
         writes;
@@ -325,7 +325,7 @@ let run_rig rig ~edges driver =
 
 let test_imu_hit_latency () =
   let rig = make_rig () in
-  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:4 ~vpn:0 ~ppn:2;
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:4 ~vpn:0 ~ppn:2 ~stamp:0;
   Rvi_mem.Dpram.write rig.dpram ~width:32 (2 * 2048) 0xDEAD;
   let issued_at = ref (-1) and data_at = ref (-1) and got = ref 0 in
   run_rig rig ~edges:20 (fun cycle ->
@@ -350,7 +350,7 @@ let test_imu_hit_latency () =
 
 let test_imu_pipelined_latency () =
   let rig = make_rig ~config:Imu.pipelined_config () in
-  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:1 ~vpn:0 ~ppn:1;
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:1 ~vpn:0 ~ppn:1 ~stamp:0;
   let issued_at = ref (-1) and data_at = ref (-1) in
   run_rig rig ~edges:20 (fun cycle ->
       if cycle = 2 then begin
@@ -365,7 +365,7 @@ let test_imu_pipelined_latency () =
 let test_imu_write_sets_dirty () =
   let rig = make_rig () in
   let tlb = Imu.tlb rig.imu in
-  Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:1 ~ppn:3;
+  Tlb.insert tlb ~slot:0 ~obj_id:0 ~vpn:1 ~ppn:3 ~stamp:0;
   let done_ = ref false in
   run_rig rig ~edges:20 (fun cycle ->
       if cycle = 1 then
@@ -394,7 +394,7 @@ let test_imu_fault_and_resume () =
         checkb "SR fault bit" true
           (Imu_regs.test (Imu.read_sr rig.imu) Imu_regs.sr_fault);
         Rvi_mem.Dpram.write rig.dpram ~width:32 (5 * 2048) 0x5A5A;
-        Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:9 ~vpn:2 ~ppn:5;
+        Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:9 ~vpn:2 ~ppn:5 ~stamp:0;
         Imu.write_cr rig.imu Imu_regs.cr_resume
       end;
       if Vport.ready rig.vport then begin
@@ -427,7 +427,7 @@ let test_imu_param_page_and_start () =
   Imu.set_param_page rig.imu (Some 0);
   Rvi_mem.Dpram.cpu_write32 rig.dpram 0 777;
   Imu.write_cr rig.imu Imu_regs.cr_start;
-  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:1;
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:1 ~stamp:0;
   let started_at = ref (-1) and param = ref (-1) and phase = ref 0 in
   run_rig rig ~edges:40 (fun cycle ->
       if Vport.start_seen rig.vport && !started_at < 0 then begin
@@ -470,7 +470,7 @@ let test_imu_fin_edge () =
 
 let test_imu_alignment_guard () =
   let rig = make_rig () in
-  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0;
+  Tlb.insert (Imu.tlb rig.imu) ~slot:0 ~obj_id:0 ~vpn:0 ~ppn:0 ~stamp:0;
   let boom = ref false in
   (try
      run_rig rig ~edges:20 (fun cycle ->
@@ -666,7 +666,7 @@ let test_tlb_organizations () =
   (* A translation inserted in its way is found; one placed elsewhere is
      invisible to the indexed lookup, like real hardware. *)
   let slot = List.hd (Tlb.way_slots dm ~obj_id:3 ~vpn:9) in
-  Tlb.insert dm ~slot ~obj_id:3 ~vpn:9 ~ppn:1;
+  Tlb.insert dm ~slot ~obj_id:3 ~vpn:9 ~ppn:1 ~stamp:0;
   checkb "hit in its way" true (Tlb.lookup dm ~obj_id:3 ~vpn:9 = Tlb.Hit slot);
   checkb "free way slot reported" true
     (Tlb.free_way_slot dm ~obj_id:3 ~vpn:9 = None);

@@ -314,6 +314,8 @@ let test_report_helpers () =
       tlb_refill_faults = 0;
       prefetched = 0;
       accesses = 0;
+      fault_p95_us = 0.0;
+      fault_p99_us = 0.0;
       verified = true;
     }
   in
@@ -323,6 +325,12 @@ let test_report_helpers () =
   | None -> Alcotest.fail "no speedup");
   Alcotest.(check string) "size label KB" "2KB" (Report.size_label 2048);
   Alcotest.(check string) "size label B" "100B" (Report.size_label 100);
+  (* Regression: non-KiB-aligned sizes were mislabelled in bytes
+     ("1536B"); they must render as fractional KB. *)
+  Alcotest.(check string) "size label 1.5KB" "1.5KB" (Report.size_label 1536);
+  Alcotest.(check string) "size label 1.25KB" "1.25KB" (Report.size_label 1280);
+  Alcotest.(check string) "size label just over" "1.0KB" (Report.size_label 1025);
+  Alcotest.(check string) "size label under 1K" "1000B" (Report.size_label 1000);
   let csv = Report.csv [ baseline; fast ] in
   checkb "csv header" true (String.length csv > 0 && String.sub csv 0 3 = "app");
   checki "csv lines" 3
@@ -860,6 +868,8 @@ let test_report_json () =
       tlb_refill_faults = 1;
       prefetched = 0;
       accesses = 99;
+      fault_p95_us = 12.5;
+      fault_p99_us = 14.25;
       verified = true;
     }
   in

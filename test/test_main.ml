@@ -4,6 +4,7 @@ let () =
   Alcotest.run "rvi"
     [
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("hw", Test_hw.suite);
       ("mem", Test_mem.suite);
       ("fpga", Test_fpga.suite);

@@ -1,0 +1,219 @@
+(* Tests for the observability layer: the bounded-memory histogram's
+   one-bin percentile error bound (as a property against an exact oracle),
+   the trace ring buffer, and both exporters with a JSONL round trip. *)
+
+module Simtime = Rvi_sim.Simtime
+module Histogram = Rvi_sim.Histogram
+module Stats = Rvi_sim.Stats
+module Trace = Rvi_obs.Trace
+module Export = Rvi_obs.Export
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Histogram percentiles} *)
+
+(* The exact order statistic the histogram approximates: the
+   ceil(q/100 * n)-th smallest sample (clamped to rank 1), matching the
+   rank rule in Histogram.percentile. *)
+let exact_percentile samples q =
+  let sorted = List.sort Float.compare samples in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let rank =
+    let r = int_of_float (Float.ceil (q /. 100.0 *. float_of_int n)) in
+    if r < 1 then 1 else r
+  in
+  arr.(rank - 1)
+
+(* Positive samples spanning six decades, generated from integers so the
+   distribution shape (and shrinking) stays simple. *)
+let samples_arb =
+  QCheck.(
+    map
+      (fun l -> List.map (fun i -> float_of_int i /. 1000.0) l)
+      (list_of_size Gen.(1 -- 300) (int_range 1 1_000_000_000)))
+
+let prop_percentile_one_bin =
+  QCheck.Test.make
+    ~name:"histogram percentile is within one bin of the exact order statistic"
+    ~count:200 samples_arb
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      List.for_all
+        (fun q ->
+          let est = Histogram.percentile h q in
+          let exact = exact_percentile samples q in
+          abs (Histogram.bin_index est - Histogram.bin_index exact) <= 1)
+        [ 1.0; 25.0; 50.0; 90.0; 95.0; 99.0; 100.0 ])
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Histogram.percentile h 50.0);
+  List.iter (Histogram.add h) [ 1.0; 2.0; 3.0; 4.0 ];
+  checki "count" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 10.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Histogram.max h);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Histogram.mean h);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.percentile: q outside [0,100]") (fun () ->
+      ignore (Histogram.percentile h 101.0));
+  Histogram.reset h;
+  checki "reset clears" 0 (Histogram.count h)
+
+let test_histogram_underflow () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ -1.0; 0.0; 5.0; 6.0 ];
+  (* Ranks 1 and 2 are the two non-positive samples: reported as 0. *)
+  Alcotest.(check (float 0.0)) "p25 underflow" 0.0 (Histogram.percentile h 25.0);
+  Alcotest.(check (float 0.0)) "p50 underflow" 0.0 (Histogram.percentile h 50.0);
+  checkb "p99 above underflow" true (Histogram.percentile h 99.0 > 5.0);
+  Alcotest.(check (float 1e-9)) "min is exact" (-1.0) (Histogram.min h)
+
+let test_stats_summary_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.observe s "lat" (float_of_int i)
+  done;
+  match Stats.summary s "lat" with
+  | None -> Alcotest.fail "no summary"
+  | Some { Stats.count; p50; p95; p99; _ } ->
+    checki "count" 100 count;
+    checkb "p50 near 50" true (Float.abs (p50 -. 50.0) /. 50.0 < 0.06);
+    checkb "p95 near 95" true (Float.abs (p95 -. 95.0) /. 95.0 < 0.06);
+    checkb "p99 near 99" true (Float.abs (p99 -. 99.0) /. 99.0 < 0.06)
+
+(* {1 Trace ring buffer} *)
+
+let test_ring_overflow () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit tr ~at:(Simtime.of_ns i) (Trace.Tlb_invalidate { ppn = i })
+  done;
+  checki "length capped" 4 (Trace.length tr);
+  checki "emitted counts all" 10 (Trace.emitted tr);
+  checki "dropped the rest" 6 (Trace.dropped tr);
+  Alcotest.(check (list int))
+    "oldest overwritten first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Trace.seq) (Trace.events tr));
+  Trace.clear tr;
+  checki "clear empties" 0 (Trace.length tr)
+
+(* {1 Exporters} *)
+
+(* One event of every kind, with args exercising escaping. *)
+let all_kinds =
+  [
+    Trace.Exec_begin;
+    Trace.Exec_end { ok = false };
+    Trace.Fault { obj_id = 1; vpn = 2; refill_only = true };
+    Trace.Decode;
+    Trace.Copy { bytes = 2048; dma = true };
+    Trace.Tlb_update { obj_id = 1; vpn = 2; ppn = 3 };
+    Trace.Tlb_invalidate { ppn = 7 };
+    Trace.Page_load { obj_id = 0; vpn = 4; frame = 5; bytes = 2048 };
+    Trace.Page_writeback { obj_id = 0; vpn = 4; frame = 5; bytes = 2048 };
+    Trace.Page_evict
+      { obj_id = 0; vpn = 9; frame = 6; policy = "second-chance"; dirty = true };
+    Trace.Prefetch { obj_id = 2; vpn = 1; frame = 3 };
+    Trace.Irq_raise { line = 0; name = "a \"quoted\"\nname\twith\\escapes" };
+    Trace.Irq_service;
+    Trace.Watchdog;
+  ]
+
+let all_kind_events () =
+  let tr = Trace.create () in
+  List.iteri
+    (fun i k ->
+      Trace.emit tr ~at:(Simtime.of_ns (10 * i)) ~dur:(Simtime.of_ns i) k)
+    all_kinds;
+  Trace.events tr
+
+let test_jsonl_roundtrip () =
+  let events = all_kind_events () in
+  let back = Export.of_jsonl (Export.to_jsonl events) in
+  checkb "round trip is the identity" true (back = events)
+
+let test_jsonl_errors () =
+  checki "blank lines skipped" 0 (List.length (Export.of_jsonl "\n\n"));
+  Alcotest.check_raises "malformed line" (Export.Parse_error "expected { at 0")
+    (fun () -> ignore (Export.of_jsonl "nonsense"))
+
+let prop_jsonl_roundtrip =
+  let kind_arb =
+    QCheck.(
+      map
+        (fun (i, (b, s)) ->
+          match i mod 5 with
+          | 0 -> Trace.Fault { obj_id = i; vpn = i + 1; refill_only = b }
+          | 1 -> Trace.Copy { bytes = i; dma = b }
+          | 2 -> Trace.Page_evict
+                   { obj_id = i; vpn = i; frame = i; policy = s; dirty = b }
+          | 3 -> Trace.Irq_raise { line = i; name = s }
+          | _ -> Trace.Exec_end { ok = b })
+        (pair (int_bound 1_000_000) (pair bool printable_string)))
+  in
+  QCheck.Test.make ~name:"random events survive the jsonl round trip" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 40) (pair kind_arb (int_bound 1_000_000)))
+    (fun specs ->
+      let tr = Trace.create () in
+      List.iter
+        (fun (k, t) ->
+          Trace.emit tr ~at:(Simtime.of_ns t) ~dur:(Simtime.of_ns (t / 2)) k)
+        specs;
+      let events = Trace.events tr in
+      Export.of_jsonl (Export.to_jsonl events) = events)
+
+let test_chrome_export () =
+  let doc = Export.to_chrome (all_kind_events ()) in
+  let has needle =
+    let n = String.length needle and ln = String.length doc in
+    let rec go i = i + n <= ln && (String.sub doc i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "document wrapper" true (has "\"traceEvents\":[");
+  checkb "fault span name" true (has "\"fault-service (refill)\"");
+  checkb "decode span name" true (has "\"SWimu decode\"");
+  checkb "copy span name" true (has "\"SWdp copy (DMA)\"");
+  checkb "tlb span name" true (has "\"TLB update\"");
+  checkb "thread metadata" true (has "\"VIM service\"");
+  checkb "spans on the span track" true (has "\"ph\":\"X\"");
+  checkb "instants on the instant track" true (has "\"ph\":\"i\"");
+  checkb "escaping applied" true (has "a \\\"quoted\\\"\\nname")
+
+let test_chrome_sorted () =
+  (* Spans are emitted at completion (outer after inner); the exporter must
+     re-sort so the outer span precedes the inner at equal/earlier starts. *)
+  let tr = Trace.create () in
+  Trace.emit tr ~at:(Simtime.of_ns 10) ~dur:(Simtime.of_ns 2) Trace.Decode;
+  Trace.emit tr ~at:(Simtime.of_ns 10) ~dur:(Simtime.of_ns 8)
+    (Trace.Fault { obj_id = 0; vpn = 0; refill_only = false });
+  let doc = Export.to_chrome (Trace.events tr) in
+  let idx needle =
+    let n = String.length needle in
+    let rec go i =
+      if i + n > String.length doc then Alcotest.failf "missing %s" needle
+      else if String.sub doc i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  checkb "longer span first at equal start" true
+    (idx "fault-service" < idx "SWimu decode")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_percentile_one_bin;
+    Alcotest.test_case "histogram/basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram/underflow" `Quick test_histogram_underflow;
+    Alcotest.test_case "stats/summary-percentiles" `Quick
+      test_stats_summary_percentiles;
+    Alcotest.test_case "trace/ring-overflow" `Quick test_ring_overflow;
+    Alcotest.test_case "export/jsonl-roundtrip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "export/jsonl-errors" `Quick test_jsonl_errors;
+    QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+    Alcotest.test_case "export/chrome" `Quick test_chrome_export;
+    Alcotest.test_case "export/chrome-sorted" `Quick test_chrome_sorted;
+  ]

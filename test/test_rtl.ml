@@ -64,7 +64,7 @@ let make_behavioural clock script seed =
     fault = (fun () -> Imu.fault imu);
     install =
       (fun ~slot ~obj_id ~vpn ~ppn ->
-        Tlb.insert (Imu.tlb imu) ~slot ~obj_id ~vpn ~ppn);
+        Tlb.insert (Imu.tlb imu) ~slot ~obj_id ~vpn ~ppn ~stamp:0);
     resume = (fun () -> Imu.write_cr imu Rvi_core.Imu_regs.cr_resume);
     start = (fun () -> Imu.write_cr imu Rvi_core.Imu_regs.cr_start);
     dirty =

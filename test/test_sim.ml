@@ -255,11 +255,15 @@ let test_stats () =
   Stats.observe s "lat" 1.0;
   Stats.observe s "lat" 3.0;
   (match Stats.summary s "lat" with
-  | Some { Stats.count; min; max; mean } ->
+  | Some { Stats.count; min; max; mean; p50; p95; p99 } ->
     checki "count" 2 count;
     check (Alcotest.float 1e-9) "min" 1.0 min;
     check (Alcotest.float 1e-9) "max" 3.0 max;
-    check (Alcotest.float 1e-9) "mean" 2.0 mean
+    check (Alcotest.float 1e-9) "mean" 2.0 mean;
+    (* Percentiles come from the log-scale histogram: within one 5% bin. *)
+    check (Alcotest.float 0.1) "p50" 1.0 p50;
+    check (Alcotest.float 0.2) "p95" 3.0 p95;
+    check (Alcotest.float 0.2) "p99" 3.0 p99
   | None -> Alcotest.fail "missing summary");
   Stats.reset s;
   checki "reset" 0 (Stats.get s "a")

@@ -322,6 +322,90 @@ let test_param_page_overflow () =
   | Ok () -> Alcotest.fail "oversized parameter list accepted"
   | Error e -> Alcotest.failf "wrong errno %s" (Rvi_os.Syscall.errno_name e)
 
+(* {1 Regression: TLB refills stamp the inserted entry (LRU thrash)}
+
+   Tlb.insert used to reset last_access to 0, so a just-refilled entry
+   looked least-recently-used and the LRU scan in Vim.refill_tlb kept
+   re-victimising the pages whose faults had just been serviced. With a
+   4-entry TLB over vecadd's 3-page working set the stamped insert takes a
+   handful of refill faults; the zero-stamp bug took thousands (measured:
+   7 vs 2559 on this exact workload). *)
+
+let test_refill_stamp_no_thrash () =
+  let p =
+    vecadd_platform ~cfg:{ (cfg ()) with Config.tlb_entries = Some 4 } ()
+  in
+  run_vecadd p 2048;
+  let refills = Stats.get (Vim.stats p.Platform.vim) "tlb_refill_faults" in
+  checkb
+    (Printf.sprintf "LRU does not thrash on refills (%d)" refills)
+    true (refills < 100)
+
+(* {1 Regression: the caller is woken exactly once}
+
+   Vim.execute used to wake the caller unconditionally after the pump loop
+   even though handle_fin had already woken it on the happy path. The
+   second wake was latent (Sched.wake is a no-op on a ready process) but
+   is exactly the class of bug that breaks once wake gains side effects —
+   the scheduler now counts such redundant wakes. *)
+
+let test_caller_woken_once () =
+  let p = vecadd_platform () in
+  run_vecadd p 2048;
+  let sched = Rvi_os.Kernel.sched p.Platform.kernel in
+  checki "no redundant wakes" 0 (Rvi_os.Sched.redundant_wakes sched)
+
+(* {1 Trace integration: spans nest and match the counters} *)
+
+let test_trace_spans () =
+  let tr = Rvi_obs.Trace.create () in
+  let p =
+    vecadd_platform ~cfg:{ (cfg ()) with Config.trace = Some tr } ()
+  in
+  run_vecadd p 2048;
+  let module Trace = Rvi_obs.Trace in
+  let events = Trace.events tr in
+  let count pred = List.length (List.filter (fun e -> pred e.Trace.kind) events) in
+  let s = Vim.stats p.Platform.vim in
+  checki "one execute span" 1
+    (count (function Trace.Exec_end _ -> true | _ -> false));
+  checki "fault spans match the counter"
+    (Stats.get s "faults")
+    (count (function Trace.Fault _ -> true | _ -> false));
+  checki "eviction events match"
+    (Stats.get s "evictions")
+    (count (function Trace.Page_evict _ -> true | _ -> false));
+  checki "writeback events match"
+    (Stats.get s "writebacks")
+    (count (function Trace.Page_writeback _ -> true | _ -> false));
+  (* Every fault span lies inside the execute span, and contains at least
+     the decode segment that started its service. *)
+  let exec =
+    List.find (fun e -> match e.Trace.kind with Trace.Exec_end _ -> true | _ -> false) events
+  in
+  let ends e = Simtime.add e.Trace.at e.Trace.dur in
+  List.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Trace.Fault _ ->
+        checkb "fault within execute" true
+          Simtime.(exec.Trace.at <= e.Trace.at && ends e <= ends exec);
+        checkb "fault contains a decode segment" true
+          (List.exists
+             (fun d ->
+               d.Trace.kind = Trace.Decode
+               && Simtime.(e.Trace.at <= d.Trace.at && ends d <= ends e))
+             events)
+      | _ -> ())
+    events;
+  (* The trace round-trips through the JSONL exporter unchanged. *)
+  checkb "jsonl round trip" true
+    (Rvi_obs.Export.of_jsonl (Rvi_obs.Export.to_jsonl events) = events)
+
 let suite = suite @ [
   Alcotest.test_case "vim/param-page-overflow" `Quick test_param_page_overflow;
+  Alcotest.test_case "vim/regression-refill-stamp" `Quick
+    test_refill_stamp_no_thrash;
+  Alcotest.test_case "vim/regression-single-wake" `Quick test_caller_woken_once;
+  Alcotest.test_case "vim/trace-spans" `Quick test_trace_spans;
 ]
