@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples check clean
+.PHONY: all build test bench examples check faults-smoke clean
 
 all: build
 
@@ -19,6 +19,13 @@ check:
 	  exit 1; \
 	fi
 
+# Seeded mini fault-injection campaign: fails on any uncaught exception or
+# on a degraded run whose software fallback produced wrong output. Keeps a
+# JSONL trace of every injection/retry/recovery decision for post-mortems.
+faults-smoke:
+	dune exec bin/rvisim.exe -- faults --runs 100 --seed 2004 \
+	  --trace faults-smoke.trace.jsonl --csv faults-smoke.csv
+
 bench:
 	dune exec bench/main.exe
 
@@ -30,6 +37,7 @@ examples:
 	dune exec examples/multiprogramming.exe
 	dune exec examples/trace_explorer.exe
 	dune exec examples/codesign_flow.exe
+	dune exec examples/fault_storm.exe
 
 clean:
 	dune clean

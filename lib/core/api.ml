@@ -81,7 +81,9 @@ let handle_execute t args =
         | Vim.Unmapped_object _ | Vim.Object_overflow _ -> Syscall.EFAULT
         | Vim.No_frames -> Syscall.ENOMEM
         | Vim.Too_many_params _ -> Syscall.EINVAL
-        | Vim.Hardware_stall -> Syscall.EIO
+        | Vim.Hardware_stall | Vim.Bus_error | Vim.Dma_failed
+        | Vim.Parity_error _ ->
+          Syscall.EIO
         | Vim.Nothing_loaded -> Syscall.EINVAL
       in
       fail t (Vim.error_to_string e) errno

@@ -68,6 +68,8 @@ type t = {
   mutable out_din : int;
   mutable cycle : int;
   mutable trace : (access_event -> unit) option;
+  mutable hung : bool;
+  mutable injector : Rvi_inject.Injector.t option;
   stats : Rvi_sim.Stats.t;
 }
 
@@ -97,6 +99,8 @@ let create ?(config = default_config) ~port ~dpram ~raise_irq () =
     out_din = 0;
     cycle = 0;
     trace = None;
+    hung = false;
+    injector = None;
     stats = Rvi_sim.Stats.create ();
   }
 
@@ -144,7 +148,17 @@ let perform_access t r ppn =
   let paddr = Rvi_mem.Page.base t.geom ppn + offset in
   let width = Cp_port.width_bits r.width in
   if r.wr then begin
-    Rvi_mem.Dpram.write t.dpram ~width paddr r.data;
+    let data =
+      (* A wrong-result fault: the datapath computes garbage, so the store
+         carries a silently corrupted value. Nothing traps — only output
+         verification can catch it. *)
+      match t.injector with
+      | Some inj when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Coproc_wrong ->
+        Rvi_sim.Stats.incr t.stats "wrong_results";
+        r.data lxor (1 + Rvi_inject.Injector.draw inj ((1 lsl width) - 1))
+      | _ -> r.data
+    in
+    Rvi_mem.Dpram.write t.dpram ~width paddr data;
     Rvi_sim.Stats.incr t.stats "writes"
   end
   else begin
@@ -195,11 +209,24 @@ let begin_translation t =
       }
   | Some _ -> ()
   | None -> ());
-  translate_or_fault t r
+  match t.injector with
+  | Some inj when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Coproc_hang ->
+    (* The accelerator wedges: the latched access never completes, CP_TLBHIT
+       never pulses, and SR shows neither fault nor fin. Only the VIM's
+       watchdog (followed by a CR reset) gets out of this. *)
+    t.hung <- true;
+    Rvi_sim.Stats.incr t.stats "hangs";
+    Rvi_hw.Fsm.stay t.fsm
+  | _ -> translate_or_fault t r
 
 let compute t =
   t.out_start <- false;
   t.out_tlbhit <- false;
+  if t.hung then begin
+    Rvi_sim.Stats.incr t.stats "hang_cycles";
+    Rvi_hw.Fsm.stay t.fsm
+  end
+  else begin
   if Rvi_hw.Fsm.state t.fsm <> Idle then Rvi_sim.Stats.incr t.stats "busy_cycles";
   (* CP_FIN is level-held by the coprocessor; latch its rising edge so a
      completion left over from a previous execution is not re-reported. *)
@@ -244,6 +271,7 @@ let compute t =
       | Some r -> translate_or_fault t r
     end
     else Rvi_hw.Fsm.stay t.fsm
+  end
 
 let commit t =
   Rvi_hw.Fsm.commit t.fsm;
@@ -272,6 +300,7 @@ let read_sr t =
 let write_cr t word =
   if Imu_regs.test word Imu_regs.cr_reset then begin
     Rvi_hw.Fsm.reset t.fsm Idle;
+    t.hung <- false;
     t.req <- None;
     t.fault <- None;
     t.fin_seen <- false;
@@ -290,6 +319,8 @@ let write_cr t word =
 
 let set_param_page t p = t.param_page <- p
 let set_trace t probe = t.trace <- probe
+let set_injector t inj = t.injector <- inj
+let hung t = t.hung
 let fault t = if Rvi_hw.Fsm.state t.fsm = Faulted then t.fault else None
 let params_done t = t.params_done
 let finished t = t.fin_seen

@@ -94,4 +94,17 @@ val set_trace : t -> (access_event -> unit) option -> unit
 
 val stats : t -> Rvi_sim.Stats.t
 (** ["accesses"], ["reads"], ["writes"], ["param_reads"], ["faults"],
-    ["stall_cycles"], ["busy_cycles"]. *)
+    ["stall_cycles"], ["busy_cycles"], ["hangs"], ["hang_cycles"],
+    ["wrong_results"]. *)
+
+(** {1 Fault injection} *)
+
+val set_injector : t -> Rvi_inject.Injector.t option -> unit
+(** With an injector attached, each latched access is a
+    {!Rvi_inject.Fault.Coproc_hang} opportunity (the IMU wedges: no
+    completion, no fault, no fin — only {!write_cr} reset clears it) and
+    each coprocessor store is a {!Rvi_inject.Fault.Coproc_wrong}
+    opportunity (the stored value is silently corrupted). *)
+
+val hung : t -> bool
+(** Whether an injected hang is currently wedging the IMU. *)

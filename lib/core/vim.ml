@@ -14,6 +14,15 @@ type transfer_mode = Single | Double
 
 type copy_engine = Cpu | Dma_engine of Rvi_mem.Dma.t
 
+type recovery = {
+  max_retries : int;
+  backoff : Simtime.t;
+  poll : Simtime.t;
+}
+
+let default_recovery =
+  { max_retries = 3; backoff = Simtime.of_us 10; poll = Simtime.of_us 200 }
+
 type config = {
   policy : Policy.t;
   transfer : transfer_mode;
@@ -22,6 +31,8 @@ type config = {
   copy_engine : copy_engine;
   eager_mapping : bool;
   watchdog : Simtime.t;
+  injector : Rvi_inject.Injector.t option;
+  recovery : recovery;
 }
 
 let default_config () =
@@ -33,6 +44,8 @@ let default_config () =
     copy_engine = Cpu;
     eager_mapping = true;
     watchdog = Simtime.of_ms 10_000;
+    injector = None;
+    recovery = default_recovery;
   }
 
 type error =
@@ -42,6 +55,9 @@ type error =
   | Too_many_params of { given : int; capacity : int }
   | Hardware_stall
   | Nothing_loaded
+  | Bus_error
+  | Dma_failed
+  | Parity_error of { frame : int }
 
 let error_to_string = function
   | Unmapped_object id -> Printf.sprintf "access to unmapped object %d" id
@@ -53,6 +69,21 @@ let error_to_string = function
       given capacity
   | Hardware_stall -> "coprocessor made no progress before the watchdog"
   | Nothing_loaded -> "no bit-stream loaded"
+  | Bus_error -> "AHB error response persisted through every copy retry"
+  | Dma_failed -> "DMA transfer failed through every retry"
+  | Parity_error { frame } ->
+    Printf.sprintf "dual-port RAM parity error in frame %d" frame
+
+type severity = Transient | Fatal
+
+(* Transient errors are environmental: a clean re-execution (or a software
+   fallback) can still deliver the result. Fatal ones are caller or
+   configuration bugs where retrying reproduces the failure. *)
+let classify = function
+  | Hardware_stall | Bus_error | Dma_failed | Parity_error _ -> Transient
+  | Unmapped_object _ | Object_overflow _ | No_frames | Too_many_params _
+  | Nothing_loaded ->
+    Fatal
 
 type t = {
   kernel : Kernel.t;
@@ -73,6 +104,11 @@ type t = {
   mutable caller : int option; (* pid sleeping in FPGA_EXECUTE *)
   mutable finished : bool;
   mutable error : error option;
+  irq_line : int;
+  mutable on_abort : unit -> unit;
+      (* resets the coprocessor side of the interface (port, synchroniser,
+         coprocessor FSM) — wired by the platform, since the VIM only
+         knows the IMU *)
   stats : Stats.t;
 }
 
@@ -107,6 +143,8 @@ let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
       caller = None;
       finished = false;
       error = None;
+      irq_line;
+      on_abort = (fun () -> ());
       stats = Stats.create ();
     }
   in
@@ -126,6 +164,51 @@ and handle_irq t =
   else
     (* Spurious interrupt: counted, otherwise ignored. *)
     Stats.incr t.stats "spurious_irqs"
+
+(* One page transfer, with the recovery machine wrapped around it: the bus
+   (or the DMA channel) may answer with an error response, in which case
+   the kernel backs off exponentially and re-issues the transfer, up to
+   [recovery.max_retries] times. Exhaustion turns into a {!Bus_error} /
+   {!Dma_failed} abort. The simulator performs the data movement up front —
+   a retried transfer ends with the same bytes in place, so only the cost
+   and the error bookkeeping are replayed. *)
+and charge_copy_with_retry t ~what bytes =
+  charge_copy t bytes;
+  match t.cfg.injector with
+  | None -> ()
+  | Some inj ->
+    let kind =
+      match t.cfg.copy_engine with
+      | Cpu -> Rvi_inject.Fault.Ahb_error
+      | Dma_engine _ -> Rvi_inject.Fault.Dma_error
+    in
+    let rec go attempt =
+      if Rvi_inject.Injector.fire inj kind then begin
+        Stats.incr t.stats "copy_errors";
+        if attempt > t.cfg.recovery.max_retries then begin
+          Stats.incr t.stats "copy_retries_exhausted";
+          if t.error = None then
+            t.error <-
+              Some
+                (match t.cfg.copy_engine with
+                | Cpu -> Bus_error
+                | Dma_engine _ -> Dma_failed)
+        end
+        else begin
+          Stats.incr t.stats "copy_retries";
+          emit t (Trace.Retry { what; attempt });
+          Kernel.charge_time t.kernel Accounting.Sw_os
+            (Simtime.mul t.cfg.recovery.backoff (1 lsl (attempt - 1)));
+          charge_copy t bytes;
+          go (attempt + 1)
+        end
+      end
+      else if attempt > 1 then begin
+        Stats.incr t.stats "copies_recovered";
+        emit t (Trace.Recover { what; retries = attempt - 1 })
+      end
+    in
+    go 1
 
 and charge_copy t bytes =
   match t.cfg.copy_engine with
@@ -168,18 +251,28 @@ and writeback_if_dirty t ~frame ~obj_id ~vpn =
       | Mapped_object.Out | Mapped_object.Inout ->
         let len = Mapped_object.bytes_on_page obj t.geom ~vpn in
         if len > 0 then begin
-          let tmp = Bytes.create len in
-          Rvi_mem.Dpram.store_page t.dpram ~page:frame tmp ~dst:0 ~len;
-          let sdram = Kernel.sdram t.kernel in
-          let dst =
-            obj.Mapped_object.buf.Rvi_os.Uspace.addr
-            + Mapped_object.user_offset obj t.geom ~vpn
-          in
-          Rvi_mem.Sdram.blit_in tmp ~src:0 sdram ~dst ~len;
-          charge_copy t len;
-          Hashtbl.replace t.written_back (obj_id, vpn) ();
-          emit t (Trace.Page_writeback { obj_id; vpn; frame; bytes = len });
-          Stats.incr t.stats "writebacks"
+          if Rvi_mem.Dpram.parity_error t.dpram ~page:frame then begin
+            (* The parity sweep caught a latent bit flip: the frame's data
+               cannot be trusted and there is no good copy to retry from,
+               so the execution aborts (a clean re-run or the software
+               fallback recovers the result). *)
+            Stats.incr t.stats "parity_errors";
+            if t.error = None then t.error <- Some (Parity_error { frame })
+          end
+          else begin
+            let tmp = Bytes.create len in
+            Rvi_mem.Dpram.store_page t.dpram ~page:frame tmp ~dst:0 ~len;
+            let sdram = Kernel.sdram t.kernel in
+            let dst =
+              obj.Mapped_object.buf.Rvi_os.Uspace.addr
+              + Mapped_object.user_offset obj t.geom ~vpn
+            in
+            Rvi_mem.Sdram.blit_in tmp ~src:0 sdram ~dst ~len;
+            charge_copy_with_retry t ~what:"writeback" len;
+            Hashtbl.replace t.written_back (obj_id, vpn) ();
+            emit t (Trace.Page_writeback { obj_id; vpn; frame; bytes = len });
+            Stats.incr t.stats "writebacks"
+          end
         end
     end
 
@@ -308,7 +401,7 @@ and install_page ?protect t ~frame ~obj ~vpn =
     let tmp = Bytes.create len in
     Rvi_mem.Sdram.blit_out sdram ~src tmp ~dst:0 ~len;
     Rvi_mem.Dpram.load_page t.dpram ~page:frame tmp ~src:0 ~len;
-    charge_copy t len;
+    charge_copy_with_retry t ~what:"page_load" len;
     emit t (Trace.Page_load { obj_id; vpn; frame; bytes = len });
     Stats.incr t.stats "pages_loaded"
   end
@@ -370,11 +463,45 @@ and refill_tlb ?protect t ~frame ~obj_id ~vpn =
        most recently used — see Tlb.insert. *)
     Tlb.insert tlb ~slot ~obj_id ~vpn ~ppn:frame ~stamp:(Imu.cycle t.imu);
     Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update;
-    span t ~t0 (Trace.Tlb_update { obj_id; vpn; ppn = frame })
+    span t ~t0 (Trace.Tlb_update { obj_id; vpn; ppn = frame });
+    corrupt_tlb_maybe t ~inserted_slot:slot
   | None ->
     (* Every usable way holds the protected page: leave the new page
        resident without a translation. *)
     Stats.incr t.stats "tlb_refill_skipped"
+
+(* A CAM write can disturb a neighbouring cell. The entries are
+   parity-protected, so the corrupt entry is detected and dropped rather
+   than translating wrongly: its page stays resident and the next touch
+   takes a benign refill fault. The VIM folds the dirty bit into its
+   software table first so no write-back is lost. The just-written slot and
+   the entry of the fault being serviced are physically distant (different
+   CAM rows) and never the victim — which also keeps the IMU's double-fault
+   check honest. *)
+and corrupt_tlb_maybe t ~inserted_slot =
+  match t.cfg.injector with
+  | None -> ()
+  | Some inj ->
+    if Rvi_inject.Injector.fire inj Rvi_inject.Fault.Tlb_corrupt then begin
+      let tlb = Imu.tlb t.imu in
+      let faulting = Imu.fault t.imu in
+      let victims = ref [] in
+      for s = Tlb.entries tlb - 1 downto 0 do
+        if s <> inserted_slot then begin
+          let e = Tlb.get tlb ~slot:s in
+          if e.Tlb.valid && Some (e.Tlb.obj_id, e.Tlb.vpn) <> faulting then
+            victims := s :: !victims
+        end
+      done;
+      match !victims with
+      | [] -> ()
+      | vs ->
+        let s = List.nth vs (Rvi_inject.Injector.draw inj (List.length vs)) in
+        let e = Tlb.get tlb ~slot:s in
+        if e.Tlb.dirty then Hashtbl.replace t.frame_dirty e.Tlb.ppn ();
+        Tlb.invalidate tlb ~slot:s;
+        Stats.incr t.stats "tlb_corruptions"
+    end
 
 (* Speculatively pull the next page(s) of a streaming object in during the
    same fault service, saving their future interrupt round-trips. The
@@ -510,6 +637,26 @@ and handle_fin t =
 
 let config t = t.cfg
 let kernel t = t.kernel
+let set_abort_hook t f = t.on_abort <- f
+
+(* Leave no interface state behind after a failed execution: drop every
+   translation, release every frame (parameter page included) and reset the
+   IMU, so the failure cannot wedge the next FPGA_EXECUTE. Dirty pages are
+   deliberately not written back — after an abort their contents are
+   suspect. *)
+let abort_cleanup t =
+  Stats.incr t.stats "aborts";
+  Tlb.invalidate_all (Imu.tlb t.imu);
+  Frame_table.release_all t.frames;
+  Hashtbl.reset t.frame_dirty;
+  Imu.set_param_page t.imu None;
+  Imu.write_cr t.imu Imu_regs.cr_reset;
+  (* A hung execution leaves the coprocessor mid-access, waiting for a
+     TLBHIT that will never come; resetting the IMU alone would wedge the
+     next FPGA_EXECUTE. *)
+  t.on_abort ();
+  Kernel.charge t.kernel Accounting.Sw_os
+    ~cycles:(Kernel.cost t.kernel).Cost_model.page_bookkeeping
 
 let map_object t obj =
   let id = obj.Mapped_object.id in
@@ -570,39 +717,78 @@ let execute t ~params =
     else t.caller <- None;
     List.iter Rvi_sim.Clock.start t.clocks;
     Imu.write_cr t.imu Imu_regs.cr_start;
-    let deadline = Simtime.add (Engine.now engine) t.cfg.watchdog in
+    (* The watchdog bounds the gap between progress points (interrupt
+       services), not the whole execution: each serviced interrupt re-arms
+       it. With an injector attached the wait is sliced at the recovery
+       poll interval so the VIM can read SR and catch a latched cause whose
+       interrupt edge was lost. *)
+    let deadline = ref (Simtime.add (Engine.now engine) t.cfg.watchdog) in
+    let rearm () = deadline := Simtime.add (Engine.now engine) t.cfg.watchdog in
+    let polling =
+      t.cfg.injector <> None && Simtime.(Simtime.zero < t.cfg.recovery.poll)
+    in
     let acct = Kernel.accounting kernel in
     let result =
+      let watchdog () =
+        emit t Trace.Watchdog;
+        Stats.incr t.stats "watchdog_fires";
+        t.error <- Some Hardware_stall
+      in
       let rec pump hw_seg_start =
+        let slice_end =
+          if polling then
+            Simtime.min !deadline
+              (Simtime.add (Engine.now engine) t.cfg.recovery.poll)
+          else !deadline
+        in
         Engine.run_while engine (fun () ->
             (not (Rvi_os.Irq.any_pending irq))
             && (not t.finished) && t.error = None
-            && Simtime.(Engine.now engine < deadline));
+            && Simtime.(Engine.now engine < slice_end));
         Accounting.add acct Accounting.Hw
           (Simtime.sub (Engine.now engine) hw_seg_start);
         if Rvi_os.Irq.any_pending irq then begin
           ignore (Kernel.service_interrupts kernel);
+          rearm ();
           if t.finished || t.error <> None then ()
-          else if Simtime.(Engine.now engine < deadline) then
-            pump (Engine.now engine)
-          else begin
-            emit t Trace.Watchdog;
-            t.error <- Some Hardware_stall
-          end
+          else pump (Engine.now engine)
         end
         else if t.finished || t.error <> None then ()
-        else begin
-          emit t Trace.Watchdog;
-          t.error <- Some Hardware_stall
+        else if Simtime.(Engine.now engine < !deadline) then begin
+          (* Quiet slice. A spurious edge can glitch the line at any
+             time — one opportunity per slice — and is serviced (and
+             counted) through the normal dispatch path. *)
+          (match t.cfg.injector with
+          | Some inj
+            when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Irq_spurious ->
+            Rvi_os.Irq.raise_line irq ~line:t.irq_line
+          | _ -> ());
+          if polling && not (Rvi_os.Irq.any_pending irq) then begin
+            (* Poll SR: a fault or fin latched with no pending interrupt
+               means the edge was lost — service the cause directly. *)
+            Kernel.charge kernel Accounting.Sw_imu
+              ~cycles:cost.Cost_model.fault_decode;
+            let sr = Imu.read_sr t.imu in
+            if
+              Imu_regs.test sr Imu_regs.sr_fault
+              || Imu_regs.test sr Imu_regs.sr_fin
+            then begin
+              Stats.incr t.stats "lost_irq_recovered";
+              emit t (Trace.Recover { what = "lost_irq"; retries = 0 });
+              handle_irq t;
+              rearm ()
+            end
+          end;
+          if t.finished || t.error <> None then ()
+          else pump (Engine.now engine)
         end
+        else watchdog ()
       in
-      (try pump (Engine.now engine)
-       with Engine.Stalled ->
-         emit t Trace.Watchdog;
-         t.error <- Some Hardware_stall);
+      (try pump (Engine.now engine) with Engine.Stalled -> watchdog ());
       match t.error with Some e -> Error e | None -> Ok ()
     in
     List.iter Rvi_sim.Clock.stop t.clocks;
+    (match result with Error _ -> abort_cleanup t | Ok () -> ());
     (match t.caller with
     | Some pid ->
       (* The fin handler already woke the caller on the happy path — waking
@@ -619,3 +805,54 @@ let execute t ~params =
 
 let stats t = t.stats
 let frame_table t = t.frames
+
+(* Cross-check the software frame table against the hardware TLB — the
+   invariants any injection run must preserve. Used by the property tests
+   and available to a paranoid campaign after every run. *)
+let consistency t =
+  let tlb = Imu.tlb t.imu in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* 1. No (object, page) pair resident in two frames. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (frame, obj_id, vpn) ->
+      match Hashtbl.find_opt seen (obj_id, vpn) with
+      | Some other ->
+        err "page (%d,%d) resident in frames %d and %d" obj_id vpn other frame
+      | None -> Hashtbl.add seen (obj_id, vpn) frame)
+    (Frame_table.resident t.frames);
+  (* 2. Every valid TLB entry translates to a frame the table holds for
+     exactly that page. *)
+  for slot = 0 to Tlb.entries tlb - 1 do
+    let e = Tlb.get tlb ~slot in
+    if e.Tlb.valid then begin
+      match Frame_table.slot t.frames ~frame:e.Tlb.ppn with
+      | Frame_table.Held { obj_id; vpn; _ } ->
+        if obj_id <> e.Tlb.obj_id || vpn <> e.Tlb.vpn then
+          err "TLB slot %d maps (%d,%d) to frame %d held by (%d,%d)" slot
+            e.Tlb.obj_id e.Tlb.vpn e.Tlb.ppn obj_id vpn
+      | Frame_table.Free ->
+        err "TLB slot %d points at free frame %d" slot e.Tlb.ppn
+      | Frame_table.Param ->
+        err "TLB slot %d points at the parameter frame %d" slot e.Tlb.ppn
+    end
+  done;
+  (* 3. No dirty frame without a held mapping to a currently mapped
+     object (dirtiness with no owner would be unflushable data). *)
+  let check_dirty what frame =
+    match Frame_table.slot t.frames ~frame with
+    | Frame_table.Held { obj_id; _ } ->
+      if not (Hashtbl.mem t.objects obj_id) then
+        err "%s frame %d owned by unmapped object %d" what frame obj_id
+    | Frame_table.Free -> err "free frame %d marked %s" frame what
+    | Frame_table.Param -> err "parameter frame %d marked %s" frame what
+  in
+  Hashtbl.iter (fun frame () -> check_dirty "dirty" frame) t.frame_dirty;
+  for slot = 0 to Tlb.entries tlb - 1 do
+    let e = Tlb.get tlb ~slot in
+    if e.Tlb.valid && e.Tlb.dirty then check_dirty "tlb-dirty" e.Tlb.ppn
+  done;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))

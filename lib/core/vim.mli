@@ -29,6 +29,21 @@ type copy_engine =
       (** the stripe's DMA controller: cheap per word, CPU only pays the
           channel setup. Implies single transfers. *)
 
+type recovery = {
+  max_retries : int;
+      (** bounded retries for a failed page transfer before the execution
+          aborts with {!Bus_error} / {!Dma_failed} *)
+  backoff : Rvi_sim.Simtime.t;
+      (** base retry backoff, doubled on each attempt *)
+  poll : Rvi_sim.Simtime.t;
+      (** SR poll interval while waiting for the coprocessor, used to catch
+          causes whose interrupt edge was lost; polling only happens when an
+          injector is attached, and [zero] disables it outright *)
+}
+
+val default_recovery : recovery
+(** 3 retries, 10 µs base backoff, 200 µs poll. *)
+
 type config = {
   policy : Policy.t;
   transfer : transfer_mode;
@@ -43,7 +58,13 @@ type config = {
       (** pre-map object pages at [FPGA_EXECUTE] ("performs the mapping",
           §3.1); disable for pure demand paging *)
   watchdog : Rvi_sim.Simtime.t;
-      (** abort limit on a single coprocessor execution *)
+      (** abort limit on the gap between two progress points (interrupt
+          services) of one coprocessor execution *)
+  injector : Rvi_inject.Injector.t option;
+      (** fault injector consulted at the VIM's own boundaries (page
+          copies, TLB refills, the wait loop); [None] disables injection
+          and the recovery polling with it *)
+  recovery : recovery;
 }
 
 val default_config : unit -> config
@@ -58,8 +79,19 @@ type error =
       (** more scalar parameters than the parameter page holds *)
   | Hardware_stall
   | Nothing_loaded
+  | Bus_error  (** page-copy retries exhausted against AHB error responses *)
+  | Dma_failed  (** page-copy retries exhausted against DMA failures *)
+  | Parity_error of { frame : int }
+      (** a latent dual-port-RAM bit flip caught by the flush-time parity
+          sweep; the frame's data is untrustworthy *)
 
 val error_to_string : error -> string
+
+type severity =
+  | Transient  (** environmental: a clean re-execution may succeed *)
+  | Fatal  (** caller or configuration bug: retrying reproduces it *)
+
+val classify : error -> severity
 
 type t
 
@@ -96,7 +128,23 @@ val execute : t -> params:int list -> (unit, error) result
 val stats : t -> Rvi_sim.Stats.t
 (** ["faults"], ["tlb_refill_faults"], ["evictions"], ["writebacks"],
     ["pages_loaded"], ["pages_cleared"], ["prefetched"],
-    ["param_releases"], ["executions"]. *)
+    ["param_releases"], ["executions"]; with injection also
+    ["copy_errors"], ["copy_retries"], ["copies_recovered"],
+    ["copy_retries_exhausted"], ["tlb_corruptions"], ["parity_errors"],
+    ["lost_irq_recovered"], ["watchdog_fires"], ["aborts"],
+    ["spurious_irqs"]. *)
 
 val frame_table : t -> Frame_table.t
 (** Exposed for tests and for the ablation harness. *)
+
+val set_abort_hook : t -> (unit -> unit) -> unit
+(** Called by the abort path after the IMU reset, to reset the
+    coprocessor side of the interface (port signals, synchroniser,
+    coprocessor FSM) — the platform wires this, since a hung coprocessor
+    left mid-access would wedge the next FPGA_EXECUTE. *)
+
+val consistency : t -> (unit, string) result
+(** Cross-checks the software frame table against the hardware TLB: no
+    page resident in two frames, no valid TLB entry pointing at a frame
+    the table does not hold for that page, no dirty frame without a
+    mapped owning object. [Error] describes every violation found. *)

@@ -18,6 +18,10 @@ type t = {
   tlb_organization : Rvi_core.Tlb.organization;
   seed : int;
   trace : Rvi_obs.Trace.t option;
+  injector : Rvi_inject.Injector.t option;
+  recovery : Rvi_core.Vim.recovery;
+  watchdog : Rvi_sim.Simtime.t;
+  exec_retries : int;
 }
 
 let default () =
@@ -35,6 +39,10 @@ let default () =
     tlb_organization = Rvi_core.Tlb.Fully_associative;
     seed = 42;
     trace = None;
+    injector = None;
+    recovery = Rvi_core.Vim.default_recovery;
+    watchdog = Rvi_sim.Simtime.of_ms 30_000;
+    exec_retries = 2;
   }
 
 let with_policy t name =
@@ -78,5 +86,7 @@ let vim_config t =
     overlap_prefetch = t.overlap_prefetch;
     copy_engine = t.copy_engine;
     eager_mapping = t.eager_mapping;
-    watchdog = Rvi_sim.Simtime.of_ms 30_000;
+    watchdog = t.watchdog;
+    injector = t.injector;
+    recovery = t.recovery;
   }

@@ -27,6 +27,18 @@ type t = {
   trace : Rvi_obs.Trace.t option;
       (** structured event trace attached to every platform built from this
           configuration; events accumulate across runs (see {!Rvi_obs}) *)
+  injector : Rvi_inject.Injector.t option;
+      (** fault injector wired into every hardware boundary of platforms
+          built from this configuration (dual-port RAM, interrupt
+          controller, IMU, VIM); [None] = no injection, byte-identical
+          behaviour to the pre-injection system *)
+  recovery : Rvi_core.Vim.recovery;  (** VIM recovery policy *)
+  watchdog : Rvi_sim.Simtime.t;
+      (** VIM watchdog on the gap between progress points *)
+  exec_retries : int;
+      (** whole-execution retries on a transient error or a bad output
+          before degrading to the software fallback; only consulted when an
+          injector is attached *)
 }
 
 val default : unit -> t

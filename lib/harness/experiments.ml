@@ -199,6 +199,8 @@ let print_labeled ppf ~title rows =
           (Simtime.to_ms r.Report.total) r.Report.faults
       | Report.Exceeds_memory ->
         Format.fprintf ppf "  %-28s exceeds available memory@." label
+      | Report.Degraded m ->
+        Format.fprintf ppf "  %-28s degraded to software (%s)@." label m
       | Report.Failed m -> Format.fprintf ppf "  %-28s FAILED: %s@." label m)
     rows
 

@@ -1,0 +1,244 @@
+module Simtime = Rvi_sim.Simtime
+module Prng = Rvi_sim.Prng
+module Spec = Rvi_inject.Spec
+module Injector = Rvi_inject.Injector
+
+type outcome =
+  | Clean
+  | Recovered of { retries : int }
+  | Degraded of { reason : string; verified : bool }
+  | Failed of string
+  | Crashed of string
+
+let outcome_name = function
+  | Clean -> "ok"
+  | Recovered _ -> "recovered"
+  | Degraded _ -> "degraded"
+  | Failed _ -> "failed"
+  | Crashed _ -> "crashed"
+
+type run_result = {
+  index : int;
+  seed : int;
+  app : string;
+  outcome : outcome;
+  injected : int;
+  total_ms : float;
+}
+
+type summary = {
+  runs : int;
+  clean : int;
+  recovered : int;
+  degraded : int;
+  failed : int;
+  crashed : int;
+  injected : int;
+  bad_degraded : int;
+}
+
+(* {1 Workloads}
+
+   One small input per application, each chosen so the working set does not
+   fit the eight-page dual-port memory: the runs page, which exercises the
+   copy, TLB-refill and writeback paths the injector targets. *)
+
+type workload =
+  | W_adpcm of Bytes.t
+  | W_idea of { key : int array; input : Bytes.t }
+  | W_fir of { coeffs : int array; shift : int; input : Bytes.t }
+  | W_vecadd of { a : int array; b : int array }
+
+let workloads ~seed =
+  [|
+    ("adpcm", W_adpcm (Workload.adpcm_stream ~seed ~bytes:4096));
+    ( "idea",
+      W_idea
+        {
+          key = Workload.idea_key ~seed;
+          input = Workload.idea_plaintext ~seed ~bytes:8192;
+        } );
+    ( "fir",
+      W_fir
+        {
+          coeffs = Workload.fir_coeffs ~taps:16;
+          shift = 12;
+          input = Workload.fir_signal ~seed ~bytes:8192;
+        } );
+    ( "vecadd",
+      let a, b = Workload.vectors ~seed ~n:1536 in
+      W_vecadd { a; b } );
+  |]
+
+(* A hang only terminates through the watchdog, so campaigns want one
+   short enough to keep hung runs cheap while staying far above any gap a
+   healthy run produces (eager mapping leaves the ADPCM decoder computing
+   for several milliseconds between its few page faults). *)
+let default_watchdog = Simtime.of_ms 10
+
+let run_one ?trace ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w) =
+  let inj = Injector.create ~seed ~spec in
+  let cfg =
+    {
+      (Config.default ()) with
+      Config.injector = Some inj;
+      recovery;
+      watchdog;
+      exec_retries;
+      trace;
+    }
+  in
+  let row =
+    try
+      Ok
+        (match w with
+        | W_adpcm input -> Runner.adpcm_vim cfg ~input
+        | W_idea { key; input } -> Runner.idea_vim cfg ~key ~input
+        | W_fir { coeffs; shift; input } ->
+          Runner.fir_vim cfg ~coeffs ~shift ~input
+        | W_vecadd { a; b } -> Runner.vecadd_vim cfg ~a ~b)
+    with e -> Error (Printexc.to_string e)
+  in
+  let outcome, total_ms =
+    match row with
+    | Error msg -> (Crashed msg, 0.0)
+    | Ok row -> (
+      let ms = Simtime.to_ms row.Report.total in
+      match row.Report.outcome with
+      | Report.Measured when row.Report.verified ->
+        if Injector.injected_total inj = 0 then (Clean, ms)
+        else (Recovered { retries = row.Report.retries }, ms)
+      | Report.Measured -> (Failed "output not verified", ms)
+      | Report.Degraded reason ->
+        (Degraded { reason; verified = row.Report.verified }, ms)
+      | Report.Exceeds_memory -> (Failed "exceeds memory", ms)
+      | Report.Failed m -> (Failed m, ms))
+  in
+  {
+    index = 0;
+    seed;
+    app = name;
+    outcome;
+    injected = Injector.injected_total inj;
+    total_ms;
+  }
+
+let campaign ?trace ?(spec = Spec.all ())
+    ?(recovery = Rvi_core.Vim.default_recovery)
+    ?(watchdog = default_watchdog) ?(exec_retries = 2) ?progress ~runs ~seed ()
+    =
+  let master = Prng.create ~seed in
+  let apps = workloads ~seed in
+  List.init runs (fun i ->
+      (* Per-run seeds come off a master stream, so one campaign seed
+         reproduces every run yet runs stay independent. *)
+      let run_seed = Prng.next master land 0x3FFF_FFFF in
+      let r =
+        run_one ?trace ~spec ~recovery ~watchdog ~exec_retries ~seed:run_seed
+          apps.(i mod Array.length apps)
+      in
+      let r = { r with index = i } in
+      (match progress with Some f -> f r | None -> ());
+      r)
+
+let summarize results =
+  List.fold_left
+    (fun s (r : run_result) ->
+      let s = { s with runs = s.runs + 1; injected = s.injected + r.injected } in
+      match r.outcome with
+      | Clean -> { s with clean = s.clean + 1 }
+      | Recovered _ -> { s with recovered = s.recovered + 1 }
+      | Degraded { verified; _ } ->
+        {
+          s with
+          degraded = s.degraded + 1;
+          bad_degraded = (s.bad_degraded + if verified then 0 else 1);
+        }
+      | Failed _ -> { s with failed = s.failed + 1 }
+      | Crashed _ -> { s with crashed = s.crashed + 1 })
+    {
+      runs = 0;
+      clean = 0;
+      recovered = 0;
+      degraded = 0;
+      failed = 0;
+      crashed = 0;
+      injected = 0;
+      bad_degraded = 0;
+    }
+    results
+
+let passed s = s.crashed = 0 && s.bad_degraded = 0
+
+let pct s n = if s.runs = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int s.runs
+
+let survival s = pct s (s.clean + s.recovered + (s.degraded - s.bad_degraded))
+
+let print_summary ppf s =
+  Format.fprintf ppf
+    "%d runs, %d faults injected: %d clean, %d recovered, %d degraded (%d \
+     bad), %d failed, %d crashed@."
+    s.runs s.injected s.clean s.recovered s.degraded s.bad_degraded s.failed
+    s.crashed;
+  Format.fprintf ppf
+    "  survival %.1f%%  (recovery %.1f%%, degradation %.1f%%)@." (survival s)
+    (pct s s.recovered) (pct s s.degraded)
+
+let outcome_detail = function
+  | Clean -> ""
+  | Recovered { retries } -> string_of_int retries
+  | Degraded { reason; _ } -> reason
+  | Failed m | Crashed m -> m
+
+let csv results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "run,seed,app,outcome,detail,injected,verified,total_ms\n";
+  List.iter
+    (fun r ->
+      let verified =
+        match r.outcome with
+        | Clean | Recovered _ -> true
+        | Degraded { verified; _ } -> verified
+        | Failed _ | Crashed _ -> false
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%s,%s,%S,%d,%b,%.6f\n" r.index r.seed r.app
+           (outcome_name r.outcome)
+           (outcome_detail r.outcome)
+           r.injected verified r.total_ms))
+    results;
+  Buffer.contents b
+
+(* {1 Sweep} *)
+
+type cell = { factor : float; max_retries : int; cell_summary : summary }
+
+let sweep ?trace ?(factors = [ 0.5; 1.0; 2.0; 4.0 ])
+    ?(retry_policies = [ 0; 1; 3 ]) ?(watchdog = default_watchdog) ~runs ~seed
+    () =
+  List.concat_map
+    (fun factor ->
+      List.map
+        (fun max_retries ->
+          let spec = Spec.all ~factor () in
+          let recovery =
+            { Rvi_core.Vim.default_recovery with Rvi_core.Vim.max_retries }
+          in
+          let results =
+            campaign ?trace ~spec ~recovery ~watchdog
+              ~exec_retries:max_retries ~runs ~seed ()
+          in
+          { factor; max_retries; cell_summary = summarize results })
+        retry_policies)
+    factors
+
+let print_sweep ppf cells =
+  Format.fprintf ppf "%-8s %-8s %-10s %-10s %-10s %-8s@." "rate" "retries"
+    "survival%" "recover%" "degrade%" "crashed";
+  List.iter
+    (fun c ->
+      let s = c.cell_summary in
+      Format.fprintf ppf "%-8.2f %-8d %-10.1f %-10.1f %-10.1f %-8d@." c.factor
+        c.max_retries (survival s) (pct s s.recovered) (pct s s.degraded)
+        s.crashed)
+    cells

@@ -1,0 +1,111 @@
+(** Fault-injection campaigns.
+
+    Runs the paper's applications under a seeded {!Rvi_inject} injector and
+    classifies how each run ended: clean, recovered by the VIM/runner
+    retry machinery, degraded to the software reference, failed, or
+    crashed (an uncaught exception — always a bug). A campaign is a pure
+    function of its seed: the master PRNG derives one injector seed per
+    run, so the same seed replays identical per-run outcomes. *)
+
+type outcome =
+  | Clean  (** no fault was injected and the run verified *)
+  | Recovered of { retries : int }
+      (** faults were injected, yet the output verified; [retries] counts
+          whole-execution retries (in-VIM recoveries don't need any) *)
+  | Degraded of { reason : string; verified : bool }
+      (** retries exhausted; the software fallback supplied the output *)
+  | Failed of string  (** clean refusal (error return, bad output) *)
+  | Crashed of string  (** uncaught exception — a robustness bug *)
+
+val outcome_name : outcome -> string
+(** ["ok"], ["recovered"], ["degraded"], ["failed"] or ["crashed"]. *)
+
+type run_result = {
+  index : int;
+  seed : int;  (** the injector seed of this run *)
+  app : string;
+  outcome : outcome;
+  injected : int;  (** faults actually injected *)
+  total_ms : float;
+}
+
+type summary = {
+  runs : int;
+  clean : int;
+  recovered : int;
+  degraded : int;
+  failed : int;
+  crashed : int;
+  injected : int;  (** faults injected across the whole campaign *)
+  bad_degraded : int;
+      (** degraded runs whose fallback output failed verification *)
+}
+
+val default_watchdog : Rvi_sim.Simtime.t
+(** Campaign watchdog (10 ms simulated) — hung coprocessors only
+    terminate through it, so campaigns want a much shorter one than the
+    interactive default while staying above the largest healthy progress
+    gap of the campaign workloads. *)
+
+type workload
+(** One prepared application input (see {!workloads}). *)
+
+val workloads : seed:int -> (string * workload) array
+(** The four campaign applications with deterministically generated
+    inputs. *)
+
+val run_one :
+  ?trace:Rvi_obs.Trace.t ->
+  spec:Rvi_inject.Spec.t ->
+  recovery:Rvi_core.Vim.recovery ->
+  watchdog:Rvi_sim.Simtime.t ->
+  exec_retries:int ->
+  seed:int ->
+  string * workload ->
+  run_result
+
+val campaign :
+  ?trace:Rvi_obs.Trace.t ->
+  ?spec:Rvi_inject.Spec.t ->
+  ?recovery:Rvi_core.Vim.recovery ->
+  ?watchdog:Rvi_sim.Simtime.t ->
+  ?exec_retries:int ->
+  ?progress:(run_result -> unit) ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  run_result list
+(** [runs] seeded runs rotating over the four applications (ADPCM, IDEA,
+    FIR, vector add) with working sets larger than the dual-port memory.
+    [progress] is called after each run completes. *)
+
+val summarize : run_result list -> summary
+
+val passed : summary -> bool
+(** No crashes and no unverified degraded output — the campaign's pass
+    criterion. *)
+
+val survival : summary -> float
+(** Percentage of runs that ended with a correct output (clean, recovered,
+    or degraded with a verified fallback). *)
+
+val print_summary : Format.formatter -> summary -> unit
+
+val csv : run_result list -> string
+(** Header plus one line per run. *)
+
+(** {1 Rate × policy sweep} *)
+
+type cell = { factor : float; max_retries : int; cell_summary : summary }
+
+val sweep :
+  ?trace:Rvi_obs.Trace.t ->
+  ?factors:float list ->
+  ?retry_policies:int list ->
+  ?watchdog:Rvi_sim.Simtime.t ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  cell list
+
+val print_sweep : Format.formatter -> cell list -> unit

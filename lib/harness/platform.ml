@@ -43,8 +43,28 @@ let create ?(app_name = "app") ?(sdram_bytes = 4 * 1024 * 1024) (cfg : Config.t)
     Rvi_core.Vim.create ~kernel ~dpram ~imu ~ahb:cfg.Config.device.Device.ahb
       ~clocks:[ clock ] (Config.vim_config cfg)
   in
+  (match cfg.Config.injector with
+  | Some inj ->
+    (* One injector drives every hardware boundary of the platform, so a
+       single seed reproduces the whole fault schedule. *)
+    Rvi_mem.Dpram.set_injector dpram (Some inj);
+    Rvi_os.Irq.set_injector (Kernel.irq kernel) (Some inj);
+    Rvi_core.Imu.set_injector imu (Some inj);
+    (match cfg.Config.trace with
+    | Some tr ->
+      Rvi_inject.Injector.set_observer inj
+        (Some
+           (fun k ->
+             Rvi_obs.Trace.emit tr ~at:(Kernel.now kernel)
+               (Rvi_obs.Trace.Inject { fault = Rvi_inject.Fault.name k })))
+    | None -> ())
+  | None -> ());
   let api = Rvi_core.Api.install ~kernel ~vim ~pld in
   let vport, coproc = make port in
+  Rvi_core.Vim.set_abort_hook vim (fun () ->
+      Rvi_core.Cp_port.reset port;
+      Rvi_coproc.Vport.reset vport;
+      coproc.Rvi_coproc.Coproc.reset ());
   Clock.add clock (Rvi_core.Imu.component imu);
   Clock.add clock (Rvi_coproc.Vport.sync_component vport);
   Clock.add clock

@@ -1,6 +1,10 @@
 module Simtime = Rvi_sim.Simtime
 
-type outcome = Measured | Exceeds_memory | Failed of string
+type outcome =
+  | Measured
+  | Exceeds_memory
+  | Degraded of string
+  | Failed of string
 
 type row = {
   app : string;
@@ -21,6 +25,7 @@ type row = {
   accesses : int;
   fault_p95_us : float;
   fault_p99_us : float;
+  retries : int;
   verified : bool;
 }
 
@@ -70,6 +75,11 @@ let print_table ?title ppf rows =
       | Exceeds_memory ->
         Format.fprintf ppf "%-14s %-8s %-7s %10s  exceeds available memory@."
           r.app r.version (size_label r.input_bytes) "-"
+      | Degraded reason ->
+        Format.fprintf ppf
+          "%-14s %-8s %-7s %10s  degraded to software (%s): %s@." r.app
+          r.version (size_label r.input_bytes) "-" reason
+          (if r.verified then "output ok" else "OUTPUT BAD")
       | Failed msg ->
         Format.fprintf ppf "%-14s %-8s %-7s %10s  FAILED: %s@." r.app r.version
           (size_label r.input_bytes) "-" msg)
@@ -127,28 +137,31 @@ let bar_chart ?(width = 52) ~title ~baseline_version ppf rows =
           (ms r.total) annot
       | Exceeds_memory ->
         Format.fprintf ppf "  %s |%s@." label "exceeds available memory"
+      | Degraded reason ->
+        Format.fprintf ppf "  %s |degraded to software: %s@." label reason
       | Failed msg -> Format.fprintf ppf "  %s |FAILED: %s@." label msg)
     rows
 
 let csv rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "app,version,input_bytes,outcome,total_ms,hw_ms,sw_dp_ms,sw_imu_ms,sw_app_ms,sw_os_ms,faults,fault_p95_us,fault_p99_us,evictions,writebacks,tlb_refill_faults,prefetched,accesses,verified\n";
+    "app,version,input_bytes,outcome,total_ms,hw_ms,sw_dp_ms,sw_imu_ms,sw_app_ms,sw_os_ms,faults,fault_p95_us,fault_p99_us,evictions,writebacks,tlb_refill_faults,prefetched,accesses,retries,verified\n";
   List.iter
     (fun r ->
       let outcome =
         match r.outcome with
         | Measured -> "measured"
         | Exceeds_memory -> "exceeds_memory"
+        | Degraded reason -> Printf.sprintf "degraded(%s)" reason
         | Failed m -> Printf.sprintf "failed(%s)" m
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "%s,%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%b\n"
+           "%s,%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%b\n"
            r.app r.version r.input_bytes outcome (ms r.total) (ms r.hw)
            (ms r.sw_dp) (ms r.sw_imu) (ms r.sw_app) (ms r.sw_os) r.faults
            r.fault_p95_us r.fault_p99_us r.evictions r.writebacks
-           r.tlb_refill_faults r.prefetched r.accesses r.verified))
+           r.tlb_refill_faults r.prefetched r.accesses r.retries r.verified))
     rows;
   Buffer.contents buf
 
@@ -173,14 +186,15 @@ let json rows =
       match r.outcome with
       | Measured -> "measured"
       | Exceeds_memory -> "exceeds_memory"
+      | Degraded reason -> "degraded: " ^ reason
       | Failed m -> "failed: " ^ m
     in
     Printf.sprintf
-      {|{"app":"%s","version":"%s","input_bytes":%d,"outcome":"%s","total_ms":%.6f,"hw_ms":%.6f,"sw_dp_ms":%.6f,"sw_imu_ms":%.6f,"sw_app_ms":%.6f,"sw_os_ms":%.6f,"faults":%d,"fault_p95_us":%.3f,"fault_p99_us":%.3f,"evictions":%d,"writebacks":%d,"tlb_refill_faults":%d,"prefetched":%d,"accesses":%d,"verified":%b}|}
+      {|{"app":"%s","version":"%s","input_bytes":%d,"outcome":"%s","total_ms":%.6f,"hw_ms":%.6f,"sw_dp_ms":%.6f,"sw_imu_ms":%.6f,"sw_app_ms":%.6f,"sw_os_ms":%.6f,"faults":%d,"fault_p95_us":%.3f,"fault_p99_us":%.3f,"evictions":%d,"writebacks":%d,"tlb_refill_faults":%d,"prefetched":%d,"accesses":%d,"retries":%d,"verified":%b}|}
       (json_escape r.app) (json_escape r.version) r.input_bytes
       (json_escape outcome) (ms r.total) (ms r.hw) (ms r.sw_dp) (ms r.sw_imu)
       (ms r.sw_app) (ms r.sw_os) r.faults r.fault_p95_us r.fault_p99_us
       r.evictions r.writebacks r.tlb_refill_faults r.prefetched r.accesses
-      r.verified
+      r.retries r.verified
   in
   "[\n  " ^ String.concat ",\n  " (List.map row_json rows) ^ "\n]\n"

@@ -8,6 +8,9 @@
 type outcome =
   | Measured
   | Exceeds_memory  (** the normal coprocessor cannot run this size *)
+  | Degraded of string
+      (** hardware retries exhausted; the software fallback produced the
+          result (the reason describes what gave up) *)
   | Failed of string
 
 type row = {
@@ -29,6 +32,7 @@ type row = {
   accesses : int;
   fault_p95_us : float;  (** 95th-percentile fault-service time, µs *)
   fault_p99_us : float;  (** 99th-percentile fault-service time, µs *)
+  retries : int;  (** whole-execution retries the recovery layer spent *)
   verified : bool;  (** output bit-exact against the software reference *)
 }
 

@@ -51,6 +51,7 @@ let row_base ~app ~version ~input_bytes =
     accesses = 0;
     fault_p95_us = 0.0;
     fault_p99_us = 0.0;
+    retries = 0;
     verified = false;
   }
 
@@ -69,8 +70,15 @@ let fill_times row kernel ~wall =
     sw_os = Accounting.get acct Accounting.Sw_os;
   }
 
-let run_virtual (cfg : Config.t) ~app ~bitstream ~make ~objects ~params
-    ~input_bytes ~verify =
+(* [fallback] is the graceful-degradation path: when the recovery layer
+   gives up on the hardware (transient errors or bad outputs through every
+   execution retry), it produces the reference result per output object;
+   the run then counts as [Degraded] with the fallback's output verified
+   like any other. Execution retries are only attempted when the
+   configuration carries an injector — without one, behaviour is exactly
+   the pre-recovery single-shot execute. *)
+let run_virtual ?fallback (cfg : Config.t) ~app ~bitstream ~make ~objects
+    ~params ~input_bytes ~verify =
   let p = Platform.create ~app_name:app cfg ~bitstream ~make in
   let kernel = p.Platform.kernel in
   let api = p.Platform.api in
@@ -120,13 +128,46 @@ let run_virtual (cfg : Config.t) ~app ~bitstream ~make ~objects ~params
      ledger before executing. *)
   Accounting.reset (Kernel.accounting kernel);
   let t0 = Kernel.now kernel in
-  let* () = Rvi_core.Api.fpga_execute api ~params in
-  let wall = Simtime.sub (Kernel.now kernel) t0 in
   let read_obj id =
     let _, buf = List.find (fun (o, _) -> o.id = id) bufs in
     Uspace.read kernel buf
   in
-  let verified = verify read_obj in
+  let emit kind =
+    match cfg.Config.trace with
+    | Some tr -> Rvi_obs.Trace.emit tr ~at:(Kernel.now kernel) kind
+    | None -> ()
+  in
+  let exec_retries =
+    if cfg.Config.injector = None then 0 else cfg.Config.exec_retries
+  in
+  (* Transient hardware errors surface as EIO; a clean re-execution may
+     succeed, so retry up to the budget. A bad output with a clean exit (a
+     silent wrong-result fault) is retried the same way. Everything else is
+     a caller bug and fails immediately. *)
+  let rec attempt n =
+    match Rvi_core.Api.fpga_execute api ~params with
+    | Ok () ->
+      if verify read_obj then `Done n
+      else if n < exec_retries then begin
+        emit (Rvi_obs.Trace.Retry { what = "execute"; attempt = n + 1 });
+        attempt (n + 1)
+      end
+      else `Degrade ("wrong result", n)
+    | Error Rvi_os.Syscall.EIO when n < exec_retries ->
+      emit (Rvi_obs.Trace.Retry { what = "execute"; attempt = n + 1 });
+      attempt (n + 1)
+    | Error e -> (
+      let detail =
+        match Rvi_core.Api.last_error api with
+        | Some d -> Printf.sprintf "%s (%s)" (Rvi_os.Syscall.errno_name e) d
+        | None -> Rvi_os.Syscall.errno_name e
+      in
+      match e with
+      | Rvi_os.Syscall.EIO -> `Degrade (detail, n)
+      | _ -> `Fail detail)
+  in
+  let outcome = attempt 0 in
+  let wall = Simtime.sub (Kernel.now kernel) t0 in
   let vstats = Rvi_core.Vim.stats vim in
   let istats = Rvi_core.Imu.stats imu in
   let fault_p95_us, fault_p99_us =
@@ -134,18 +175,42 @@ let run_virtual (cfg : Config.t) ~app ~bitstream ~make ~objects ~params
     | Some s -> (s.Stats.p95, s.Stats.p99)
     | None -> (0.0, 0.0)
   in
-  {
-    (fill_times row kernel ~wall) with
-    Report.verified;
-    faults = Stats.get vstats "faults";
-    evictions = Stats.get vstats "evictions";
-    writebacks = Stats.get vstats "writebacks";
-    tlb_refill_faults = Stats.get vstats "tlb_refill_faults";
-    prefetched = Stats.get vstats "prefetched";
-    accesses = Stats.get istats "accesses";
-    fault_p95_us;
-    fault_p99_us;
-  }
+  let fill ~outcome ~retries ~verified =
+    {
+      (fill_times row kernel ~wall) with
+      Report.outcome;
+      retries;
+      verified;
+      faults = Stats.get vstats "faults";
+      evictions = Stats.get vstats "evictions";
+      writebacks = Stats.get vstats "writebacks";
+      tlb_refill_faults = Stats.get vstats "tlb_refill_faults";
+      prefetched = Stats.get vstats "prefetched";
+      accesses = Stats.get istats "accesses";
+      fault_p95_us;
+      fault_p99_us;
+    }
+  in
+  match outcome with
+  | `Fail detail -> { (fail detail) with Report.retries = 0 }
+  | `Done retries ->
+    if retries > 0 then
+      emit (Rvi_obs.Trace.Recover { what = "execute"; retries });
+    fill ~outcome:Report.Measured ~retries ~verified:true
+  | `Degrade (reason, retries) -> (
+    emit (Rvi_obs.Trace.Degrade { reason });
+    match fallback with
+    | None -> { (fail reason) with Report.retries }
+    | Some fb ->
+      (* Software reference takes over: write its output into the user
+         buffers and verify it like a hardware result. *)
+      List.iter
+        (fun (id, data) ->
+          let _, buf = List.find (fun (o, _) -> o.id = id) bufs in
+          Uspace.write kernel buf data)
+        (fb ());
+      fill ~outcome:(Report.Degraded reason) ~retries
+        ~verified:(verify read_obj))
 
 let run_normal (cfg : Config.t) ~app ~clock_hz ~coproc_divide ~make ~objects
     ~params ~input_bytes ~verify =
@@ -237,7 +302,10 @@ let adpcm_verify input read_obj =
     (Rvi_coproc.Adpcm_ref.decode input)
 
 let adpcm_vim cfg ~input =
-  run_virtual cfg ~app:"adpcmdecode" ~bitstream:Calibration.adpcm_bitstream
+  run_virtual
+    ~fallback:(fun () ->
+      [ (Rvi_coproc.Adpcm_coproc.obj_out, Rvi_coproc.Adpcm_ref.decode input) ])
+    cfg ~app:"adpcmdecode" ~bitstream:Calibration.adpcm_bitstream
     ~make:Rvi_coproc.Adpcm_coproc.Virtual.create ~objects:(adpcm_objects input)
     ~params:[ Bytes.length input ]
     ~input_bytes:(Bytes.length input) ~verify:(adpcm_verify input)
@@ -286,7 +354,13 @@ let idea_params ~decrypt ~key input =
   Rvi_coproc.Idea_coproc.params ~n_blocks:(Bytes.length input / 8) ~decrypt ~key
 
 let idea_vim ?(decrypt = false) cfg ~key ~input =
-  run_virtual cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
+  run_virtual
+    ~fallback:(fun () ->
+      [
+        ( Rvi_coproc.Idea_coproc.obj_out,
+          Rvi_coproc.Idea_ref.ecb ~key ~decrypt input );
+      ])
+    cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
     ~make:Rvi_coproc.Idea_coproc.Virtual.create ~objects:(idea_objects input)
     ~params:(idea_params ~decrypt ~key input)
     ~input_bytes:(Bytes.length input)
@@ -353,7 +427,13 @@ let vecadd_vim cfg ~a ~b =
       };
     ]
   in
-  run_virtual cfg ~app:"vecadd" ~bitstream:Calibration.vecadd_bitstream
+  run_virtual
+    ~fallback:(fun () ->
+      [
+        ( Rvi_coproc.Vecadd.obj_c,
+          bytes_of_words (Rvi_coproc.Vecadd.reference ~a ~b) );
+      ])
+    cfg ~app:"vecadd" ~bitstream:Calibration.vecadd_bitstream
     ~make:Rvi_coproc.Vecadd.Virtual.create ~objects ~params:[ n ]
     ~input_bytes:(8 * n)
     ~verify:(fun read_obj ->
@@ -423,7 +503,13 @@ let fir_verify ~coeffs ~shift input read_obj =
     (Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input)
 
 let fir_vim cfg ~coeffs ~shift ~input =
-  run_virtual cfg ~app:"fir" ~bitstream:Calibration.fir_bitstream
+  run_virtual
+    ~fallback:(fun () ->
+      [
+        ( Rvi_coproc.Fir_coproc.obj_out,
+          Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input );
+      ])
+    cfg ~app:"fir" ~bitstream:Calibration.fir_bitstream
     ~make:Rvi_coproc.Fir_coproc.Virtual.create
     ~objects:(fir_objects ~coeffs input)
     ~params:(fir_params ~coeffs ~shift input)
@@ -459,7 +545,9 @@ let idea_cbc_vim cfg ~mode ~key ~iv ~input =
       Rvi_coproc.Idea_ref.cbc ~key ~decrypt ~iv input
   in
   let row =
-    run_virtual cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
+    run_virtual
+      ~fallback:(fun () -> [ (Rvi_coproc.Idea_coproc.obj_out, expected) ])
+      cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
       ~make:Rvi_coproc.Idea_coproc.Virtual.create
       ~objects:(idea_cbc_objects input)
       ~params:

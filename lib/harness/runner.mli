@@ -17,6 +17,7 @@ type vobject = {
 }
 
 val run_virtual :
+  ?fallback:(unit -> (int * Bytes.t) list) ->
   Config.t ->
   app:string ->
   bitstream:Rvi_fpga.Bitstream.t ->
@@ -27,7 +28,14 @@ val run_virtual :
   verify:((int -> Bytes.t) -> bool) ->
   Report.row
 (** Full VIM-based run. [verify] receives an accessor from object id to
-    final user-space contents. *)
+    final user-space contents.
+
+    When the configuration carries an injector, a transient hardware error
+    (or a clean exit with a bad output) is retried up to
+    [Config.exec_retries] whole executions; exhaustion invokes [fallback]
+    — the software reference, returning the bytes to write per output
+    object — and the row degrades to a verified [Report.Degraded]. Without
+    a [fallback] the exhausted run fails. *)
 
 val run_normal :
   Config.t ->

@@ -1,0 +1,46 @@
+type kind =
+  | Dpram_flip
+  | Ahb_error
+  | Dma_error
+  | Tlb_corrupt
+  | Coproc_hang
+  | Coproc_wrong
+  | Irq_lost
+  | Irq_spurious
+
+let all =
+  [
+    Dpram_flip;
+    Ahb_error;
+    Dma_error;
+    Tlb_corrupt;
+    Coproc_hang;
+    Coproc_wrong;
+    Irq_lost;
+    Irq_spurious;
+  ]
+
+let name = function
+  | Dpram_flip -> "dpram"
+  | Ahb_error -> "ahb"
+  | Dma_error -> "dma"
+  | Tlb_corrupt -> "tlb"
+  | Coproc_hang -> "hang"
+  | Coproc_wrong -> "wrong"
+  | Irq_lost -> "irq-lost"
+  | Irq_spurious -> "irq-spurious"
+
+let of_name s =
+  List.find_opt (fun k -> name k = s) all
+
+let describe = function
+  | Dpram_flip -> "dual-port RAM single-bit upset (parity-detected)"
+  | Ahb_error -> "AHB bus-error response during a kernel page copy"
+  | Dma_error -> "DMA channel aborts a transfer"
+  | Tlb_corrupt -> "a valid TLB entry is corrupted and dropped by the CAM"
+  | Coproc_hang -> "coprocessor stops making progress (watchdog territory)"
+  | Coproc_wrong -> "coprocessor writes a corrupted result word"
+  | Irq_lost -> "a raised interrupt line is dropped before the CPU sees it"
+  | Irq_spurious -> "an interrupt with no pending cause"
+
+let pp ppf k = Format.pp_print_string ppf (name k)

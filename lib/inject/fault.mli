@@ -1,0 +1,47 @@
+(** Fault taxonomy for the injection layer.
+
+    One constructor per hardware boundary the virtualisation layer crosses.
+    Every kind models a failure a real virtualised-FPGA stack must survive:
+    memory upsets, bus errors, DMA aborts, TLB corruption, coprocessor
+    misbehaviour, and interrupt-delivery failures. *)
+
+type kind =
+  | Dpram_flip
+      (** flip one bit of a word written to the dual-port RAM by the PLD
+          port; the RAM's (modelled) parity detects it on the next kernel
+          page access *)
+  | Ahb_error
+      (** the AHB answers a kernel page copy with a bus-error response;
+          the copy must be re-issued *)
+  | Dma_error
+      (** the DMA channel aborts mid-transfer; the channel must be
+          re-armed *)
+  | Tlb_corrupt
+      (** a valid TLB entry is corrupted; the parity-protected CAM drops
+          it, and the next touch takes a refill fault *)
+  | Coproc_hang
+      (** the coprocessor stops issuing accesses and never finishes; only
+          the watchdog can reclaim the interface *)
+  | Coproc_wrong
+      (** the coprocessor writes a corrupted result word — silent data
+          corruption, detectable only by output verification *)
+  | Irq_lost
+      (** the IMU raises its interrupt line but the controller never
+          latches it; progress stalls until the OS polls the SR *)
+  | Irq_spurious
+      (** the interrupt controller reports a line with no pending cause *)
+
+val all : kind list
+(** Every kind, in declaration order. *)
+
+val name : kind -> string
+(** Short stable identifier, used by the [--inject] SPEC grammar and by
+    stats counters ("dpram", "ahb", "dma", "tlb", "hang", "wrong",
+    "irq-lost", "irq-spurious"). *)
+
+val of_name : string -> kind option
+
+val describe : kind -> string
+(** One-line human description. *)
+
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,65 @@
+module Prng = Rvi_sim.Prng
+module Stats = Rvi_sim.Stats
+
+(* Bernoulli draws compare a 30-bit slice of the PRNG stream against a
+   precomputed integer threshold: cheap, exact for rate 0 and 1, and
+   deterministic across platforms (no float accumulation). *)
+let resolution = 1 lsl 30
+
+type t = {
+  prng : Prng.t;
+  thresholds : (Fault.kind * int) list;
+  spec : Spec.t;
+  seed : int;
+  stats : Stats.t;
+  mutable enabled : bool;
+  mutable observer : (Fault.kind -> unit) option;
+}
+
+let threshold rate =
+  if rate >= 1.0 then resolution
+  else if rate <= 0.0 then 0
+  else int_of_float (rate *. float_of_int resolution)
+
+let create ~seed ~spec =
+  {
+    prng = Prng.create ~seed;
+    thresholds =
+      List.map (fun r -> (r.Spec.kind, threshold r.Spec.rate)) spec;
+    spec;
+    seed;
+    stats = Stats.create ();
+    enabled = true;
+    observer = None;
+  }
+
+let seed t = t.seed
+let spec t = t.spec
+let stats t = t.stats
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+let set_observer t f = t.observer <- f
+
+let fire t kind =
+  match List.assq_opt kind t.thresholds with
+  | None -> false
+  | Some 0 -> false
+  | Some thr ->
+    if not t.enabled then false
+    else begin
+      Stats.incr t.stats (Printf.sprintf "chances_%s" (Fault.name kind));
+      let hit = Prng.next t.prng land (resolution - 1) < thr in
+      if hit then begin
+        Stats.incr t.stats (Printf.sprintf "injected_%s" (Fault.name kind));
+        match t.observer with Some f -> f kind | None -> ()
+      end;
+      hit
+    end
+
+let draw t bound = Prng.int t.prng bound
+
+let injected t kind =
+  Stats.get t.stats (Printf.sprintf "injected_%s" (Fault.name kind))
+
+let injected_total t =
+  List.fold_left (fun acc k -> acc + injected t k) 0 Fault.all

@@ -1,0 +1,87 @@
+type rule = { kind : Fault.kind; rate : float }
+
+type t = rule list
+
+let rate t kind =
+  match List.find_opt (fun r -> r.kind = kind) t with
+  | Some r -> r.rate
+  | None -> 0.0
+
+(* Reference rates for ["all"] and for the default campaign: per-access
+   faults (bit flips, wrong results, hangs) fire orders of magnitude less
+   often than per-service faults (copies, interrupts), or nearly every run
+   would need the watchdog. *)
+(* Per-access kinds (flips, hangs, wrong results: one opportunity per PLD
+   write or translation, tens of thousands per run) are calibrated orders
+   of magnitude below per-service kinds (one opportunity per page copy or
+   interrupt) so that a default campaign run sees O(1) faults in total —
+   enough to exercise recovery without exhausting every retry budget. *)
+let default_rate = function
+  | Fault.Dpram_flip -> 1e-5
+  | Fault.Ahb_error -> 0.02
+  | Fault.Dma_error -> 0.02
+  | Fault.Tlb_corrupt -> 0.01
+  | Fault.Coproc_hang -> 3e-6
+  | Fault.Coproc_wrong -> 1e-5
+  | Fault.Irq_lost -> 0.05
+  | Fault.Irq_spurious -> 0.02
+
+let scale factor t =
+  if factor < 0.0 then invalid_arg "Spec.scale: negative factor";
+  List.map (fun r -> { r with rate = Float.min 1.0 (r.rate *. factor) }) t
+
+let all ?(factor = 1.0) () =
+  scale factor
+    (List.map (fun kind -> { kind; rate = default_rate kind }) Fault.all)
+
+let parse s =
+  let ( let* ) = Result.bind in
+  let parse_rule acc item =
+    let* acc = acc in
+    match String.split_on_char ':' (String.trim item) with
+    | [ name ] | [ name; "" ] -> (
+      (* bare name: the kind at its default rate *)
+      match (name, Fault.of_name name) with
+      | "all", _ -> Ok (acc @ all ())
+      | _, Some kind -> Ok (acc @ [ { kind; rate = default_rate kind } ])
+      | _, None -> Error (Printf.sprintf "unknown fault kind %S" name))
+    | [ name; rate ] -> (
+      let* rate =
+        match float_of_string_opt rate with
+        | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+        | Some _ -> Error (Printf.sprintf "rate out of [0,1] in %S" item)
+        | None -> Error (Printf.sprintf "bad rate in %S" item)
+      in
+      match (name, Fault.of_name name) with
+      | "all", _ ->
+        Ok (acc @ List.map (fun kind -> { kind; rate }) Fault.all)
+      | _, Some kind -> Ok (acc @ [ { kind; rate } ])
+      | _, None -> Error (Printf.sprintf "unknown fault kind %S" name))
+    | _ -> Error (Printf.sprintf "malformed rule %S (want kind[:rate])" item)
+  in
+  if String.trim s = "" then Error "empty specification"
+  else
+    let* rules =
+      List.fold_left parse_rule (Ok []) (String.split_on_char ',' s)
+    in
+    (* Later rules override earlier ones (so "all:0.01,hang:0" works). *)
+    let deduped =
+      List.fold_left
+        (fun acc r -> { r with rate = r.rate } :: List.filter (fun o -> o.kind <> r.kind) acc)
+        [] rules
+    in
+    Ok
+      (List.filter_map
+         (fun kind -> List.find_opt (fun r -> r.kind = kind) deduped)
+         Fault.all)
+
+let to_string t =
+  String.concat ","
+    (List.map (fun r -> Printf.sprintf "%s:%g" (Fault.name r.kind) r.rate) t)
+
+let grammar =
+  "SPEC ::= RULE (',' RULE)* ; RULE ::= KIND [':' RATE] ; KIND ::= 'all' | \
+   'dpram' | 'ahb' | 'dma' | 'tlb' | 'hang' | 'wrong' | 'irq-lost' | \
+   'irq-spurious' ; RATE ::= float in [0,1] (per injection opportunity; \
+   omitted = the kind's default). Later rules override earlier ones, so \
+   'all:0.01,hang:0' injects everything but hangs."

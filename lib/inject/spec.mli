@@ -1,0 +1,40 @@
+(** Injection specifications — which faults, how often.
+
+    A specification is a list of (fault kind, rate) rules. The rate is the
+    probability that one {e injection opportunity} (one PLD write, one page
+    copy, one TLB refill, one interrupt raise, ...) actually injects the
+    fault, so per-access kinds want much smaller rates than per-service
+    kinds.
+
+    The concrete syntax (the [--inject] argument of [rvisim]) is a
+    comma-separated rule list: [kind[:rate]]. [all] expands to every kind
+    (at scaled default rates when a rate is given). Later rules override
+    earlier ones: ["all:0.01,hang:0"] injects everything except hangs. *)
+
+type rule = { kind : Fault.kind; rate : float }
+
+type t = rule list
+
+val rate : t -> Fault.kind -> float
+(** The rate for a kind, [0.0] when absent. *)
+
+val default_rate : Fault.kind -> float
+(** Campaign-calibrated default rate for one kind. *)
+
+val all : ?factor:float -> unit -> t
+(** Every kind at [factor] times its default rate ([factor] defaults
+    to 1). *)
+
+val scale : float -> t -> t
+(** Multiply every rate by a factor, clamping to 1. Raises
+    [Invalid_argument] on a negative factor. *)
+
+val parse : string -> (t, string) result
+(** Parse the concrete syntax. The result lists each mentioned kind once,
+    in {!Fault.all} order. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)
+
+val grammar : string
+(** One-line description of the SPEC grammar, for [--help] texts. *)

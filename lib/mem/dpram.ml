@@ -1,16 +1,34 @@
-type t = { ram : Ram.t; geom : Page.geometry; stats : Rvi_sim.Stats.t }
+type t = {
+  ram : Ram.t;
+  geom : Page.geometry;
+  stats : Rvi_sim.Stats.t;
+  corrupted : (int, unit) Hashtbl.t;
+      (* byte addresses whose stored parity no longer matches the data,
+         i.e. locations where an injected bit flip is still latent *)
+  mutable injector : Rvi_inject.Injector.t option;
+}
 
 let create geom =
   {
     ram = Ram.create ~size:(Page.total_bytes geom);
     geom;
     stats = Rvi_sim.Stats.create ();
+    corrupted = Hashtbl.create 16;
+    injector = None;
   }
+
+let set_injector t inj = t.injector <- inj
 
 let geometry t = t.geom
 let size t = Ram.size t.ram
 let n_pages t = t.geom.Page.n_pages
 let page_size t = t.geom.Page.page_size
+
+let clear_corruption t ~pos ~len =
+  if Hashtbl.length t.corrupted > 0 then
+    for addr = pos to pos + len - 1 do
+      Hashtbl.remove t.corrupted addr
+    done
 
 let read t ~width addr =
   Rvi_sim.Stats.incr t.stats "pld_reads";
@@ -18,11 +36,35 @@ let read t ~width addr =
 
 let write t ~width addr v =
   Rvi_sim.Stats.incr t.stats "pld_writes";
-  Ram.write t.ram ~width addr v
+  Ram.write t.ram ~width addr v;
+  (* A store refreshes the parity of the bytes it covers... *)
+  clear_corruption t ~pos:addr ~len:(width / 8);
+  (* ...unless the cell flips a bit underneath it. The flip lands in the
+     array (later reads see it) and leaves the parity stale, which is how
+     the kernel's flush-time parity check catches it. *)
+  match t.injector with
+  | Some inj when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Dpram_flip ->
+    let bit = Rvi_inject.Injector.draw inj width in
+    let byte_addr = addr + (bit / 8) in
+    Ram.write8 t.ram byte_addr (Ram.read8 t.ram byte_addr lxor (1 lsl (bit mod 8)));
+    Hashtbl.replace t.corrupted byte_addr ();
+    Rvi_sim.Stats.incr t.stats "bit_flips"
+  | _ -> ()
 
 let check_page t page op =
   if page < 0 || page >= n_pages t then
     invalid_arg (Printf.sprintf "Dpram.%s: page %d out of [0, %d)" op page (n_pages t))
+
+let parity_error t ~page =
+  check_page t page "parity_error";
+  Hashtbl.length t.corrupted > 0
+  && (let base = Page.base t.geom page in
+      let found = ref false in
+      Hashtbl.iter
+        (fun addr () ->
+          if addr >= base && addr < base + page_size t then found := true)
+        t.corrupted;
+      !found)
 
 let load_page t ~page buf ~src ~len =
   check_page t page "load_page";
@@ -30,6 +72,7 @@ let load_page t ~page buf ~src ~len =
   let base = Page.base t.geom page in
   Ram.blit_from_bytes buf ~src t.ram ~dst:base ~len;
   if len < page_size t then Ram.fill t.ram ~pos:(base + len) ~len:(page_size t - len) '\000';
+  clear_corruption t ~pos:base ~len:(page_size t);
   Rvi_sim.Stats.incr t.stats "pages_loaded"
 
 let store_page t ~page buf ~dst ~len =
@@ -41,7 +84,8 @@ let store_page t ~page buf ~dst ~len =
 
 let clear_page t ~page =
   check_page t page "clear_page";
-  Ram.fill t.ram ~pos:(Page.base t.geom page) ~len:(page_size t) '\000'
+  Ram.fill t.ram ~pos:(Page.base t.geom page) ~len:(page_size t) '\000';
+  clear_corruption t ~pos:(Page.base t.geom page) ~len:(page_size t)
 
 let cpu_read32 t addr =
   Rvi_sim.Stats.incr t.stats "cpu_words";
@@ -49,6 +93,7 @@ let cpu_read32 t addr =
 
 let cpu_write32 t addr v =
   Rvi_sim.Stats.incr t.stats "cpu_words";
-  Ram.write32 t.ram addr v
+  Ram.write32 t.ram addr v;
+  clear_corruption t ~pos:addr ~len:4
 
 let stats t = t.stats

@@ -41,4 +41,16 @@ val cpu_write32 : t -> int -> int -> unit
 
 val stats : t -> Rvi_sim.Stats.t
 (** Port traffic counters: ["pld_reads"], ["pld_writes"], ["cpu_words"],
-    ["pages_loaded"], ["pages_stored"]. *)
+    ["pages_loaded"], ["pages_stored"], ["bit_flips"]. *)
+
+(** {1 Fault injection} *)
+
+val set_injector : t -> Rvi_inject.Injector.t option -> unit
+(** With an injector attached, each PLD-side {!write} is a
+    {!Rvi_inject.Fault.Dpram_flip} opportunity: a random bit of the
+    just-written cell flips and the cell's parity goes stale. Loading,
+    clearing or overwriting a corrupted location refreshes its parity. *)
+
+val parity_error : t -> page:int -> bool
+(** Whether any location in the page still holds an undetected bit flip —
+    the kernel's parity sweep when it flushes a page. *)

@@ -21,6 +21,10 @@ type kind =
   | Irq_raise of { line : int; name : string }
   | Irq_service
   | Watchdog
+  | Inject of { fault : string }
+  | Retry of { what : string; attempt : int }
+  | Recover of { what : string; retries : int }
+  | Degrade of { reason : string }
 
 type event = { seq : int; at : Simtime.t; dur : Simtime.t; kind : kind }
 
@@ -87,6 +91,10 @@ let kind_name = function
   | Irq_raise _ -> "irq_raise"
   | Irq_service -> "irq_service"
   | Watchdog -> "watchdog"
+  | Inject _ -> "inject"
+  | Retry _ -> "retry"
+  | Recover _ -> "recover"
+  | Degrade _ -> "degrade"
 
 type arg = Int of int | Str of string | Bool of bool
 
@@ -116,6 +124,10 @@ let args = function
   | Prefetch { obj_id; vpn; frame } ->
     [ ("obj", Int obj_id); ("vpn", Int vpn); ("frame", Int frame) ]
   | Irq_raise { line; name } -> [ ("line", Int line); ("name", Str name) ]
+  | Inject { fault } -> [ ("fault", Str fault) ]
+  | Retry { what; attempt } -> [ ("what", Str what); ("attempt", Int attempt) ]
+  | Recover { what; retries } -> [ ("what", Str what); ("retries", Int retries) ]
+  | Degrade { reason } -> [ ("reason", Str reason) ]
 
 (* Inverse of {!args} ∘ {!kind_name}: rebuild a kind from its name and a
    field lookup. Returns [None] on unknown names or missing fields. *)
@@ -177,6 +189,20 @@ let kind_of_name name lookup =
     Some (Irq_raise { line; name })
   | "irq_service" -> Some Irq_service
   | "watchdog" -> Some Watchdog
+  | "inject" ->
+    let* fault = str "fault" in
+    Some (Inject { fault })
+  | "retry" ->
+    let* what = str "what" in
+    let* attempt = int "attempt" in
+    Some (Retry { what; attempt })
+  | "recover" ->
+    let* what = str "what" in
+    let* retries = int "retries" in
+    Some (Recover { what; retries })
+  | "degrade" ->
+    let* reason = str "reason" in
+    Some (Degrade { reason })
   | _ -> None
 
 (* The paper's time categories, for exporters that color by category. *)
@@ -187,6 +213,7 @@ let category = function
   | Copy _ -> "swdp"
   | Page_load _ | Page_writeback _ | Page_evict _ | Prefetch _ -> "paging"
   | Irq_raise _ | Watchdog -> "irq"
+  | Inject _ | Retry _ | Recover _ | Degrade _ -> "reliability"
 
 let pp_event ppf e =
   Format.fprintf ppf "[%a+%a] %s" Simtime.pp e.at Simtime.pp e.dur

@@ -36,6 +36,16 @@ type kind =
   | Irq_raise of { line : int; name : string }
   | Irq_service  (** span: interrupt entry to exit *)
   | Watchdog  (** the execution watchdog fired *)
+  | Inject of { fault : string }
+      (** instant: the fault injector fired ({!Rvi_inject.Fault.name}) *)
+  | Retry of { what : string; attempt : int }
+      (** the recovery machine is retrying an operation ("copy",
+          "execute", ...) *)
+  | Recover of { what : string; retries : int }
+      (** an operation succeeded after [retries] retries (or, for
+          "lost_irq", a poll caught a latched cause whose edge was lost) *)
+  | Degrade of { reason : string }
+      (** hardware given up on: the caller falls back to software *)
 
 type event = { seq : int; at : Simtime.t; dur : Simtime.t; kind : kind }
 
@@ -75,6 +85,6 @@ val kind_of_name : string -> (string -> arg option) -> kind option
 
 val category : kind -> string
 (** The paper's time category this event belongs to ("swimu", "swdp",
-    "vim", "paging", "exec", "irq"). *)
+    "vim", "paging", "exec", "irq", "reliability"). *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -7,6 +7,8 @@ type t = {
   lines : line_state array;
   mutable raised_total : int;
   mutable observer : (line:int -> name:string -> unit) option;
+  stats : Rvi_sim.Stats.t;
+  mutable injector : Rvi_inject.Injector.t option;
 }
 
 let create ?(lines = 8) () =
@@ -15,9 +17,13 @@ let create ?(lines = 8) () =
     lines = Array.init lines (fun _ -> { handler = None; pending = false });
     raised_total = 0;
     observer = None;
+    stats = Rvi_sim.Stats.create ();
+    injector = None;
   }
 
 let set_observer t obs = t.observer <- obs
+let set_injector t inj = t.injector <- inj
+let stats t = t.stats
 
 let check t line op =
   if line < 0 || line >= Array.length t.lines then
@@ -33,17 +39,27 @@ let register t ~line ~name f =
 
 let raise_line t ~line =
   check t line "raise_line";
-  if not t.lines.(line).pending then begin
-    t.lines.(line).pending <- true;
-    t.raised_total <- t.raised_total + 1;
-    match t.observer with
-    | Some f ->
-      let name =
-        match t.lines.(line).handler with Some (n, _) -> n | None -> "?"
-      in
-      f ~line ~name
-    | None -> ()
-  end
+  match t.injector with
+  | Some inj when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Irq_lost ->
+    (* The edge never reaches the controller — a glitched line. The device
+       keeps its status register, so software can still recover by polling. *)
+    Rvi_sim.Stats.incr t.stats "dropped_raises"
+  | _ ->
+    if t.lines.(line).pending then
+      (* Level-triggered: a second edge while already pending coalesces
+         into the one pending state instead of faulting the controller. *)
+      Rvi_sim.Stats.incr t.stats "coalesced_raises"
+    else begin
+      t.lines.(line).pending <- true;
+      t.raised_total <- t.raised_total + 1;
+      match t.observer with
+      | Some f ->
+        let name =
+          match t.lines.(line).handler with Some (n, _) -> n | None -> "?"
+        in
+        f ~line ~name
+      | None -> ()
+    end
 
 let any_pending t = Array.exists (fun l -> l.pending) t.lines
 
@@ -59,7 +75,10 @@ let dispatch_one t =
     t.lines.(i).pending <- false;
     (match t.lines.(i).handler with
     | Some (_, f) -> f ()
-    | None -> failwith (Printf.sprintf "Irq: pending line %d has no handler" i));
+    | None ->
+      (* A pending line nobody claimed: tolerate it as spurious rather
+         than bringing the kernel down — noisy hardware does this. *)
+      Rvi_sim.Stats.incr t.stats "spurious_irqs");
     true
 
 let dispatch_all t =

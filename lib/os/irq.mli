@@ -15,7 +15,11 @@ val register : t -> line:int -> name:string -> (unit -> unit) -> unit
     range or already claimed. *)
 
 val raise_line : t -> line:int -> unit
-(** Marks the line pending. Idempotent while pending (level-triggered). *)
+(** Marks the line pending. A second edge while already pending coalesces
+    (level-triggered) and is counted as ["coalesced_raises"]. With an
+    injector attached, each raise is a {!Rvi_inject.Fault.Irq_lost}
+    opportunity: the edge is dropped and counted as ["dropped_raises"],
+    leaving recovery to device-register polling. *)
 
 val set_observer : t -> (line:int -> name:string -> unit) option -> unit
 (** Installs (or clears) a hook called once per raising edge — each time a
@@ -27,10 +31,17 @@ val any_pending : t -> bool
 val dispatch_one : t -> bool
 (** Services the highest-priority pending line: clears it and runs its
     handler. Returns [false] if nothing was pending. A pending line without
-    a handler raises [Failure] — that is a system integration bug. *)
+    a handler is cleared and counted as ["spurious_irqs"] rather than
+    faulting the kernel. *)
 
 val dispatch_all : t -> int
 (** Services until nothing is pending; returns the number serviced. *)
 
 val raised_total : t -> int
 (** Total interrupts raised since creation. *)
+
+val stats : t -> Rvi_sim.Stats.t
+(** Robustness counters: ["spurious_irqs"], ["coalesced_raises"],
+    ["dropped_raises"]. *)
+
+val set_injector : t -> Rvi_inject.Injector.t option -> unit

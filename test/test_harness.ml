@@ -271,7 +271,7 @@ let test_tiny_dpram_no_frames () =
   match row.Report.outcome with
   | Report.Failed msg ->
     checkb "mentions memory" true (String.length msg > 0)
-  | Report.Measured | Report.Exceeds_memory ->
+  | Report.Measured | Report.Exceeds_memory | Report.Degraded _ ->
     Alcotest.fail "one-page memory unexpectedly worked"
 
 let test_tiny_tlb_still_correct () =
@@ -316,6 +316,7 @@ let test_report_helpers () =
       accesses = 0;
       fault_p95_us = 0.0;
       fault_p99_us = 0.0;
+      retries = 0;
       verified = true;
     }
   in
@@ -870,6 +871,7 @@ let test_report_json () =
       accesses = 99;
       fault_p95_us = 12.5;
       fault_p99_us = 14.25;
+      retries = 0;
       verified = true;
     }
   in

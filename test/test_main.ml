@@ -9,6 +9,7 @@ let () =
       ("mem", Test_mem.suite);
       ("fpga", Test_fpga.suite);
       ("os", Test_os.suite);
+      ("inject", Test_inject.suite);
       ("core", Test_core.suite);
       ("vim", Test_vim.suite);
       ("rtl", Test_rtl.suite);

@@ -121,6 +121,10 @@ let all_kinds =
     Trace.Irq_raise { line = 0; name = "a \"quoted\"\nname\twith\\escapes" };
     Trace.Irq_service;
     Trace.Watchdog;
+    Trace.Inject { fault = "dpram" };
+    Trace.Retry { what = "page_load"; attempt = 2 };
+    Trace.Recover { what = "execute"; retries = 1 };
+    Trace.Degrade { reason = "EIO (bus error)" };
   ]
 
 let all_kind_events () =
