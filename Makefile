@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples check faults-smoke clean
+.PHONY: all build test bench examples check faults-smoke faults-determinism clean
 
 all: build
 
@@ -22,9 +22,22 @@ check:
 # Seeded mini fault-injection campaign: fails on any uncaught exception or
 # on a degraded run whose software fallback produced wrong output. Keeps a
 # JSONL trace of every injection/retry/recovery decision for post-mortems.
+# Artefacts land under results/ so the repo root stays clean.
 faults-smoke:
-	dune exec bin/rvisim.exe -- faults --runs 100 --seed 2004 \
-	  --trace faults-smoke.trace.jsonl --csv faults-smoke.csv
+	mkdir -p results
+	dune exec bin/rvisim.exe -- faults --runs 100 --seed 2004 --jobs 1 \
+	  --trace results/faults-smoke.trace.jsonl --csv results/faults-smoke.csv
+
+# Determinism gate: the sharded runner must reproduce the serial
+# campaign byte for byte.
+faults-determinism:
+	mkdir -p results
+	dune exec bin/rvisim.exe -- faults --runs 100 --seed 2004 --jobs 1 \
+	  --csv results/faults-j1.csv
+	dune exec bin/rvisim.exe -- faults --runs 100 --seed 2004 --jobs 4 \
+	  --csv results/faults-j4.csv
+	cmp results/faults-j1.csv results/faults-j4.csv
+	@echo "faults --jobs 4 is byte-identical to --jobs 1"
 
 bench:
 	dune exec bench/main.exe

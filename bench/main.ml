@@ -9,15 +9,28 @@
       figure-generating workload plus the hot primitives), so simulator
       performance regressions are visible.
 
-   Usage:  dune exec bench/main.exe            (everything)
-           dune exec bench/main.exe -- fig8    (one experiment)
-           dune exec bench/main.exe -- micro   (micro-benchmarks only) *)
+   Usage:  dune exec bench/main.exe              (everything)
+           dune exec bench/main.exe -- fig8      (one experiment)
+           dune exec bench/main.exe -- micro     (micro-benchmarks only)
+           dune exec bench/main.exe -- campaign  (parallel campaign bench,
+                                                  writes BENCH_campaign.json) *)
 
 open Bechamel
 open Toolkit
 
 let cfg () = Rvi_harness.Config.default ()
 let ppf = Format.std_formatter
+
+(* Macro-benchmark of the sharded campaign runner: wall-clock and
+   speedup of --jobs N over --jobs 1 on one seeded fault campaign,
+   persisted as BENCH_campaign.json so the perf trajectory has data. *)
+let run_campaign () =
+  let jobs = Rvi_par.Par.recommended_domains () in
+  let r = Rvi_harness.Bench_campaign.run ~jobs () in
+  print_endline "\n== Parallel campaign runner (wall-clock) ==";
+  Rvi_harness.Bench_campaign.print ppf r;
+  let path = Rvi_harness.Bench_campaign.write r in
+  Printf.printf "wrote %s\n" path
 
 let experiments =
   [
@@ -57,6 +70,7 @@ let experiments =
       fun () -> ignore (Rvi_harness.Experiments.ext_dual ppf (cfg ())) );
     ( "sensitivity",
       fun () -> ignore (Rvi_harness.Experiments.sensitivity ppf (cfg ())) );
+    ("campaign", run_campaign);
   ]
 
 (* {1 Micro-benchmarks} *)

@@ -98,6 +98,16 @@ let watchdog_ms =
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit rows as JSON.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Rvi_par.Par.recommended_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard independent runs over $(docv) domains (default: the \
+           recommended domain count of this machine). Results are \
+           deterministic: identical whatever $(docv) is.")
+
 let sizes_kb =
   Arg.(
     value
@@ -196,20 +206,20 @@ let overheads_cmd =
     Term.(const run $ config_term)
 
 let ablations_cmd =
-  let run cfg =
-    ignore (Rvi_harness.Experiments.ablation_policy ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_prefetch ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_pipelined_imu ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_transfer ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_tlb_size ppf cfg);
+  let run cfg jobs =
+    ignore (Rvi_harness.Experiments.ablation_policy ~jobs ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_prefetch ~jobs ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_pipelined_imu ~jobs ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_transfer ~jobs ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_tlb_size ~jobs ppf cfg);
     ignore (Rvi_harness.Experiments.ablation_chunked_normal ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_dma ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_overlap ppf cfg);
-    ignore (Rvi_harness.Experiments.ablation_tlb_org ppf cfg)
+    ignore (Rvi_harness.Experiments.ablation_dma ~jobs ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_overlap ~jobs ppf cfg);
+    ignore (Rvi_harness.Experiments.ablation_tlb_org ~jobs ppf cfg)
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"All design-choice ablations from DESIGN.md.")
-    Term.(const run $ config_term)
+    Term.(const run $ config_term $ jobs)
 
 let portability_cmd =
   let run cfg = ignore (Rvi_harness.Experiments.portability ppf cfg) in
@@ -545,7 +555,7 @@ let faults_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Whole-execution retries before degrading to software.")
   in
-  let run seed runs sweep_flag inject exec_retries csv_out trace_out =
+  let run seed runs sweep_flag inject exec_retries csv_out trace_out jobs =
     let trace = Option.map (fun _ -> Rvi_obs.Trace.create ()) trace_out in
     let write_trace () =
       match (trace_out, trace) with
@@ -557,7 +567,7 @@ let faults_cmd =
     in
     let ok =
       if sweep_flag then begin
-        let cells = Rvi_harness.Faults.sweep ?trace ~runs ~seed () in
+        let cells = Rvi_harness.Faults.sweep ?trace ~jobs ~runs ~seed () in
         Rvi_harness.Faults.print_sweep ppf cells;
         List.for_all
           (fun c ->
@@ -576,7 +586,7 @@ let faults_cmd =
         in
         let results =
           Rvi_harness.Faults.campaign ?trace ~spec ~exec_retries ~progress
-            ~runs ~seed ()
+            ~jobs ~runs ~seed ()
         in
         let s = Rvi_harness.Faults.summarize results in
         Rvi_harness.Faults.print_summary ppf s;
@@ -601,13 +611,41 @@ let faults_cmd =
           non-zero on any crash or unverified degraded output.")
     Term.(
       const run $ seed $ runs $ sweep_flag $ inject $ exec_retries $ csv_out
-      $ trace_out)
+      $ trace_out $ jobs)
+
+let bench_cmd =
+  let runs =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"N" ~doc:"Campaign size to benchmark.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string Rvi_harness.Bench_campaign.default_path
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON result.")
+  in
+  let run seed runs jobs out =
+    let r = Rvi_harness.Bench_campaign.run ~runs ~seed ~jobs () in
+    Rvi_harness.Bench_campaign.print ppf r;
+    let path = Rvi_harness.Bench_campaign.write ~path:out r in
+    Printf.printf "wrote %s\n" path;
+    if not r.Rvi_harness.Bench_campaign.deterministic then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark the parallel campaign runner: wall-clock, runs/sec and \
+          speedup of --jobs N against --jobs 1 on the same seeded campaign, \
+          written as BENCH_campaign.json. Exits non-zero if the parallel \
+          run classifies any run differently (a determinism bug).")
+    Term.(const run $ seed $ runs $ jobs $ out)
 
 let all_cmd =
-  let run cfg = Rvi_harness.Experiments.all ppf cfg in
+  let run cfg jobs = Rvi_harness.Experiments.all ~jobs ppf cfg in
   Cmd.v
     (Cmd.info "all" ~doc:"Every figure, claim and ablation in sequence.")
-    Term.(const run $ config_term)
+    Term.(const run $ config_term $ jobs)
 
 let () =
   let doc =
@@ -637,5 +675,6 @@ let () =
             emit_stubs_cmd;
             run_cmd;
             faults_cmd;
+            bench_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,76 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+type result = {
+  runs : int;
+  seed : int;
+  jobs : int;
+  serial_s : float;
+  parallel_s : float;
+  serial_runs_per_sec : float;
+  parallel_runs_per_sec : float;
+  speedup : float;
+  deterministic : bool;
+  survival : float;
+}
+
+let classification results =
+  List.map (fun r -> (r.Faults.index, Faults.outcome_name r.Faults.outcome)) results
+
+let run ?(runs = 200) ?(seed = 2004) ~jobs () =
+  let serial, serial_s = time (fun () -> Faults.campaign ~runs ~seed ()) in
+  let parallel, parallel_s =
+    time (fun () -> Faults.campaign ~jobs ~runs ~seed ())
+  in
+  let per_sec t = if t > 0.0 then float_of_int runs /. t else 0.0 in
+  {
+    runs;
+    seed;
+    jobs;
+    serial_s;
+    parallel_s;
+    serial_runs_per_sec = per_sec serial_s;
+    parallel_runs_per_sec = per_sec parallel_s;
+    speedup = (if parallel_s > 0.0 then serial_s /. parallel_s else 0.0);
+    deterministic =
+      classification serial = classification parallel
+      && Faults.summarize serial = Faults.summarize parallel;
+    survival = Faults.survival (Faults.summarize serial);
+  }
+
+let to_json r =
+  Printf.sprintf
+    "{\n\
+    \  \"benchmark\": \"faults-campaign\",\n\
+    \  \"runs\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"serial_s\": %.6f,\n\
+    \  \"parallel_s\": %.6f,\n\
+    \  \"serial_runs_per_sec\": %.2f,\n\
+    \  \"parallel_runs_per_sec\": %.2f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"deterministic\": %b,\n\
+    \  \"survival_pct\": %.2f\n\
+     }\n"
+    r.runs r.seed r.jobs r.serial_s r.parallel_s r.serial_runs_per_sec
+    r.parallel_runs_per_sec r.speedup r.deterministic r.survival
+
+let default_path = "BENCH_campaign.json"
+
+let write ?(path = default_path) r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json r));
+  path
+
+let print ppf r =
+  Format.fprintf ppf
+    "campaign %d runs, seed %d: serial %.2fs (%.1f runs/s), --jobs %d %.2fs \
+     (%.1f runs/s), speedup %.2fx, classifications %s@."
+    r.runs r.seed r.serial_s r.serial_runs_per_sec r.jobs r.parallel_s
+    r.parallel_runs_per_sec r.speedup
+    (if r.deterministic then "identical" else "DIVERGED (bug)")

@@ -1,0 +1,35 @@
+(** Wall-clock benchmark of the parallel campaign runner.
+
+    Times the same seeded fault campaign serially and with
+    [jobs] domains, checks the two classify every run identically
+    (the {!Rvi_par.Par} determinism contract, asserted on real wall
+    time, not just in unit tests), and renders the numbers as the
+    [BENCH_campaign.json] document the perf trajectory tracks. *)
+
+type result = {
+  runs : int;
+  seed : int;
+  jobs : int;
+  serial_s : float;  (** wall-clock of the [jobs = 1] campaign *)
+  parallel_s : float;  (** wall-clock of the [jobs = n] campaign *)
+  serial_runs_per_sec : float;
+  parallel_runs_per_sec : float;
+  speedup : float;  (** [serial_s /. parallel_s] *)
+  deterministic : bool;
+      (** per-run classification vectors and merged summaries equal *)
+  survival : float;  (** campaign survival %, a sanity anchor *)
+}
+
+val run : ?runs:int -> ?seed:int -> jobs:int -> unit -> result
+(** Defaults: 200 runs, seed 2004. *)
+
+val to_json : result -> string
+
+val default_path : string
+(** ["BENCH_campaign.json"]. *)
+
+val write : ?path:string -> result -> string
+(** Writes {!to_json} to [path] (default {!default_path}); returns the
+    path written. *)
+
+val print : Format.formatter -> result -> unit

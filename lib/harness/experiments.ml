@@ -7,6 +7,13 @@ module Device = Rvi_fpga.Device
 let null_formatter =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
+(* Ablation sweeps shard variant-per-item over domains: every variant
+   builds its own engine/kernel/device stack, so rows are independent
+   and [Par.map] keeps them in variant order whatever [jobs] is.
+   Rendering happens after the barrier, on the calling domain. *)
+let par_variants ?(jobs = 1) f variants =
+  List.concat (Rvi_par.Par.map ~domains:jobs ~chunk:1 f variants)
+
 (* {1 Figure 7} *)
 
 type fig7 = { waveform : string; vcd : string; latency_cycles : int }
@@ -91,9 +98,9 @@ let fig7 ?(pipelined = false) ppf () =
 
 (* {1 Figures 8 and 9} *)
 
-let fig8 ?(sizes_kb = [ 2; 4; 8 ]) ppf cfg =
+let fig8 ?(sizes_kb = [ 2; 4; 8 ]) ?jobs ppf cfg =
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun kb ->
         let input = Workload.adpcm_stream ~seed:(100 + kb) ~bytes:(kb * 1024) in
         [ Runner.adpcm_sw cfg ~input; Runner.adpcm_vim cfg ~input ])
@@ -106,10 +113,10 @@ let fig8 ?(sizes_kb = [ 2; 4; 8 ]) ppf cfg =
     ~baseline_version:"SW" ppf rows;
   rows
 
-let fig9 ?(sizes_kb = [ 4; 8; 16; 32 ]) ppf cfg =
+let fig9 ?(sizes_kb = [ 4; 8; 16; 32 ]) ?jobs ppf cfg =
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun kb ->
         let input = Workload.idea_plaintext ~seed:(200 + kb) ~bytes:(kb * 1024) in
         [
@@ -207,12 +214,12 @@ let print_labeled ppf ~title rows =
 let adpcm_8k cfg = Workload.adpcm_stream ~seed:cfg.Config.seed ~bytes:(8 * 1024)
 let idea_32k cfg = Workload.idea_plaintext ~seed:cfg.Config.seed ~bytes:(32 * 1024)
 
-let ablation_policy ppf cfg =
+let ablation_policy ?jobs ppf cfg =
   let input = adpcm_8k cfg in
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun name ->
         let cfg = Config.with_policy cfg name in
         [
@@ -224,7 +231,7 @@ let ablation_policy ppf cfg =
   print_labeled ppf ~title:"Ablation: replacement policy (§3.3)" rows;
   rows
 
-let ablation_prefetch ppf cfg =
+let ablation_prefetch ?jobs ppf cfg =
   let input = adpcm_8k cfg in
   let variants =
     [
@@ -234,21 +241,21 @@ let ablation_prefetch ppf cfg =
     ]
   in
   let rows =
-    List.map
+    par_variants ?jobs
       (fun (label, prefetch) ->
         let cfg = { cfg with Config.prefetch } in
-        ("adpcm-8KB/prefetch-" ^ label, Runner.adpcm_vim cfg ~input))
+        [ ("adpcm-8KB/prefetch-" ^ label, Runner.adpcm_vim cfg ~input) ])
       variants
   in
   print_labeled ppf ~title:"Ablation: page prefetching (§3.3)" rows;
   rows
 
-let ablation_pipelined_imu ppf cfg =
+let ablation_pipelined_imu ?jobs ppf cfg =
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let input = adpcm_8k cfg in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun kind ->
         let cfg = { cfg with Config.imu_kind = kind } in
         let label = Config.imu_kind_name kind in
@@ -263,12 +270,12 @@ let ablation_pipelined_imu ppf cfg =
     rows;
   rows
 
-let ablation_transfer ppf cfg =
+let ablation_transfer ?jobs ppf cfg =
   let input = adpcm_8k cfg in
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun (label, transfer) ->
         let cfg = { cfg with Config.transfer } in
         [
@@ -282,26 +289,26 @@ let ablation_transfer ppf cfg =
     rows;
   rows
 
-let ablation_tlb_size ppf cfg =
+let ablation_tlb_size ?jobs ppf cfg =
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let rows =
-    List.map
+    par_variants ?jobs
       (fun entries ->
         let cfg = { cfg with Config.tlb_entries = Some entries } in
-        (entries, Runner.idea_vim cfg ~key ~input:pt))
+        [ (entries, Runner.idea_vim cfg ~key ~input:pt) ])
       [ 2; 4; 8 ]
   in
   print_labeled ppf ~title:"Ablation: TLB size (entries vs refill faults)"
     (List.map (fun (n, r) -> (Printf.sprintf "idea-32KB/tlb-%d" n, r)) rows);
   rows
 
-let portability ppf cfg =
+let portability ?jobs ppf cfg =
   let input = adpcm_8k cfg in
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun device ->
         let cfg = { cfg with Config.device } in
         let name = device.Device.name in
@@ -416,12 +423,12 @@ let ablation_chunked_normal ppf cfg =
     rows;
   rows
 
-let ablation_tlb_org ppf cfg =
+let ablation_tlb_org ?jobs ppf cfg =
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let input = adpcm_8k cfg in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun org ->
         let cfg = { cfg with Config.tlb_organization = org } in
         let label = Rvi_core.Tlb.organization_name org in
@@ -441,12 +448,12 @@ let ablation_tlb_org ppf cfg =
     rows;
   rows
 
-let ablation_dma ppf cfg =
+let ablation_dma ?jobs ppf cfg =
   let input = adpcm_8k cfg in
   let key = Workload.idea_key ~seed:cfg.Config.seed in
   let pt = idea_32k cfg in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun (label, copy_engine) ->
         let cfg = { cfg with Config.copy_engine } in
         [
@@ -463,7 +470,7 @@ let ablation_dma ppf cfg =
     rows;
   rows
 
-let ablation_overlap ppf cfg =
+let ablation_overlap ?jobs ppf cfg =
   let input = adpcm_8k cfg in
   let variants =
     [
@@ -473,10 +480,10 @@ let ablation_overlap ppf cfg =
     ]
   in
   let rows =
-    List.map
+    par_variants ?jobs
       (fun (label, prefetch, overlap_prefetch) ->
         let cfg = { cfg with Config.prefetch; overlap_prefetch } in
-        ("adpcm-8KB/prefetch-" ^ label, Runner.adpcm_vim cfg ~input))
+        [ ("adpcm-8KB/prefetch-" ^ label, Runner.adpcm_vim cfg ~input) ])
       variants
   in
   print_labeled ppf
@@ -488,11 +495,11 @@ let ablation_overlap ppf cfg =
 
 (* {1 Extensions beyond the paper} *)
 
-let ext_fir ?(sizes_kb = [ 4; 16; 32 ]) ppf cfg =
+let ext_fir ?(sizes_kb = [ 4; 16; 32 ]) ?jobs ppf cfg =
   let coeffs = Workload.fir_coeffs ~taps:16 in
   let shift = 12 in
   let rows =
-    List.concat_map
+    par_variants ?jobs
       (fun kb ->
         let input = Workload.fir_signal ~seed:(300 + kb) ~bytes:(kb * 1024) in
         [
@@ -924,13 +931,13 @@ let ext_oracle ppf cfg =
     opt_bound;
   (List.map (fun (name, (f, v, _)) -> (name, (f, v))) results, opt_bound)
 
-let sensitivity ppf cfg =
+let sensitivity ?jobs ppf cfg =
   (* The AHB cost per uncached word is the least-certain calibration
      constant; sweep it across a 4x range and check that no conclusion
      flips: the VIM stays ahead of software and behind the normal
      coprocessor where the latter can run at all. *)
   let rows =
-    List.map
+    par_variants ?jobs
       (fun cycles_per_word ->
         let ahb =
           Rvi_mem.Ahb.make ~word_bytes:4 ~setup_cycles:120 ~cycles_per_word
@@ -945,7 +952,7 @@ let sensitivity ppf cfg =
         let i_sw = Runner.idea_sw cfg ~key ~input:pt in
         let i_nrm = Runner.idea_normal cfg ~key ~input:pt in
         let i_vim = Runner.idea_vim cfg ~key ~input:pt in
-        (cycles_per_word, (a_sw, a_vim), (i_sw, i_nrm, i_vim)))
+        [ (cycles_per_word, (a_sw, a_vim), (i_sw, i_nrm, i_vim)) ])
       [ 10; 20; 40 ]
   in
   Format.fprintf ppf
@@ -991,23 +998,23 @@ let multiprogramming ?(jobs_per_app = 4) ppf cfg =
      cost — the scheduling concern of the related work the paper cites)@.";
   results
 
-let all ppf cfg =
+let all ?jobs ppf cfg =
   ignore (fig7 ppf ());
   ignore (fig7 ~pipelined:true ppf ());
-  ignore (fig8 ppf cfg);
-  ignore (fig9 ppf cfg);
+  ignore (fig8 ?jobs ppf cfg);
+  ignore (fig9 ?jobs ppf cfg);
   ignore (overheads ppf cfg);
-  ignore (ablation_policy ppf cfg);
-  ignore (ablation_prefetch ppf cfg);
-  ignore (ablation_pipelined_imu ppf cfg);
-  ignore (ablation_transfer ppf cfg);
-  ignore (ablation_tlb_size ppf cfg);
-  ignore (portability ppf cfg);
+  ignore (ablation_policy ?jobs ppf cfg);
+  ignore (ablation_prefetch ?jobs ppf cfg);
+  ignore (ablation_pipelined_imu ?jobs ppf cfg);
+  ignore (ablation_transfer ?jobs ppf cfg);
+  ignore (ablation_tlb_size ?jobs ppf cfg);
+  ignore (portability ?jobs ppf cfg);
   ignore (ablation_chunked_normal ppf cfg);
-  ignore (ablation_dma ppf cfg);
-  ignore (ablation_overlap ppf cfg);
-  ignore (ablation_tlb_org ppf cfg);
-  ignore (ext_fir ppf cfg);
+  ignore (ablation_dma ?jobs ppf cfg);
+  ignore (ablation_overlap ?jobs ppf cfg);
+  ignore (ablation_tlb_org ?jobs ppf cfg);
+  ignore (ext_fir ?jobs ppf cfg);
   ignore (miss_curve ppf cfg);
   ignore (ext_cbc ppf cfg);
   ignore (multiprogramming ppf cfg);
@@ -1015,4 +1022,4 @@ let all ppf cfg =
   ignore (sweep_memory_size ppf cfg);
   ignore (ext_dual ppf cfg);
   ignore (ext_oracle ppf cfg);
-  ignore (sensitivity ppf cfg)
+  ignore (sensitivity ?jobs ppf cfg)

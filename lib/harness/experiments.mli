@@ -17,11 +17,13 @@ val fig7 : ?pipelined:bool -> Format.formatter -> unit -> fig7
 
 (** {1 Figures 8 and 9 — application measurements} *)
 
-val fig8 : ?sizes_kb:int list -> Format.formatter -> Config.t -> Report.row list
+val fig8 :
+  ?sizes_kb:int list -> ?jobs:int -> Format.formatter -> Config.t -> Report.row list
 (** adpcmdecode: software and VIM-based versions per input size
     (default 2/4/8 KB). *)
 
-val fig9 : ?sizes_kb:int list -> Format.formatter -> Config.t -> Report.row list
+val fig9 :
+  ?sizes_kb:int list -> ?jobs:int -> Format.formatter -> Config.t -> Report.row list
 (** IDEA: software, normal-coprocessor and VIM-based versions per input
     size (default 4/8/16/32 KB). *)
 
@@ -41,23 +43,34 @@ type overheads = {
 
 val overheads : Format.formatter -> Config.t -> overheads
 
-(** {1 Ablations} *)
+(** {1 Ablations}
 
-val ablation_policy : Format.formatter -> Config.t -> (string * Report.row) list
+    Every sweep below takes [?jobs] (default 1): variants shard over
+    that many domains via {!Rvi_par.Par.map}, one variant per chunk.
+    Each variant builds a private simulation stack, so row values are
+    identical whatever [jobs] is and rendering happens only after the
+    barrier. *)
+
+val ablation_policy :
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** FIFO / LRU / random / second-chance on the faulting workloads. *)
 
-val ablation_prefetch : Format.formatter -> Config.t -> (string * Report.row) list
+val ablation_prefetch :
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 
 val ablation_pipelined_imu :
-  Format.formatter -> Config.t -> (string * Report.row) list
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** 4-cycle vs pipelined IMU on IDEA (the paper's announced follow-up). *)
 
-val ablation_transfer : Format.formatter -> Config.t -> (string * Report.row) list
+val ablation_transfer :
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** Double (measured) vs single (announced fix) transfers. *)
 
-val ablation_tlb_size : Format.formatter -> Config.t -> (int * Report.row) list
+val ablation_tlb_size :
+  ?jobs:int -> Format.formatter -> Config.t -> (int * Report.row) list
 
-val portability : Format.formatter -> Config.t -> (string * Report.row) list
+val portability :
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** The same binaries across EPXA1/EPXA4/EPXA10 — only the module
     (configuration) changes, as §4 promises. *)
 
@@ -67,21 +80,23 @@ val ablation_chunked_normal :
     a working set beyond the dual-port memory. *)
 
 val ablation_tlb_org :
-  Format.formatter -> Config.t -> (string * Report.row) list
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** CAM vs 2-way vs direct-mapped TLB: conflict refill faults against the
     area a real CAM costs. *)
 
-val ablation_dma : Format.formatter -> Config.t -> (string * Report.row) list
+val ablation_dma :
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** CPU copies (the paper) vs the stripe's DMA engine for page movement. *)
 
 val ablation_overlap :
-  Format.formatter -> Config.t -> (string * Report.row) list
+  ?jobs:int -> Format.formatter -> Config.t -> (string * Report.row) list
 (** Prefetch off / synchronous / overlapped with coprocessor execution —
     the §4.1 future work quantified. *)
 
 (** {1 Extensions beyond the paper} *)
 
-val ext_fir : ?sizes_kb:int list -> Format.formatter -> Config.t -> Report.row list
+val ext_fir :
+  ?sizes_kb:int list -> ?jobs:int -> Format.formatter -> Config.t -> Report.row list
 (** The FIR filter as a third application, in all three versions. *)
 
 type miss_curve = {
@@ -124,6 +139,7 @@ val ext_oracle :
     paging: per-policy (faults, verified) plus the analytic OPT bound. *)
 
 val sensitivity :
+  ?jobs:int ->
   Format.formatter ->
   Config.t ->
   (int * (Report.row * Report.row) * (Report.row * Report.row * Report.row))
@@ -140,5 +156,6 @@ val multiprogramming :
     first-come-first-served vs grouped by bit-stream, quantifying
     reconfiguration thrash under the exclusive lock of [FPGA_LOAD]. *)
 
-val all : Format.formatter -> Config.t -> unit
-(** Runs everything above in order. *)
+val all : ?jobs:int -> Format.formatter -> Config.t -> unit
+(** Runs everything above in order, forwarding [jobs] to every sweep
+    that shards over domains. *)

@@ -1,5 +1,7 @@
 module Simtime = Rvi_sim.Simtime
 module Prng = Rvi_sim.Prng
+module Par = Rvi_par.Par
+module Trace = Rvi_obs.Trace
 module Spec = Rvi_inject.Spec
 module Injector = Rvi_inject.Injector
 
@@ -123,23 +125,68 @@ let run_one ?trace ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w) =
     total_ms;
   }
 
+(* Capacity of the per-run trace sinks a parallel campaign allocates: a
+   single run emits at most a few hundred events, so 4096 slots never
+   drop in practice while 1000-run campaigns stay tens of megabytes. *)
+let shard_trace_capacity = 4096
+
 let campaign ?trace ?(spec = Spec.all ())
     ?(recovery = Rvi_core.Vim.default_recovery)
-    ?(watchdog = default_watchdog) ?(exec_retries = 2) ?progress ~runs ~seed ()
-    =
+    ?(watchdog = default_watchdog) ?(exec_retries = 2) ?progress ?(jobs = 1)
+    ?chunk ~runs ~seed () =
   let master = Prng.create ~seed in
   let apps = workloads ~seed in
-  List.init runs (fun i ->
-      (* Per-run seeds come off a master stream, so one campaign seed
-         reproduces every run yet runs stay independent. *)
-      let run_seed = Prng.next master land 0x3FFF_FFFF in
-      let r =
-        run_one ?trace ~spec ~recovery ~watchdog ~exec_retries ~seed:run_seed
-          apps.(i mod Array.length apps)
-      in
-      let r = { r with index = i } in
-      (match progress with Some f -> f r | None -> ());
-      r)
+  (* Per-run seeds come off a master stream drawn serially *before* any
+     sharding, so run [i]'s seed is a function of (campaign seed, i)
+     alone — never of shard order or domain count — and one campaign
+     seed reproduces every run. *)
+  let run_seeds = Array.init runs (fun _ -> Prng.next master land 0x3FFF_FFFF) in
+  let exec i ?trace () =
+    let r =
+      run_one ?trace ~spec ~recovery ~watchdog ~exec_retries
+        ~seed:run_seeds.(i)
+        apps.(i mod Array.length apps)
+    in
+    { r with index = i }
+  in
+  if jobs <= 1 then
+    (* Serial path: runs share the caller's sink and [progress] fires as
+       each run completes — bit-identical to the pre-parallel code. *)
+    List.init runs (fun i ->
+        let r = exec i ?trace () in
+        (match progress with Some f -> f r | None -> ());
+        r)
+  else begin
+    let chunk =
+      match chunk with Some c -> c | None -> Par.default_chunk ~domains:jobs runs
+    in
+    (* Each run records into its own sink stamped with its (deterministic)
+       chunk ordinal; sinks merge into the caller's trace in run order
+       after the barrier, so the merged event stream does not depend on
+       which domain ran which chunk. [progress] also fires post-barrier,
+       in run order. *)
+    let results =
+      Par.map ~domains:jobs ~chunk
+        (fun i ->
+          let local =
+            Option.map
+              (fun _ ->
+                Trace.create ~capacity:shard_trace_capacity
+                  ~shard:(Par.shard_of_index ~chunk i) ())
+              trace
+          in
+          (exec i ?trace:local (), local))
+        (List.init runs Fun.id)
+    in
+    List.map
+      (fun (r, local) ->
+        (match (trace, local) with
+        | Some into, Some src -> Trace.merge_into ~into src
+        | _ -> ());
+        (match progress with Some f -> f r | None -> ());
+        r)
+      results
+  end
 
 let summarize results =
   List.fold_left
@@ -214,23 +261,42 @@ let csv results =
 type cell = { factor : float; max_retries : int; cell_summary : summary }
 
 let sweep ?trace ?(factors = [ 0.5; 1.0; 2.0; 4.0 ])
-    ?(retry_policies = [ 0; 1; 3 ]) ?(watchdog = default_watchdog) ~runs ~seed
-    () =
-  List.concat_map
-    (fun factor ->
-      List.map
-        (fun max_retries ->
-          let spec = Spec.all ~factor () in
-          let recovery =
-            { Rvi_core.Vim.default_recovery with Rvi_core.Vim.max_retries }
-          in
-          let results =
-            campaign ?trace ~spec ~recovery ~watchdog
-              ~exec_retries:max_retries ~runs ~seed ()
-          in
-          { factor; max_retries; cell_summary = summarize results })
-        retry_policies)
-    factors
+    ?(retry_policies = [ 0; 1; 3 ]) ?(watchdog = default_watchdog) ?(jobs = 1)
+    ~runs ~seed () =
+  let cells =
+    List.concat_map
+      (fun factor -> List.map (fun retries -> (factor, retries)) retry_policies)
+      factors
+  in
+  (* Cells are independent campaigns (each reseeds from [seed]), so the
+     matrix shards cell-per-item: campaigns inside a cell stay serial,
+     which keeps every cell bit-identical to a lone [campaign] call. *)
+  Par.mapi ~domains:jobs ~chunk:1
+    (fun cell_index (factor, max_retries) ->
+      let spec = Spec.all ~factor () in
+      let recovery =
+        { Rvi_core.Vim.default_recovery with Rvi_core.Vim.max_retries }
+      in
+      let local =
+        if jobs <= 1 then trace
+        else
+          (* A cell holds a whole campaign, so give it a full-size ring
+             rather than the per-run capacity. *)
+          Option.map (fun _ -> Trace.create ~shard:cell_index ()) trace
+      in
+      let results =
+        campaign ?trace:local ~spec ~recovery ~watchdog
+          ~exec_retries:max_retries ~runs ~seed ()
+      in
+      let cell = { factor; max_retries; cell_summary = summarize results } in
+      (cell, local))
+    cells
+  |> List.map (fun (cell, local) ->
+         (if jobs > 1 then
+            match (trace, local) with
+            | Some into, Some src -> Trace.merge_into ~into src
+            | _ -> ());
+         cell)
 
 let print_sweep ppf cells =
   Format.fprintf ppf "%-8s %-8s %-10s %-10s %-10s %-8s@." "rate" "retries"

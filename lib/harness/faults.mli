@@ -71,13 +71,25 @@ val campaign :
   ?watchdog:Rvi_sim.Simtime.t ->
   ?exec_retries:int ->
   ?progress:(run_result -> unit) ->
+  ?jobs:int ->
+  ?chunk:int ->
   runs:int ->
   seed:int ->
   unit ->
   run_result list
 (** [runs] seeded runs rotating over the four applications (ADPCM, IDEA,
     FIR, vector add) with working sets larger than the dual-port memory.
-    [progress] is called after each run completes. *)
+
+    [jobs] (default 1) shards the runs over that many domains through
+    {!Rvi_par.Par.map}. Results are independent of [jobs]: every run's
+    injector seed derives from the campaign seed and the run index
+    alone, each parallel run records into its own trace sink (stamped
+    with its chunk ordinal as the shard id) and sinks merge into
+    [trace] in run order after the barrier. With [jobs = 1] the code
+    path — shared sink, in-line [progress] — is exactly the historical
+    serial one; with [jobs > 1], [progress] fires after the barrier, in
+    run order. [chunk] overrides the shard size
+    ({!Rvi_par.Par.default_chunk} otherwise). *)
 
 val summarize : run_result list -> summary
 
@@ -103,9 +115,15 @@ val sweep :
   ?factors:float list ->
   ?retry_policies:int list ->
   ?watchdog:Rvi_sim.Simtime.t ->
+  ?jobs:int ->
   runs:int ->
   seed:int ->
   unit ->
   cell list
+(** The full [factors x retry_policies] matrix. [jobs] (default 1)
+    shards whole cells over domains — each cell is an independent
+    reseeded campaign, so cell summaries are identical whatever [jobs]
+    is; per-cell trace sinks (shard id = cell index) merge into [trace]
+    in cell order. *)
 
 val print_sweep : Format.formatter -> cell list -> unit

@@ -34,10 +34,11 @@ let arg_to_json = function
 let event_to_json (e : Trace.event) =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
-    (Printf.sprintf "{\"seq\":%d,\"ts_ps\":%d,\"dur_ps\":%d,\"kind\":\"%s\""
+    (Printf.sprintf
+       "{\"seq\":%d,\"ts_ps\":%d,\"dur_ps\":%d,\"shard\":%d,\"kind\":\"%s\""
        e.Trace.seq
        (Simtime.to_ps e.Trace.at)
-       (Simtime.to_ps e.Trace.dur)
+       (Simtime.to_ps e.Trace.dur) e.Trace.shard
        (Trace.kind_name e.Trace.kind));
   List.iter
     (fun (k, v) ->
@@ -176,6 +177,9 @@ let event_of_json line =
       Trace.seq = int "seq";
       at = Simtime.of_ps (int "ts_ps");
       dur = Simtime.of_ps (int "dur_ps");
+      (* Absent in traces written before shards existed: those are
+         serial, i.e. shard 0. *)
+      shard = (match lookup "shard" with Some (Trace.Int i) -> i | _ -> 0);
       kind;
     }
   | None -> raise (Parse_error (Printf.sprintf "unknown kind %S" kind_name))
@@ -207,6 +211,11 @@ let chrome_name (e : Trace.event) =
   | Trace.Tlb_update _ -> "TLB update"
   | k -> Trace.kind_name k
 
+(* Each shard renders as its own process so Perfetto lays parallel
+   campaign chunks out side by side; shard 0 (serial runs) keeps the
+   historical pid 1. *)
+let chrome_pid (e : Trace.event) = e.Trace.shard + 1
+
 let chrome_event (e : Trace.event) =
   let args =
     Trace.args e.Trace.kind
@@ -214,9 +223,10 @@ let chrome_event (e : Trace.event) =
     |> String.concat ","
   in
   let common =
-    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"ts\":%.6f,\"args\":{%s}"
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"ts\":%.6f,\"args\":{%s}"
       (json_escape (chrome_name e))
       (Trace.category e.Trace.kind)
+      (chrome_pid e)
       (Simtime.to_us e.Trace.at) args
   in
   if is_span e then
@@ -224,16 +234,27 @@ let chrome_event (e : Trace.event) =
       (Simtime.to_us e.Trace.dur)
   else Printf.sprintf "{%s,\"ph\":\"i\",\"tid\":%d,\"s\":\"t\"}" common instant_tid
 
-let metadata =
-  [
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rvisim\"}}";
-    Printf.sprintf
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"VIM service\"}}"
-      span_tid;
-    Printf.sprintf
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"interface events\"}}"
-      instant_tid;
-  ]
+let metadata events =
+  let shards =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.shard) events)
+  in
+  let shards = if shards = [] then [ 0 ] else shards in
+  List.concat_map
+    (fun shard ->
+      let pid = shard + 1 in
+      let pname = if shard = 0 then "rvisim" else Printf.sprintf "rvisim shard %d" shard in
+      [
+        Printf.sprintf
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+          pid pname;
+        Printf.sprintf
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"VIM service\"}}"
+          pid span_tid;
+        Printf.sprintf
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"interface events\"}}"
+          pid instant_tid;
+      ])
+    shards
 
 let to_chrome events =
   (* Spans are emitted at completion: restore start-time order, longest
@@ -246,7 +267,7 @@ let to_chrome events =
         | c -> c)
       events
   in
-  let entries = metadata @ List.map chrome_event sorted in
+  let entries = metadata events @ List.map chrome_event sorted in
   "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
   ^ String.concat ",\n" entries
   ^ "\n]}\n"

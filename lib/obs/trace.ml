@@ -26,33 +26,42 @@ type kind =
   | Recover of { what : string; retries : int }
   | Degrade of { reason : string }
 
-type event = { seq : int; at : Simtime.t; dur : Simtime.t; kind : kind }
+type event = {
+  seq : int;
+  at : Simtime.t;
+  dur : Simtime.t;
+  shard : int;
+  kind : kind;
+}
 
 type t = {
   buf : event array;
   capacity : int;
+  shard : int;
   mutable len : int;
   mutable head : int; (* index of the oldest event when len = capacity *)
   mutable next_seq : int;
   mutable dropped : int;
 }
 
-let dummy = { seq = -1; at = Simtime.zero; dur = Simtime.zero; kind = Exec_begin }
+let dummy =
+  { seq = -1; at = Simtime.zero; dur = Simtime.zero; shard = 0; kind = Exec_begin }
 
-let create ?(capacity = 1 lsl 16) () =
+let create ?(capacity = 1 lsl 16) ?(shard = 0) () =
   if capacity < 1 then invalid_arg "Trace.create: need at least one slot";
   {
     buf = Array.make capacity dummy;
     capacity;
+    shard;
     len = 0;
     head = 0;
     next_seq = 0;
     dropped = 0;
   }
 
-let emit t ~at ?(dur = Simtime.zero) kind =
-  let e = { seq = t.next_seq; at; dur; kind } in
-  t.next_seq <- t.next_seq + 1;
+let shard t = t.shard
+
+let push t e =
   if t.len < t.capacity then begin
     t.buf.((t.head + t.len) mod t.capacity) <- e;
     t.len <- t.len + 1
@@ -63,6 +72,18 @@ let emit t ~at ?(dur = Simtime.zero) kind =
     t.head <- (t.head + 1) mod t.capacity;
     t.dropped <- t.dropped + 1
   end
+
+let emit t ~at ?(dur = Simtime.zero) kind =
+  let e = { seq = t.next_seq; at; dur; shard = t.shard; kind } in
+  t.next_seq <- t.next_seq + 1;
+  push t e
+
+let append t e =
+  (* Restamp the sequence number so destination order is total; keep the
+     event's own shard so merged exports still say where it ran. *)
+  let e = { e with seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  push t e
 
 let length t = t.len
 let dropped t = t.dropped
@@ -75,6 +96,10 @@ let clear t =
   t.len <- 0;
   t.head <- 0;
   t.dropped <- 0
+
+let merge_into ~into src =
+  List.iter (append into) (events src);
+  into.dropped <- into.dropped + src.dropped
 
 let kind_name = function
   | Exec_begin -> "exec_begin"

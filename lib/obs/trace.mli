@@ -47,16 +47,34 @@ type kind =
   | Degrade of { reason : string }
       (** hardware given up on: the caller falls back to software *)
 
-type event = { seq : int; at : Simtime.t; dur : Simtime.t; kind : kind }
+type event = {
+  seq : int;
+  at : Simtime.t;
+  dur : Simtime.t;
+  shard : int;
+      (** the shard (parallel campaign chunk) whose sink recorded this
+          event; 0 for serial runs *)
+  kind : kind;
+}
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] defaults to 65536 events. *)
+val create : ?capacity:int -> ?shard:int -> unit -> t
+(** [capacity] defaults to 65536 events. [shard] (default 0) is stamped
+    into every event this sink records — parallel campaign runners give
+    each shard its own sink so exports stay well-formed after merging. *)
+
+val shard : t -> int
+(** The shard id this sink stamps. *)
 
 val emit : t -> at:Simtime.t -> ?dur:Simtime.t -> kind -> unit
 (** Records an event ([dur] defaults to zero: an instant). When the ring
     is full the oldest event is overwritten and {!dropped} grows. *)
+
+val append : t -> event -> unit
+(** Re-records an existing event (same time, duration, shard and kind),
+    restamping only its sequence number with this sink's next one. The
+    primitive {!merge_into} is built on. *)
 
 val length : t -> int
 (** Events currently held. *)
@@ -71,6 +89,13 @@ val events : t -> event list
 (** Held events, oldest first. *)
 
 val clear : t -> unit
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] appends [src]'s held events to [into] in
+    [src]'s order (sequence numbers reassigned by [into], shard stamps
+    preserved) and adds [src]'s drop count. Merging per-shard sinks in
+    run-index order yields a merged trace independent of how many
+    domains executed the shards. [src] is unchanged. *)
 
 (** {2 Structured payloads (shared by exporters)} *)
 

@@ -1,0 +1,61 @@
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let default_chunk ~domains n =
+  if domains <= 1 then Stdlib.max 1 n
+  else Stdlib.max 1 ((n + (4 * domains) - 1) / (4 * domains))
+
+let shard_of_index ~chunk i =
+  if chunk <= 0 then invalid_arg "Par.shard_of_index: non-positive chunk";
+  i / chunk
+
+(* One slot per item. [Error] keeps the first exception of that index so
+   the lowest-indexed failure wins, exactly as it would serially. *)
+type 'b slot = Empty | Done of 'b | Raised of exn
+
+let mapi ?(domains = 1) ?chunk f items =
+  let n = List.length items in
+  let domains = Stdlib.min (Stdlib.max 1 domains) (Stdlib.max 1 n) in
+  let chunk =
+    match chunk with
+    | None -> default_chunk ~domains n
+    | Some c ->
+      if c <= 0 then invalid_arg "Par.map: non-positive chunk";
+      c
+  in
+  if domains = 1 then List.mapi f items
+  else begin
+    let arr = Array.of_list items in
+    let slots = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          for i = start to Stdlib.min n (start + chunk) - 1 do
+            slots.(i) <-
+              (match f i arr.(i) with
+              | v -> Done v
+              | exception e -> Raised e)
+          done
+      done
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* Scan low index first so the re-raised exception is the one the
+       serial path would have raised. *)
+    Array.iter (function Raised e -> raise e | _ -> ()) slots;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Raised _ | Empty -> assert false (* every index claimed once *))
+         slots)
+  end
+
+let map ?domains ?chunk f items = mapi ?domains ?chunk (fun _ x -> f x) items
+
+let map_merge ?domains ?chunk ~f ~merge init items =
+  List.fold_left merge init (map ?domains ?chunk f items)

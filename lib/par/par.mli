@@ -1,0 +1,64 @@
+(** Deterministic chunk-sharded parallel map over OCaml 5 domains.
+
+    Multi-run workloads (fault campaigns, ablation sweeps, benchmarks)
+    are embarrassingly parallel: every run is an independent seeded
+    simulation. This module shards an indexed work list over a fixed
+    set of domains in contiguous chunks — no work stealing, no
+    re-ordering — so the result list is a pure function of the input
+    list and [f], never of the number of domains or of scheduling:
+
+    - [map ~domains:1] takes a dedicated serial path that is
+      bit-identical to [List.map f];
+    - for [domains > 1] every item's result is written to its own index
+      slot, so reassembly order is index order regardless of which
+      domain ran which chunk;
+    - chunks are claimed from a shared counter, so which {e domain}
+      runs a chunk varies run to run, but chunk {e contents} (the index
+      ranges) depend only on [chunk] and the list length. Anything
+      derived from {!shard_of_index} is therefore deterministic.
+
+    Determinism contract for callers: [f] must not depend on shared
+    mutable state across items (give every item its own PRNG derived
+    from the item index, its own trace sink, its own simulation). The
+    campaign and sweep drivers in [Rvi_harness] follow this discipline. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the default for [--jobs]. *)
+
+val default_chunk : domains:int -> int -> int
+(** [default_chunk ~domains n] is the chunk size [map] uses when none is
+    given: about four chunks per domain, at least 1, so self-scheduling
+    smooths uneven item costs without degenerating to one item per
+    claim. A pure function of [domains] and [n]. *)
+
+val shard_of_index : chunk:int -> int -> int
+(** [shard_of_index ~chunk i = i / chunk]: the chunk ordinal item [i]
+    belongs to. Deterministic — campaigns stamp it into trace events as
+    the shard id. *)
+
+val map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains ~chunk f items] applies [f] to every item and returns
+    the results in input order. [domains] defaults to 1 (serial,
+    bit-identical to [List.map]); values above the list length are
+    clamped. [chunk] defaults to {!default_chunk}. If one or more
+    applications of [f] raise, the exception of the {e lowest-indexed}
+    failing item is re-raised after all domains have joined (serial and
+    parallel runs fail identically). *)
+
+val mapi : ?domains:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map} with the item index, e.g. to derive per-item seeds. *)
+
+val map_merge :
+  ?domains:int ->
+  ?chunk:int ->
+  f:('a -> 'b) ->
+  merge:('b -> 'b -> 'b) ->
+  'b ->
+  'a list ->
+  'b
+(** [map_merge ~f ~merge init items] folds [merge] left-to-right over
+    the results of [map f items] starting from [init]. [merge] runs
+    after the barrier, on one domain, in index order — so per-item
+    sinks (stats, traces) combine into the same aggregate whatever
+    [domains] was, provided [merge] is associative over adjacent
+    results. *)

@@ -90,6 +90,21 @@ let percentile t q =
     end
   end
 
+(* Bin-wise sum: both histograms share the fixed bin layout, so merging
+   is exact for counts and percentiles (same bins a serial stream would
+   have filled) and commutative/associative. *)
+let merge_into ~into src =
+  for i = 0 to n_bins - 1 do
+    into.bins.(i) <- into.bins.(i) + src.bins.(i)
+  done;
+  into.underflow <- into.underflow + src.underflow;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end
+
 let reset t =
   Array.fill t.bins 0 n_bins 0;
   t.underflow <- 0;

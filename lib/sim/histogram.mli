@@ -34,4 +34,11 @@ val bin_index : float -> int
 val bin_value : int -> float
 (** Representative (geometric midpoint) value of a bin. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds [src]'s samples to [into] bin-wise.
+    Because every histogram shares the fixed bin layout the merge is
+    exact: counts, mean, min/max and percentiles equal those of the
+    concatenated sample streams, whatever order shards are merged in —
+    the associativity parallel sinks rely on. [src] is unchanged. *)
+
 val reset : t -> unit

@@ -25,3 +25,15 @@ let fill_bytes t b =
   done
 
 let split t = { state = next64 t }
+
+(* [derive] must decorrelate adjacent indices (shards use consecutive
+   run indices), so the index is pushed through one splitmix64 step
+   before being mixed into the seed's stream — neighbouring (seed,
+   index) pairs then start from states differing in ~half their bits. *)
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Prng.derive: negative index";
+  let t = { state = Int64.of_int seed } in
+  let a = next64 t in
+  let i = { state = Int64.logxor 0x6C62272E07BB0142L (Int64.of_int index) } in
+  let b = next64 i in
+  { state = Int64.logxor a b }

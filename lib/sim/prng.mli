@@ -25,3 +25,11 @@ val fill_bytes : t -> Bytes.t -> unit
 
 val split : t -> t
 (** A statistically independent generator derived from [t]'s stream. *)
+
+val derive : seed:int -> index:int -> t
+(** [derive ~seed ~index] is the [index]-th member of a family of
+    statistically independent generators keyed by [seed]: a pure
+    function of [(seed, index)], so sharded workloads can hand run
+    [i] its own stream without threading a master generator through
+    the shards. Adjacent indices produce decorrelated streams. Raises
+    [Invalid_argument] on a negative index. *)

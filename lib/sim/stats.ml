@@ -52,6 +52,18 @@ let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let merge_into ~into src =
+  Hashtbl.iter (fun name r -> incr ~by:!r into name) src.counters;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt into.summaries name with
+      | Some dst -> Histogram.merge_into ~into:dst h
+      | None ->
+        let dst = Histogram.create () in
+        Histogram.merge_into ~into:dst h;
+        Hashtbl.add into.summaries name dst)
+    src.summaries
+
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.summaries

@@ -36,6 +36,14 @@ val histogram : t -> string -> Histogram.t option
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every counter and summary of [src] to
+    [into] (creating names [into] lacks). Counter addition and
+    bin-wise histogram merging are associative and commutative, so
+    per-shard sinks fold into the same aggregate in any merge order —
+    the contract parallel campaign runners rely on. [src] is
+    unchanged. *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

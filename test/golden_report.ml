@@ -1,0 +1,122 @@
+(* Golden-output fixture for the reporting layer.
+
+   Prints the textual artefacts the harness persists — the campaign CSV,
+   the campaign summary, the rate x policy sweep table, and the
+   Report table / CSV / size labels — for a fixed synthetic data set
+   covering every outcome variant. The dune rule diffs the output
+   against test/golden_report.expected, so any formatting drift in a
+   report has to be acknowledged by re-promoting the golden file. *)
+
+module Faults = Rvi_harness.Faults
+module Report = Rvi_harness.Report
+module Simtime = Rvi_sim.Simtime
+
+let ppf = Format.std_formatter
+
+let run index seed app outcome injected total_ms =
+  { Faults.index; seed; app; outcome; injected; total_ms }
+
+let runs =
+  [
+    run 0 101 "adpcm" Faults.Clean 0 12.5;
+    run 1 202 "idea" (Faults.Recovered { retries = 0 }) 2 14.25;
+    run 2 303 "fir" (Faults.Recovered { retries = 3 }) 5 31.0;
+    run 3 404 "vecadd"
+      (Faults.Degraded { reason = "retries exhausted"; verified = true })
+      7 44.125;
+    run 4 505 "adpcm"
+      (Faults.Degraded { reason = "watchdog"; verified = false })
+      9 58.5;
+    run 5 606 "idea" (Faults.Failed "bad output") 4 9.75;
+    run 6 707 "fir" (Faults.Crashed "Stack_overflow") 11 3.5;
+  ]
+
+let sweep_cells =
+  let summary runs clean recovered degraded failed crashed injected
+      bad_degraded =
+    {
+      Faults.runs;
+      clean;
+      recovered;
+      degraded;
+      failed;
+      crashed;
+      injected;
+      bad_degraded;
+    }
+  in
+  [
+    {
+      Faults.factor = 0.5;
+      max_retries = 0;
+      cell_summary = summary 10 8 1 1 0 0 3 0;
+    };
+    {
+      Faults.factor = 0.5;
+      max_retries = 3;
+      cell_summary = summary 10 8 2 0 0 0 3 0;
+    };
+    {
+      Faults.factor = 2.0;
+      max_retries = 0;
+      cell_summary = summary 10 2 3 3 1 1 17 2;
+    };
+    {
+      Faults.factor = 2.0;
+      max_retries = 3;
+      cell_summary = summary 10 2 6 2 0 0 17 1;
+    };
+  ]
+
+let row app version input_bytes outcome total_ns faults retries verified =
+  {
+    Report.app;
+    version;
+    input_bytes;
+    outcome;
+    total = Simtime.of_ns total_ns;
+    hw = Simtime.of_ns (total_ns / 2);
+    sw_dp = Simtime.of_ns (total_ns / 8);
+    sw_imu = Simtime.of_ns (total_ns / 8);
+    sw_app = Simtime.of_ns (total_ns / 8);
+    sw_os = Simtime.of_ns (total_ns / 8);
+    faults;
+    evictions = faults / 2;
+    writebacks = faults / 3;
+    tlb_refill_faults = faults / 4;
+    prefetched = faults * 2;
+    accesses = 4096;
+    fault_p95_us = 1.5;
+    fault_p99_us = 2.25;
+    retries;
+    verified;
+  }
+
+let rows =
+  [
+    row "adpcm" "SW" 2048 Report.Measured 900_000 0 0 true;
+    row "adpcm" "VIM" 2048 Report.Measured 120_000 16 0 true;
+    row "adpcm" "NORMAL" 2048 Report.Exceeds_memory 0 0 0 false;
+    row "idea" "VIM" 1536 (Report.Degraded "retries exhausted") 250_000 32 3
+      true;
+    row "idea" "VIM" 512 (Report.Failed "watchdog") 75_000 8 1 false;
+  ]
+
+let () =
+  print_string "== campaign csv ==\n";
+  print_string (Faults.csv runs);
+  print_string "== campaign summary ==\n";
+  Faults.print_summary ppf (Faults.summarize runs);
+  Format.pp_print_flush ppf ();
+  print_string "== sweep ==\n";
+  Faults.print_sweep ppf sweep_cells;
+  Format.pp_print_flush ppf ();
+  print_string "== report table ==\n";
+  Report.print_table ~title:"golden fixture" ppf rows;
+  Format.pp_print_flush ppf ();
+  print_string "== report csv ==\n";
+  print_string (Report.csv rows);
+  print_string "== size labels ==\n";
+  List.iter
+    (fun b -> Printf.printf "%d -> %s\n" b (Report.size_label b))
+    [ 256; 512; 1024; 1536; 2048; 65536 ]

@@ -15,4 +15,5 @@ let () =
       ("rtl", Test_rtl.suite);
       ("coproc", Test_coproc.suite);
       ("harness", Test_harness.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,159 @@
+(* Tests for the sharded parallel executor (rvi_par) and the determinism
+   contract of the parallel fault-campaign runner built on top of it.
+
+   The load-bearing property here is the one the CLI's [--jobs] flag
+   advertises: for any workload, seed, and domain count, a sharded
+   campaign produces exactly the results of the serial one -- same
+   per-run classification vector, same merged statistics, same trace
+   payload. Domains only change wall-clock, never output. *)
+
+module Par = Rvi_par.Par
+module Faults = Rvi_harness.Faults
+module Trace = Rvi_obs.Trace
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Par core} *)
+
+let domains_gen = QCheck.Gen.oneofl [ 1; 2; 4; 8 ]
+let domains_arb = QCheck.make ~print:string_of_int domains_gen
+
+let prop_map_equals_list_map =
+  QCheck.Test.make ~name:"Par.map agrees with List.map for any domains/chunk"
+    ~count:150
+    QCheck.(triple (list small_int) domains_arb (int_range 1 5))
+    (fun (xs, domains, chunk) ->
+      let f x = (x * x) - (3 * x) + 7 in
+      Par.map ~domains ~chunk f xs = List.map f xs)
+
+let prop_mapi_equals_list_mapi =
+  QCheck.Test.make ~name:"Par.mapi agrees with List.mapi" ~count:150
+    QCheck.(pair (list small_int) domains_arb)
+    (fun (xs, domains) ->
+      let f i x = (i * 31) + x in
+      Par.mapi ~domains f xs = List.mapi f xs)
+
+let prop_map_default_chunk =
+  QCheck.Test.make ~name:"Par.map default chunk preserves order" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 0 200) small_int) domains_arb)
+    (fun (xs, domains) -> Par.map ~domains (fun x -> x + 1) xs
+                          = List.map (fun x -> x + 1) xs)
+
+let test_shard_of_index () =
+  checki "chunk 4, index 0" 0 (Par.shard_of_index ~chunk:4 0);
+  checki "chunk 4, index 3" 0 (Par.shard_of_index ~chunk:4 3);
+  checki "chunk 4, index 4" 1 (Par.shard_of_index ~chunk:4 4);
+  checki "chunk 1, index 9" 9 (Par.shard_of_index ~chunk:1 9);
+  Alcotest.check_raises "chunk 0 rejected"
+    (Invalid_argument "Par.shard_of_index: non-positive chunk") (fun () ->
+      ignore (Par.shard_of_index ~chunk:0 1))
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  (* Both the serial and the parallel path must surface the exception of
+     the lowest failing index, so a crash report does not depend on the
+     domain count. *)
+  let f i = if i mod 3 = 2 then raise (Boom i) else i in
+  List.iter
+    (fun domains ->
+      match Par.map ~domains ~chunk:2 f (List.init 20 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        checki (Printf.sprintf "lowest failing index at domains=%d" domains) 2 i)
+    [ 1; 2; 4 ]
+
+let test_map_merge () =
+  let xs = List.init 100 Fun.id in
+  let sum =
+    Par.map_merge ~domains:4 ~chunk:7 ~f:(fun x -> x * 2) ~merge:( + ) 0 xs
+  in
+  checki "map_merge sums doubled items" 9900 sum
+
+let test_recommended_domains () =
+  checkb "recommended_domains >= 1" true (Par.recommended_domains () >= 1)
+
+(* {1 Campaign determinism} *)
+
+let classification results =
+  List.map (fun r -> (r.Faults.index, r.Faults.seed, r.Faults.outcome)) results
+
+(* Campaign runs cost tens of milliseconds each, so the property uses
+   few runs and few qcheck cases; breadth comes from the seed, runs and
+   chunk dimensions all varying. *)
+let prop_campaign_jobs_invariant =
+  QCheck.Test.make
+    ~name:"Faults.campaign classification and summary independent of domains"
+    ~count:6
+    QCheck.(triple (int_range 1 5) (int_bound 10_000) (int_range 1 3))
+    (fun (runs, seed, chunk) ->
+      let serial = Faults.campaign ~runs ~seed () in
+      List.for_all
+        (fun jobs ->
+          let par = Faults.campaign ~jobs ~chunk ~runs ~seed () in
+          classification par = classification serial
+          && Faults.summarize par = Faults.summarize serial)
+        [ 2; 4; 8 ])
+
+let test_campaign_csv_identical () =
+  let runs = 8 and seed = 2004 in
+  let serial = Faults.campaign ~runs ~seed () in
+  List.iter
+    (fun jobs ->
+      let par = Faults.campaign ~jobs ~runs ~seed () in
+      check Alcotest.string
+        (Printf.sprintf "csv at jobs=%d equals serial" jobs)
+        (Faults.csv serial) (Faults.csv par))
+    [ 2; 4; 8 ]
+
+let test_campaign_trace_merge () =
+  (* The merged parallel trace must carry the same event payloads in the
+     same order as the serial trace; only the shard stamps may differ
+     (serial records everything as shard 0). *)
+  let runs = 6 and seed = 11 in
+  let payload t =
+    List.map (fun e -> (e.Trace.at, e.Trace.dur, e.Trace.kind)) (Trace.events t)
+  in
+  let serial_t = Trace.create () in
+  ignore (Faults.campaign ~trace:serial_t ~runs ~seed ());
+  let par_t = Trace.create () in
+  ignore (Faults.campaign ~trace:par_t ~jobs:3 ~chunk:1 ~runs ~seed ());
+  checkb "trace payloads identical" true (payload serial_t = payload par_t);
+  let shards =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Trace.shard) (Trace.events par_t))
+  in
+  checkb "parallel trace spans several shards" true (List.length shards > 1);
+  let seqs = List.map (fun e -> e.Trace.seq) (Trace.events par_t) in
+  checkb "merged seq restamped contiguously" true
+    (seqs = List.init (List.length seqs) Fun.id)
+
+let test_campaign_progress_order () =
+  let order = ref [] in
+  let progress r = order := r.Faults.index :: !order in
+  ignore (Faults.campaign ~progress ~jobs:4 ~runs:7 ~seed:3 ());
+  check
+    Alcotest.(list int)
+    "progress fires in run order" [ 0; 1; 2; 3; 4; 5; 6 ] (List.rev !order)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_map_equals_list_map;
+    QCheck_alcotest.to_alcotest prop_mapi_equals_list_mapi;
+    QCheck_alcotest.to_alcotest prop_map_default_chunk;
+    Alcotest.test_case "par/shard-of-index" `Quick test_shard_of_index;
+    Alcotest.test_case "par/exception-lowest-index" `Quick
+      test_exception_lowest_index;
+    Alcotest.test_case "par/map-merge" `Quick test_map_merge;
+    Alcotest.test_case "par/recommended-domains" `Quick
+      test_recommended_domains;
+    QCheck_alcotest.to_alcotest prop_campaign_jobs_invariant;
+    Alcotest.test_case "par/campaign-csv-identical" `Quick
+      test_campaign_csv_identical;
+    Alcotest.test_case "par/campaign-trace-merge" `Quick
+      test_campaign_trace_merge;
+    Alcotest.test_case "par/campaign-progress-order" `Quick
+      test_campaign_progress_order;
+  ]

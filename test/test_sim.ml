@@ -117,6 +117,54 @@ let prop_queue_conserves =
       let out = drain [] in
       List.sort compare out = List.sort compare (List.mapi (fun i x -> (i, x)) xs))
 
+let prop_queue_stable_ties =
+  (* Same-timestamp events must pop in insertion order, and the drained
+     sequence must therefore equal a stable sort of the pushes by time.
+     A tiny time range makes ties the common case rather than the
+     exception. *)
+  QCheck.Test.make ~name:"event_queue is a stable priority queue" ~count:300
+    QCheck.(list (int_bound 7))
+    (fun times ->
+      let q = Event_queue.create () in
+      let tagged = List.mapi (fun i t -> (t, i)) times in
+      List.iter
+        (fun (t, i) -> Event_queue.push q ~time:(Simtime.of_ps t) (t, i))
+        tagged;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, e) -> drain (e :: acc)
+      in
+      drain []
+      = List.stable_sort (fun (a, _) (b, _) -> compare a b) tagged)
+
+let prop_queue_pop_monotone =
+  (* Interleaved pushes and pops: whatever the schedule, the time
+     returned by each pop never goes backwards relative to the previous
+     pop, provided no intervening push was earlier than the watermark --
+     which the generator guarantees by pushing nondecreasing times. *)
+  QCheck.Test.make ~name:"event_queue pop times are monotone under interleaving"
+    ~count:200
+    QCheck.(list (pair (int_bound 50) bool))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let now = ref 0 in
+      let last = ref Simtime.zero in
+      let ok = ref true in
+      List.iter
+        (fun (dt, is_pop) ->
+          if is_pop then (
+            match Event_queue.pop q with
+            | None -> ()
+            | Some (t, ()) ->
+              if not Simtime.(!last <= t) then ok := false;
+              last := t)
+          else (
+            now := !now + dt;
+            Event_queue.push q ~time:(Simtime.of_ps !now) ()))
+        ops;
+      !ok)
+
 (* {1 Engine} *)
 
 let test_engine_schedule () =
@@ -292,6 +340,56 @@ let prop_prng_bounds =
       let v = Prng.int p bound in
       v >= 0 && v < bound)
 
+let draws p n = List.init n (fun _ -> Prng.next p)
+
+let prop_prng_derive_pure =
+  (* derive is a pure function of (seed, index): two generators built
+     from the same pair replay the same stream. *)
+  QCheck.Test.make ~name:"prng derive is a pure function of (seed, index)"
+    ~count:200
+    QCheck.(pair small_int (int_bound 10_000))
+    (fun (seed, index) ->
+      draws (Prng.derive ~seed ~index) 16 = draws (Prng.derive ~seed ~index) 16)
+
+let prop_prng_derive_index_independent =
+  (* Distinct indices under one seed give streams that never collide in
+     their first draws -- the property the sharded campaign runner
+     relies on for per-run stream independence. *)
+  QCheck.Test.make
+    ~name:"prng derive streams for distinct indices are independent" ~count:200
+    QCheck.(triple small_int (int_bound 10_000) (int_range 1 10_000))
+    (fun (seed, index, delta) ->
+      let a = draws (Prng.derive ~seed ~index) 16 in
+      let b = draws (Prng.derive ~seed ~index:(index + delta)) 16 in
+      List.for_all2 (fun x y -> x <> y) a b)
+
+let prop_prng_derive_seed_sensitive =
+  QCheck.Test.make ~name:"prng derive streams differ across seeds" ~count:200
+    QCheck.(pair small_int (int_bound 10_000))
+    (fun (seed, index) ->
+      draws (Prng.derive ~seed ~index) 8
+      <> draws (Prng.derive ~seed:(seed + 1) ~index) 8)
+
+let test_prng_derive_decorrelated () =
+  (* Adjacent indices: the xor of paired 62-bit draws should look like
+     random bits, i.e. average popcount near 31 per draw. *)
+  let a = Prng.derive ~seed:2004 ~index:41 in
+  let b = Prng.derive ~seed:2004 ~index:42 in
+  let total = ref 0 in
+  let n = 64 in
+  for _ = 1 to n do
+    let x = Prng.next a lxor Prng.next b in
+    let pop = ref 0 in
+    let v = ref x in
+    while !v <> 0 do
+      v := !v land (!v - 1);
+      incr pop
+    done;
+    total := !total + !pop
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  checkb "mean xor popcount within [27, 35]" true (mean >= 27. && mean <= 35.)
+
 let test_prng_fill () =
   let p = Prng.create ~seed:9 in
   let b = Bytes.make 64 '\000' in
@@ -317,6 +415,8 @@ let suite =
     Alcotest.test_case "event_queue/peek-clear" `Quick test_queue_peek_clear;
     QCheck_alcotest.to_alcotest prop_queue_sorted;
     QCheck_alcotest.to_alcotest prop_queue_conserves;
+    QCheck_alcotest.to_alcotest prop_queue_stable_ties;
+    QCheck_alcotest.to_alcotest prop_queue_pop_monotone;
     Alcotest.test_case "engine/schedule" `Quick test_engine_schedule;
     Alcotest.test_case "engine/advance" `Quick test_engine_advance;
     Alcotest.test_case "engine/past" `Quick test_engine_past_schedule;
@@ -332,6 +432,11 @@ let suite =
     Alcotest.test_case "prng/deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng/seed-sensitivity" `Quick test_prng_seed_sensitivity;
     QCheck_alcotest.to_alcotest prop_prng_bounds;
+    QCheck_alcotest.to_alcotest prop_prng_derive_pure;
+    QCheck_alcotest.to_alcotest prop_prng_derive_index_independent;
+    QCheck_alcotest.to_alcotest prop_prng_derive_seed_sensitive;
+    Alcotest.test_case "prng/derive-decorrelated" `Quick
+      test_prng_derive_decorrelated;
     Alcotest.test_case "prng/fill" `Quick test_prng_fill;
     Alcotest.test_case "prng/split" `Quick test_prng_split;
   ]
