@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples check faults-smoke faults-determinism clean
+.PHONY: all build test bench bench-smoke examples check faults-smoke faults-determinism clean
 
 all: build
 
@@ -41,6 +41,13 @@ faults-determinism:
 
 bench:
 	dune exec bench/main.exe
+
+# Quick campaign benchmark: appends one trajectory point (commit, host
+# cores, runs/s) to BENCH_campaign.json and fails if serial throughput
+# regressed more than 20% against the newest committed point. The gate
+# compares runs/s, so a smaller --runs smoke still gates correctly.
+bench-smoke:
+	dune exec bin/rvisim.exe -- bench --runs 100 --jobs 2 --gate 0.2
 
 examples:
 	dune exec examples/quickstart.exe

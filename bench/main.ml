@@ -23,14 +23,15 @@ let ppf = Format.std_formatter
 
 (* Macro-benchmark of the sharded campaign runner: wall-clock and
    speedup of --jobs N over --jobs 1 on one seeded fault campaign,
-   persisted as BENCH_campaign.json so the perf trajectory has data. *)
+   appended as a trajectory point to BENCH_campaign.json so the perf
+   history has real before/after data. *)
 let run_campaign () =
   let jobs = Rvi_par.Par.recommended_domains () in
   let r = Rvi_harness.Bench_campaign.run ~jobs () in
   print_endline "\n== Parallel campaign runner (wall-clock) ==";
   Rvi_harness.Bench_campaign.print ppf r;
-  let path = Rvi_harness.Bench_campaign.write r in
-  Printf.printf "wrote %s\n" path
+  let path = Rvi_harness.Bench_campaign.append r in
+  Printf.printf "appended trajectory point to %s\n" path
 
 let experiments =
   [
@@ -129,7 +130,7 @@ let bench_clock =
          let engine = Rvi_sim.Engine.create () in
          let clock = Rvi_sim.Clock.create engine ~name:"c" ~freq_hz:1_000_000 in
          Rvi_sim.Clock.add clock
-           (Rvi_sim.Clock.component ~name:"nop" ~compute:ignore ~commit:ignore);
+           (Rvi_sim.Clock.component ~name:"nop" ~compute:ignore ~commit:ignore ());
          Rvi_sim.Clock.start clock;
          Rvi_sim.Engine.run_until engine (Rvi_sim.Simtime.of_us 4096)))
 

@@ -623,23 +623,55 @@ let bench_cmd =
     Arg.(
       value
       & opt string Rvi_harness.Bench_campaign.default_path
-      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON result.")
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Trajectory file to append the JSON point to.")
   in
-  let run seed runs jobs out =
+  let gate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"FRAC"
+          ~doc:
+            "Fail (exit 1) if serial runs/sec lands below (1 - FRAC) times \
+             the newest point already in the trajectory file — the \
+             committed baseline. E.g. --gate 0.2 tolerates a 20% \
+             regression.")
+  in
+  let run seed runs jobs out gate =
+    let baseline = Rvi_harness.Bench_campaign.last_serial_rps ~path:out () in
     let r = Rvi_harness.Bench_campaign.run ~runs ~seed ~jobs () in
     Rvi_harness.Bench_campaign.print ppf r;
-    let path = Rvi_harness.Bench_campaign.write ~path:out r in
-    Printf.printf "wrote %s\n" path;
-    if not r.Rvi_harness.Bench_campaign.deterministic then exit 1
+    let path = Rvi_harness.Bench_campaign.append ~path:out r in
+    Printf.printf "appended trajectory point to %s\n" path;
+    if not r.Rvi_harness.Bench_campaign.deterministic then exit 1;
+    match (gate, baseline) with
+    | Some tol, Some base ->
+      let floor = (1.0 -. tol) *. base in
+      let rps = r.Rvi_harness.Bench_campaign.serial_runs_per_sec in
+      if rps < floor then begin
+        Printf.eprintf
+          "perf regression: serial %.1f runs/s < %.1f (baseline %.1f - %g%% \
+           tolerance)\n"
+          rps floor base (tol *. 100.);
+        exit 1
+      end
+      else
+        Printf.printf "perf gate ok: serial %.1f runs/s >= %.1f (baseline \
+                       %.1f)\n"
+          rps floor base
+    | Some _, None ->
+      Printf.printf "perf gate skipped: no committed baseline in %s\n" out
+    | None, _ -> ()
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Benchmark the parallel campaign runner: wall-clock, runs/sec and \
           speedup of --jobs N against --jobs 1 on the same seeded campaign, \
-          written as BENCH_campaign.json. Exits non-zero if the parallel \
-          run classifies any run differently (a determinism bug).")
-    Term.(const run $ seed $ runs $ jobs $ out)
+          appended as one trajectory point to BENCH_campaign.json. Exits \
+          non-zero if the parallel run classifies any run differently (a \
+          determinism bug) or if --gate detects a throughput regression.")
+    Term.(const run $ seed $ runs $ jobs $ out $ gate)
 
 let all_cmd =
   let run cfg jobs = Rvi_harness.Experiments.all ~jobs ppf cfg in

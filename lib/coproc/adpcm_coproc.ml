@@ -38,6 +38,7 @@ module Make (P : Mem_port.S) = struct
     mutable byte : int;
     mutable decoder : Adpcm_ref.state;
     stats : Rvi_sim.Stats.t;
+    c_cycles : Rvi_sim.Stats.counter;
   }
 
   let begin_run m =
@@ -57,7 +58,7 @@ module Make (P : Mem_port.S) = struct
 
   let compute m =
     P.sample m.port;
-    Rvi_sim.Stats.incr m.stats "cycles";
+    Rvi_sim.Stats.tick m.c_cycles;
     match Rvi_hw.Fsm.state m.fsm with
     | Wait_start ->
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
@@ -107,7 +108,28 @@ module Make (P : Mem_port.S) = struct
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
       else Rvi_hw.Fsm.stay m.fsm
 
+  (* Wait states are unbounded no-ops while the port is quiescent. A
+     [Decode] countdown additionally exposes its remaining [left - 1]
+     decrement ticks — pure bookkeeping applied wholesale by [skip] — which
+     is the big win: 13 of every 14 decode cycles per nibble vanish. *)
+  let idle_hint m =
+    if not (P.quiescent m.port) then 0
+    else
+      match Rvi_hw.Fsm.state m.fsm with
+      | Wait_start | Wait_param | Wait_byte _ | Wait_write _ | Done -> max_int
+      | Decode { left; _ } -> left - 1
+      | Read_param -> 0
+
+  let skip m k =
+    Rvi_sim.Stats.tick_by m.c_cycles k;
+    match Rvi_hw.Fsm.state m.fsm with
+    | Decode { byte_index; high; left } ->
+      Rvi_hw.Fsm.fast_forward m.fsm ~transitions:k
+        (Decode { byte_index; high; left = left - k })
+    | _ -> ()
+
   let create port =
+    let stats = Rvi_sim.Stats.create () in
     let m =
       {
         port;
@@ -115,17 +137,21 @@ module Make (P : Mem_port.S) = struct
         n_bytes = 0;
         byte = 0;
         decoder = Adpcm_ref.initial_state ();
-        stats = Rvi_sim.Stats.create ();
+        stats;
+        c_cycles = Rvi_sim.Stats.counter stats "cycles";
       }
     in
     {
       Coproc.name = "adpcmdecode";
       component =
         Rvi_sim.Clock.component ~name:"adpcmdecode"
+          ~idle_hint:(fun () -> idle_hint m)
+          ~skip:(fun k -> skip m k)
           ~compute:(fun () -> compute m)
           ~commit:(fun () ->
             Rvi_hw.Fsm.commit m.fsm;
-            P.commit m.port);
+            P.commit m.port)
+            ();
       finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
       reset =
         (fun () ->

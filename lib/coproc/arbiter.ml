@@ -127,3 +127,4 @@ let component t =
   Rvi_sim.Clock.component ~name:"arbiter"
     ~compute:(fun () -> compute t)
     ~commit:(fun () -> commit t)
+    ()

@@ -86,6 +86,13 @@ let busy t = t.pending <> None || t.inflight <> None
 let ready t = t.ready_now
 let data t = t.data_now
 
+(* Unlike the virtual port, a direct port completes requests on the owning
+   coprocessor's own ticks, so any queued or in-flight request (or a pulse
+   still high) makes the next tick do real work. *)
+let quiescent t =
+  (not t.start_req) && (not t.start_now) && t.pending = None
+  && t.inflight = None && not t.ready_now
+
 let issue t ~region ~addr ~wr ~width ~data =
   assert (not (busy t));
   t.pending <- Some { region; addr; wr; width; data };

@@ -48,15 +48,30 @@ module Make (P : Mem_port.S) = struct
     coeffs : int array; (* register file *)
     window : int array; (* sliding sample window *)
     stats : Rvi_sim.Stats.t;
+    c_cycles : Rvi_sim.Stats.counter;
   }
 
   let read16 m ~obj ~index =
     P.issue m.port ~region:obj ~addr:(2 * index) ~wr:false ~width:Cp_port.W16
       ~data:0
 
+  (* Wait states are unbounded no-ops behind a quiescent port; everything
+     else (issues, window shifts, the one-tap-per-cycle MAC) does real
+     work every tick. *)
+  let idle_hint m =
+    if not (P.quiescent m.port) then 0
+    else
+      match Rvi_hw.Fsm.state m.fsm with
+      | Wait_start | Wait_param _ | Wait_coeff _ | Wait_fill _
+      | Wait_sample _ | Wait_write _ | Done ->
+        max_int
+      | Read_param _ | Load_coeff _ | Fill_window _ | Fetch _ | Mac _ -> 0
+
+  let skip m k = Rvi_sim.Stats.tick_by m.c_cycles k
+
   let compute m =
     P.sample m.port;
-    Rvi_sim.Stats.incr m.stats "cycles";
+    Rvi_sim.Stats.tick m.c_cycles;
     match Rvi_hw.Fsm.state m.fsm with
     | Wait_start ->
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
@@ -141,6 +156,7 @@ module Make (P : Mem_port.S) = struct
       else Rvi_hw.Fsm.stay m.fsm
 
   let create port =
+    let stats = Rvi_sim.Stats.create () in
     let m =
       {
         port;
@@ -150,17 +166,21 @@ module Make (P : Mem_port.S) = struct
         shift = 0;
         coeffs = Array.make Fir_ref.max_taps 0;
         window = Array.make Fir_ref.max_taps 0;
-        stats = Rvi_sim.Stats.create ();
+        stats;
+        c_cycles = Rvi_sim.Stats.counter stats "cycles";
       }
     in
     {
       Coproc.name = "fir";
       component =
         Rvi_sim.Clock.component ~name:"fir"
+          ~idle_hint:(fun () -> idle_hint m)
+          ~skip:(fun k -> skip m k)
           ~compute:(fun () -> compute m)
           ~commit:(fun () ->
             Rvi_hw.Fsm.commit m.fsm;
-            P.commit m.port);
+            P.commit m.port)
+            ();
       finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
       reset =
         (fun () ->

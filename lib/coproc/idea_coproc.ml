@@ -86,6 +86,7 @@ module Make (P : Mem_port.S) = struct
     mutable retire_buf : int * int;
     mutable retired : int;
     stats : Rvi_sim.Stats.t;
+    c_cycles : Rvi_sim.Stats.counter;
   }
 
   let read_param m i =
@@ -251,7 +252,7 @@ module Make (P : Mem_port.S) = struct
 
   let compute m =
     P.sample m.port;
-    Rvi_sim.Stats.incr m.stats "cycles";
+    Rvi_sim.Stats.tick m.c_cycles;
     match Rvi_hw.Fsm.state m.fsm with
     | Wait_start ->
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
@@ -277,7 +278,27 @@ module Make (P : Mem_port.S) = struct
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm (Read_param 0)
       else Rvi_hw.Fsm.stay m.fsm
 
+  (* The pipelined [Run] state almost always moves something (fetch,
+     pipe advance, retire), so it never claims idleness; the parameter and
+     start waits are unbounded port waits, and [Key_setup] is a pure
+     countdown whose remaining decrements [skip] applies wholesale. *)
+  let idle_hint m =
+    if not (P.quiescent m.port) then 0
+    else
+      match Rvi_hw.Fsm.state m.fsm with
+      | Wait_start | Wait_param _ | Done -> max_int
+      | Key_setup n -> n - 1
+      | Read_param _ | Run -> 0
+
+  let skip m k =
+    Rvi_sim.Stats.tick_by m.c_cycles k;
+    match Rvi_hw.Fsm.state m.fsm with
+    | Key_setup n ->
+      Rvi_hw.Fsm.fast_forward m.fsm ~transitions:k (Key_setup (n - k))
+    | _ -> ()
+
   let create port =
+    let stats = Rvi_sim.Stats.create () in
     let m =
       {
         port;
@@ -294,17 +315,21 @@ module Make (P : Mem_port.S) = struct
         retire = R_idle;
         retire_buf = (0, 0);
         retired = 0;
-        stats = Rvi_sim.Stats.create ();
+        stats;
+        c_cycles = Rvi_sim.Stats.counter stats "cycles";
       }
     in
     {
       Coproc.name = "idea";
       component =
         Rvi_sim.Clock.component ~name:"idea"
+          ~idle_hint:(fun () -> idle_hint m)
+          ~skip:(fun k -> skip m k)
           ~compute:(fun () -> compute m)
           ~commit:(fun () ->
             Rvi_hw.Fsm.commit m.fsm;
-            P.commit m.port);
+            P.commit m.port)
+            ();
       finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
       reset =
         (fun () ->

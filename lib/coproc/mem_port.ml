@@ -19,6 +19,14 @@ module type S = sig
   val finish : t -> unit
   val commit : t -> unit
   val reset : t -> unit
+
+  val quiescent : t -> bool
+  (** Whether one [sample]/[commit] tick of the owning coprocessor would
+      leave the port in exactly this state (no latched start or response
+      to consume, no request to move) — the port half of the
+      {!Rvi_sim.Clock.component} idle contract. Implementations must be
+      exact: [true] promises the tick is a no-op as long as no other
+      component runs. *)
 end
 
 let read_param ~issue ~index = issue ~region:Rvi_core.Cp_port.param_obj ~addr:(4 * index)

@@ -49,6 +49,14 @@ module type S = sig
   (** Drive the output signals; call from the component's commit phase. *)
 
   val reset : t -> unit
+
+  val quiescent : t -> bool
+  (** Whether one [sample]/[commit] tick of the owning coprocessor would
+      leave the port in exactly this state (no latched start or response
+      to consume, no request to move) — the port half of the
+      {!Rvi_sim.Clock.component} idle contract. Implementations must be
+      exact: [true] promises the tick is a no-op as long as no other
+      component runs. *)
 end
 
 val read_param : issue:(region:int -> addr:int -> unit) -> index:int -> unit

@@ -40,6 +40,7 @@ module Make (P : Mem_port.S) = struct
     mutable reg_a : int;
     mutable reg_c : int;
     stats : Rvi_sim.Stats.t;
+    c_cycles : Rvi_sim.Stats.counter;
   }
 
   let read m ~obj ~index =
@@ -63,7 +64,7 @@ module Make (P : Mem_port.S) = struct
 
   let compute m =
     P.sample m.port;
-    Rvi_sim.Stats.incr m.stats "cycles";
+    Rvi_sim.Stats.tick m.c_cycles;
     match Rvi_hw.Fsm.state m.fsm with
     | Wait_start ->
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
@@ -110,7 +111,22 @@ module Make (P : Mem_port.S) = struct
       if P.start_seen m.port then Rvi_hw.Fsm.goto m.fsm Read_param
       else Rvi_hw.Fsm.stay m.fsm
 
+  (* Every wait state polls the port; with the port quiescent those polls
+     are pure no-op ticks until some other component supplies the response
+     or start pulse, so they can be fast-forwarded without bound. The
+     active states (issuing, adding) always do real work. *)
+  let idle_hint m =
+    if not (P.quiescent m.port) then 0
+    else
+      match Rvi_hw.Fsm.state m.fsm with
+      | Wait_start | Wait_param | Wait_a _ | Wait_b _ | Wait_c _ | Done ->
+        max_int
+      | Read_param | Write_c _ -> 0
+
+  let skip m k = Rvi_sim.Stats.tick_by m.c_cycles k
+
   let create port =
+    let stats = Rvi_sim.Stats.create () in
     let m =
       {
         port;
@@ -118,17 +134,21 @@ module Make (P : Mem_port.S) = struct
         n = 0;
         reg_a = 0;
         reg_c = 0;
-        stats = Rvi_sim.Stats.create ();
+        stats;
+        c_cycles = Rvi_sim.Stats.counter stats "cycles";
       }
     in
     {
       Coproc.name = "vecadd";
       component =
         Rvi_sim.Clock.component ~name:"vecadd"
+          ~idle_hint:(fun () -> idle_hint m)
+          ~skip:(fun k -> skip m k)
           ~compute:(fun () -> compute m)
           ~commit:(fun () ->
             Rvi_hw.Fsm.commit m.fsm;
-            P.commit m.port);
+            P.commit m.port)
+            ();
       finished = (fun () -> Rvi_hw.Fsm.state m.fsm = Done);
       reset =
         (fun () ->

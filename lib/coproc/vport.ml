@@ -65,10 +65,55 @@ let sync_commit t =
   | Some _ | None -> p.Cp_port.cp_access <- false);
   p.Cp_port.cp_fin <- t.fin_req
 
+(* The sync tick is a no-op iff there is no IMU pulse to latch, no posted
+   request to move onto the bus, and the committed bus outputs already
+   equal what [sync_commit] would drive ([cp_access] low, [cp_fin] equal
+   to the requested level). State changes only arrive through the IMU or
+   the coprocessor ticking — both end an idle-skip window themselves — so
+   a quiescent sync stays quiescent until then. *)
+let sync_idle t =
+  let p = t.port in
+  if p.Cp_port.cp_start || (t.waiting && p.Cp_port.cp_tlbhit) then 0
+  else if t.pending <> None then 0
+  else if p.Cp_port.cp_access then 0
+  else if p.Cp_port.cp_fin <> t.fin_req then 0
+  else max_int
+
 let sync_component t =
-  Rvi_sim.Clock.component ~name:"vport-sync"
+  (* [commit_hazard]: the owning coprocessor registers after the sync slot
+     and posts requests / fin levels from its compute phase that
+     [sync_commit] must drive onto the bus the same edge. *)
+  Rvi_sim.Clock.component ~name:"vport-sync" ~commit_hazard:true
+    ~idle_hint:(fun () -> sync_idle t)
+    ~skip:(fun _ -> ())
     ~compute:(fun () -> sync_compute t)
     ~commit:(fun () -> sync_commit t)
+    ()
+
+(* When the coprocessor runs at the IMU rate (divide 1) the sync stage and
+   the coprocessor tick on every edge, always back to back, so they can
+   share one slot: compute = sync_compute;coproc.compute and commit =
+   sync_commit;coproc.commit reproduce the exact global call order of the
+   two separate registrations. The compute->commit hazard that forces
+   [commit_hazard] on the standalone sync slot becomes internal to the
+   fused slot, so the fused component needs no hazard flag — and each
+   busy edge visits one slot instead of two. *)
+let fused_component t (coproc : Rvi_sim.Clock.component) =
+  let name = coproc.Rvi_sim.Clock.name ^ "+vport-sync" in
+  let compute () =
+    sync_compute t;
+    coproc.Rvi_sim.Clock.compute ()
+  in
+  let commit () =
+    sync_commit t;
+    coproc.Rvi_sim.Clock.commit ()
+  in
+  match (coproc.Rvi_sim.Clock.idle_hint, coproc.Rvi_sim.Clock.skip) with
+  | Some chint, Some cskip ->
+    Rvi_sim.Clock.component ~name
+      ~idle_hint:(fun () -> if sync_idle t = 0 then 0 else chint ())
+      ~skip:cskip ~compute ~commit ()
+  | _ -> Rvi_sim.Clock.component ~name ~compute ~commit ()
 
 let sample t =
   t.start_now <- t.start_flag;
@@ -85,6 +130,15 @@ let start_seen t = t.start_now
 let busy t = t.pending <> None || t.waiting
 let ready t = t.hit_now
 let data t = t.data_now
+
+(* [sample] only changes state when a latched start or response is waiting
+   to be consumed, or when a consumed one must drop back low. A request
+   merely in flight ([waiting]) keeps the coprocessor quiescent — the
+   response arrives through IMU/sync activity, which is itself visible to
+   the idle-skip window. *)
+let quiescent t =
+  (not t.start_flag) && (not t.start_now) && (not t.resp_valid)
+  && not t.hit_now
 
 let issue t ~region ~addr ~wr ~width ~data =
   assert (not (busy t));

@@ -22,5 +22,14 @@ val sync_component : t -> Rvi_sim.Clock.component
     consumes at its own rate. Register on the IMU clock between the IMU
     and the coprocessor. *)
 
+val fused_component : t -> Rvi_sim.Clock.component -> Rvi_sim.Clock.component
+(** [fused_component t coproc] merges the synchroniser stage and a
+    same-rate (divide 1) coprocessor component into a single clock slot
+    with identical observable behaviour — compute runs sync then coproc,
+    commit likewise, preserving the exact call order of the separate
+    registrations. Use instead of [sync_component] + [coproc] when the
+    coprocessor is not on a divided clock; it halves the slot count the
+    clock sweeps per edge. *)
+
 val accesses : t -> int
 (** Requests issued since creation. *)

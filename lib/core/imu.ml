@@ -71,10 +71,19 @@ type t = {
   mutable hung : bool;
   mutable injector : Rvi_inject.Injector.t option;
   stats : Rvi_sim.Stats.t;
+  (* pre-resolved handles for the per-cycle / per-access hot paths *)
+  c_busy : Rvi_sim.Stats.counter;
+  c_hang : Rvi_sim.Stats.counter;
+  c_stall : Rvi_sim.Stats.counter;
+  c_accesses : Rvi_sim.Stats.counter;
+  c_reads : Rvi_sim.Stats.counter;
+  c_writes : Rvi_sim.Stats.counter;
+  c_param_reads : Rvi_sim.Stats.counter;
 }
 
 let create ?(config = default_config) ~port ~dpram ~raise_irq () =
   if config.lookup_states < 0 then invalid_arg "Imu.create: negative lookup_states";
+  let stats = Rvi_sim.Stats.create () in
   {
     cfg = config;
     port;
@@ -101,7 +110,14 @@ let create ?(config = default_config) ~port ~dpram ~raise_irq () =
     trace = None;
     hung = false;
     injector = None;
-    stats = Rvi_sim.Stats.create ();
+    stats;
+    c_busy = Rvi_sim.Stats.counter stats "busy_cycles";
+    c_hang = Rvi_sim.Stats.counter stats "hang_cycles";
+    c_stall = Rvi_sim.Stats.counter stats "stall_cycles";
+    c_accesses = Rvi_sim.Stats.counter stats "accesses";
+    c_reads = Rvi_sim.Stats.counter stats "reads";
+    c_writes = Rvi_sim.Stats.counter stats "writes";
+    c_param_reads = Rvi_sim.Stats.counter stats "param_reads";
   }
 
 let config t = t.cfg
@@ -115,7 +131,7 @@ let resolve t r =
   if r.obj_id = Cp_port.param_obj then begin
     match t.param_page with
     | Some ppn ->
-      Rvi_sim.Stats.incr t.stats "param_reads";
+      Rvi_sim.Stats.tick t.c_param_reads;
       Some ppn
     | None -> failwith "Imu: parameter access with no parameter page configured"
   end
@@ -159,11 +175,11 @@ let perform_access t r ppn =
       | _ -> r.data
     in
     Rvi_mem.Dpram.write t.dpram ~width paddr data;
-    Rvi_sim.Stats.incr t.stats "writes"
+    Rvi_sim.Stats.tick t.c_writes
   end
   else begin
     t.out_din <- Rvi_mem.Dpram.read t.dpram ~width paddr;
-    Rvi_sim.Stats.incr t.stats "reads"
+    Rvi_sim.Stats.tick t.c_reads
   end;
   t.out_tlbhit <- true;
   t.just_resumed <- false;
@@ -193,7 +209,7 @@ let begin_translation t =
     }
   in
   t.req <- Some r;
-  Rvi_sim.Stats.incr t.stats "accesses";
+  Rvi_sim.Stats.tick t.c_accesses;
   (match t.trace with
   | Some probe when r.obj_id <> Cp_port.param_obj ->
     let vpn = Rvi_mem.Page.vpn t.geom r.addr in
@@ -223,11 +239,13 @@ let compute t =
   t.out_start <- false;
   t.out_tlbhit <- false;
   if t.hung then begin
-    Rvi_sim.Stats.incr t.stats "hang_cycles";
+    Rvi_sim.Stats.tick t.c_hang;
     Rvi_hw.Fsm.stay t.fsm
   end
   else begin
-  if Rvi_hw.Fsm.state t.fsm <> Idle then Rvi_sim.Stats.incr t.stats "busy_cycles";
+  (match Rvi_hw.Fsm.state t.fsm with
+  | Idle -> ()
+  | Lookup _ | Access _ | Faulted -> Rvi_sim.Stats.tick t.c_busy);
   (* CP_FIN is level-held by the coprocessor; latch its rising edge so a
      completion left over from a previous execution is not re-reported. *)
   let fin_now = t.port.Cp_port.cp_fin in
@@ -262,7 +280,7 @@ let compute t =
       Rvi_hw.Fsm.goto t.fsm Idle
   end
   | Faulted ->
-    Rvi_sim.Stats.incr t.stats "stall_cycles";
+    Rvi_sim.Stats.tick t.c_stall;
     if t.resume_pending then begin
       t.resume_pending <- false;
       t.just_resumed <- true;
@@ -280,10 +298,49 @@ let commit t =
   if t.out_tlbhit then t.port.Cp_port.cp_din <- t.out_din;
   t.cycle <- t.cycle + 1
 
+(* Idle fast-forward contract ({!Rvi_sim.Clock.component}): a tick is a
+   no-op iff it would leave the FSM, the CP port and every counter exactly
+   as executing it would, given no other component runs meanwhile. The
+   output pulses ([cp_start]/[cp_tlbhit]) make the tick after an active
+   cycle non-idle (it must drop the pulse), and a CP_FIN level change means
+   rising-edge detection work, so both force an immediate tick. A [Lookup]
+   countdown is pure bookkeeping: its remaining [n - 1] decrements can be
+   applied wholesale by [skip]. *)
+let idle_hint t =
+  let p = t.port in
+  if p.Cp_port.cp_start || p.Cp_port.cp_tlbhit then 0
+  else if t.hung then max_int
+  else if p.Cp_port.cp_fin <> t.prev_fin then 0
+  else
+    match Rvi_hw.Fsm.state t.fsm with
+    | Idle ->
+      if t.start_pending || (p.Cp_port.cp_access && not t.fin_seen) then 0
+      else max_int
+    | Lookup n -> n - 1
+    | Access _ -> 0
+    | Faulted -> if t.resume_pending then 0 else max_int
+
+let skip t k =
+  t.cycle <- t.cycle + k;
+  if t.hung then Rvi_sim.Stats.tick_by t.c_hang k
+  else
+    match Rvi_hw.Fsm.state t.fsm with
+    | Idle -> ()
+    | Lookup n ->
+      Rvi_sim.Stats.tick_by t.c_busy k;
+      Rvi_hw.Fsm.fast_forward t.fsm ~transitions:k (Lookup (n - k))
+    | Faulted ->
+      Rvi_sim.Stats.tick_by t.c_busy k;
+      Rvi_sim.Stats.tick_by t.c_stall k
+    | Access _ -> assert false (* idle_hint returns 0 in [Access] *)
+
 let component t =
   Rvi_sim.Clock.component ~name:"imu"
+    ~idle_hint:(fun () -> idle_hint t)
+    ~skip:(fun k -> skip t k)
     ~compute:(fun () -> compute t)
     ~commit:(fun () -> commit t)
+    ()
 
 let read_ar t =
   match t.req with

@@ -265,6 +265,7 @@ let component t =
   Rvi_sim.Clock.component ~name:"imu-rtl"
     ~compute:(fun () -> compute t)
     ~commit:(fun () -> commit t)
+    ()
 
 (* Bus-side accessors run in OS context, between clock edges: they act on
    the committed register values directly (asynchronous register file

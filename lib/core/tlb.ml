@@ -19,6 +19,8 @@ type t = {
   slots : entry array;
   organization : organization;
   stats : Rvi_sim.Stats.t;
+  c_hits : Rvi_sim.Stats.counter;
+  c_misses : Rvi_sim.Stats.counter;
 }
 
 let fresh_entry () =
@@ -38,10 +40,13 @@ let create ?(organization = Fully_associative) ~entries () =
   | Set_associative n when n < 1 || entries mod n <> 0 ->
     invalid_arg "Tlb.create: ways must divide the entry count"
   | Set_associative _ | Fully_associative | Direct_mapped -> ());
+  let stats = Rvi_sim.Stats.create () in
   {
     slots = Array.init entries (fun _ -> fresh_entry ());
     organization;
-    stats = Rvi_sim.Stats.create ();
+    stats;
+    c_hits = Rvi_sim.Stats.counter stats "hits";
+    c_misses = Rvi_sim.Stats.counter stats "misses";
   }
 
 let entries t = Array.length t.slots
@@ -67,26 +72,36 @@ let free_way_slot t ~obj_id ~vpn =
 
 type lookup = Hit of int | Miss
 
+(* Per-access path: scan the candidate ways without materialising the
+   [way_slots] list (this runs on every coprocessor memory access). *)
 let lookup t ~obj_id ~vpn =
-  let rec go = function
-    | [] -> Miss
-    | i :: rest ->
-      let e = t.slots.(i) in
-      if e.valid && e.obj_id = obj_id && e.vpn = vpn then Hit i else go rest
+  let slots = t.slots in
+  let matches i =
+    let e = slots.(i) in
+    e.valid && e.obj_id = obj_id && e.vpn = vpn
   in
-  go (way_slots t ~obj_id ~vpn)
+  let rec scan i stop = if i >= stop then Miss else if matches i then Hit i else scan (i + 1) stop in
+  match t.organization with
+  | Fully_associative -> scan 0 (Array.length slots)
+  | Direct_mapped ->
+    let i = hash ~obj_id ~vpn mod Array.length slots in
+    if matches i then Hit i else Miss
+  | Set_associative ways ->
+    let sets = Array.length slots / ways in
+    let set = hash ~obj_id ~vpn mod sets in
+    scan (set * ways) ((set * ways) + ways)
 
 let translate t ~obj_id ~vpn ~stamp ~wr =
   match lookup t ~obj_id ~vpn with
   | Miss ->
-    Rvi_sim.Stats.incr t.stats "misses";
+    Rvi_sim.Stats.tick t.c_misses;
     None
   | Hit i ->
     let e = t.slots.(i) in
     if wr then e.dirty <- true;
     e.referenced <- true;
     e.last_access <- stamp;
-    Rvi_sim.Stats.incr t.stats "hits";
+    Rvi_sim.Stats.tick t.c_hits;
     Some e.ppn
 
 let check_slot t slot op =

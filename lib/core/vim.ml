@@ -741,7 +741,14 @@ let execute t ~params =
               (Simtime.add (Engine.now engine) t.cfg.recovery.poll)
           else !deadline
         in
-        Engine.run_while engine (fun () ->
+        (* [slice_end] is a sound horizon: inside the wait the only things
+           that can flip the condition early are time reaching [slice_end]
+           and the IRQ controller turning pending — and the latter requests
+           an engine break (wired in [Kernel.create]), ending any inline
+           edge batch at the raising edge. [t.finished]/[t.error] only
+           change in interrupt service and watchdog code, outside this
+           wait. *)
+        Engine.run_while ~horizon:slice_end engine (fun () ->
             (not (Rvi_os.Irq.any_pending irq))
             && (not t.finished) && t.error = None
             && Simtime.(Engine.now engine < slice_end));

@@ -3,7 +3,9 @@ let time f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-type result = {
+type point = {
+  commit : string;
+  host_cores : int;
   runs : int;
   seed : int;
   jobs : int;
@@ -19,6 +21,26 @@ type result = {
 let classification results =
   List.map (fun r -> (r.Faults.index, Faults.outcome_name r.Faults.outcome)) results
 
+let command_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> Some (String.trim line)
+    | _ -> None
+  with _ -> None
+
+let git_commit () =
+  match command_line "git rev-parse --short HEAD 2>/dev/null" with
+  | None | Some "" -> "unknown"
+  | Some hash -> (
+    (* a point measured on uncommitted sources must not impersonate the
+       commit it sits on *)
+    match command_line "git status --porcelain 2>/dev/null" with
+    | Some "" -> hash
+    | Some _ -> hash ^ "-dirty"
+    | None -> hash)
+
 let run ?(runs = 200) ?(seed = 2004) ~jobs () =
   let serial, serial_s = time (fun () -> Faults.campaign ~runs ~seed ()) in
   let parallel, parallel_s =
@@ -26,6 +48,8 @@ let run ?(runs = 200) ?(seed = 2004) ~jobs () =
   in
   let per_sec t = if t > 0.0 then float_of_int runs /. t else 0.0 in
   {
+    commit = git_commit ();
+    host_cores = Domain.recommended_domain_count ();
     runs;
     seed;
     jobs;
@@ -40,37 +64,89 @@ let run ?(runs = 200) ?(seed = 2004) ~jobs () =
     survival = Faults.survival (Faults.summarize serial);
   }
 
-let to_json r =
+let point_json r =
   Printf.sprintf
-    "{\n\
-    \  \"benchmark\": \"faults-campaign\",\n\
-    \  \"runs\": %d,\n\
-    \  \"seed\": %d,\n\
-    \  \"jobs\": %d,\n\
-    \  \"serial_s\": %.6f,\n\
-    \  \"parallel_s\": %.6f,\n\
-    \  \"serial_runs_per_sec\": %.2f,\n\
-    \  \"parallel_runs_per_sec\": %.2f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"deterministic\": %b,\n\
-    \  \"survival_pct\": %.2f\n\
-     }\n"
-    r.runs r.seed r.jobs r.serial_s r.parallel_s r.serial_runs_per_sec
-    r.parallel_runs_per_sec r.speedup r.deterministic r.survival
+    "  {\n\
+    \    \"benchmark\": \"faults-campaign\",\n\
+    \    \"commit\": %S,\n\
+    \    \"host_cores\": %d,\n\
+    \    \"runs\": %d,\n\
+    \    \"seed\": %d,\n\
+    \    \"jobs\": %d,\n\
+    \    \"serial_s\": %.6f,\n\
+    \    \"parallel_s\": %.6f,\n\
+    \    \"serial_runs_per_sec\": %.2f,\n\
+    \    \"parallel_runs_per_sec\": %.2f,\n\
+    \    \"speedup\": %.3f,\n\
+    \    \"deterministic\": %b,\n\
+    \    \"survival_pct\": %.2f\n\
+    \  }"
+    r.commit r.host_cores r.runs r.seed r.jobs r.serial_s r.parallel_s
+    r.serial_runs_per_sec r.parallel_runs_per_sec r.speedup r.deterministic
+    r.survival
 
 let default_path = "BENCH_campaign.json"
 
-let write ?(path = default_path) r =
+let read_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let write_file path content =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json r));
+    (fun () -> output_string oc content)
+
+(* The file is machine-written (by this module), so appending splices the
+   new entry in front of the array's closing bracket rather than pulling
+   in a JSON parser the toolchain doesn't ship. *)
+let append ?(path = default_path) r =
+  let entry = point_json r in
+  let fresh = "[\n" ^ entry ^ "\n]\n" in
+  let content =
+    match read_file path with
+    | None -> fresh
+    | Some old -> (
+      match String.rindex_opt old ']' with
+      | None -> fresh
+      | Some i ->
+        let body = String.trim (String.sub old 0 i) in
+        if body = "[" then fresh else body ^ ",\n" ^ entry ^ "\n]\n")
+  in
+  write_file path content;
   path
+
+let last_float_field s key =
+  let kl = String.length key and n = String.length s in
+  let last = ref (-1) in
+  for i = 0 to n - kl do
+    if String.sub s i kl = key then last := i
+  done;
+  if !last < 0 then None
+  else begin
+    let j = !last + kl in
+    let stop = ref j in
+    while
+      !stop < n && s.[!stop] <> ',' && s.[!stop] <> '\n' && s.[!stop] <> '}'
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.trim (String.sub s j (!stop - j)))
+  end
+
+let last_serial_rps ?(path = default_path) () =
+  match read_file path with
+  | None -> None
+  | Some s -> last_float_field s "\"serial_runs_per_sec\":"
 
 let print ppf r =
   Format.fprintf ppf
-    "campaign %d runs, seed %d: serial %.2fs (%.1f runs/s), --jobs %d %.2fs \
-     (%.1f runs/s), speedup %.2fx, classifications %s@."
-    r.runs r.seed r.serial_s r.serial_runs_per_sec r.jobs r.parallel_s
-    r.parallel_runs_per_sec r.speedup
+    "campaign %d runs, seed %d [%s, %d cores]: serial %.2fs (%.1f runs/s), \
+     --jobs %d %.2fs (%.1f runs/s), speedup %.2fx, classifications %s@."
+    r.runs r.seed r.commit r.host_cores r.serial_s r.serial_runs_per_sec
+    r.jobs r.parallel_s r.parallel_runs_per_sec r.speedup
     (if r.deterministic then "identical" else "DIVERGED (bug)")

@@ -1,12 +1,20 @@
-(** Wall-clock benchmark of the parallel campaign runner.
+(** Wall-clock benchmark of the campaign runner, kept as a trajectory.
 
-    Times the same seeded fault campaign serially and with
-    [jobs] domains, checks the two classify every run identically
-    (the {!Rvi_par.Par} determinism contract, asserted on real wall
-    time, not just in unit tests), and renders the numbers as the
-    [BENCH_campaign.json] document the perf trajectory tracks. *)
+    Times the same seeded fault campaign serially and with [jobs]
+    domains, checks the two classify every run identically (the
+    {!Rvi_par.Par} determinism contract, asserted on real wall time, not
+    just in unit tests), and appends the numbers as one {e trajectory
+    point} to the [BENCH_campaign.json] document — a JSON array, newest
+    point last, so the repo history carries real before/after
+    performance data instead of a single overwritten measurement.
 
-type result = {
+    Each point records the short commit hash and the host's core count
+    alongside the rates, so a regression check can tell "the simulator
+    got slower" from "this is a different machine". *)
+
+type point = {
+  commit : string;  (** [git rev-parse --short HEAD], ["unknown"] outside git *)
+  host_cores : int;  (** [Domain.recommended_domain_count] on the host *)
   runs : int;
   seed : int;
   jobs : int;
@@ -20,16 +28,22 @@ type result = {
   survival : float;  (** campaign survival %, a sanity anchor *)
 }
 
-val run : ?runs:int -> ?seed:int -> jobs:int -> unit -> result
+val run : ?runs:int -> ?seed:int -> jobs:int -> unit -> point
 (** Defaults: 200 runs, seed 2004. *)
 
-val to_json : result -> string
+val point_json : point -> string
+(** One trajectory entry (a JSON object, indented for the array). *)
 
 val default_path : string
 (** ["BENCH_campaign.json"]. *)
 
-val write : ?path:string -> result -> string
-(** Writes {!to_json} to [path] (default {!default_path}); returns the
-    path written. *)
+val append : ?path:string -> point -> string
+(** Appends the point to the JSON array at [path] (default
+    {!default_path}), creating the file if needed; returns the path. *)
 
-val print : Format.formatter -> result -> unit
+val last_serial_rps : ?path:string -> unit -> float option
+(** [serial_runs_per_sec] of the newest point already in the trajectory
+    file — the committed baseline a regression gate compares against.
+    [None] when the file is absent or holds no point. *)
+
+val print : Format.formatter -> point -> unit

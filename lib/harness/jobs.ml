@@ -66,10 +66,14 @@ let make_station (cfg : Config.t) ~kernel ~dpram ~irq_line kind =
     | Fir -> Rvi_coproc.Fir_coproc.Virtual.create port
   in
   Clock.add clock (Rvi_core.Imu.component imu);
-  Clock.add clock (Rvi_coproc.Vport.sync_component vport);
-  Clock.add clock
-    ~divide:bitstream.Rvi_fpga.Bitstream.coproc_divide
-    coproc.Rvi_coproc.Coproc.component;
+  let divide = bitstream.Rvi_fpga.Bitstream.coproc_divide in
+  if divide = 1 then
+    Clock.add clock
+      (Rvi_coproc.Vport.fused_component vport coproc.Rvi_coproc.Coproc.component)
+  else begin
+    Clock.add clock (Rvi_coproc.Vport.sync_component vport);
+    Clock.add clock ~divide coproc.Rvi_coproc.Coproc.component
+  end;
   let map vim ~id ~buf ~dir ~stream =
     match
       Rvi_core.Vim.map_object vim

@@ -66,10 +66,14 @@ let create ?(app_name = "app") ?(sdram_bytes = 4 * 1024 * 1024) (cfg : Config.t)
       Rvi_coproc.Vport.reset vport;
       coproc.Rvi_coproc.Coproc.reset ());
   Clock.add clock (Rvi_core.Imu.component imu);
-  Clock.add clock (Rvi_coproc.Vport.sync_component vport);
-  Clock.add clock
-    ~divide:bitstream.Rvi_fpga.Bitstream.coproc_divide
-    coproc.Rvi_coproc.Coproc.component;
+  let divide = bitstream.Rvi_fpga.Bitstream.coproc_divide in
+  if divide = 1 then
+    Clock.add clock
+      (Rvi_coproc.Vport.fused_component vport coproc.Rvi_coproc.Coproc.component)
+  else begin
+    Clock.add clock (Rvi_coproc.Vport.sync_component vport);
+    Clock.add clock ~divide coproc.Rvi_coproc.Coproc.component
+  end;
   let sched = Kernel.sched kernel in
   let proc = Rvi_os.Sched.spawn sched ~name:app_name in
   ignore (Rvi_os.Sched.schedule sched);

@@ -20,9 +20,10 @@ let make_kernel (cfg : Config.t) =
   let cost =
     Rvi_os.Cost_model.default ~cpu_freq_hz:cfg.Config.device.Device.cpu_freq_hz
   in
-  (* The board carries 64 MB; the workloads use well under 4 MB, and a
-     smaller arena keeps host-side allocation off the measurement path. *)
-  let kernel = Kernel.create ~engine ~cost ~sdram_bytes:(4 * 1024 * 1024) () in
+  (* The board carries 64 MB; the runner workloads top out well under
+     1 MB of user buffers, and a small arena keeps host-side allocation
+     (one zeroed region per simulated run) off the measurement path. *)
+  let kernel = Kernel.create ~engine ~cost ~sdram_bytes:(1024 * 1024) () in
   (engine, kernel)
 
 let spawn_app kernel name =

@@ -21,6 +21,14 @@ val commit : 'a t -> unit
 
 val reset : 'a t -> 'a -> unit
 
+val fast_forward : 'a t -> transitions:int -> 'a -> unit
+(** [fast_forward m ~transitions s] applies the aggregate effect of a
+    skipped idle span in one step: the machine lands in [s] (both register
+    views, as between edges) and {!transitions} is advanced by the number
+    of state-changing commits the span would have performed. Used by
+    components implementing the {!Rvi_sim.Clock.component} [skip]
+    contract for countdown states. *)
+
 val name : 'a t -> string
 
 val show : 'a t -> string

@@ -1,10 +1,10 @@
 type 'a t = { mutable cur : 'a; mutable next : 'a }
 
 let create v = { cur = v; next = v }
-let get t = t.cur
-let set t v = t.next <- v
+let[@inline] get t = t.cur
+let[@inline] set t v = t.next <- v
 let peek_next t = t.next
-let commit t = t.cur <- t.next
+let[@inline] commit t = t.cur <- t.next
 
 let reset t v =
   t.cur <- v;

@@ -20,6 +20,19 @@ let all =
     Irq_spurious;
   ]
 
+(* Dense index for per-kind tables on the injector's hot path. *)
+let index = function
+  | Dpram_flip -> 0
+  | Ahb_error -> 1
+  | Dma_error -> 2
+  | Tlb_corrupt -> 3
+  | Coproc_hang -> 4
+  | Coproc_wrong -> 5
+  | Irq_lost -> 6
+  | Irq_spurious -> 7
+
+let n_kinds = 8
+
 let name = function
   | Dpram_flip -> "dpram"
   | Ahb_error -> "ahb"

@@ -34,6 +34,11 @@ type kind =
 val all : kind list
 (** Every kind, in declaration order. *)
 
+val index : kind -> int
+(** Dense index in [0, n_kinds) for per-kind tables on hot paths. *)
+
+val n_kinds : int
+
 val name : kind -> string
 (** Short stable identifier, used by the [--inject] SPEC grammar and by
     stats counters ("dpram", "ahb", "dma", "tlb", "hang", "wrong",

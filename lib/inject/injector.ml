@@ -6,9 +6,18 @@ module Stats = Rvi_sim.Stats
    deterministic across platforms (no float accumulation). *)
 let resolution = 1 lsl 30
 
+(* Pre-resolved per-kind state: threshold plus counter handles, so the
+   hot [fire] path (every guarded PLD access) neither walks an assoc list
+   nor formats counter names. *)
+type arm = {
+  thr : int;
+  c_chances : Stats.counter;
+  c_injected : Stats.counter;
+}
+
 type t = {
   prng : Prng.t;
-  thresholds : (Fault.kind * int) list;
+  arms : arm option array; (* indexed by Fault.index *)
   spec : Spec.t;
   seed : int;
   stats : Stats.t;
@@ -22,13 +31,29 @@ let threshold rate =
   else int_of_float (rate *. float_of_int resolution)
 
 let create ~seed ~spec =
+  let stats = Stats.create () in
+  let arms = Array.make Fault.n_kinds None in
+  List.iter
+    (fun r ->
+      let kind = r.Spec.kind in
+      arms.(Fault.index kind) <-
+        Some
+          {
+            thr = threshold r.Spec.rate;
+            c_chances =
+              Stats.counter stats
+                (Printf.sprintf "chances_%s" (Fault.name kind));
+            c_injected =
+              Stats.counter stats
+                (Printf.sprintf "injected_%s" (Fault.name kind));
+          })
+    spec;
   {
     prng = Prng.create ~seed;
-    thresholds =
-      List.map (fun r -> (r.Spec.kind, threshold r.Spec.rate)) spec;
+    arms;
     spec;
     seed;
-    stats = Stats.create ();
+    stats;
     enabled = true;
     observer = None;
   }
@@ -41,16 +66,16 @@ let enabled t = t.enabled
 let set_observer t f = t.observer <- f
 
 let fire t kind =
-  match List.assq_opt kind t.thresholds with
+  match Array.unsafe_get t.arms (Fault.index kind) with
   | None -> false
-  | Some 0 -> false
-  | Some thr ->
+  | Some { thr = 0; _ } -> false
+  | Some arm ->
     if not t.enabled then false
     else begin
-      Stats.incr t.stats (Printf.sprintf "chances_%s" (Fault.name kind));
-      let hit = Prng.next t.prng land (resolution - 1) < thr in
+      Stats.tick arm.c_chances;
+      let hit = Prng.next t.prng land (resolution - 1) < arm.thr in
       if hit then begin
-        Stats.incr t.stats (Printf.sprintf "injected_%s" (Fault.name kind));
+        Stats.tick arm.c_injected;
         match t.observer with Some f -> f kind | None -> ()
       end;
       hit

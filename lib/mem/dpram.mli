@@ -41,7 +41,11 @@ val cpu_write32 : t -> int -> int -> unit
 
 val stats : t -> Rvi_sim.Stats.t
 (** Port traffic counters: ["pld_reads"], ["pld_writes"], ["cpu_words"],
-    ["pages_loaded"], ["pages_stored"], ["bit_flips"]. *)
+    ["pages_loaded"], ["pages_stored"], ["bit_flips"], plus the parity
+    checker's cost model: ["parity_page_checks"] (calls to
+    {!parity_error}) and ["parity_scan_steps"] (indexed probes performed
+    across all checks — exactly one per check now that corruption is
+    indexed by page, independent of other pages' corruption). *)
 
 (** {1 Fault injection} *)
 
@@ -53,4 +57,6 @@ val set_injector : t -> Rvi_inject.Injector.t option -> unit
 
 val parity_error : t -> page:int -> bool
 (** Whether any location in the page still holds an undetected bit flip —
-    the kernel's parity sweep when it flushes a page. *)
+    the kernel's parity sweep when it flushes a page. O(1): corruption is
+    indexed per page, so a check on page [p] never pays for flips latent
+    on other pages (see the ["parity_scan_steps"] counter). *)

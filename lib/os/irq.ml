@@ -7,6 +7,9 @@ type t = {
   lines : line_state array;
   mutable raised_total : int;
   mutable observer : (line:int -> name:string -> unit) option;
+  mutable wake : (unit -> unit) option;
+      (* called when a line turns pending, so an inline-batched clock run
+         ends its batch and the driving loop notices the interrupt *)
   stats : Rvi_sim.Stats.t;
   mutable injector : Rvi_inject.Injector.t option;
 }
@@ -17,11 +20,13 @@ let create ?(lines = 8) () =
     lines = Array.init lines (fun _ -> { handler = None; pending = false });
     raised_total = 0;
     observer = None;
+    wake = None;
     stats = Rvi_sim.Stats.create ();
     injector = None;
   }
 
 let set_observer t obs = t.observer <- obs
+let set_wake t f = t.wake <- f
 let set_injector t inj = t.injector <- inj
 let stats t = t.stats
 
@@ -52,6 +57,7 @@ let raise_line t ~line =
     else begin
       t.lines.(line).pending <- true;
       t.raised_total <- t.raised_total + 1;
+      (match t.wake with Some f -> f () | None -> ());
       match t.observer with
       | Some f ->
         let name =

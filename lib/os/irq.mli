@@ -21,6 +21,14 @@ val raise_line : t -> line:int -> unit
     opportunity: the edge is dropped and counted as ["dropped_raises"],
     leaving recovery to device-register polling. *)
 
+val set_wake : t -> (unit -> unit) option -> unit
+(** Installs (or clears) a hook called whenever a line turns pending (after
+    loss/coalescing filtering). The kernel points it at
+    {!Rvi_sim.Engine.request_break} so a clock domain batching edges inline
+    stops at the raising edge and the execution loop services the
+    interrupt — the batched analogue of the CPU sampling its IRQ input
+    every cycle. *)
+
 val set_observer : t -> (line:int -> name:string -> unit) option -> unit
 (** Installs (or clears) a hook called once per raising edge — each time a
     line turns pending — with the line number and its handler's name. The

@@ -11,11 +11,15 @@ type t = {
 }
 
 let create ~engine ~cost ?(sdram_bytes = 64 * 1024 * 1024) () =
+  let irq = Irq.create () in
+  (* An interrupt turning pending must end any inline-batched clock run so
+     the execution loop re-checks its wait condition at the raising edge. *)
+  Irq.set_wake irq (Some (fun () -> Rvi_sim.Engine.request_break engine));
   {
     engine;
     cost;
     acct = Accounting.create ();
-    irq = Irq.create ();
+    irq;
     sched = Sched.create ();
     sdram = Rvi_mem.Sdram.create ~size:sdram_bytes;
     syscalls = Syscall.create ();

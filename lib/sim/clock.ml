@@ -2,9 +2,22 @@ type component = {
   name : string;
   compute : unit -> unit;
   commit : unit -> unit;
+  idle_hint : (unit -> int) option;
+  skip : (int -> unit) option;
+  commit_hazard : bool;
+      (* the commit phase consumes state a *later* slot's compute may have
+         written this same edge (e.g. a bus wrapper whose commit moves a
+         request its owner posted during compute); an elided tick must
+         re-check the hint at its commit turn instead of skipping outright *)
 }
 
-let component ~name ~compute ~commit = { name; compute; commit }
+let component ?idle_hint ?skip ?(commit_hazard = false) ~name ~compute ~commit
+    () =
+  (match (idle_hint, skip) with
+  | Some _, None | None, Some _ ->
+    invalid_arg "Clock.component: idle_hint and skip must be given together"
+  | Some _, Some _ | None, None -> ());
+  { name; compute; commit; idle_hint; skip; commit_hazard }
 
 type slot = { comp : component; divide : int; phase : int }
 
@@ -13,21 +26,34 @@ type t = {
   clk_name : string;
   freq_hz : int;
   period : Simtime.t;
-  mutable slots : slot list; (* in registration order *)
-  mutable observers : (int -> unit) list; (* in registration order *)
+  batched : bool;
+  (* flat arrays in registration order: O(1) add, allocation-free edges *)
+  mutable slots : slot array; (* first [n_slots] entries are live *)
+  mutable n_slots : int;
+  mutable marks : int array; (* per-edge scratch: 0 off / 1 ran / 2 elided *)
+  mutable observers : (int -> unit) array; (* first [n_observers] live *)
+  mutable n_observers : int;
+  mutable skippable : bool; (* every slot can report and absorb idle spans *)
+  mutable uniform : bool; (* every slot has divide = 1 *)
   mutable cycles : int;
   mutable running : bool;
   mutable generation : int; (* invalidates edges scheduled before a stop *)
 }
 
-let create engine ~name ~freq_hz =
+let create ?(batched = true) engine ~name ~freq_hz =
   {
     engine;
     clk_name = name;
     freq_hz;
     period = Simtime.period_of_hz freq_hz;
-    slots = [];
-    observers = [];
+    batched;
+    slots = [||];
+    n_slots = 0;
+    marks = [||];
+    observers = [||];
+    n_observers = 0;
+    skippable = true;
+    uniform = true;
     cycles = 0;
     running = false;
     generation = 0;
@@ -36,33 +62,220 @@ let create engine ~name ~freq_hz =
 let add ?(divide = 1) ?(phase = 0) t comp =
   if divide < 1 then invalid_arg "Clock.add: divide < 1";
   if phase < 0 || phase >= divide then invalid_arg "Clock.add: bad phase";
-  t.slots <- t.slots @ [ { comp; divide; phase } ]
+  let s = { comp; divide; phase } in
+  if t.n_slots = Array.length t.slots then begin
+    let grown = Array.make (max 4 (2 * t.n_slots)) s in
+    Array.blit t.slots 0 grown 0 t.n_slots;
+    t.slots <- grown
+  end;
+  t.slots.(t.n_slots) <- s;
+  if t.n_slots >= Array.length t.marks then
+    t.marks <- Array.make (Array.length t.slots) 0;
+  t.n_slots <- t.n_slots + 1;
+  if divide > 1 then t.uniform <- false;
+  if Option.is_none comp.idle_hint || Option.is_none comp.skip then
+    t.skippable <- false
 
-let on_edge t f = t.observers <- t.observers @ [ f ]
+let on_edge t f =
+  if t.n_observers = Array.length t.observers then begin
+    let grown = Array.make (max 4 (2 * t.n_observers)) f in
+    Array.blit t.observers 0 grown 0 t.n_observers;
+    t.observers <- grown
+  end;
+  t.observers.(t.n_observers) <- f;
+  t.n_observers <- t.n_observers + 1
 
-let enabled t slot = t.cycles mod slot.divide = slot.phase
-
-let edge t =
-  let active = List.filter (enabled t) t.slots in
-  List.iter (fun s -> s.comp.compute ()) active;
-  List.iter (fun s -> s.comp.commit ()) active;
+(* One rising edge, identical to the seed implementation's ordering: the
+   enabled set is evaluated against the pre-edge cycle index, every enabled
+   compute runs before any commit, and observers see the just-completed
+   index after all commits. *)
+let run_edge t =
   let cycle = t.cycles in
-  t.cycles <- t.cycles + 1;
-  List.iter (fun f -> f cycle) t.observers
+  let n = t.n_slots in
+  let elide = t.batched in
+  let executed = ref false in
+  (* Per-slot no-op elision. A slot whose [idle_hint] is positive when its
+     compute turn comes skips the closure calls for this tick: hints are
+     evaluated in slot order inside the compute phase, so a slot sees
+     everything earlier computes latched for it this edge — exactly the
+     state its compute would read. A positive hint is a promise the tick
+     is a no-op, so [skip 1] performs the tick's accounting at the commit
+     turn. [commit_hazard] slots re-check the hint there instead, because
+     a later slot's compute this edge may have queued work their commit
+     must move. *)
+  for i = 0 to n - 1 do
+    let s = Array.unsafe_get t.slots i in
+    if s.divide = 1 || cycle mod s.divide = s.phase then begin
+      let run =
+        (not elide)
+        || (match s.comp.idle_hint with Some f -> f () <= 0 | None -> true)
+      in
+      if run then begin
+        Array.unsafe_set t.marks i 1;
+        executed := true;
+        s.comp.compute ()
+      end
+      else Array.unsafe_set t.marks i 2
+    end
+    else Array.unsafe_set t.marks i 0
+  done;
+  for i = 0 to n - 1 do
+    match Array.unsafe_get t.marks i with
+    | 0 -> ()
+    | 1 -> (Array.unsafe_get t.slots i).comp.commit ()
+    | _ ->
+      let c = (Array.unsafe_get t.slots i).comp in
+      let skip_tick () =
+        match c.skip with Some g -> g 1 | None -> assert false
+      in
+      if c.commit_hazard then begin
+        match c.idle_hint with
+        | Some f when f () > 0 -> skip_tick ()
+        | Some _ | None -> c.commit ()
+      end
+      else skip_tick ()
+  done;
+  t.cycles <- cycle + 1;
+  for i = 0 to t.n_observers - 1 do
+    (Array.unsafe_get t.observers i) cycle
+  done;
+  not !executed
 
-let rec schedule_edge t =
-  let gen = t.generation in
-  Engine.schedule_after t.engine t.period (fun () ->
-      if t.running && gen = t.generation then begin
-        edge t;
-        schedule_edge t
-      end)
+(* Idle fast-forward. After an edge, ask every slot how many of its own
+   upcoming ticks are provably no-ops (given inputs frozen — nothing else
+   executes inside the batch window). The clock jumps straight to the
+   earliest cycle where some slot does real work, bounded by the engine
+   horizon and the next queued event, and tells each slot exactly how many
+   ticks it absorbed so cycle/stat accounting stays bit-exact.
 
+   Returns the number of periods from the current engine time to the next
+   edge that must actually execute (>= 1), updating [t.cycles] past the
+   skipped span. *)
+let plan_skip t ~now_ps ~h_ps ~peek_ps =
+  (* [peek_ps] is [max_int] when the queue is empty. *)
+  let c = t.cycles in
+  let period_ps = Simtime.to_ps t.period in
+  let target = ref max_int in
+  if t.uniform then begin
+    (* all slots tick every edge: wake = current cycle + hint *)
+    let i = ref 0 in
+    while !target > c && !i < t.n_slots do
+      let s = Array.unsafe_get t.slots !i in
+      let h = match s.comp.idle_hint with Some f -> f () | None -> 0 in
+      let wake =
+        if h <= 0 then c else if h >= max_int - c then max_int else c + h
+      in
+      if wake < !target then target := wake;
+      incr i
+    done
+  end
+  else begin
+    let i = ref 0 in
+    while !target > c && !i < t.n_slots do
+      let s = Array.unsafe_get t.slots !i in
+      (* first enabled cycle >= c for this slot *)
+      let next_en =
+        let d = c - s.phase in
+        if d <= 0 then s.phase
+        else
+          let r = d mod s.divide in
+          if r = 0 then c else c + s.divide - r
+      in
+      let h = match s.comp.idle_hint with Some f -> f () | None -> 0 in
+      let wake =
+        if h <= 0 then next_en
+        else if h >= (max_int - next_en) / s.divide then max_int
+        else next_en + (h * s.divide)
+      in
+      if wake < !target then target := wake;
+      incr i
+    done
+  end;
+  (* cap by the horizon (edge time <= horizon) and by the next queued
+     event (edge time strictly before it, so queued work is not starved) *)
+  let tgt = min !target (c - 1 + ((h_ps - now_ps) / period_ps)) in
+  let tgt =
+    if peek_ps = max_int then tgt
+    else min tgt (c - 1 + ((peek_ps - now_ps - 1) / period_ps))
+  in
+  if tgt <= c then 1
+  else begin
+    (* cycles [c, tgt) are all no-ops; account them exactly per slot *)
+    if t.uniform then
+      for j = 0 to t.n_slots - 1 do
+        let s = Array.unsafe_get t.slots j in
+        match s.comp.skip with
+        | Some f -> f (tgt - c)
+        | None -> assert false
+      done
+    else
+      for j = 0 to t.n_slots - 1 do
+        let s = Array.unsafe_get t.slots j in
+        let cnt_upto n =
+          if n < s.phase then 0 else ((n - s.phase) / s.divide) + 1
+        in
+        let k = cnt_upto (tgt - 1) - cnt_upto (c - 1) in
+        if k > 0 then
+          match s.comp.skip with Some f -> f k | None -> assert false
+      done;
+    t.cycles <- tgt;
+    tgt - c + 1
+  end
+
+(* Edge batching. Inside an engine run span (horizon published), edges are
+   executed inline — time advanced with [Engine.jump_to] — as long as the
+   next edge falls inside the span, strictly before any queued event, and
+   no interrupt source requested a break. Each condition failing falls back
+   to scheduling one event at the next edge time, which is exactly the seed
+   per-edge behaviour, so run loops observe the same event times and the
+   same engine [now] at every boundary. *)
+let rec batch t gen self =
+  let fully_elided = run_edge t in
+  if t.running && gen = t.generation then begin
+    let e = t.engine in
+    let broke = Engine.take_break e in
+    match (if t.batched then Engine.horizon e else None) with
+    | None -> Engine.schedule_after e t.period self
+    | Some h ->
+      let now_ps = Simtime.to_ps (Engine.now e) in
+      let h_ps = Simtime.to_ps h in
+      (* read after [run_edge]: an executed compute may have scheduled *)
+      let peek_ps = Engine.peek_ps e in
+      let steps =
+        (* Multi-edge planning only pays off when the edge just run was
+           wholly elided — an executed slot means real work this period,
+           and the next edge re-evaluates anyway. Gating here keeps active
+           stretches down to one hint evaluation per idle slot per edge. *)
+        if
+          broke
+          || (not fully_elided)
+          || (not t.skippable)
+          || t.n_observers > 0 || t.n_slots = 0 || h_ps <= now_ps
+        then 1
+        else plan_skip t ~now_ps ~h_ps ~peek_ps
+      in
+      let te_ps = now_ps + (steps * Simtime.to_ps t.period) in
+      if (not broke) && te_ps <= h_ps && te_ps < peek_ps then begin
+        Engine.jump_to e (Simtime.of_ps te_ps);
+        batch t gen self
+      end
+      else Engine.schedule_at e (Simtime.of_ps te_ps) self
+  end
+
+(* Stop/start semantics (asserted by a regression test): [stop] discards
+   edge phase, and after [start] the next edge fires exactly one period
+   after the [start] call — a restarted domain behaves like a freshly
+   released reset, it does not resume the old edge grid. VIM
+   reconfiguration relies on this: the coprocessor clock is stopped while
+   the PLD is reprogrammed and the new configuration starts a fresh
+   timing grid. *)
 let start t =
   if not t.running then begin
     t.running <- true;
     t.generation <- t.generation + 1;
-    schedule_edge t
+    let gen = t.generation in
+    let rec self () = if t.running && gen = t.generation then batch t gen self in
+    Engine.schedule_after t.engine t.period self
   end
 
 let stop t =

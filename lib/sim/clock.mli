@@ -9,39 +9,100 @@
 
     A component registered with [~divide:n] only ticks on edges where
     [cycle mod n = phase]; this models a slower derived clock, e.g. the
-    paper's 6 MHz IDEA core deriving from the 24 MHz memory clock. *)
+    paper's 6 MHz IDEA core deriving from the 24 MHz memory clock.
+
+    {2 Batched execution and idle fast-forward}
+
+    Edges are not one engine event each. Inside an engine run span (whose
+    bound the engine publishes as its {!Engine.horizon}), the clock executes
+    edges inline, advancing time itself, until the span ends, a queued event
+    intervenes, or an interrupt source requests a break — so the per-edge
+    cost is two array sweeps, with no closure allocation and no heap
+    traffic. Observable behaviour (component call sequence, [cycles],
+    observer timestamps, engine [now] at run-loop boundaries) is identical
+    to per-edge scheduling; the qcheck equivalence property in [test_sim]
+    pins this against the reference implementation ([~batched:false]).
+
+    Components may additionally opt into idle fast-forward by providing
+    [idle_hint]/[skip] (see {!component}): when every component of a domain
+    reports its upcoming ticks as no-ops, the clock jumps over the dead
+    cycles in O(components) instead of ticking through them. *)
 
 type component = {
   name : string;
   compute : unit -> unit;
   commit : unit -> unit;
+  idle_hint : (unit -> int) option;
+  skip : (int -> unit) option;
+  commit_hazard : bool;
 }
 
 val component :
-  name:string -> compute:(unit -> unit) -> commit:(unit -> unit) -> component
+  ?idle_hint:(unit -> int) ->
+  ?skip:(int -> unit) ->
+  ?commit_hazard:bool ->
+  name:string ->
+  compute:(unit -> unit) ->
+  commit:(unit -> unit) ->
+  unit ->
+  component
+(** [idle_hint ()] must return how many of the component's {e own upcoming
+    ticks} are guaranteed no-ops — would leave component state, shared port
+    state and every counter exactly as ticking normally would — under the
+    promise that no other component executes and no input changes until the
+    component ticks again ([max_int] means "idle until an input changes",
+    [0] means "my next tick does real work"). The hint must be a pure
+    function of current state: it is re-queried at every edge where the
+    component is enabled, {e in slot order during the compute phase}, so
+    it sees everything earlier-registered slots latched for it this edge.
+
+    [skip k] is called instead of [k] consecutive ticks the clock decided
+    to fast-forward over; it must apply their exact aggregate effect
+    (cycle counters, activity stats, countdown registers). [idle_hint] and
+    [skip] must be given together; components that omit them disable
+    fast-forward (but not batching) for their whole clock domain.
+
+    [commit_hazard] (default [false]) must be set when the component's
+    commit phase consumes state that a {e later-registered} slot's compute
+    may write in the same edge — e.g. a bus wrapper whose commit moves a
+    request its owning coprocessor posted during compute. Such a slot's
+    hint is re-checked at its commit turn before the tick is skipped;
+    hazard-free slots elide the whole tick on the compute-turn hint
+    alone. *)
 
 type t
 
-val create : Engine.t -> name:string -> freq_hz:int -> t
-(** Creates a stopped clock attached to [engine]. *)
+val create : ?batched:bool -> Engine.t -> name:string -> freq_hz:int -> t
+(** Creates a stopped clock attached to [engine]. [batched] defaults to
+    [true]; [~batched:false] forces the seed one-event-per-edge scheduling
+    and exists as the reference side of differential tests. *)
 
 val add : ?divide:int -> ?phase:int -> t -> component -> unit
-(** Registers a component. [divide] defaults to 1 (every edge); [phase]
-    defaults to 0 and must satisfy [0 <= phase < divide]. *)
+(** Registers a component, in order, O(1) amortised. [divide] defaults to 1
+    (every edge); [phase] defaults to 0 and must satisfy
+    [0 <= phase < divide]. *)
 
 val on_edge : t -> (int -> unit) -> unit
 (** Registers an observer called after all commits on each edge with the
-    just-completed cycle index. Used by waveform tracers. *)
+    just-completed cycle index. Used by waveform tracers. Observers must
+    see every edge, so a clock with observers never fast-forwards (it
+    still batches). *)
 
 val start : t -> unit
-(** Starts the clock: the first edge fires one period from now. Idempotent. *)
+(** Starts the clock: the first edge fires one period from now. Idempotent.
+
+    Note the asserted stop/start contract: a {!stop}/[start] pair does not
+    preserve edge phase — the restarted domain begins a fresh grid one full
+    period after [start], like a reset release. Cycle timestamps therefore
+    shift across VIM reconfigurations by design. *)
 
 val stop : t -> unit
 (** Stops the clock after the current edge, if any. Idempotent. *)
 
 val running : t -> bool
+
 val cycles : t -> int
-(** Number of edges fired since creation. *)
+(** Number of edges elapsed since creation (executed or fast-forwarded). *)
 
 val freq_hz : t -> int
 val period : t -> Simtime.t

@@ -2,14 +2,40 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable now : Simtime.t;
   mutable events_processed : int;
+  mutable horizon : Simtime.t option;
+      (* upper bound of the run span currently executing; clock domains
+         batch edges inline up to it instead of re-entering the heap *)
+  mutable break_requested : bool;
+      (* set by interrupt sources so an inline batch ends early and the
+         driving run loop re-checks its condition *)
 }
 
 exception Stalled
 
 let create () =
-  { queue = Event_queue.create (); now = Simtime.zero; events_processed = 0 }
+  {
+    queue = Event_queue.create ();
+    now = Simtime.zero;
+    events_processed = 0;
+    horizon = None;
+    break_requested = false;
+  }
 
 let now t = t.now
+let horizon t = t.horizon
+let peek_next t = Event_queue.peek_time t.queue
+
+(* Allocation-free variant for the clock's per-edge batching check:
+   [max_int] when the queue is empty. *)
+let[@inline] peek_ps t = Event_queue.peek_time_ps t.queue
+let request_break t = t.break_requested <- true
+
+let take_break t =
+  if t.break_requested then begin
+    t.break_requested <- false;
+    true
+  end
+  else false
 
 let schedule_at t time f =
   if Simtime.(time < t.now) then
@@ -17,6 +43,15 @@ let schedule_at t time f =
   Event_queue.push t.queue ~time f
 
 let schedule_after t delay f = schedule_at t (Simtime.add t.now delay) f
+
+let jump_to t time =
+  if Simtime.(time < t.now) then invalid_arg "Engine.jump_to: time in the past";
+  (match Event_queue.peek_time t.queue with
+  | Some e when Simtime.(e < time) ->
+    invalid_arg "Engine.jump_to: would skip a queued event"
+  | Some _ | None -> ());
+  t.now <- time;
+  t.events_processed <- t.events_processed + 1
 
 let step t =
   match Event_queue.pop t.queue with
@@ -27,24 +62,37 @@ let step t =
     f ();
     true
 
+(* Both run loops publish their span bound as the horizon for the duration
+   of the loop (restoring the previous bound on exit, so a nested
+   [run_until] inside a [run_while] segment batches against its own
+   deadline), and clear any break left over from outside the span — a
+   break's only meaning is "end the current inline batch". *)
+let with_horizon t h f =
+  let saved = t.horizon in
+  t.horizon <- h;
+  t.break_requested <- false;
+  Fun.protect ~finally:(fun () -> t.horizon <- saved) f
+
 let run_until t deadline =
-  let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when Simtime.(time <= deadline) ->
-      ignore (step t);
-      loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+  with_horizon t (Some deadline) (fun () ->
+      let rec loop () =
+        match Event_queue.peek_time t.queue with
+        | Some time when Simtime.(time <= deadline) ->
+          ignore (step t);
+          loop ()
+        | Some _ | None -> ()
+      in
+      loop ());
   if Simtime.(t.now < deadline) then t.now <- deadline
 
 let advance t dt = run_until t (Simtime.add t.now dt)
 
-let run_while t cond =
-  let rec loop () =
-    if cond () then
-      if step t then loop () else raise Stalled
-  in
-  loop ()
+let run_while ?horizon t cond =
+  with_horizon t horizon (fun () ->
+      let rec loop () =
+        if cond () then
+          if step t then loop () else raise Stalled
+      in
+      loop ())
 
 let events_processed t = t.events_processed

@@ -32,10 +32,49 @@ val advance : t -> Simtime.t -> unit
     time, executing any hardware events that fall inside the span. This is
     how software execution cost is charged to the timeline. *)
 
-val run_while : t -> (unit -> bool) -> unit
+val run_while : ?horizon:Simtime.t -> t -> (unit -> bool) -> unit
 (** [run_while t cond] steps the engine as long as [cond ()] is [true] and
     events remain. Raises [Stalled] if the queue drains while [cond] still
-    holds — that means the simulated hardware deadlocked. *)
+    holds — that means the simulated hardware deadlocked.
+
+    [horizon], when given, promises that [cond] becomes false no later
+    than that time and that the only thing (other than time) that can turn
+    [cond] false is an event calling {!request_break} (e.g. an interrupt
+    turning pending). Clock domains use the promise to batch edges inline
+    up to the horizon without re-entering the event queue between them. *)
+
+(** {1 Inline batching support}
+
+    The hooks {!Clock} uses to run many edges inside one queue event.
+    A run loop publishes its span bound as the {!horizon}; a clock batch
+    may advance time itself with {!jump_to} as long as it never passes the
+    horizon, a queued event, or an un-consumed break request. *)
+
+val horizon : t -> Simtime.t option
+(** Bound of the run span currently executing, [None] outside {!run_until}
+    / {!advance} and outside a {!run_while} given an explicit horizon. *)
+
+val peek_next : t -> Simtime.t option
+(** Time of the earliest queued event. *)
+
+val peek_ps : t -> int
+(** Time of the earliest queued event in picoseconds, [max_int] when the
+    queue is empty — the allocation-free form of {!peek_next} the clock's
+    per-edge batching check uses. *)
+
+val request_break : t -> unit
+(** Asks the innermost inline batch to stop after the current edge so the
+    driving run loop re-checks its condition. Called when an interrupt
+    line turns pending. A no-op outside a batch (the flag is cleared when
+    a run loop begins). *)
+
+val take_break : t -> bool
+(** Consumes a pending break request: true if one was pending. *)
+
+val jump_to : t -> Simtime.t -> unit
+(** Advances simulated time without dispatching events, for inline-batched
+    clock edges. Raises [Invalid_argument] when the target is in the past
+    or a queued event would be skipped. *)
 
 exception Stalled
 (** Raised by {!run_while} when no event can make further progress. *)

@@ -70,6 +70,10 @@ let pop q =
 
 let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
 
+(* Allocation-free peek for per-edge batching checks. *)
+let[@inline] peek_time_ps q =
+  if q.size = 0 then max_int else Simtime.to_ps q.heap.(0).time
+
 let clear q =
   q.size <- 0;
   q.heap <- [||]

@@ -21,4 +21,8 @@ val pop : 'a t -> (Simtime.t * 'a) option
 val peek_time : 'a t -> Simtime.t option
 (** The time of the next event without removing it. *)
 
+val peek_time_ps : 'a t -> int
+(** Time of the earliest queued cell in picoseconds, [max_int] when the
+    queue is empty; never allocates. *)
+
 val clear : 'a t -> unit

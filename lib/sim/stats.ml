@@ -20,6 +20,25 @@ let incr ?(by = 1) t name =
   | Some r -> r := !r + by
   | None -> Hashtbl.add t.counters name (ref by)
 
+(* A counter handle is the same [int ref] the table holds, so [get],
+   [counters] and [merge_into] keep seeing handle updates. [reset] clears
+   the table but handles created before it keep their (now detached) ref —
+   hot paths must re-resolve after a reset, which no current caller does
+   mid-run. *)
+type counter = int ref
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let[@inline] tick r = Stdlib.incr r
+let[@inline] tick_by r by = r := !r + by
+let value r = !r
+
 let get t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 

@@ -15,6 +15,26 @@ val incr : ?by:int -> t -> string -> unit
 val get : t -> string -> int
 (** Current value of a counter, 0 if never incremented. *)
 
+(** {1 Pre-resolved counter handles}
+
+    Per-cycle hot paths (IMU ticks, DP-RAM port traffic) resolve their
+    counters once at construction time and bump the handle, instead of
+    hashing the counter name on every event. A handle aliases the cell the
+    table holds: {!get}, {!counters} and {!merge_into} observe handle
+    updates immediately. After {!reset} old handles are detached from the
+    table; re-resolve with {!counter}. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Resolves (creating at 0 if needed) the named counter. *)
+
+val tick : counter -> unit
+(** Adds 1. *)
+
+val tick_by : counter -> int -> unit
+val value : counter -> int
+
 val observe : t -> string -> float -> unit
 (** Feeds a sample into the named scalar summary. *)
 

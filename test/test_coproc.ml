@@ -387,7 +387,7 @@ let test_normal_driver_watchdog () =
   let dead =
     {
       Rvi_coproc.Coproc.name = "dead";
-      component = Clock.component ~name:"dead" ~compute:ignore ~commit:ignore;
+      component = Clock.component ~name:"dead" ~compute:ignore ~commit:ignore ();
       finished = (fun () -> false);
       reset = ignore;
       stats = Rvi_sim.Stats.create ();

@@ -318,7 +318,7 @@ let run_rig rig ~edges driver =
          Vport.sample rig.vport;
          driver !cycle;
          incr cycle)
-       ~commit:(fun () -> Vport.commit rig.vport));
+       ~commit:(fun () -> Vport.commit rig.vport) ());
   Clock.start rig.clock;
   Engine.run_until rig.engine (Simtime.of_us edges);
   Clock.stop rig.clock
@@ -805,7 +805,7 @@ let test_rtl_double_fault_guard () =
          if !cycle = 10 then
            Rvi_core.Imu_rtl.write_cr imu Imu_regs.cr_resume;
          incr cycle)
-       ~commit:(fun () -> Vport.commit vport));
+       ~commit:(fun () -> Vport.commit vport) ());
   Clock.start clock;
   let boom = ref false in
   (try Engine.run_until engine (Simtime.of_us 30)

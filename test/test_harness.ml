@@ -779,7 +779,7 @@ let test_corruption_detected () =
            Rvi_mem.Dpram.cpu_write32 p.Platform.dpram addr (v lxor 0xFF);
            incr strikes
          end)
-       ~commit:ignore);
+       ~commit:ignore ());
   let ok = function Ok () -> () | Error _ -> Alcotest.fail "setup failed" in
   ok (Api.fpga_load p.Platform.api Calibration.adpcm_bitstream);
   ok

@@ -112,6 +112,39 @@ let test_dpram_ports_and_stats () =
   checki "pld_writes" 1 (Rvi_sim.Stats.get s "pld_writes");
   checki "cpu_words" 2 (Rvi_sim.Stats.get s "cpu_words")
 
+let test_dpram_parity_page_indexing () =
+  (* Corruption is indexed per page: a check on page B must not report —
+     or pay for — flips latent on page A. The ["parity_scan_steps"]
+     counter pins the cost model at exactly one probe per check. *)
+  let d = Dpram.create epxa1_geom in
+  let spec = [ { Rvi_inject.Spec.kind = Rvi_inject.Fault.Dpram_flip; rate = 1.0 } ] in
+  let inj = Rvi_inject.Injector.create ~seed:7 ~spec in
+  Dpram.set_injector d (Some inj);
+  (* rate 1.0: every PLD write flips one bit of the cell it just wrote —
+     pile several latent flips onto page 2 and nothing anywhere else *)
+  let base_a = Page.base epxa1_geom 2 in
+  Dpram.write d ~width:32 base_a 0xdeadbeef;
+  Dpram.write d ~width:32 (base_a + 64) 0x12345678;
+  Dpram.write d ~width:32 (base_a + 128) 0x0f0f0f0f;
+  Dpram.write d ~width:32 (base_a + 192) 0x55aa55aa;
+  Dpram.set_injector d None;
+  let s = Dpram.stats d in
+  checki "flips landed" 4 (Rvi_sim.Stats.get s "bit_flips");
+  let steps () = Rvi_sim.Stats.get s "parity_scan_steps" in
+  let checks () = Rvi_sim.Stats.get s "parity_page_checks" in
+  let before = steps () in
+  checkb "page A dirty" true (Dpram.parity_error d ~page:2);
+  checki "one probe despite 4 latent flips" (before + 1) (steps ());
+  let before = steps () in
+  checkb "page B clean" false (Dpram.parity_error d ~page:1);
+  checkb "page C clean" false (Dpram.parity_error d ~page:3);
+  checki "clean checks cost one probe each" (before + 2) (steps ());
+  checki "every call counted" 3 (checks ());
+  (* refreshing page A's parity (page load) clears its index entry *)
+  Dpram.load_page d ~page:2 (Bytes.make 16 'x') ~src:0 ~len:16;
+  checkb "page A clean after reload" false (Dpram.parity_error d ~page:2);
+  checkb "page B still clean" false (Dpram.parity_error d ~page:1)
+
 let test_dpram_bad_page () =
   let d = Dpram.create epxa1_geom in
   Alcotest.check_raises "page out of range"
@@ -179,6 +212,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_ram_w16_r8;
     Alcotest.test_case "dpram/pages" `Quick test_dpram_pages;
     Alcotest.test_case "dpram/ports-stats" `Quick test_dpram_ports_and_stats;
+    Alcotest.test_case "dpram/parity-page-indexing" `Quick
+      test_dpram_parity_page_indexing;
     Alcotest.test_case "dpram/bad-page" `Quick test_dpram_bad_page;
     Alcotest.test_case "sdram/alloc" `Quick test_sdram_alloc;
     Alcotest.test_case "sdram/rw" `Quick test_sdram_rw;

@@ -213,7 +213,7 @@ let test_clock_edges () =
   let e = Engine.create () in
   let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
   let ticks = ref 0 in
-  Clock.add c (Clock.component ~name:"n" ~compute:(fun () -> incr ticks) ~commit:ignore);
+  Clock.add c (Clock.component ~name:"n" ~compute:(fun () -> incr ticks) ~commit:ignore ());
   Clock.start c;
   Engine.run_until e (Simtime.of_us 10);
   checki "10 edges in 10us at 1MHz" 10 !ticks;
@@ -232,11 +232,11 @@ let test_clock_two_phase () =
   Clock.add c
     (Clock.component ~name:"a"
        ~compute:(fun () -> Rvi_hw.Reg.set a (Rvi_hw.Reg.get a + 1))
-       ~commit:(fun () -> Rvi_hw.Reg.commit a));
+       ~commit:(fun () -> Rvi_hw.Reg.commit a) ());
   Clock.add c
     (Clock.component ~name:"b"
        ~compute:(fun () -> seen := Rvi_hw.Reg.get a :: !seen)
-       ~commit:ignore);
+       ~commit:ignore ());
   Clock.start c;
   Engine.run_until e (Simtime.of_us 3);
   check Alcotest.(list int) "b sees pre-edge values" [ 2; 1; 0 ] !seen
@@ -245,9 +245,9 @@ let test_clock_divide () =
   let e = Engine.create () in
   let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
   let fast = ref 0 and slow = ref 0 in
-  Clock.add c (Clock.component ~name:"f" ~compute:(fun () -> incr fast) ~commit:ignore);
+  Clock.add c (Clock.component ~name:"f" ~compute:(fun () -> incr fast) ~commit:ignore ());
   Clock.add c ~divide:4
-    (Clock.component ~name:"s" ~compute:(fun () -> incr slow) ~commit:ignore);
+    (Clock.component ~name:"s" ~compute:(fun () -> incr slow) ~commit:ignore ());
   Clock.start c;
   Engine.run_until e (Simtime.of_us 16);
   checki "fast edges" 16 !fast;
@@ -260,7 +260,7 @@ let test_clock_divide_phase () =
   Clock.add c ~divide:4 ~phase:2
     (Clock.component ~name:"p"
        ~compute:(fun () -> cycles_seen := Clock.cycles c :: !cycles_seen)
-       ~commit:ignore);
+       ~commit:ignore ());
   Clock.start c;
   Engine.run_until e (Simtime.of_us 12);
   check Alcotest.(list int) "phase offset" [ 10; 6; 2 ] !cycles_seen
@@ -270,11 +270,11 @@ let test_clock_bad_args () =
   let c = Clock.create e ~name:"c" ~freq_hz:1000 in
   Alcotest.check_raises "bad divide" (Invalid_argument "Clock.add: divide < 1")
     (fun () ->
-      Clock.add c ~divide:0 (Clock.component ~name:"x" ~compute:ignore ~commit:ignore));
+      Clock.add c ~divide:0 (Clock.component ~name:"x" ~compute:ignore ~commit:ignore ()));
   Alcotest.check_raises "bad phase" (Invalid_argument "Clock.add: bad phase")
     (fun () ->
       Clock.add c ~divide:2 ~phase:2
-        (Clock.component ~name:"x" ~compute:ignore ~commit:ignore))
+        (Clock.component ~name:"x" ~compute:ignore ~commit:ignore ()))
 
 let test_clock_observer () =
   let e = Engine.create () in
@@ -284,6 +284,164 @@ let test_clock_observer () =
   Clock.start c;
   Engine.run_until e (Simtime.of_us 3);
   check Alcotest.(list int) "observer cycles" [ 2; 1; 0 ] !seen
+
+let test_clock_many_components () =
+  (* Regression for the O(n^2) registration bug: [add] appended to an
+     immutable list with [@ [slot]]. A thousand components must register
+     quickly and still fire in registration order on every edge. *)
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let n = 1000 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    Clock.add c
+      (Clock.component
+         ~name:(string_of_int i)
+         ~compute:(fun () -> order := i :: !order)
+         ~commit:ignore ())
+  done;
+  Clock.start c;
+  Engine.run_until e (Simtime.of_us 3);
+  checki "all components ticked every edge" (3 * n) (List.length !order);
+  let edges =
+    (* !order is reverse chronological: split into per-edge slices *)
+    List.init 3 (fun k -> List.filteri (fun i _ -> i / n = k) !order)
+  in
+  List.iter
+    (fun edge ->
+      check
+        Alcotest.(list int)
+        "slot order preserved within an edge"
+        (List.init n (fun i -> n - 1 - i))
+        edge)
+    edges
+
+let test_clock_stop_start_phase () =
+  (* Pins the documented stop/start contract: a restarted clock begins a
+     fresh edge grid one full period after [start] — it does not resume
+     the old grid. At 1 MHz: edges at 1,2,3 us; stop at 3.5 us; restart;
+     next edges at 4.5 and 5.5 us. *)
+  let e = Engine.create () in
+  let c = Clock.create e ~name:"c" ~freq_hz:1_000_000 in
+  let edge_times = ref [] in
+  Clock.on_edge c (fun _ ->
+      edge_times := Simtime.to_ps (Engine.now e) :: !edge_times);
+  Clock.start c;
+  Engine.run_until e (Simtime.of_ns 3500);
+  Clock.stop c;
+  Clock.start c;
+  Engine.run_until e (Simtime.of_ns 6000);
+  let ns n = Simtime.to_ps (Simtime.of_ns n) in
+  check
+    Alcotest.(list int)
+    "edge grid restarts one period after start"
+    [ ns 5500; ns 4500; ns 3000; ns 2000; ns 1000 ]
+    !edge_times;
+  checki "five edges counted" 5 (Clock.cycles c)
+
+(* {2 Batched/fast-forward equivalence}
+
+   The batched clock (inline edges, idle fast-forward, per-slot no-op
+   elision) must be observationally identical to the seed per-edge
+   scheduler, which survives as [~batched:false]. Components are mirrored
+   pure models: a cyclic work/idle schedule over the component's own
+   ticks, where only work ticks log. The batched side gets honest
+   [idle_hint]/[skip] implementations derived from the schedule; the
+   reference side gets none (the reference path never consults them). *)
+
+let make_sched_component ~hinted sched log =
+  let n = Array.length sched in
+  let ticks = ref 0 in
+  let works k = sched.(k mod n) in
+  let compute () = if works !ticks then log := !ticks :: !log in
+  let commit () = incr ticks in
+  if not hinted then
+    (Clock.component ~name:"m" ~compute ~commit (), ticks)
+  else
+    let idle_hint () =
+      let rec count k =
+        if k >= n then max_int (* fully idle schedule: idle forever *)
+        else if works (!ticks + k) then k
+        else count (k + 1)
+      in
+      count 0
+    in
+    let skip k = ticks := !ticks + k in
+    (Clock.component ~name:"m" ~idle_hint ~skip ~compute ~commit (), ticks)
+
+let run_sched_side ~batched ~hinted ~observe comps spans =
+  let e = Engine.create () in
+  let c = Clock.create ~batched e ~name:"c" ~freq_hz:1_000_000 in
+  let logs =
+    List.map
+      (fun (divide, phase, sched) ->
+        let log = ref [] in
+        let comp, ticks = make_sched_component ~hinted sched log in
+        Clock.add c ~divide ~phase comp;
+        (log, ticks))
+      comps
+  in
+  let obs = ref [] in
+  if observe then Clock.on_edge c (fun cycle -> obs := cycle :: !obs);
+  Clock.start c;
+  List.iter
+    (fun (dur_us, toggle) ->
+      if toggle then
+        if Clock.running c then Clock.stop c else Clock.start c;
+      Engine.advance e (Simtime.of_us dur_us))
+    spans;
+  ( List.map (fun (log, ticks) -> (!log, !ticks)) logs,
+    Clock.cycles c,
+    Simtime.to_ps (Engine.now e),
+    !obs )
+
+let gen_sched_comps =
+  QCheck.(
+    list_of_size
+      Gen.(1 -- 4)
+      (triple (int_range 1 4) (int_bound 3)
+         (list_of_size Gen.(1 -- 5) (pair (int_bound 3) (int_bound 50)))))
+
+let build_comps raw =
+  List.map
+    (fun (divide, phase_raw, segments) ->
+      let sched =
+        List.concat_map
+          (fun (work, idle) ->
+            List.init work (fun _ -> true) @ List.init idle (fun _ -> false))
+          segments
+      in
+      let sched = if sched = [] then [ true ] else sched in
+      (divide, phase_raw mod divide, Array.of_list sched))
+    raw
+
+let prop_clock_batched_equiv =
+  QCheck.Test.make
+    ~name:"batched+fast-forward clock == reference per-edge clock" ~count:60
+    QCheck.(
+      pair gen_sched_comps
+        (list_of_size Gen.(1 -- 6) (pair (int_range 1 300) bool)))
+    (fun (raw, spans) ->
+      let comps = build_comps raw in
+      let fast = run_sched_side ~batched:true ~hinted:true ~observe:false comps spans in
+      let ref_ = run_sched_side ~batched:false ~hinted:false ~observe:false comps spans in
+      fast = ref_)
+
+let prop_clock_batched_equiv_observed =
+  (* With an edge observer the clock may not fast-forward (observers see
+     every cycle) but still batches; both the tick streams and the
+     observer's cycle stream must match the reference. *)
+  QCheck.Test.make
+    ~name:"batched clock with observer == reference (no fast-forward)"
+    ~count:40
+    QCheck.(
+      pair gen_sched_comps
+        (list_of_size Gen.(1 -- 4) (pair (int_range 1 120) bool)))
+    (fun (raw, spans) ->
+      let comps = build_comps raw in
+      let fast = run_sched_side ~batched:true ~hinted:true ~observe:true comps spans in
+      let ref_ = run_sched_side ~batched:false ~hinted:false ~observe:true comps spans in
+      fast = ref_)
 
 (* {1 Stats} *)
 
@@ -428,6 +586,11 @@ let suite =
     Alcotest.test_case "clock/divide-phase" `Quick test_clock_divide_phase;
     Alcotest.test_case "clock/bad-args" `Quick test_clock_bad_args;
     Alcotest.test_case "clock/observer" `Quick test_clock_observer;
+    Alcotest.test_case "clock/many-components" `Quick test_clock_many_components;
+    Alcotest.test_case "clock/stop-start-phase" `Quick
+      test_clock_stop_start_phase;
+    QCheck_alcotest.to_alcotest prop_clock_batched_equiv;
+    QCheck_alcotest.to_alcotest prop_clock_batched_equiv_observed;
     Alcotest.test_case "stats/counters-summaries" `Quick test_stats;
     Alcotest.test_case "prng/deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng/seed-sensitivity" `Quick test_prng_seed_sensitivity;

@@ -188,7 +188,8 @@ module Script_coproc (P : Rvi_coproc.Mem_port.S) = struct
         component =
           Clock.component ~name:"script"
             ~compute:(fun () -> compute m)
-            ~commit:(fun () -> P.commit m.port);
+            ~commit:(fun () -> P.commit m.port)
+            ();
         finished = (fun () -> m.index >= Array.length m.script);
         reset = ignore;
         stats = Stats.create ();
