@@ -140,6 +140,16 @@ let bench_vecadd_vim =
     (Staged.stage (fun () ->
          ignore (Rvi_harness.Runner.vecadd_vim (cfg ()) ~a ~b)))
 
+(* Same workload on a platform pool: the delta against the fresh variant
+   is the construction cost the pool amortises away. *)
+let bench_vecadd_vim_pooled =
+  let a, b = Rvi_harness.Workload.vectors ~seed:1 ~n:64 in
+  let pool = Rvi_harness.Platform.Pool.create () in
+  let c = cfg () in
+  Test.make ~name:"full-stack/vecadd-vim-64-pooled"
+    (Staged.stage (fun () ->
+         ignore (Rvi_harness.Runner.vecadd_vim ~pool c ~a ~b)))
+
 let bench_adpcm_vim =
   let input = Rvi_harness.Workload.adpcm_stream ~seed:1 ~bytes:2048 in
   Test.make ~name:"full-stack/adpcm-vim-2KB (fig8 point)"
@@ -164,6 +174,7 @@ let micro_tests =
       bench_mrc;
       bench_clock;
       bench_vecadd_vim;
+      bench_vecadd_vim_pooled;
       bench_adpcm_vim;
       bench_idea_vim;
     ]

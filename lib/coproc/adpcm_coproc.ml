@@ -39,6 +39,7 @@ module Make (P : Mem_port.S) = struct
     mutable decoder : Adpcm_ref.state;
     stats : Rvi_sim.Stats.t;
     c_cycles : Rvi_sim.Stats.counter;
+    c_samples : Rvi_sim.Stats.counter;
   }
 
   let begin_run m =
@@ -90,7 +91,7 @@ module Make (P : Mem_port.S) = struct
         P.issue m.port ~region:obj_out
           ~addr:(2 * sample_index ~byte_index ~high)
           ~wr:true ~width:Cp_port.W16 ~data:sample;
-        Rvi_sim.Stats.incr m.stats "samples";
+        Rvi_sim.Stats.tick m.c_samples;
         Rvi_hw.Fsm.goto m.fsm (Wait_write { byte_index; high })
       end
     | Wait_write { byte_index; high } ->
@@ -139,6 +140,7 @@ module Make (P : Mem_port.S) = struct
         decoder = Adpcm_ref.initial_state ();
         stats;
         c_cycles = Rvi_sim.Stats.counter stats "cycles";
+        c_samples = Rvi_sim.Stats.counter stats "samples";
       }
     in
     {

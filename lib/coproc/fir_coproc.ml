@@ -49,15 +49,19 @@ module Make (P : Mem_port.S) = struct
     window : int array; (* sliding sample window *)
     stats : Rvi_sim.Stats.t;
     c_cycles : Rvi_sim.Stats.counter;
+    c_outputs : Rvi_sim.Stats.counter;
   }
 
   let read16 m ~obj ~index =
     P.issue m.port ~region:obj ~addr:(2 * index) ~wr:false ~width:Cp_port.W16
       ~data:0
 
-  (* Wait states are unbounded no-ops behind a quiescent port; everything
-     else (issues, window shifts, the one-tap-per-cycle MAC) does real
-     work every tick. *)
+  (* Wait states are unbounded no-ops behind a quiescent port. A [Mac] in
+     progress exposes its remaining single-tap cycles: the serial MAC's
+     inputs (coefficient file and sample window) are frozen while it runs,
+     so [skip] can accumulate the absorbed taps wholesale — same partial
+     sums, same cycle count, one executed edge per output instead of one
+     per tap. The final tap must execute (it posts the result write). *)
   let idle_hint m =
     if not (P.quiescent m.port) then 0
     else
@@ -65,9 +69,20 @@ module Make (P : Mem_port.S) = struct
       | Wait_start | Wait_param _ | Wait_coeff _ | Wait_fill _
       | Wait_sample _ | Wait_write _ | Done ->
         max_int
-      | Read_param _ | Load_coeff _ | Fill_window _ | Fetch _ | Mac _ -> 0
+      | Read_param _ | Load_coeff _ | Fill_window _ | Fetch _ -> 0
+      | Mac { tap; _ } -> m.taps - 1 - tap
 
-  let skip m k = Rvi_sim.Stats.tick_by m.c_cycles k
+  let skip m k =
+    Rvi_sim.Stats.tick_by m.c_cycles k;
+    match Rvi_hw.Fsm.state m.fsm with
+    | Mac { out_index; tap; acc } ->
+      let acc = ref acc in
+      for j = tap to tap + k - 1 do
+        acc := !acc + (m.coeffs.(j) * m.window.(j))
+      done;
+      Rvi_hw.Fsm.fast_forward m.fsm ~transitions:k
+        (Mac { out_index; tap = tap + k; acc = !acc })
+    | _ -> ()
 
   let compute m =
     P.sample m.port;
@@ -136,7 +151,7 @@ module Make (P : Mem_port.S) = struct
         let y = sat16 (acc asr m.shift) land 0xFFFF in
         P.issue m.port ~region:obj_out ~addr:(2 * out_index) ~wr:true
           ~width:Cp_port.W16 ~data:y;
-        Rvi_sim.Stats.incr m.stats "outputs";
+        Rvi_sim.Stats.tick m.c_outputs;
         Rvi_hw.Fsm.goto m.fsm (Wait_write out_index)
       end
     | Wait_write i ->
@@ -168,6 +183,7 @@ module Make (P : Mem_port.S) = struct
         window = Array.make Fir_ref.max_taps 0;
         stats;
         c_cycles = Rvi_sim.Stats.counter stats "cycles";
+        c_outputs = Rvi_sim.Stats.counter stats "outputs";
       }
     in
     {

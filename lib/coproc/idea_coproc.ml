@@ -87,6 +87,7 @@ module Make (P : Mem_port.S) = struct
     mutable retired : int;
     stats : Rvi_sim.Stats.t;
     c_cycles : Rvi_sim.Stats.counter;
+    c_blocks : Rvi_sim.Stats.counter;
   }
 
   let read_param m i =
@@ -153,7 +154,7 @@ module Make (P : Mem_port.S) = struct
     | R_wait_hi ->
       if P.ready m.port then begin
         m.retired <- m.retired + 1;
-        Rvi_sim.Stats.incr m.stats "blocks";
+        Rvi_sim.Stats.tick m.c_blocks;
         m.retire <- R_idle;
         false
       end
@@ -317,6 +318,7 @@ module Make (P : Mem_port.S) = struct
         retired = 0;
         stats;
         c_cycles = Rvi_sim.Stats.counter stats "cycles";
+        c_blocks = Rvi_sim.Stats.counter stats "blocks";
       }
     in
     {

@@ -41,6 +41,7 @@ module Make (P : Mem_port.S) = struct
     mutable reg_c : int;
     stats : Rvi_sim.Stats.t;
     c_cycles : Rvi_sim.Stats.counter;
+    c_elements : Rvi_sim.Stats.counter;
   }
 
   let read m ~obj ~index =
@@ -103,7 +104,7 @@ module Make (P : Mem_port.S) = struct
       else Rvi_hw.Fsm.stay m.fsm
     | Write_c i ->
       write m ~obj:obj_c ~index:i ~data:m.reg_c;
-      Rvi_sim.Stats.incr m.stats "elements";
+      Rvi_sim.Stats.tick m.c_elements;
       Rvi_hw.Fsm.goto m.fsm (Wait_c i)
     | Wait_c i ->
       if P.ready m.port then next_element m i else Rvi_hw.Fsm.stay m.fsm
@@ -136,6 +137,7 @@ module Make (P : Mem_port.S) = struct
         reg_c = 0;
         stats;
         c_cycles = Rvi_sim.Stats.counter stats "cycles";
+        c_elements = Rvi_sim.Stats.counter stats "elements";
       }
     in
     {

@@ -1,21 +1,25 @@
 module Cp_port = Rvi_core.Cp_port
 
-type request = {
-  region : int;
-  addr : int;
-  wr : bool;
-  width : Cp_port.width;
-  data : int;
-}
-
 (* The bus side of the wrapper lives in the IMU clock domain
    ([sync_component]): requests leave as single-cycle CP_ACCESS pulses at
    the IMU rate and the IMU's single-cycle response pulses are latched
    into sticky flags, which the (possibly slower) coprocessor consumes at
-   its own rate. *)
+   its own rate.
+
+   The posted request is held in flat mutable fields guarded by
+   [pending_valid] rather than a [request option]: [issue] runs once per
+   coprocessor access on the campaign hot path, and an option-of-record
+   costs a fresh heap block per access where the flat fields cost
+   stores. *)
 type t = {
   port : Cp_port.t;
-  mutable pending : request option; (* posted by the coprocessor *)
+  (* posted by the coprocessor; fields meaningful iff [pending_valid] *)
+  mutable pending_valid : bool;
+  mutable pend_region : int;
+  mutable pend_addr : int;
+  mutable pend_wr : bool;
+  mutable pend_width : Cp_port.width;
+  mutable pend_data : int;
   mutable waiting : bool; (* pulse sent, response not yet consumed *)
   mutable resp_valid : bool;
   mutable resp_data : int;
@@ -31,7 +35,12 @@ type t = {
 let create port =
   {
     port;
-    pending = None;
+    pending_valid = false;
+    pend_region = 0;
+    pend_addr = 0;
+    pend_wr = false;
+    pend_width = Cp_port.W32;
+    pend_data = 0;
     waiting = false;
     resp_valid = false;
     resp_data = 0;
@@ -52,17 +61,17 @@ let sync_compute t =
 
 let sync_commit t =
   let p = t.port in
-  (match t.pending with
-  | Some r when not t.waiting ->
-    p.Cp_port.cp_obj <- r.region;
-    p.Cp_port.cp_addr <- r.addr;
-    p.Cp_port.cp_wr <- r.wr;
-    p.Cp_port.cp_width <- r.width;
-    p.Cp_port.cp_dout <- r.data;
+  if t.pending_valid && not t.waiting then begin
+    p.Cp_port.cp_obj <- t.pend_region;
+    p.Cp_port.cp_addr <- t.pend_addr;
+    p.Cp_port.cp_wr <- t.pend_wr;
+    p.Cp_port.cp_width <- t.pend_width;
+    p.Cp_port.cp_dout <- t.pend_data;
     p.Cp_port.cp_access <- true;
-    t.pending <- None;
+    t.pending_valid <- false;
     t.waiting <- true
-  | Some _ | None -> p.Cp_port.cp_access <- false);
+  end
+  else p.Cp_port.cp_access <- false;
   p.Cp_port.cp_fin <- t.fin_req
 
 (* The sync tick is a no-op iff there is no IMU pulse to latch, no posted
@@ -74,7 +83,7 @@ let sync_commit t =
 let sync_idle t =
   let p = t.port in
   if p.Cp_port.cp_start || (t.waiting && p.Cp_port.cp_tlbhit) then 0
-  else if t.pending <> None then 0
+  else if t.pending_valid then 0
   else if p.Cp_port.cp_access then 0
   else if p.Cp_port.cp_fin <> t.fin_req then 0
   else max_int
@@ -90,29 +99,48 @@ let sync_component t =
     ~commit:(fun () -> sync_commit t)
     ()
 
-(* When the coprocessor runs at the IMU rate (divide 1) the sync stage and
-   the coprocessor tick on every edge, always back to back, so they can
-   share one slot: compute = sync_compute;coproc.compute and commit =
-   sync_commit;coproc.commit reproduce the exact global call order of the
-   two separate registrations. The compute->commit hazard that forces
-   [commit_hazard] on the standalone sync slot becomes internal to the
-   fused slot, so the fused component needs no hazard flag — and each
-   busy edge visits one slot instead of two. *)
-let fused_component t (coproc : Rvi_sim.Clock.component) =
-  let name = coproc.Rvi_sim.Clock.name ^ "+vport-sync" in
+(* When the coprocessor runs at the IMU rate (divide 1) the IMU, the sync
+   stage and the coprocessor tick on every edge, always back to back, so
+   they can share one slot: compute = imu;sync_compute;coproc.compute and
+   commit = imu;sync_commit;coproc.commit reproduce the exact global call
+   order of the three separate registrations. The compute->commit hazard
+   that forces [commit_hazard] on the standalone sync slot becomes
+   internal to the fused slot, so the fused component needs no hazard
+   flag. Fusing is a pure host-side optimisation, but a load-bearing one:
+   each campaign edge dispatches one flat closure layer that calls the
+   IMU's direct edge interface and the sync-stage statics, instead of
+   three slots (or nested [Clock.compose] wrappers) each paying their own
+   closure indirections. *)
+let fused_component t ~imu (coproc : Rvi_sim.Clock.component) =
+  let name = "imu+" ^ coproc.Rvi_sim.Clock.name ^ "+vport-sync" in
+  let ccompute = coproc.Rvi_sim.Clock.compute in
+  let ccommit = coproc.Rvi_sim.Clock.commit in
   let compute () =
+    Rvi_core.Imu.compute imu;
     sync_compute t;
-    coproc.Rvi_sim.Clock.compute ()
+    ccompute ()
   in
   let commit () =
+    Rvi_core.Imu.commit imu;
     sync_commit t;
-    coproc.Rvi_sim.Clock.commit ()
+    ccommit ()
   in
   match (coproc.Rvi_sim.Clock.idle_hint, coproc.Rvi_sim.Clock.skip) with
   | Some chint, Some cskip ->
     Rvi_sim.Clock.component ~name
-      ~idle_hint:(fun () -> if sync_idle t = 0 then 0 else chint ())
-      ~skip:cskip ~compute ~commit ()
+      ~idle_hint:(fun () ->
+        (* min of the three hints, in slot order, bailing at the first
+           zero — identical window to the separate registrations. *)
+        let hi = Rvi_core.Imu.idle_hint imu in
+        if hi <= 0 then 0
+        else if sync_idle t = 0 then 0
+        else
+          let hc = chint () in
+          if hc < hi then hc else hi)
+      ~skip:(fun k ->
+        Rvi_core.Imu.skip imu k;
+        cskip k)
+      ~compute ~commit ()
   | _ -> Rvi_sim.Clock.component ~name ~compute ~commit ()
 
 let sample t =
@@ -127,7 +155,7 @@ let sample t =
   end
 
 let start_seen t = t.start_now
-let busy t = t.pending <> None || t.waiting
+let busy t = t.pending_valid || t.waiting
 let ready t = t.hit_now
 let data t = t.data_now
 
@@ -142,7 +170,12 @@ let quiescent t =
 
 let issue t ~region ~addr ~wr ~width ~data =
   assert (not (busy t));
-  t.pending <- Some { region; addr; wr; width; data };
+  t.pend_region <- region;
+  t.pend_addr <- addr;
+  t.pend_wr <- wr;
+  t.pend_width <- width;
+  t.pend_data <- data;
+  t.pending_valid <- true;
   t.accesses <- t.accesses + 1
 
 let finish t = t.fin_req <- true
@@ -152,7 +185,7 @@ let finish t = t.fin_req <- true
 let commit _t = ()
 
 let reset t =
-  t.pending <- None;
+  t.pending_valid <- false;
   t.waiting <- false;
   t.resp_valid <- false;
   t.resp_data <- 0;

@@ -22,14 +22,16 @@ val sync_component : t -> Rvi_sim.Clock.component
     consumes at its own rate. Register on the IMU clock between the IMU
     and the coprocessor. *)
 
-val fused_component : t -> Rvi_sim.Clock.component -> Rvi_sim.Clock.component
-(** [fused_component t coproc] merges the synchroniser stage and a
-    same-rate (divide 1) coprocessor component into a single clock slot
-    with identical observable behaviour — compute runs sync then coproc,
-    commit likewise, preserving the exact call order of the separate
-    registrations. Use instead of [sync_component] + [coproc] when the
-    coprocessor is not on a divided clock; it halves the slot count the
-    clock sweeps per edge. *)
+val fused_component :
+  t -> imu:Rvi_core.Imu.t -> Rvi_sim.Clock.component -> Rvi_sim.Clock.component
+(** [fused_component t ~imu coproc] merges the IMU, the synchroniser
+    stage and a same-rate (divide 1) coprocessor component into a single
+    clock slot with identical observable behaviour — compute runs IMU
+    then sync then coproc, commit likewise, preserving the exact call
+    order of the three separate registrations. Use instead of
+    [Imu.component] + [sync_component] + [coproc] when the coprocessor is
+    not on a divided clock: one slot per edge instead of three, calling
+    the IMU's direct edge interface with no per-layer closure. *)
 
 val accesses : t -> int
 (** Requests issued since creation. *)

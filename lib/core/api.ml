@@ -163,3 +163,11 @@ let fpga_unload t =
   decode_result t (Kernel.syscall t.kernel ~number:Syscall.fpga_unload [||])
 
 let last_error t = t.last_error
+
+(* Platform pooling: forget user-side bit-stream registrations so handle
+   numbering restarts from 1 — a pooled run issues the same handles (and
+   therefore the same syscall arguments) as a fresh platform. *)
+let reset t =
+  Hashtbl.reset t.bitstreams;
+  t.next_handle <- 1;
+  t.last_error <- None

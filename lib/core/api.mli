@@ -45,3 +45,8 @@ val fpga_unload : t -> (unit, Rvi_os.Syscall.errno) result
 
 val last_error : t -> string option
 (** Human-readable detail of the most recent kernel-side failure. *)
+
+val reset : t -> unit
+(** Platform pooling: forgets user-side bit-stream registrations (handle
+    numbering restarts from 1, so a pooled run issues the same syscall
+    arguments as a fresh platform) and clears {!last_error}. *)

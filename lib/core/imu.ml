@@ -18,14 +18,14 @@ let pipelined_config =
    the coprocessor stalled until the OS resumes translation. *)
 type state =
   | Idle
-  | Lookup of int (* remaining search cycles, >= 1 *)
-  | Access of int (* resolved physical page *)
+  | Wait of int * int (* edges left before the access cycle, resolved page *)
+  | Miss_wait of int (* edges left before the fault is signalled *)
   | Faulted
 
 let show_state = function
   | Idle -> "idle"
-  | Lookup n -> Printf.sprintf "lookup%d" n
-  | Access _ -> "access"
+  | Wait (n, _) -> Printf.sprintf "lookup%d" n
+  | Miss_wait n -> Printf.sprintf "miss%d" n
   | Faulted -> "fault"
 
 type access_event = {
@@ -37,14 +37,6 @@ type access_event = {
   tlb_hit : bool;
 }
 
-type request = {
-  obj_id : int;
-  addr : int;
-  wr : bool;
-  data : int;
-  width : Cp_port.width;
-}
-
 type t = {
   cfg : config;
   port : Cp_port.t;
@@ -53,7 +45,15 @@ type t = {
   raise_irq : unit -> unit;
   tlb : Tlb.t;
   fsm : state Rvi_hw.Fsm.t;
-  mutable req : request option; (* latched request being translated *)
+  (* Latched request being translated — flat mutable fields (no
+     [request option] box) because one is latched per coprocessor access,
+     squarely on the campaign hot path. [req_valid] is the option tag. *)
+  mutable req_valid : bool;
+  mutable req_obj : int;
+  mutable req_addr : int;
+  mutable req_wr : bool;
+  mutable req_data : int;
+  mutable req_width : Cp_port.width;
   mutable param_page : int option;
   mutable params_done : bool;
   mutable fault : (int * int) option;
@@ -94,7 +94,12 @@ let create ?(config = default_config) ~port ~dpram ~raise_irq () =
       Tlb.create ~organization:config.tlb_organization
         ~entries:config.tlb_entries ();
     fsm = Rvi_hw.Fsm.create ~name:"imu" ~init:Idle ~show:show_state;
-    req = None;
+    req_valid = false;
+    req_obj = 0;
+    req_addr = 0;
+    req_wr = false;
+    req_data = 0;
+    req_width = Cp_port.W32;
     param_page = None;
     params_done = false;
     fault = None;
@@ -127,8 +132,8 @@ let port t = t.port
 (* Translation attempt for the latched request: the physical page on a hit,
    [None] on a miss. Parameter-object accesses bypass the TLB; the first
    non-parameter access marks the parameters consumed. *)
-let resolve t r =
-  if r.obj_id = Cp_port.param_obj then begin
+let resolve t ~stamp =
+  if t.req_obj = Cp_port.param_obj then begin
     match t.param_page with
     | Some ppn ->
       Rvi_sim.Stats.tick t.c_param_reads;
@@ -137,33 +142,33 @@ let resolve t r =
   end
   else begin
     if not t.params_done then t.params_done <- true;
-    let vpn = Rvi_mem.Page.vpn t.geom r.addr in
-    Tlb.translate t.tlb ~obj_id:r.obj_id ~vpn ~stamp:t.cycle ~wr:r.wr
+    let vpn = Rvi_mem.Page.vpn t.geom t.req_addr in
+    Tlb.translate t.tlb ~obj_id:t.req_obj ~vpn ~stamp ~wr:t.req_wr
   end
 
-let enter_fault t r =
-  let vpn = Rvi_mem.Page.vpn t.geom r.addr in
-  let key = (r.obj_id, vpn) in
+let enter_fault t =
+  let vpn = Rvi_mem.Page.vpn t.geom t.req_addr in
+  let key = (t.req_obj, vpn) in
   if t.just_resumed && t.fault = Some key then
     failwith
       (Printf.sprintf
          "Imu: double fault on object %d page %d — OS resumed without \
           installing a translation"
-         r.obj_id vpn);
+         t.req_obj vpn);
   t.fault <- Some key;
   t.just_resumed <- false;
   Rvi_sim.Stats.incr t.stats "faults";
   Rvi_hw.Fsm.goto t.fsm Faulted;
   t.raise_irq ()
 
-let perform_access t r ppn =
-  let offset = Rvi_mem.Page.offset t.geom r.addr in
-  let bytes = Cp_port.width_bytes r.width in
+let perform_access t ppn =
+  let offset = Rvi_mem.Page.offset t.geom t.req_addr in
+  let bytes = Cp_port.width_bytes t.req_width in
   if offset + bytes > t.geom.Rvi_mem.Page.page_size then
     failwith "Imu: access crosses a page boundary (coprocessor must align)";
   let paddr = Rvi_mem.Page.base t.geom ppn + offset in
-  let width = Cp_port.width_bits r.width in
-  if r.wr then begin
+  let width = Cp_port.width_bits t.req_width in
+  if t.req_wr then begin
     let data =
       (* A wrong-result fault: the datapath computes garbage, so the store
          carries a silently corrupted value. Nothing traps — only output
@@ -171,8 +176,8 @@ let perform_access t r ppn =
       match t.injector with
       | Some inj when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Coproc_wrong ->
         Rvi_sim.Stats.incr t.stats "wrong_results";
-        r.data lxor (1 + Rvi_inject.Injector.draw inj ((1 lsl width) - 1))
-      | _ -> r.data
+        t.req_data lxor (1 + Rvi_inject.Injector.draw inj ((1 lsl width) - 1))
+      | _ -> t.req_data
     in
     Rvi_mem.Dpram.write t.dpram ~width paddr data;
     Rvi_sim.Stats.tick t.c_writes
@@ -185,42 +190,46 @@ let perform_access t r ppn =
   t.just_resumed <- false;
   t.fault <- None
 
-(* Attempt translation of request [r]; with a zero-cycle CAM search the
-   access completes in the same state. *)
-let translate_or_fault t r =
-  if t.cfg.lookup_states = 0 then begin
-    match resolve t r with
-    | Some ppn ->
-      perform_access t r ppn;
+(* The CAM search result is a pure function of the TLB image at latch time
+   (nothing else touches the TLB while the coprocessor is mid-access, and
+   the coprocessor itself is stalled), so the IMU resolves it immediately —
+   stamped with the cycle the search would have completed on — and parks in
+   a countdown state whose idle hint lets the clock absorb the whole search
+   window in one skip. Port waveforms, counters and the fault/IRQ edge are
+   bit-identical to stepping the search cycle by cycle; only the host work
+   of the intermediate edges disappears. *)
+let translate_or_fault t =
+  match resolve t ~stamp:(t.cycle + t.cfg.lookup_states) with
+  | Some ppn ->
+    if t.cfg.lookup_states = 0 then begin
+      perform_access t ppn;
       Rvi_hw.Fsm.goto t.fsm Idle
-    | None -> enter_fault t r
-  end
-  else Rvi_hw.Fsm.goto t.fsm (Lookup t.cfg.lookup_states)
+    end
+    else Rvi_hw.Fsm.goto t.fsm (Wait (t.cfg.lookup_states, ppn))
+  | None ->
+    if t.cfg.lookup_states = 0 then enter_fault t
+    else Rvi_hw.Fsm.goto t.fsm (Miss_wait (t.cfg.lookup_states - 1))
 
 let begin_translation t =
   let p = t.port in
-  let r =
-    {
-      obj_id = p.Cp_port.cp_obj;
-      addr = p.Cp_port.cp_addr;
-      wr = p.Cp_port.cp_wr;
-      data = p.Cp_port.cp_dout;
-      width = p.Cp_port.cp_width;
-    }
-  in
-  t.req <- Some r;
+  t.req_valid <- true;
+  t.req_obj <- p.Cp_port.cp_obj;
+  t.req_addr <- p.Cp_port.cp_addr;
+  t.req_wr <- p.Cp_port.cp_wr;
+  t.req_data <- p.Cp_port.cp_dout;
+  t.req_width <- p.Cp_port.cp_width;
   Rvi_sim.Stats.tick t.c_accesses;
   (match t.trace with
-  | Some probe when r.obj_id <> Cp_port.param_obj ->
-    let vpn = Rvi_mem.Page.vpn t.geom r.addr in
-    let tlb_hit = Tlb.lookup t.tlb ~obj_id:r.obj_id ~vpn <> Tlb.Miss in
+  | Some probe when t.req_obj <> Cp_port.param_obj ->
+    let vpn = Rvi_mem.Page.vpn t.geom t.req_addr in
+    let tlb_hit = Tlb.lookup t.tlb ~obj_id:t.req_obj ~vpn <> Tlb.Miss in
     probe
       {
         at_cycle = t.cycle;
-        obj_id = r.obj_id;
+        obj_id = t.req_obj;
         vpn;
-        offset = Rvi_mem.Page.offset t.geom r.addr;
-        wr = r.wr;
+        offset = Rvi_mem.Page.offset t.geom t.req_addr;
+        wr = t.req_wr;
         tlb_hit;
       }
   | Some _ -> ()
@@ -233,7 +242,7 @@ let begin_translation t =
     t.hung <- true;
     Rvi_sim.Stats.incr t.stats "hangs";
     Rvi_hw.Fsm.stay t.fsm
-  | _ -> translate_or_fault t r
+  | _ -> translate_or_fault t
 
 let compute t =
   t.out_start <- false;
@@ -245,7 +254,7 @@ let compute t =
   else begin
   (match Rvi_hw.Fsm.state t.fsm with
   | Idle -> ()
-  | Lookup _ | Access _ | Faulted -> Rvi_sim.Stats.tick t.c_busy);
+  | Wait _ | Miss_wait _ | Faulted -> Rvi_sim.Stats.tick t.c_busy);
   (* CP_FIN is level-held by the coprocessor; latch its rising edge so a
      completion left over from a previous execution is not re-reported. *)
   let fin_now = t.port.Cp_port.cp_fin in
@@ -263,30 +272,25 @@ let compute t =
     end
     else if t.port.Cp_port.cp_access && not t.fin_seen then begin_translation t
     else Rvi_hw.Fsm.stay t.fsm
-  | Lookup n when n > 1 -> Rvi_hw.Fsm.goto t.fsm (Lookup (n - 1))
-  | Lookup _ -> begin
-    match t.req with
-    | None -> failwith "Imu: lookup state with no latched request"
-    | Some r -> (
-      match resolve t r with
-      | Some ppn -> Rvi_hw.Fsm.goto t.fsm (Access ppn)
-      | None -> enter_fault t r)
-  end
-  | Access ppn -> begin
-    match t.req with
-    | None -> failwith "Imu: access state with no latched request"
-    | Some r ->
-      perform_access t r ppn;
-      Rvi_hw.Fsm.goto t.fsm Idle
-  end
+  | Wait (n, ppn) when n > 0 -> Rvi_hw.Fsm.goto t.fsm (Wait (n - 1, ppn))
+  | Wait (_, ppn) ->
+    if not t.req_valid then
+      failwith "Imu: access state with no latched request";
+    perform_access t ppn;
+    Rvi_hw.Fsm.goto t.fsm Idle
+  | Miss_wait n when n > 0 -> Rvi_hw.Fsm.goto t.fsm (Miss_wait (n - 1))
+  | Miss_wait _ ->
+    if not t.req_valid then
+      failwith "Imu: lookup state with no latched request";
+    enter_fault t
   | Faulted ->
     Rvi_sim.Stats.tick t.c_stall;
     if t.resume_pending then begin
       t.resume_pending <- false;
       t.just_resumed <- true;
-      match t.req with
-      | None -> failwith "Imu: resume with no latched request"
-      | Some r -> translate_or_fault t r
+      if not t.req_valid then
+        failwith "Imu: resume with no latched request";
+      translate_or_fault t
     end
     else Rvi_hw.Fsm.stay t.fsm
   end
@@ -303,9 +307,11 @@ let commit t =
    as executing it would, given no other component runs meanwhile. The
    output pulses ([cp_start]/[cp_tlbhit]) make the tick after an active
    cycle non-idle (it must drop the pulse), and a CP_FIN level change means
-   rising-edge detection work, so both force an immediate tick. A [Lookup]
-   countdown is pure bookkeeping: its remaining [n - 1] decrements can be
-   applied wholesale by [skip]. *)
+   rising-edge detection work, so both force an immediate tick. The
+   [Wait]/[Miss_wait] countdowns are pure bookkeeping (the translation was
+   resolved at latch time): their remaining decrements can be applied
+   wholesale by [skip], which is what makes a whole CAM search cost one
+   executed edge. *)
 let idle_hint t =
   let p = t.port in
   if p.Cp_port.cp_start || p.Cp_port.cp_tlbhit then 0
@@ -316,8 +322,8 @@ let idle_hint t =
     | Idle ->
       if t.start_pending || (p.Cp_port.cp_access && not t.fin_seen) then 0
       else max_int
-    | Lookup n -> n - 1
-    | Access _ -> 0
+    | Wait (n, _) -> n
+    | Miss_wait n -> n
     | Faulted -> if t.resume_pending then 0 else max_int
 
 let skip t k =
@@ -326,13 +332,15 @@ let skip t k =
   else
     match Rvi_hw.Fsm.state t.fsm with
     | Idle -> ()
-    | Lookup n ->
+    | Wait (n, ppn) ->
       Rvi_sim.Stats.tick_by t.c_busy k;
-      Rvi_hw.Fsm.fast_forward t.fsm ~transitions:k (Lookup (n - k))
+      Rvi_hw.Fsm.fast_forward t.fsm ~transitions:k (Wait (n - k, ppn))
+    | Miss_wait n ->
+      Rvi_sim.Stats.tick_by t.c_busy k;
+      Rvi_hw.Fsm.fast_forward t.fsm ~transitions:k (Miss_wait (n - k))
     | Faulted ->
       Rvi_sim.Stats.tick_by t.c_busy k;
       Rvi_sim.Stats.tick_by t.c_stall k
-    | Access _ -> assert false (* idle_hint returns 0 in [Access] *)
 
 let component t =
   Rvi_sim.Clock.component ~name:"imu"
@@ -343,9 +351,8 @@ let component t =
     ()
 
 let read_ar t =
-  match t.req with
-  | Some r -> Imu_regs.ar_encode ~obj_id:r.obj_id ~addr:r.addr
-  | None -> 0
+  if t.req_valid then Imu_regs.ar_encode ~obj_id:t.req_obj ~addr:t.req_addr
+  else 0
 
 let read_sr t =
   Imu_regs.sr_encode
@@ -358,7 +365,7 @@ let write_cr t word =
   if Imu_regs.test word Imu_regs.cr_reset then begin
     Rvi_hw.Fsm.reset t.fsm Idle;
     t.hung <- false;
-    t.req <- None;
+    t.req_valid <- false;
     t.fault <- None;
     t.fin_seen <- false;
     t.prev_fin <- t.port.Cp_port.cp_fin;
@@ -373,6 +380,31 @@ let write_cr t word =
   end;
   if Imu_regs.test word Imu_regs.cr_start then t.start_pending <- true;
   if Imu_regs.test word Imu_regs.cr_resume then t.resume_pending <- true
+
+(* Platform pooling: full power-on reset. Everything [write_cr cr_reset]
+   scrubs, plus the cycle counter, the TLB image, the parameter page, the
+   data latch and the stats (in place — the pre-resolved handles above stay
+   attached). Call after the CP port itself has been reset so the FIN
+   level latch starts from the port's quiescent state. *)
+let reset t =
+  Rvi_hw.Fsm.reset t.fsm Idle;
+  t.req_valid <- false;
+  t.param_page <- None;
+  t.params_done <- false;
+  t.fault <- None;
+  t.fin_seen <- false;
+  t.prev_fin <- t.port.Cp_port.cp_fin;
+  t.start_pending <- false;
+  t.resume_pending <- false;
+  t.just_resumed <- false;
+  t.out_start <- false;
+  t.out_tlbhit <- false;
+  t.out_din <- 0;
+  t.cycle <- 0;
+  t.hung <- false;
+  t.injector <- None;
+  Tlb.reset t.tlb;
+  Rvi_sim.Stats.soft_reset t.stats
 
 let set_param_page t p = t.param_page <- p
 let set_trace t probe = t.trace <- probe

@@ -47,6 +47,19 @@ val create :
 val component : t -> Rvi_sim.Clock.component
 (** Register this on the IMU/memory-subsystem clock. *)
 
+(** {2 Direct edge interface}
+
+    The four functions {!component} wraps, exposed so a fused slot (the
+    platform's divide-1 configuration collapses IMU, bus wrapper and
+    coprocessor into one component) can call them without going through
+    a per-layer closure on every edge. Same contract as the
+    corresponding {!Rvi_sim.Clock.component} fields. *)
+
+val compute : t -> unit
+val commit : t -> unit
+val idle_hint : t -> int
+val skip : t -> int -> unit
+
 val config : t -> config
 val tlb : t -> Tlb.t
 val port : t -> Cp_port.t
@@ -74,6 +87,13 @@ val finished : t -> bool
 
 val cycle : t -> int
 (** IMU clock cycles elapsed (the hardware stamp used by the TLB). *)
+
+val reset : t -> unit
+(** Full power-on reset for platform pooling: everything a
+    [CR reset] scrubs, plus the cycle counter, TLB image, parameter page
+    and stats (zeroed in place, handles kept) and the injector binding.
+    Call after the CP port has been reset so the FIN edge latch starts
+    from the quiescent level. *)
 
 (** {1 Access tracing} *)
 

@@ -21,6 +21,13 @@ type t = {
   stats : Rvi_sim.Stats.t;
   c_hits : Rvi_sim.Stats.counter;
   c_misses : Rvi_sim.Stats.counter;
+  mutable mru : int;
+      (* slot of the last successful translation, -1 for none: the page-run
+         fast path. A streaming coprocessor touches the same page for many
+         consecutive words, so [translate] checks this slot with three
+         compares before falling back to the organization's way scan. Any
+         write to the array ([insert]/[invalidate]) drops the memo, keeping
+         the fast path trivially coherent. *)
 }
 
 let fresh_entry () =
@@ -47,6 +54,7 @@ let create ?(organization = Fully_associative) ~entries () =
     stats;
     c_hits = Rvi_sim.Stats.counter stats "hits";
     c_misses = Rvi_sim.Stats.counter stats "misses";
+    mru = -1;
   }
 
 let entries t = Array.length t.slots
@@ -91,18 +99,40 @@ let lookup t ~obj_id ~vpn =
     let set = hash ~obj_id ~vpn mod sets in
     scan (set * ways) ((set * ways) + ways)
 
+let[@inline] hit t e ~stamp ~wr =
+  if wr then e.dirty <- true;
+  e.referenced <- true;
+  e.last_access <- stamp;
+  Rvi_sim.Stats.tick t.c_hits;
+  Some e.ppn
+
 let translate t ~obj_id ~vpn ~stamp ~wr =
-  match lookup t ~obj_id ~vpn with
-  | Miss ->
-    Rvi_sim.Stats.tick t.c_misses;
-    None
-  | Hit i ->
-    let e = t.slots.(i) in
-    if wr then e.dirty <- true;
-    e.referenced <- true;
-    e.last_access <- stamp;
-    Rvi_sim.Stats.tick t.c_hits;
-    Some e.ppn
+  (* Page-run fast path: re-check the memoised slot before scanning. Sound
+     because a set memo implies no duplicate mapping exists ([insert] is
+     the only way to create one and it drops the memo), so the scan would
+     find this same slot; the entry-side effects and stat ticks below are
+     the ones the scan path performs, keeping reports bit-identical. *)
+  let m = t.mru in
+  if m >= 0 then begin
+    let e = Array.unsafe_get t.slots m in
+    if e.valid && e.obj_id = obj_id && e.vpn = vpn then hit t e ~stamp ~wr
+    else
+      match lookup t ~obj_id ~vpn with
+      | Miss ->
+        Rvi_sim.Stats.tick t.c_misses;
+        None
+      | Hit i ->
+        t.mru <- i;
+        hit t t.slots.(i) ~stamp ~wr
+  end
+  else
+    match lookup t ~obj_id ~vpn with
+    | Miss ->
+      Rvi_sim.Stats.tick t.c_misses;
+      None
+    | Hit i ->
+      t.mru <- i;
+      hit t t.slots.(i) ~stamp ~wr
 
 let check_slot t slot op =
   if slot < 0 || slot >= Array.length t.slots then
@@ -110,6 +140,7 @@ let check_slot t slot op =
 
 let insert t ~slot ~obj_id ~vpn ~ppn ~stamp =
   check_slot t slot "insert";
+  t.mru <- -1;
   let e = t.slots.(slot) in
   e.valid <- true;
   e.obj_id <- obj_id;
@@ -141,6 +172,7 @@ let slot_of_ppn t ~ppn =
 
 let invalidate t ~slot =
   check_slot t slot "invalidate";
+  t.mru <- -1;
   if t.slots.(slot).valid then begin
     t.slots.(slot).valid <- false;
     Rvi_sim.Stats.incr t.stats "invalidations"
@@ -161,3 +193,20 @@ let valid_count t =
   Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.slots
 
 let stats t = t.stats
+
+(* Platform pooling: scrub every slot back to the power-on image (no
+   "invalidations" ticks — this is a reset, not software flushing) and zero
+   the counters in place so the pre-resolved hit/miss handles stay live. *)
+let reset t =
+  Array.iter
+    (fun e ->
+      e.valid <- false;
+      e.obj_id <- 0;
+      e.vpn <- 0;
+      e.ppn <- 0;
+      e.dirty <- false;
+      e.referenced <- false;
+      e.last_access <- 0)
+    t.slots;
+  t.mru <- -1;
+  Rvi_sim.Stats.soft_reset t.stats

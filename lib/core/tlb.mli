@@ -48,7 +48,14 @@ val lookup : t -> obj_id:int -> vpn:int -> lookup
 
 val translate : t -> obj_id:int -> vpn:int -> stamp:int -> wr:bool -> int option
 (** Hardware access path: on a hit returns the physical page and updates
-    the dirty/reference/stamp metadata. *)
+    the dirty/reference/stamp metadata.
+
+    Internally memoises the slot of the last successful translation (the
+    page-run fast path): a streaming access that stays on one page is
+    served with three compares instead of a way scan. The memo is dropped
+    on every {!insert} and {!invalidate}, so results, metadata updates and
+    hit/miss counts are bit-identical to the pure scan — a qcheck property
+    in [test_core] pins [translate] against a scan-only reference model. *)
 
 val insert : t -> slot:int -> obj_id:int -> vpn:int -> ppn:int -> stamp:int -> unit
 (** Software refill. The entry starts clean and unreferenced, with its
@@ -75,3 +82,8 @@ val valid_count : t -> int
 
 val stats : t -> Rvi_sim.Stats.t
 (** ["hits"], ["misses"], ["refills"], ["invalidations"]. *)
+
+val reset : t -> unit
+(** Scrubs every slot back to the power-on image and zeroes the counters
+    in place (no ["invalidations"] ticks — this models a hardware reset,
+    not software flushing). Used by the platform pool. *)

@@ -91,7 +91,9 @@ type t = {
   imu : Imu.t;
   ahb : Rvi_mem.Ahb.t;
   clocks : Rvi_sim.Clock.t list;
-  cfg : config;
+  mutable cfg : config;
+      (* swapped by [reset] when a pooled platform is re-armed for the next
+         run (fresh policy state, injector, recovery parameters) *)
   geom : Rvi_mem.Page.geometry;
   frames : Frame_table.t;
   objects : (int, Mapped_object.t) Hashtbl.t;
@@ -260,14 +262,16 @@ and writeback_if_dirty t ~frame ~obj_id ~vpn =
             if t.error = None then t.error <- Some (Parity_error { frame })
           end
           else begin
-            let tmp = Bytes.create len in
-            Rvi_mem.Dpram.store_page t.dpram ~page:frame tmp ~dst:0 ~len;
+            (* Page-granular blit: the copy engine moves the page straight
+               from the dual-port array into the user buffer, no bounce
+               buffer. *)
             let sdram = Kernel.sdram t.kernel in
             let dst =
               obj.Mapped_object.buf.Rvi_os.Uspace.addr
               + Mapped_object.user_offset obj t.geom ~vpn
             in
-            Rvi_mem.Sdram.blit_in tmp ~src:0 sdram ~dst ~len;
+            Rvi_mem.Dpram.store_page_to_ram t.dpram ~page:frame
+              (Rvi_mem.Sdram.raw sdram) ~dst_pos:dst ~len;
             charge_copy_with_retry t ~what:"writeback" len;
             Hashtbl.replace t.written_back (obj_id, vpn) ();
             emit t (Trace.Page_writeback { obj_id; vpn; frame; bytes = len });
@@ -398,9 +402,8 @@ and install_page ?protect t ~frame ~obj ~vpn =
       obj.Mapped_object.buf.Rvi_os.Uspace.addr
       + Mapped_object.user_offset obj t.geom ~vpn
     in
-    let tmp = Bytes.create len in
-    Rvi_mem.Sdram.blit_out sdram ~src tmp ~dst:0 ~len;
-    Rvi_mem.Dpram.load_page t.dpram ~page:frame tmp ~src:0 ~len;
+    Rvi_mem.Dpram.load_page_from_ram t.dpram ~page:frame
+      (Rvi_mem.Sdram.raw sdram) ~src_pos:src ~len;
     charge_copy_with_retry t ~what:"page_load" len;
     emit t (Trace.Page_load { obj_id; vpn; frame; bytes = len });
     Stats.incr t.stats "pages_loaded"
@@ -638,6 +641,21 @@ and handle_fin t =
 let config t = t.cfg
 let kernel t = t.kernel
 let set_abort_hook t f = t.on_abort <- f
+
+(* Platform pooling: re-arm the VIM for the next run with a freshly built
+   configuration (new policy state, injector, recovery parameters) and no
+   interface state left from the previous one. Structure — the IRQ handler
+   registration and the abort hook — is kept; only state is scrubbed. *)
+let reset t cfg =
+  t.cfg <- cfg;
+  Hashtbl.reset t.objects;
+  Hashtbl.reset t.written_back;
+  Hashtbl.reset t.frame_dirty;
+  Frame_table.release_all t.frames;
+  t.caller <- None;
+  t.finished <- false;
+  t.error <- None;
+  Stats.reset t.stats
 
 (* Leave no interface state behind after a failed execution: drop every
    translation, release every frame (parameter page included) and reset the

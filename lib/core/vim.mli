@@ -112,6 +112,14 @@ val create :
 val config : t -> config
 val kernel : t -> Rvi_os.Kernel.t
 
+val reset : t -> config -> unit
+(** Re-arms the VIM for the next execution on a pooled platform: installs
+    the given configuration (a freshly built one — new policy state,
+    injector, recovery parameters) and scrubs all interface state (object
+    map, frame table, write-back and dirtiness tables, error/finished
+    latches, stats). The IRQ handler registration and abort hook are
+    kept. *)
+
 val map_object : t -> Mapped_object.t -> (unit, string) result
 (** Declares an object ([FPGA_MAP_OBJECT] backend). Fails on a duplicate
     identifier. *)

@@ -53,3 +53,9 @@ let release t ~pid =
 let loaded t = t.loaded
 let owner t = t.owner
 let reconfigurations t = t.reconfigurations
+
+(* Platform pooling: back to the unconfigured, unlocked power-on state. *)
+let reset t =
+  t.loaded <- None;
+  t.owner <- None;
+  t.reconfigurations <- 0

@@ -34,3 +34,6 @@ val owner : t -> int option
 
 val reconfigurations : t -> int
 (** Number of successful [configure] calls, for the scheduling ablations. *)
+
+val reset : t -> unit
+(** Back to the unconfigured, unlocked power-on state (platform pool). *)

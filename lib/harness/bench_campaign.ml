@@ -16,6 +16,9 @@ type point = {
   speedup : float;
   deterministic : bool;
   survival : float;
+  phase_setup_s : float;
+  phase_execute_s : float;
+  phase_report_s : float;
 }
 
 let classification results =
@@ -42,7 +45,16 @@ let git_commit () =
     | None -> hash)
 
 let run ?(runs = 200) ?(seed = 2004) ~jobs () =
+  (* Untimed warm-up so the measured passes see a steady state: first-touch
+     page faults on the executable, a grown major heap, and a populated
+     platform pool all land here instead of inflating [serial_s]. *)
+  ignore (Faults.campaign ~runs:(min 10 runs) ~seed ());
+  (* Phase totals are read right after the serial pass so they attribute
+     exactly the [serial_s] wall time (the parallel pass would race the
+     accumulators and mix in sharded runs). *)
+  Runner.Phases.reset ();
   let serial, serial_s = time (fun () -> Faults.campaign ~runs ~seed ()) in
+  let phase_setup_s, phase_execute_s, phase_report_s = Runner.Phases.totals () in
   let parallel, parallel_s =
     time (fun () -> Faults.campaign ~jobs ~runs ~seed ())
   in
@@ -62,6 +74,9 @@ let run ?(runs = 200) ?(seed = 2004) ~jobs () =
       classification serial = classification parallel
       && Faults.summarize serial = Faults.summarize parallel;
     survival = Faults.survival (Faults.summarize serial);
+    phase_setup_s;
+    phase_execute_s;
+    phase_report_s;
   }
 
 let point_json r =
@@ -79,11 +94,14 @@ let point_json r =
     \    \"parallel_runs_per_sec\": %.2f,\n\
     \    \"speedup\": %.3f,\n\
     \    \"deterministic\": %b,\n\
-    \    \"survival_pct\": %.2f\n\
+    \    \"survival_pct\": %.2f,\n\
+    \    \"phase_setup_s\": %.6f,\n\
+    \    \"phase_execute_s\": %.6f,\n\
+    \    \"phase_report_s\": %.6f\n\
     \  }"
     r.commit r.host_cores r.runs r.seed r.jobs r.serial_s r.parallel_s
     r.serial_runs_per_sec r.parallel_runs_per_sec r.speedup r.deterministic
-    r.survival
+    r.survival r.phase_setup_s r.phase_execute_s r.phase_report_s
 
 let default_path = "BENCH_campaign.json"
 
@@ -149,4 +167,7 @@ let print ppf r =
      --jobs %d %.2fs (%.1f runs/s), speedup %.2fx, classifications %s@."
     r.runs r.seed r.commit r.host_cores r.serial_s r.serial_runs_per_sec
     r.jobs r.parallel_s r.parallel_runs_per_sec r.speedup
-    (if r.deterministic then "identical" else "DIVERGED (bug)")
+    (if r.deterministic then "identical" else "DIVERGED (bug)");
+  Format.fprintf ppf
+    "  serial phase split: setup %.2fs, execute %.2fs, report %.2fs@."
+    r.phase_setup_s r.phase_execute_s r.phase_report_s

@@ -26,6 +26,11 @@ type point = {
   deterministic : bool;
       (** per-run classification vectors and merged summaries equal *)
   survival : float;  (** campaign survival %, a sanity anchor *)
+  phase_setup_s : float;
+      (** host seconds of the serial pass spent acquiring platforms,
+          allocating buffers, loading and mapping ({!Runner.Phases}) *)
+  phase_execute_s : float;  (** … spent in the FPGA_EXECUTE attempt loop *)
+  phase_report_s : float;  (** … spent on stats reads and row assembly *)
 }
 
 val run : ?runs:int -> ?seed:int -> jobs:int -> unit -> point

@@ -78,7 +78,15 @@ let workloads ~seed =
    for several milliseconds between its few page faults). *)
 let default_watchdog = Simtime.of_ms 10
 
-let run_one ?trace ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w) =
+(* One platform pool per domain: campaign shards run on pooled worker
+   domains, and domain-local storage gives each worker its own pool
+   without any sharing or locking. The pooled-reset contract (reset
+   platform == fresh platform, byte for byte) keeps results independent
+   of which pool — or none — served a run. *)
+let platform_pools : Platform.Pool.t Domain.DLS.key =
+  Domain.DLS.new_key Platform.Pool.create
+
+let run_one ?trace ?pool ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w) =
   let inj = Injector.create ~seed ~spec in
   let cfg =
     {
@@ -94,11 +102,11 @@ let run_one ?trace ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w) =
     try
       Ok
         (match w with
-        | W_adpcm input -> Runner.adpcm_vim cfg ~input
-        | W_idea { key; input } -> Runner.idea_vim cfg ~key ~input
+        | W_adpcm input -> Runner.adpcm_vim ?pool cfg ~input
+        | W_idea { key; input } -> Runner.idea_vim ?pool cfg ~key ~input
         | W_fir { coeffs; shift; input } ->
-          Runner.fir_vim cfg ~coeffs ~shift ~input
-        | W_vecadd { a; b } -> Runner.vecadd_vim cfg ~a ~b)
+          Runner.fir_vim ?pool cfg ~coeffs ~shift ~input
+        | W_vecadd { a; b } -> Runner.vecadd_vim ?pool cfg ~a ~b)
     with e -> Error (Printexc.to_string e)
   in
   let outcome, total_ms =
@@ -133,7 +141,7 @@ let shard_trace_capacity = 4096
 let campaign ?trace ?(spec = Spec.all ())
     ?(recovery = Rvi_core.Vim.default_recovery)
     ?(watchdog = default_watchdog) ?(exec_retries = 2) ?progress ?(jobs = 1)
-    ?chunk ~runs ~seed () =
+    ?chunk ?(reuse_platforms = true) ~runs ~seed () =
   let master = Prng.create ~seed in
   let apps = workloads ~seed in
   (* Per-run seeds come off a master stream drawn serially *before* any
@@ -142,8 +150,12 @@ let campaign ?trace ?(spec = Spec.all ())
      seed reproduces every run. *)
   let run_seeds = Array.init runs (fun _ -> Prng.next master land 0x3FFF_FFFF) in
   let exec i ?trace () =
+    (* Resolved per call so each worker domain sees its own pool. *)
+    let pool =
+      if reuse_platforms then Some (Domain.DLS.get platform_pools) else None
+    in
     let r =
-      run_one ?trace ~spec ~recovery ~watchdog ~exec_retries
+      run_one ?trace ?pool ~spec ~recovery ~watchdog ~exec_retries
         ~seed:run_seeds.(i)
         apps.(i mod Array.length apps)
     in
@@ -166,7 +178,7 @@ let campaign ?trace ?(spec = Spec.all ())
        which domain ran which chunk. [progress] also fires post-barrier,
        in run order. *)
     let results =
-      Par.map ~domains:jobs ~chunk
+      Par.Pool.map (Par.Pool.shared ~domains:jobs) ~chunk
         (fun i ->
           let local =
             Option.map
@@ -271,7 +283,7 @@ let sweep ?trace ?(factors = [ 0.5; 1.0; 2.0; 4.0 ])
   (* Cells are independent campaigns (each reseeds from [seed]), so the
      matrix shards cell-per-item: campaigns inside a cell stay serial,
      which keeps every cell bit-identical to a lone [campaign] call. *)
-  Par.mapi ~domains:jobs ~chunk:1
+  Par.Pool.mapi (Par.Pool.shared ~domains:jobs) ~chunk:1
     (fun cell_index (factor, max_retries) ->
       let spec = Spec.all ~factor () in
       let recovery =

@@ -56,6 +56,7 @@ val workloads : seed:int -> (string * workload) array
 
 val run_one :
   ?trace:Rvi_obs.Trace.t ->
+  ?pool:Platform.Pool.t ->
   spec:Rvi_inject.Spec.t ->
   recovery:Rvi_core.Vim.recovery ->
   watchdog:Rvi_sim.Simtime.t ->
@@ -73,6 +74,7 @@ val campaign :
   ?progress:(run_result -> unit) ->
   ?jobs:int ->
   ?chunk:int ->
+  ?reuse_platforms:bool ->
   runs:int ->
   seed:int ->
   unit ->
@@ -89,7 +91,16 @@ val campaign :
     path — shared sink, in-line [progress] — is exactly the historical
     serial one; with [jobs > 1], [progress] fires after the barrier, in
     run order. [chunk] overrides the shard size
-    ({!Rvi_par.Par.default_chunk} otherwise). *)
+    ({!Rvi_par.Par.default_chunk} otherwise).
+
+    [reuse_platforms] (default [true]) serves runs from per-domain
+    {!Platform.Pool}s — pooled platforms are reset, not rebuilt,
+    between runs, which is where campaign throughput comes from. The
+    reset contract makes results identical either way; set [false] to
+    force a fresh platform per run (the property tests do). Parallel
+    campaigns run on the shared persistent domain pool
+    ({!Rvi_par.Par.Pool.shared}) rather than spawning domains per
+    call. *)
 
 val summarize : run_result list -> summary
 

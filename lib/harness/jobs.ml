@@ -65,12 +65,13 @@ let make_station (cfg : Config.t) ~kernel ~dpram ~irq_line kind =
     | Idea -> Rvi_coproc.Idea_coproc.Virtual.create port
     | Fir -> Rvi_coproc.Fir_coproc.Virtual.create port
   in
-  Clock.add clock (Rvi_core.Imu.component imu);
   let divide = bitstream.Rvi_fpga.Bitstream.coproc_divide in
   if divide = 1 then
     Clock.add clock
-      (Rvi_coproc.Vport.fused_component vport coproc.Rvi_coproc.Coproc.component)
+      (Rvi_coproc.Vport.fused_component vport ~imu
+         coproc.Rvi_coproc.Coproc.component)
   else begin
+    Clock.add clock (Rvi_core.Imu.component imu);
     Clock.add clock (Rvi_coproc.Vport.sync_component vport);
     Clock.add clock ~divide coproc.Rvi_coproc.Coproc.component
   end;

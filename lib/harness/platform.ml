@@ -65,12 +65,16 @@ let create ?(app_name = "app") ?(sdram_bytes = 4 * 1024 * 1024) (cfg : Config.t)
       Rvi_core.Cp_port.reset port;
       Rvi_coproc.Vport.reset vport;
       coproc.Rvi_coproc.Coproc.reset ());
-  Clock.add clock (Rvi_core.Imu.component imu);
   let divide = bitstream.Rvi_fpga.Bitstream.coproc_divide in
   if divide = 1 then
+    (* Everything ticks at the IMU rate: collapse the whole pipeline
+       (IMU, bus wrapper, coprocessor) into one slot — identical edge
+       order, one dispatch per edge instead of three. *)
     Clock.add clock
-      (Rvi_coproc.Vport.fused_component vport coproc.Rvi_coproc.Coproc.component)
+      (Rvi_coproc.Vport.fused_component vport ~imu
+         coproc.Rvi_coproc.Coproc.component)
   else begin
+    Clock.add clock (Rvi_core.Imu.component imu);
     Clock.add clock (Rvi_coproc.Vport.sync_component vport);
     Clock.add clock ~divide coproc.Rvi_coproc.Coproc.component
   end;
@@ -78,6 +82,84 @@ let create ?(app_name = "app") ?(sdram_bytes = 4 * 1024 * 1024) (cfg : Config.t)
   let proc = Rvi_os.Sched.spawn sched ~name:app_name in
   ignore (Rvi_os.Sched.schedule sched);
   { engine; kernel; dpram; pld; port; imu; clock; vim; api; vport; coproc; proc }
+
+(* In-place re-arm of a pooled platform: scrub every component back to its
+   power-on image (timeline rewound to zero, memories zeroed, counters
+   zeroed with hot-path handles kept) and re-attach the per-run bindings
+   (trace sink, injector, VIM configuration) exactly as [create] does. The
+   contract — asserted by a qcheck property in the test suite — is that a
+   run on a reset platform produces a byte-identical report and trace to
+   the same run on a freshly created platform. Structure (device geometry,
+   bit-stream wiring, registered clock components, spawned process) is
+   reused, which is the point: a campaign run stops paying a 4 MB zeroed
+   SDRAM allocation plus full platform construction per run. *)
+let reset t (cfg : Config.t) =
+  if Config.imu_config cfg <> Rvi_core.Imu.config t.imu then
+    invalid_arg "Platform.reset: IMU/TLB configuration differs from creation";
+  if Device.geometry cfg.Config.device <> Rvi_mem.Dpram.geometry t.dpram then
+    invalid_arg "Platform.reset: device geometry differs from creation";
+  Rvi_sim.Engine.reset t.engine;
+  Clock.reset t.clock;
+  Kernel.reset t.kernel;
+  Rvi_mem.Dpram.reset t.dpram;
+  Rvi_fpga.Pld.reset t.pld;
+  Rvi_core.Cp_port.reset t.port;
+  Rvi_coproc.Vport.reset t.vport;
+  t.coproc.Rvi_coproc.Coproc.reset ();
+  (* After the port: the IMU re-latches the quiescent CP_FIN level. *)
+  Rvi_core.Imu.reset t.imu;
+  Rvi_core.Vim.reset t.vim (Config.vim_config cfg);
+  Rvi_core.Api.reset t.api;
+  (match cfg.Config.trace with
+  | Some _ as tr -> Kernel.set_trace t.kernel tr
+  | None -> ());
+  (match cfg.Config.injector with
+  | Some inj ->
+    Rvi_mem.Dpram.set_injector t.dpram (Some inj);
+    Rvi_os.Irq.set_injector (Kernel.irq t.kernel) (Some inj);
+    Rvi_core.Imu.set_injector t.imu (Some inj);
+    (match cfg.Config.trace with
+    | Some tr ->
+      Rvi_inject.Injector.set_observer inj
+        (Some
+           (fun k ->
+             Rvi_obs.Trace.emit tr ~at:(Kernel.now t.kernel)
+               (Rvi_obs.Trace.Inject { fault = Rvi_inject.Fault.name k })))
+    | None -> ())
+  | None -> ());
+  ignore (Rvi_os.Sched.schedule (Kernel.sched t.kernel))
+
+(* A pool of platforms keyed by application name (each application has its
+   own bit-stream and coprocessor wiring, so platforms are only
+   interchangeable within one key). Never shared across domains: parallel
+   campaign shards each hold their own pool in domain-local storage.
+
+   Crash discipline: [acquire] removes the platform from the pool and
+   [stash] puts it back, so a run that raises leaves the (possibly wedged)
+   platform out of the pool for good — the next run simply builds a fresh
+   one. *)
+module Pool = struct
+  type platform = t
+  type t = (string, platform) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+  let size (pool : t) = Hashtbl.length pool
+
+  let acquire (pool : t) ~key cfg ~create:make_fresh =
+    match Hashtbl.find_opt pool key with
+    | Some p -> (
+      Hashtbl.remove pool key;
+      (* A platform that cannot be re-armed (e.g. its process exited) is
+         dropped; falling back to construction keeps pooled behaviour a
+         strict refinement of the fresh path. *)
+      match reset p cfg with
+      | () -> p
+      | exception _ -> make_fresh ())
+    | None -> make_fresh ()
+
+  let stash (pool : t) ~key p = Hashtbl.replace pool key p
+  let clear (pool : t) = Hashtbl.reset pool
+end
 
 let alloc t n = Rvi_os.Uspace.alloc t.kernel n
 let alloc_bytes t b = Rvi_os.Uspace.of_bytes t.kernel b

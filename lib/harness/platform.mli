@@ -31,6 +31,40 @@ val create :
 (** Components are registered on the clock in hardware order: IMU, port
     synchroniser, coprocessor (on the bit-stream's divided clock). *)
 
+val reset : t -> Config.t -> unit
+(** Re-arms a platform in place for another run: rewinds the simulation
+    timeline to zero, zeroes SDRAM and dual-port RAM, scrubs the IMU/TLB,
+    VIM, PLD, port, virtual port and coprocessor back to power-on state,
+    and re-attaches the per-run bindings (trace sink, fault injector, VIM
+    configuration) from [cfg] exactly as {!create} does. A run on a reset
+    platform is byte-identical — report and trace — to the same run on a
+    fresh platform (qcheck'd in the test suite). The configuration must
+    use the same device geometry and IMU/TLB parameters the platform was
+    created with; otherwise [Invalid_argument] is raised. *)
+
+(** A keyed pool of reusable platforms, the campaign hot path: reusing a
+    platform skips construction and, above all, the multi-megabyte zeroed
+    SDRAM allocation per run. Not domain-safe — parallel shards keep one
+    pool each in domain-local storage. *)
+module Pool : sig
+  type platform = t
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val acquire :
+    t -> key:string -> Config.t -> create:(unit -> platform) -> platform
+  (** Takes the platform stored under [key] out of the pool (resetting it
+      against the given configuration), or builds a fresh one with
+      [create]. The caller owns the result; {!stash} it back when the run
+      succeeds. If the run raises, simply don't — a possibly-wedged
+      platform must not be reused. *)
+
+  val stash : t -> key:string -> platform -> unit
+  val clear : t -> unit
+end
+
 val alloc : t -> int -> Rvi_os.Uspace.buf
 val alloc_bytes : t -> Bytes.t -> Rvi_os.Uspace.buf
 val read : t -> Rvi_os.Uspace.buf -> Bytes.t

@@ -71,16 +71,41 @@ let fill_times row kernel ~wall =
     sw_os = Accounting.get acct Accounting.Sw_os;
   }
 
+(* Host-side wall-clock breakdown of the virtual runs, accumulated across
+   calls so the campaign benchmark can report where its time goes.
+   [setup] covers platform acquisition (pool hit or full construction),
+   buffer allocation, FPGA_LOAD and object mapping; [execute] the
+   FPGA_EXECUTE attempt loop including per-attempt verification; [report]
+   final statistics reads, fallback handling and row assembly. Plain
+   float refs: meaningful for the serial path the benchmark measures;
+   parallel shards race benignly (lost updates, never corruption). *)
+module Phases = struct
+  let setup = ref 0.0
+  let execute = ref 0.0
+  let report = ref 0.0
+
+  let reset () =
+    setup := 0.0;
+    execute := 0.0;
+    report := 0.0
+
+  let totals () = (!setup, !execute, !report)
+end
+
 (* [fallback] is the graceful-degradation path: when the recovery layer
    gives up on the hardware (transient errors or bad outputs through every
    execution retry), it produces the reference result per output object;
    the run then counts as [Degraded] with the fallback's output verified
    like any other. Execution retries are only attempted when the
    configuration carries an injector — without one, behaviour is exactly
-   the pre-recovery single-shot execute. *)
-let run_virtual ?fallback (cfg : Config.t) ~app ~bitstream ~make ~objects
+   the pre-recovery single-shot execute.
+
+   [pool] switches platform acquisition to {!Platform.Pool}: the run
+   borrows (and resets) a platform stored under [app] instead of building
+   one, and returns it on completion. A run that raises leaves the
+   platform out of the pool. *)
+let run_virtual_on p ~ph0 ?fallback (cfg : Config.t) ~app ~bitstream ~objects
     ~params ~input_bytes ~verify =
-  let p = Platform.create ~app_name:app cfg ~bitstream ~make in
   let kernel = p.Platform.kernel in
   let api = p.Platform.api in
   let vim = p.Platform.vim in
@@ -128,6 +153,8 @@ let run_virtual ?fallback (cfg : Config.t) ~app ~bitstream ~make ~objects
      configuration: drop the FPGA_LOAD / FPGA_MAP_OBJECT costs from the
      ledger before executing. *)
   Accounting.reset (Kernel.accounting kernel);
+  let ph1 = Unix.gettimeofday () in
+  Phases.setup := !Phases.setup +. (ph1 -. ph0);
   let t0 = Kernel.now kernel in
   let read_obj id =
     let _, buf = List.find (fun (o, _) -> o.id = id) bufs in
@@ -168,6 +195,8 @@ let run_virtual ?fallback (cfg : Config.t) ~app ~bitstream ~make ~objects
       | _ -> `Fail detail)
   in
   let outcome = attempt 0 in
+  let ph2 = Unix.gettimeofday () in
+  Phases.execute := !Phases.execute +. (ph2 -. ph1);
   let wall = Simtime.sub (Kernel.now kernel) t0 in
   let vstats = Rvi_core.Vim.stats vim in
   let istats = Rvi_core.Imu.stats imu in
@@ -192,26 +221,49 @@ let run_virtual ?fallback (cfg : Config.t) ~app ~bitstream ~make ~objects
       fault_p99_us;
     }
   in
-  match outcome with
-  | `Fail detail -> { (fail detail) with Report.retries = 0 }
-  | `Done retries ->
-    if retries > 0 then
-      emit (Rvi_obs.Trace.Recover { what = "execute"; retries });
-    fill ~outcome:Report.Measured ~retries ~verified:true
-  | `Degrade (reason, retries) -> (
-    emit (Rvi_obs.Trace.Degrade { reason });
-    match fallback with
-    | None -> { (fail reason) with Report.retries }
-    | Some fb ->
-      (* Software reference takes over: write its output into the user
-         buffers and verify it like a hardware result. *)
-      List.iter
-        (fun (id, data) ->
-          let _, buf = List.find (fun (o, _) -> o.id = id) bufs in
-          Uspace.write kernel buf data)
-        (fb ());
-      fill ~outcome:(Report.Degraded reason) ~retries
-        ~verified:(verify read_obj))
+  let final =
+    match outcome with
+    | `Fail detail -> { (fail detail) with Report.retries = 0 }
+    | `Done retries ->
+      if retries > 0 then
+        emit (Rvi_obs.Trace.Recover { what = "execute"; retries });
+      fill ~outcome:Report.Measured ~retries ~verified:true
+    | `Degrade (reason, retries) -> (
+      emit (Rvi_obs.Trace.Degrade { reason });
+      match fallback with
+      | None -> { (fail reason) with Report.retries }
+      | Some fb ->
+        (* Software reference takes over: write its output into the user
+           buffers and verify it like a hardware result. *)
+        List.iter
+          (fun (id, data) ->
+            let _, buf = List.find (fun (o, _) -> o.id = id) bufs in
+            Uspace.write kernel buf data)
+          (fb ());
+        fill ~outcome:(Report.Degraded reason) ~retries
+          ~verified:(verify read_obj))
+  in
+  Phases.report := !Phases.report +. (Unix.gettimeofday () -. ph2);
+  final
+
+let run_virtual ?pool ?fallback (cfg : Config.t) ~app ~bitstream ~make
+    ~objects ~params ~input_bytes ~verify =
+  let ph0 = Unix.gettimeofday () in
+  let p =
+    match pool with
+    | None -> Platform.create ~app_name:app cfg ~bitstream ~make
+    | Some pool ->
+      Platform.Pool.acquire pool ~key:app cfg ~create:(fun () ->
+          Platform.create ~app_name:app cfg ~bitstream ~make)
+  in
+  let row =
+    run_virtual_on p ~ph0 ?fallback cfg ~app ~bitstream ~objects ~params
+      ~input_bytes ~verify
+  in
+  (match pool with
+  | Some pool -> Platform.Pool.stash pool ~key:app p
+  | None -> ());
+  row
 
 let run_normal (cfg : Config.t) ~app ~clock_hz ~coproc_divide ~make ~objects
     ~params ~input_bytes ~verify =
@@ -302,8 +354,8 @@ let adpcm_verify input read_obj =
   Bytes.equal (read_obj Rvi_coproc.Adpcm_coproc.obj_out)
     (Rvi_coproc.Adpcm_ref.decode input)
 
-let adpcm_vim cfg ~input =
-  run_virtual
+let adpcm_vim ?pool cfg ~input =
+  run_virtual ?pool
     ~fallback:(fun () ->
       [ (Rvi_coproc.Adpcm_coproc.obj_out, Rvi_coproc.Adpcm_ref.decode input) ])
     cfg ~app:"adpcmdecode" ~bitstream:Calibration.adpcm_bitstream
@@ -354,8 +406,8 @@ let idea_verify ~key ~decrypt input read_obj =
 let idea_params ~decrypt ~key input =
   Rvi_coproc.Idea_coproc.params ~n_blocks:(Bytes.length input / 8) ~decrypt ~key
 
-let idea_vim ?(decrypt = false) cfg ~key ~input =
-  run_virtual
+let idea_vim ?pool ?(decrypt = false) cfg ~key ~input =
+  run_virtual ?pool
     ~fallback:(fun () ->
       [
         ( Rvi_coproc.Idea_coproc.obj_out,
@@ -401,7 +453,7 @@ let vecadd_sw cfg ~a ~b =
     ~work:(fun () ->
       Array.length (Rvi_coproc.Vecadd.reference ~a ~b) = Array.length a)
 
-let vecadd_vim cfg ~a ~b =
+let vecadd_vim ?pool cfg ~a ~b =
   let n = Array.length a in
   let objects =
     [
@@ -428,7 +480,7 @@ let vecadd_vim cfg ~a ~b =
       };
     ]
   in
-  run_virtual
+  run_virtual ?pool
     ~fallback:(fun () ->
       [
         ( Rvi_coproc.Vecadd.obj_c,
@@ -503,8 +555,8 @@ let fir_verify ~coeffs ~shift input read_obj =
     (read_obj Rvi_coproc.Fir_coproc.obj_out)
     (Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input)
 
-let fir_vim cfg ~coeffs ~shift ~input =
-  run_virtual
+let fir_vim ?pool cfg ~coeffs ~shift ~input =
+  run_virtual ?pool
     ~fallback:(fun () ->
       [
         ( Rvi_coproc.Fir_coproc.obj_out,
@@ -530,7 +582,7 @@ let fir_normal cfg ~coeffs ~shift ~input =
 
 let idea_cbc_objects = idea_objects
 
-let idea_cbc_vim cfg ~mode ~key ~iv ~input =
+let idea_cbc_vim ?pool cfg ~mode ~key ~iv ~input =
   let decrypt =
     match mode with
     | Rvi_coproc.Idea_coproc.Ecb_decrypt | Rvi_coproc.Idea_coproc.Cbc_decrypt ->
@@ -546,7 +598,7 @@ let idea_cbc_vim cfg ~mode ~key ~iv ~input =
       Rvi_coproc.Idea_ref.cbc ~key ~decrypt ~iv input
   in
   let row =
-    run_virtual
+    run_virtual ?pool
       ~fallback:(fun () -> [ (Rvi_coproc.Idea_coproc.obj_out, expected) ])
       cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
       ~make:Rvi_coproc.Idea_coproc.Virtual.create

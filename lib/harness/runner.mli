@@ -17,6 +17,7 @@ type vobject = {
 }
 
 val run_virtual :
+  ?pool:Platform.Pool.t ->
   ?fallback:(unit -> (int * Bytes.t) list) ->
   Config.t ->
   app:string ->
@@ -35,7 +36,23 @@ val run_virtual :
     [Config.exec_retries] whole executions; exhaustion invokes [fallback]
     — the software reference, returning the bytes to write per output
     object — and the row degrades to a verified [Report.Degraded]. Without
-    a [fallback] the exhausted run fails. *)
+    a [fallback] the exhausted run fails.
+
+    With [pool] the platform is borrowed from (and returned to) a
+    {!Platform.Pool} under the application name instead of being built
+    per call — byte-identical results, a fraction of the host cost. *)
+
+(** Host wall-clock spent in the virtual runs, split into setup (platform
+    acquisition, buffers, load, map), execute (the FPGA_EXECUTE attempt
+    loop) and report (stats reads, fallback, row assembly). Accumulates
+    across calls until {!Phases.reset}; the campaign benchmark reads it to
+    attribute serial time. *)
+module Phases : sig
+  val reset : unit -> unit
+
+  val totals : unit -> float * float * float
+  (** [(setup, execute, report)] in seconds. *)
+end
 
 val run_normal :
   Config.t ->
@@ -64,28 +81,40 @@ val run_sw :
 (** {1 The paper's applications} *)
 
 val adpcm_sw : Config.t -> input:Bytes.t -> Report.row
-val adpcm_vim : Config.t -> input:Bytes.t -> Report.row
+val adpcm_vim : ?pool:Platform.Pool.t -> Config.t -> input:Bytes.t -> Report.row
 val adpcm_normal : Config.t -> input:Bytes.t -> Report.row
 
 val idea_sw : Config.t -> key:int array -> input:Bytes.t -> Report.row
 val idea_vim :
-  ?decrypt:bool -> Config.t -> key:int array -> input:Bytes.t -> Report.row
+  ?pool:Platform.Pool.t ->
+  ?decrypt:bool ->
+  Config.t ->
+  key:int array ->
+  input:Bytes.t ->
+  Report.row
 val idea_normal :
   ?decrypt:bool -> Config.t -> key:int array -> input:Bytes.t -> Report.row
 
 val vecadd_sw : Config.t -> a:int array -> b:int array -> Report.row
-val vecadd_vim : Config.t -> a:int array -> b:int array -> Report.row
+val vecadd_vim :
+  ?pool:Platform.Pool.t -> Config.t -> a:int array -> b:int array -> Report.row
 
 val fir_sw :
   Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
 
 val fir_vim :
-  Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
+  ?pool:Platform.Pool.t ->
+  Config.t ->
+  coeffs:int array ->
+  shift:int ->
+  input:Bytes.t ->
+  Report.row
 
 val fir_normal :
   Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
 
 val idea_cbc_vim :
+  ?pool:Platform.Pool.t ->
   Config.t ->
   mode:Rvi_coproc.Idea_coproc.mode ->
   key:int array ->

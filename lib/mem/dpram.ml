@@ -116,6 +116,29 @@ let store_page t ~page buf ~dst ~len =
   Ram.blit_to_bytes t.ram ~src:base buf ~dst ~len;
   Rvi_sim.Stats.incr t.stats "pages_stored"
 
+(* Page-granular device-to-device blits: the VIM copy engine moves whole
+   pages between SDRAM and the dual-port array directly, instead of
+   bouncing through an intermediate [Bytes.t]. Semantics (tail zero-fill,
+   parity refresh, stats) match [load_page]/[store_page] exactly. *)
+let load_page_from_ram t ~page src ~src_pos ~len =
+  check_page t page "load_page_from_ram";
+  if len < 0 || len > page_size t then
+    invalid_arg "Dpram.load_page_from_ram: bad length";
+  let base = Page.base t.geom page in
+  Ram.blit src ~src:src_pos t.ram ~dst:base ~len;
+  if len < page_size t then
+    Ram.fill t.ram ~pos:(base + len) ~len:(page_size t - len) '\000';
+  clear_page_corruption t page;
+  Rvi_sim.Stats.incr t.stats "pages_loaded"
+
+let store_page_to_ram t ~page dst ~dst_pos ~len =
+  check_page t page "store_page_to_ram";
+  if len < 0 || len > page_size t then
+    invalid_arg "Dpram.store_page_to_ram: bad length";
+  let base = Page.base t.geom page in
+  Ram.blit t.ram ~src:base dst ~dst:dst_pos ~len;
+  Rvi_sim.Stats.incr t.stats "pages_stored"
+
 let clear_page t ~page =
   check_page t page "clear_page";
   Ram.fill t.ram ~pos:(Page.base t.geom page) ~len:(page_size t) '\000';
@@ -131,3 +154,14 @@ let cpu_write32 t addr v =
   clear_corruption t ~pos:addr ~len:4
 
 let stats t = t.stats
+
+(* Platform pooling: restore the power-on image — all-zero array, no latent
+   corruption, zeroed counters (in place, so the pre-resolved port-traffic
+   handles stay attached), no injector. *)
+let reset t =
+  Ram.fill t.ram ~pos:0 ~len:(Ram.size t.ram) '\000';
+  Hashtbl.reset t.corrupted;
+  Array.fill t.page_flips 0 (Array.length t.page_flips) 0;
+  t.corrupted_total <- 0;
+  t.injector <- None;
+  Rvi_sim.Stats.soft_reset t.stats

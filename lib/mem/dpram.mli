@@ -32,6 +32,15 @@ val load_page : t -> page:int -> Bytes.t -> src:int -> len:int -> unit
 val store_page : t -> page:int -> Bytes.t -> dst:int -> len:int -> unit
 (** Copies the first [len] bytes of the page out to a user buffer. *)
 
+val load_page_from_ram : t -> page:int -> Ram.t -> src_pos:int -> len:int -> unit
+(** As {!load_page}, but sourcing the bytes directly from another memory
+    array (the SDRAM) — the page-granular blit the VIM copy engine uses,
+    avoiding an intermediate buffer. Tail zero-fill, parity refresh and
+    stats match {!load_page} exactly. *)
+
+val store_page_to_ram : t -> page:int -> Ram.t -> dst_pos:int -> len:int -> unit
+(** As {!store_page}, writing directly into another memory array. *)
+
 val clear_page : t -> page:int -> unit
 
 val cpu_read32 : t -> int -> int
@@ -54,6 +63,11 @@ val set_injector : t -> Rvi_inject.Injector.t option -> unit
     {!Rvi_inject.Fault.Dpram_flip} opportunity: a random bit of the
     just-written cell flips and the cell's parity goes stale. Loading,
     clearing or overwriting a corrupted location refreshes its parity. *)
+
+val reset : t -> unit
+(** Restores the power-on image: all-zero array, no latent corruption,
+    counters zeroed in place (pre-resolved handles stay attached), injector
+    detached. Used by the platform pool. *)
 
 val parity_error : t -> page:int -> bool
 (** Whether any location in the page still holds an undetected bit flip —

@@ -20,26 +20,26 @@ let write8 t addr v =
   check t addr 1 "write8";
   Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
 
+(* The 16/32-bit accessors use the stdlib's single-load primitives; the
+   bounds check stays explicit so error messages keep naming the device
+   operation. Values are unsigned little-endian words, same range as the
+   historical byte-at-a-time loops ([0, 2^width)). *)
+
 let read16 t addr =
   check t addr 2 "read16";
-  Char.code (Bytes.unsafe_get t.data addr)
-  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+  Bytes.get_uint16_le t.data addr
 
 let write16 t addr v =
   check t addr 2 "write16";
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  Bytes.set_uint16_le t.data addr (v land 0xFFFF)
 
 let read32 t addr =
   check t addr 4 "read32";
-  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
-  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
 
 let write32 t addr v =
   check t addr 4 "write32";
-  for i = 0 to 3 do
-    Bytes.unsafe_set t.data (addr + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
-  done
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
 
 let read t ~width addr =
   match width with

@@ -30,5 +30,14 @@ let read_bytes t addr ~len =
   Ram.blit_to_bytes t.ram ~src:addr b ~dst:0 ~len;
   b
 
+let read_into t addr buf ~dst ~len =
+  Ram.blit_to_bytes t.ram ~src:addr buf ~dst ~len
+
 let blit_out t ~src b ~dst ~len = Ram.blit_to_bytes t.ram ~src b ~dst ~len
 let blit_in b ~src t ~dst ~len = Ram.blit_from_bytes b ~src t.ram ~dst ~len
+
+let raw t = t.ram
+
+let reset t =
+  if t.brk > 0 then Ram.fill t.ram ~pos:0 ~len:t.brk '\000';
+  t.brk <- 0

@@ -21,6 +21,12 @@ val used : t -> int
 val release_all : t -> unit
 (** Resets the allocator (contents are left in place). *)
 
+val reset : t -> unit
+(** Resets the allocator {e and} zeroes every byte that was ever inside the
+    allocated region, restoring the memory image of a freshly created arena.
+    Used by the platform pool so a reused SDRAM is indistinguishable from a
+    new one. *)
+
 val read8 : t -> int -> int
 val write8 : t -> int -> int -> unit
 val read16 : t -> int -> int
@@ -29,7 +35,20 @@ val read32 : t -> int -> int
 val write32 : t -> int -> int -> unit
 
 val write_bytes : t -> int -> Bytes.t -> unit
+
 val read_bytes : t -> int -> len:int -> Bytes.t
+(** Allocates a fresh buffer per call; hot paths should prefer
+    {!read_into} with a reused scratch buffer. *)
+
+val read_into : t -> int -> Bytes.t -> dst:int -> len:int -> unit
+(** [read_into t addr buf ~dst ~len] copies [len] bytes starting at [addr]
+    into [buf] at offset [dst] — the reuse-buffer variant of
+    {!read_bytes}. *)
 
 val blit_out : t -> src:int -> Bytes.t -> dst:int -> len:int -> unit
 val blit_in : Bytes.t -> src:int -> t -> dst:int -> len:int -> unit
+
+val raw : t -> Ram.t
+(** The backing {!Ram}, for page-granular device-to-device blits (the VIM
+    copy engine moves whole pages between SDRAM and DP-RAM without bouncing
+    through an intermediate buffer). *)

@@ -92,3 +92,14 @@ let dispatch_all t =
   go 0
 
 let raised_total t = t.raised_total
+
+(* Platform pooling: clear pending lines and counters while keeping the
+   structural wiring — registered handlers and the engine-break wake hook.
+   The observer and injector are per-run attachments; the platform reset
+   re-installs them from the next run's configuration. *)
+let reset t =
+  Array.iter (fun l -> l.pending <- false) t.lines;
+  t.raised_total <- 0;
+  t.observer <- None;
+  t.injector <- None;
+  Rvi_sim.Stats.reset t.stats

@@ -48,6 +48,11 @@ val dispatch_all : t -> int
 val raised_total : t -> int
 (** Total interrupts raised since creation. *)
 
+val reset : t -> unit
+(** Clears every pending line, the counters, the observer and the injector
+    binding, keeping registered handlers and the wake hook — the platform
+    pool's re-arm. *)
+
 val stats : t -> Rvi_sim.Stats.t
 (** Robustness counters: ["spurious_irqs"], ["coalesced_raises"],
     ["dropped_raises"]. *)

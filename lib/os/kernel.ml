@@ -51,6 +51,18 @@ let set_trace t tr =
         (fun ~line ~name ->
           Rvi_obs.Trace.emit tr ~at:(now t) (Rvi_obs.Trace.Irq_raise { line; name })))
 
+(* Platform pooling: scrub all run state — accounting ledger, IRQ pending
+   lines, scheduler bookkeeping, the SDRAM arena (zeroed back to the fresh
+   image), syscall/interrupt counters and the trace binding. The syscall
+   table and IRQ handler registrations are structure and stay. *)
+let reset t =
+  Accounting.reset t.acct;
+  Irq.reset t.irq;
+  Sched.reset t.sched;
+  Rvi_mem.Sdram.reset t.sdram;
+  Rvi_sim.Stats.reset t.stats;
+  set_trace t None
+
 let charge_time t cat d =
   Accounting.add t.acct cat d;
   Rvi_sim.Engine.advance t.engine d

@@ -37,6 +37,11 @@ val set_trace : t -> Rvi_obs.Trace.t option -> unit
 
 val trace : t -> Rvi_obs.Trace.t option
 
+val reset : t -> unit
+(** Platform pooling: scrubs accounting, IRQ pending state, scheduler
+    bookkeeping, the SDRAM arena (zeroed) and the kernel counters, and
+    detaches any trace. Syscall and IRQ handler registrations persist. *)
+
 val charge : t -> Accounting.category -> cycles:int -> unit
 (** Attributes [cycles] of CPU work to the category and consumes the
     corresponding simulated time (hardware events inside the span run). *)

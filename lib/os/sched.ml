@@ -94,3 +94,23 @@ let exit_current t =
 
 let context_switches t = t.switches
 let processes t = t.idle :: t.procs
+
+(* Platform pooling: return to the post-create image while keeping the
+   spawned processes (their pids and names are part of the pooled
+   platform's structure). Every non-exited process goes back to [Ready],
+   the idle task runs, and the bookkeeping counters rewind. Exited
+   processes cannot be revived — a platform that lost a process must not
+   be reused (the pool drops platforms on any raised exception). *)
+let reset t =
+  List.iter
+    (fun p ->
+      match p.Proc.state with
+      | Proc.Running | Proc.Sleeping -> Proc.set_state p Proc.Ready
+      | Proc.Ready -> ()
+      | Proc.Exited -> invalid_arg "Sched.reset: exited process cannot rejoin")
+    t.procs;
+  if t.idle.Proc.state = Proc.Ready then Proc.set_state t.idle Proc.Running;
+  t.cur <- t.idle;
+  t.switches <- 0;
+  t.cursor <- 0;
+  t.redundant_wakes <- 0

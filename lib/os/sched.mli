@@ -41,3 +41,8 @@ val context_switches : t -> int
 
 val processes : t -> Proc.t list
 (** All processes, idle task first. *)
+
+val reset : t -> unit
+(** Platform pooling: every non-exited process back to [Ready], the idle
+    task current, counters rewound. Raises [Invalid_argument] if a process
+    has exited — such a platform must not be reused. *)

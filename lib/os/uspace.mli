@@ -18,7 +18,11 @@ val write : Kernel.t -> buf -> Bytes.t -> unit
 (** Overwrites the buffer. Raises [Invalid_argument] on size mismatch. *)
 
 val read : Kernel.t -> buf -> Bytes.t
-(** Snapshot of the buffer contents. *)
+(** Snapshot of the buffer contents. Allocates; hot paths comparing many
+    outputs should prefer {!read_into} with a reused scratch buffer. *)
+
+val read_into : Kernel.t -> buf -> Bytes.t -> dst:int -> unit
+(** Copies the buffer contents into [b] at [dst] without allocating. *)
 
 val sub : buf -> pos:int -> len:int -> buf
 (** A view of a slice of the buffer (no copy; same address space). *)

@@ -62,3 +62,42 @@ val map_merge :
     sinks (stats, traces) combine into the same aggregate whatever
     [domains] was, provided [merge] is associative over adjacent
     results. *)
+
+(** Persistent worker domains.
+
+    {!map} spawns and joins [domains - 1] fresh domains per call —
+    milliseconds of host time that multi-call workloads (campaign +
+    sweep + ablations in one process) pay over and over. A pool spawns
+    the workers once and reuses them for every [map]; scheduling is the
+    same contiguous-chunk self-claiming as the module-level functions,
+    so for any pool width and chunk the result list is bit-identical to
+    the serial [List.map] (same lowest-index exception semantics too).
+
+    Pools are driven from the domain that created them, one map at a
+    time; the driving domain participates in every job as the last
+    worker. *)
+module Pool : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** Spawns [domains - 1] worker domains (default
+      {!recommended_domains}; clamped to at least 1 — a width-1 pool
+      spawns nothing and maps serially). *)
+
+  val domains : t -> int
+
+  val map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+  (** Exactly {!Par.map}[ ~domains:(domains t)] but on the pooled
+      workers. [chunk] defaults to {!default_chunk}. *)
+
+  val mapi : t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+  val shutdown : t -> unit
+  (** Joins the workers. Idempotent; further [map]s raise. *)
+
+  val shared : domains:int -> t
+  (** The process-wide pool, (re)created only when [domains] differs
+      from the current width — back-to-back campaigns reuse the same
+      domains. Never shut this one down mid-process; it is recycled
+      automatically on width change. *)
+end

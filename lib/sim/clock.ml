@@ -19,6 +19,42 @@ let component ?idle_hint ?skip ?(commit_hazard = false) ~name ~compute ~commit
   | Some _, Some _ | None, None -> ());
   { name; compute; commit; idle_hint; skip; commit_hazard }
 
+(* Two same-rate components registered back to back can share one slot:
+   the composite runs [a]'s phase before [b]'s in both halves of the edge,
+   which is exactly the global order separate registration would produce.
+   Idle windows compose as the min of the hints; a skip is forwarded to
+   both. When the composite executes an edge on which one side would have
+   been elided, that side's [compute]/[commit] run instead of its [skip 1]
+   — the idle-hint contract (a positive hint promises the tick changes
+   nothing, counters included) makes the two indistinguishable. Composing
+   is a pure host-side optimisation: fewer slots means fewer closure
+   dispatches per edge. *)
+let compose a b =
+  let name = a.name ^ "+" ^ b.name in
+  let compute () =
+    a.compute ();
+    b.compute ()
+  in
+  let commit () =
+    a.commit ();
+    b.commit ()
+  in
+  let commit_hazard = a.commit_hazard || b.commit_hazard in
+  match (a.idle_hint, a.skip, b.idle_hint, b.skip) with
+  | Some ha, Some sa, Some hb, Some sb ->
+    component ~name ~commit_hazard
+      ~idle_hint:(fun () ->
+        let x = ha () in
+        if x <= 0 then 0
+        else
+          let y = hb () in
+          if x < y then x else y)
+      ~skip:(fun k ->
+        sa k;
+        sb k)
+      ~compute ~commit ()
+  | _ -> component ~name ~commit_hazard ~compute ~commit ()
+
 type slot = { comp : component; divide : int; phase : int }
 
 type t = {
@@ -123,17 +159,14 @@ let run_edge t =
     match Array.unsafe_get t.marks i with
     | 0 -> ()
     | 1 -> (Array.unsafe_get t.slots i).comp.commit ()
-    | _ ->
+    | _ -> (
       let c = (Array.unsafe_get t.slots i).comp in
-      let skip_tick () =
-        match c.skip with Some g -> g 1 | None -> assert false
+      let rerun =
+        c.commit_hazard
+        && match c.idle_hint with Some f -> f () <= 0 | None -> true
       in
-      if c.commit_hazard then begin
-        match c.idle_hint with
-        | Some f when f () > 0 -> skip_tick ()
-        | Some _ | None -> c.commit ()
-      end
-      else skip_tick ()
+      if rerun then c.commit ()
+      else match c.skip with Some g -> g 1 | None -> assert false)
   done;
   t.cycles <- cycle + 1;
   for i = 0 to t.n_observers - 1 do
@@ -191,6 +224,8 @@ let plan_skip t ~now_ps ~h_ps ~peek_ps =
       incr i
     done
   end;
+  if !target <= c then 1
+  else begin
   (* cap by the horizon (edge time <= horizon) and by the next queued
      event (edge time strictly before it, so queued work is not starved) *)
   let tgt = min !target (c - 1 + ((h_ps - now_ps) / period_ps)) in
@@ -221,6 +256,7 @@ let plan_skip t ~now_ps ~h_ps ~peek_ps =
     t.cycles <- tgt;
     tgt - c + 1
   end
+  end
 
 (* Edge batching. Inside an engine run span (horizon published), edges are
    executed inline — time advanced with [Engine.jump_to] — as long as the
@@ -230,7 +266,7 @@ let plan_skip t ~now_ps ~h_ps ~peek_ps =
    per-edge behaviour, so run loops observe the same event times and the
    same engine [now] at every boundary. *)
 let rec batch t gen self =
-  let fully_elided = run_edge t in
+  let (_ : bool) = run_edge t in
   if t.running && gen = t.generation then begin
     let e = t.engine in
     let broke = Engine.take_break e in
@@ -242,15 +278,16 @@ let rec batch t gen self =
       (* read after [run_edge]: an executed compute may have scheduled *)
       let peek_ps = Engine.peek_ps e in
       let steps =
-        (* Multi-edge planning only pays off when the edge just run was
-           wholly elided — an executed slot means real work this period,
-           and the next edge re-evaluates anyway. Gating here keeps active
-           stretches down to one hint evaluation per idle slot per edge. *)
+        (* Plan even when the edge just run executed slots: hints are
+           evaluated after every commit, so a post-active window (a
+           component parking itself in a multi-cycle wait) is skipped
+           without first paying a fully-elided edge. During dense
+           stretches some slot's hint is 0 and [plan_skip] bails out on
+           it immediately, so the extra cost is one hint evaluation per
+           idle slot per active edge. *)
         if
-          broke
-          || (not fully_elided)
-          || (not t.skippable)
-          || t.n_observers > 0 || t.n_slots = 0 || h_ps <= now_ps
+          broke || (not t.skippable) || t.n_observers > 0 || t.n_slots = 0
+          || h_ps <= now_ps
         then 1
         else plan_skip t ~now_ps ~h_ps ~peek_ps
       in
@@ -261,6 +298,94 @@ let rec batch t gen self =
       end
       else Engine.schedule_at e (Simtime.of_ps te_ps) self
   end
+
+(* Specialised inline loop for the dominant configuration — one uniform,
+   skippable slot (see [compose]) and no observers. Behaviourally
+   identical to [batch]: same edge order, same skip accounting, same
+   horizon/queue scheduling boundaries. The differences are host-side
+   only: the slot's hint is evaluated once per edge (not once in
+   [run_edge] and again in [plan_skip]), there is no marks array, and an
+   idle window is absorbed by [skip] directly instead of first paying a
+   fully-elided edge. Executing the edge unconditionally on entry is
+   sound even where [run_edge] would have elided it: a positive hint
+   promises the tick is a no-op, so running it changes nothing. *)
+and single_batch t gen self =
+  let e = t.engine in
+  match (if t.batched then Engine.horizon e else None) with
+  | None ->
+    let s = (Array.unsafe_get t.slots 0).comp in
+    s.compute ();
+    s.commit ();
+    t.cycles <- t.cycles + 1;
+    if t.running && gen = t.generation then
+      Engine.schedule_after e t.period self
+  | Some h ->
+    (* The horizon is fixed for the whole inline chain (only a run loop
+       moves it, and no engine event dispatches between inline edges), so
+       everything per-chain — horizon, period, the slot's closures, the
+       engine clock reading — is hoisted out of the per-edge loop; the
+       current time is carried forward from each jump instead of re-read.
+       Only the break flag and the queue head can change under an edge
+       (computes may raise interrupts or schedule events) and those are
+       the two re-checked each iteration. *)
+    let h_ps = Simtime.to_ps h in
+    let period_ps = Simtime.to_ps t.period in
+    let s = (Array.unsafe_get t.slots 0).comp in
+    let hint_fn = match s.idle_hint with Some f -> f | None -> assert false in
+    let skip_fn = match s.skip with Some f -> f | None -> assert false in
+    let now_ps = ref (Simtime.to_ps (Engine.now e)) in
+    let continue = ref true in
+    while !continue do
+      s.compute ();
+      s.commit ();
+      t.cycles <- t.cycles + 1;
+      if t.running && gen = t.generation then begin
+        let broke = Engine.take_break e in
+        let peek_ps = Engine.peek_ps e in
+        let steps =
+          if broke || h_ps <= !now_ps then 1
+          else begin
+            let hint = hint_fn () in
+            if hint <= 0 then 1
+            else begin
+              let c = t.cycles in
+              let wake = if hint >= max_int - c then max_int else c + hint in
+              let tgt = min wake (c - 1 + ((h_ps - !now_ps) / period_ps)) in
+              let tgt =
+                if peek_ps = max_int then tgt
+                else min tgt (c - 1 + ((peek_ps - !now_ps - 1) / period_ps))
+              in
+              if tgt <= c then 1
+              else begin
+                skip_fn (tgt - c);
+                t.cycles <- tgt;
+                tgt - c + 1
+              end
+            end
+          end
+        in
+        let te_ps = !now_ps + (steps * period_ps) in
+        if (not broke) && te_ps <= h_ps && te_ps < peek_ps then begin
+          (* [te_ps] was just bounded by the queue head and exceeds the
+             carried now, so the checked jump would re-prove both. *)
+          Engine.jump_unchecked e (Simtime.of_ps te_ps);
+          now_ps := te_ps;
+          if
+            not
+              (t.n_slots = 1 && t.uniform && t.skippable
+             && t.n_observers = 0)
+          then begin
+            continue := false;
+            batch t gen self
+          end
+        end
+        else begin
+          continue := false;
+          Engine.schedule_at e (Simtime.of_ps te_ps) self
+        end
+      end
+      else continue := false
+    done
 
 (* Stop/start semantics (asserted by a regression test): [stop] discards
    edge phase, and after [start] the next edge fires exactly one period
@@ -274,7 +399,14 @@ let start t =
     t.running <- true;
     t.generation <- t.generation + 1;
     let gen = t.generation in
-    let rec self () = if t.running && gen = t.generation then batch t gen self in
+    let rec self () =
+      if t.running && gen = t.generation then
+        if
+          t.batched && t.n_slots = 1 && t.uniform && t.skippable
+          && t.n_observers = 0
+        then single_batch t gen self
+        else batch t gen self
+    in
     Engine.schedule_after t.engine t.period self
   end
 
@@ -283,6 +415,16 @@ let stop t =
     t.running <- false;
     t.generation <- t.generation + 1
   end
+
+(* Platform pooling: stop the domain and rewind the cycle counter so the
+   next [start] behaves exactly like the first edge of a fresh clock —
+   same cycle indices, same divided-slot phases. Registered components and
+   observers are kept (the pooled platform re-wires state, not
+   structure). *)
+let reset t =
+  t.running <- false;
+  t.generation <- t.generation + 1;
+  t.cycles <- 0
 
 let running t = t.running
 let cycles t = t.cycles

@@ -76,8 +76,21 @@ val jump_to : t -> Simtime.t -> unit
     clock edges. Raises [Invalid_argument] when the target is in the past
     or a queued event would be skipped. *)
 
+val jump_unchecked : t -> Simtime.t -> unit
+(** {!jump_to} without the guards, for callers that have already bounded
+    the target by the queue head and the current time {e this very edge}
+    (the clock's single-slot inline loop). Jumping past a queued event
+    through this entry point corrupts the timeline silently — when in any
+    doubt, use {!jump_to}. *)
+
 exception Stalled
 (** Raised by {!run_while} when no event can make further progress. *)
 
 val events_processed : t -> int
 (** Total number of events executed so far (for engine benchmarks). *)
+
+val reset : t -> unit
+(** Discards all queued events and rewinds simulated time to zero, leaving
+    the engine observationally identical to a fresh {!create}. Only safe
+    when every component scheduled on the engine is reset alongside it —
+    the platform pool's reuse path. *)

@@ -1,11 +1,26 @@
-type t = { mutable state : int64 }
+(* The 64-bit state lives in an 8-byte buffer accessed through the
+   compiler's raw 64-bit load/store primitives: a [mutable state : int64]
+   field would re-box the value on every step (one minor-heap block per
+   draw — the injector draws on every guarded hardware event), whereas
+   the buffer write is a plain store and the whole step stays unboxed
+   when inlined into a caller. Endianness is irrelevant: the buffer only
+   ever round-trips values this module wrote. *)
+type t = Bytes.t
 
-let create ~seed = { state = Int64.of_int seed }
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let of_int64 s =
+  let b = Bytes.create 8 in
+  set64 b 0 s;
+  b
+
+let create ~seed = of_int64 (Int64.of_int seed)
 
 (* splitmix64 step (Steele, Lea & Flood 2014). *)
 let next64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+  let z = Int64.add (get64 t 0) 0x9E3779B97F4A7C15L in
+  set64 t 0 z;
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
@@ -24,7 +39,7 @@ let fill_bytes t b =
     Bytes.unsafe_set b i (Char.unsafe_chr (byte t))
   done
 
-let split t = { state = next64 t }
+let split t = of_int64 (next64 t)
 
 (* [derive] must decorrelate adjacent indices (shards use consecutive
    run indices), so the index is pushed through one splitmix64 step
@@ -32,8 +47,8 @@ let split t = { state = next64 t }
    index) pairs then start from states differing in ~half their bits. *)
 let derive ~seed ~index =
   if index < 0 then invalid_arg "Prng.derive: negative index";
-  let t = { state = Int64.of_int seed } in
+  let t = of_int64 (Int64.of_int seed) in
   let a = next64 t in
-  let i = { state = Int64.logxor 0x6C62272E07BB0142L (Int64.of_int index) } in
+  let i = of_int64 (Int64.logxor 0x6C62272E07BB0142L (Int64.of_int index)) in
   let b = next64 i in
-  { state = Int64.logxor a b }
+  of_int64 (Int64.logxor a b)

@@ -87,6 +87,15 @@ let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.summaries
 
+(* Handle-preserving reset for pooled components: counters are zeroed in
+   place, so pre-resolved [counter] handles held by hot paths (IMU, DP-RAM,
+   TLB) stay attached to the live cells. [get]/[summary] answers afterwards
+   are identical to a fresh table; only the [counters] listing differs
+   (zero-valued names remain listed). *)
+let soft_reset t =
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.reset t.summaries
+
 let pp ppf t =
   let items = counters t in
   Format.fprintf ppf "@[<v>";

@@ -66,4 +66,11 @@ val merge_into : into:t -> t -> unit
 
 val reset : t -> unit
 
+val soft_reset : t -> unit
+(** Zeroes every counter {e in place} (pre-resolved {!counter} handles stay
+    attached, unlike {!reset}) and drops all summaries. {!get} and
+    {!summary} behave as on a fresh table afterwards; {!counters} still
+    lists the zeroed names. This is the reset the platform pool uses on
+    components that cache counter handles. *)
+
 val pp : Format.formatter -> t -> unit

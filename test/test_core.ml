@@ -829,3 +829,81 @@ let edge_suite =
   ]
 
 let suite = suite @ edge_suite
+
+(* {1 TLB page-run fast path}
+
+   [translate] keeps an MRU memo so page runs (consecutive accesses to
+   the same page — the dominant coprocessor pattern) skip the CAM scan.
+   The memo must be pure acceleration: against an arbitrary interleaving
+   of inserts, invalidations and translates, every translate must return
+   exactly what the scan-only [lookup] — which never reads or writes the
+   memo — reports just before it, and the hit/miss counters must advance
+   accordingly. *)
+
+let prop_tlb_memo_matches_scan =
+  (* op encoding: 0-5 translate, 6-7 insert, 8 invalidate slot,
+     9 invalidate_all — translate-heavy so page runs actually form *)
+  let org_of = function
+    | 0 -> Tlb.Fully_associative
+    | 1 -> Tlb.Direct_mapped
+    | _ -> Tlb.Set_associative 2
+  in
+  QCheck.Test.make
+    ~name:"tlb translate (memoised) agrees with scan-only lookup under \
+           random op interleavings"
+    ~count:60
+    QCheck.(
+      triple (int_bound 2) (int_bound 3)
+        (list_of_size Gen.(int_range 20 120) (int_bound 0x3FFFFFFF)))
+    (fun (orgsel, entsel, ops) ->
+      let entries = 4 lsl entsel in
+      let tlb = Tlb.create ~organization:(org_of orgsel) ~entries () in
+      let stamp = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          incr stamp;
+          let kind = op mod 10 in
+          let obj_id = op lsr 4 land 3 in
+          let vpn = op lsr 6 land 7 in
+          if kind <= 5 then begin
+            let scan = Tlb.lookup tlb ~obj_id ~vpn in
+            let hits0 = Rvi_sim.Stats.get (Tlb.stats tlb) "hits" in
+            let misses0 = Rvi_sim.Stats.get (Tlb.stats tlb) "misses" in
+            let got =
+              Tlb.translate tlb ~obj_id ~vpn ~stamp:!stamp ~wr:(op land 1 = 1)
+            in
+            let hits1 = Rvi_sim.Stats.get (Tlb.stats tlb) "hits" in
+            let misses1 = Rvi_sim.Stats.get (Tlb.stats tlb) "misses" in
+            match scan with
+            | Tlb.Hit slot ->
+              let e = Tlb.get tlb ~slot in
+              if
+                got <> Some e.Tlb.ppn
+                || hits1 <> hits0 + 1
+                || misses1 <> misses0
+                || e.Tlb.last_access <> !stamp
+              then ok := false
+            | Tlb.Miss ->
+              if got <> None || misses1 <> misses0 + 1 || hits1 <> hits0 then
+                ok := false
+          end
+          else if kind <= 7 then begin
+            let slot =
+              match Tlb.free_way_slot tlb ~obj_id ~vpn with
+              | Some s -> s
+              | None -> (
+                match Tlb.way_slots tlb ~obj_id ~vpn with
+                | s :: _ -> s
+                | [] -> 0)
+            in
+            Tlb.insert tlb ~slot ~obj_id ~vpn ~ppn:(op lsr 9 land 7)
+              ~stamp:!stamp
+          end
+          else if kind = 8 then
+            Tlb.invalidate tlb ~slot:(op lsr 4 mod entries)
+          else Tlb.invalidate_all tlb)
+        ops;
+      !ok)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_tlb_memo_matches_scan ]

@@ -1075,3 +1075,118 @@ let regression_suite =
   ]
 
 let suite = suite @ regression_suite
+
+(* {1 Pooled platforms}
+
+   The campaign fast path re-arms a pooled platform in place instead of
+   constructing a fresh one. [Platform.reset]'s contract is that the two
+   are indistinguishable: the same (workload, injector seed) run on a
+   pooled platform must produce a byte-identical result row — outcome,
+   fault counts, simulated times — to the run on a freshly built
+   platform, fault schedule included. *)
+
+let prop_pooled_equals_fresh =
+  QCheck.Test.make
+    ~name:"pooled platform run is byte-identical to a fresh-platform run"
+    ~count:8
+    QCheck.(pair (int_bound 3) (int_bound 10_000))
+    (fun (app_index, seed) ->
+      let apps = Rvi_harness.Faults.workloads ~seed:2004 in
+      let app = apps.(app_index) in
+      let spec = Rvi_inject.Spec.all () in
+      let run ?pool () =
+        Rvi_harness.Faults.run_one ?pool ~spec
+          ~recovery:Rvi_core.Vim.default_recovery
+          ~watchdog:Rvi_harness.Faults.default_watchdog ~exec_retries:2 ~seed
+          app
+      in
+      let fresh = run () in
+      let pool = Platform.Pool.create () in
+      (* first run populates the pool, second re-arms the stashed
+         platform — both must match the no-pool run *)
+      let first = run ~pool () in
+      let stashed = Platform.Pool.size pool = 1 in
+      let pooled = run ~pool () in
+      stashed && first = fresh && pooled = fresh)
+
+let pooled_suite = [ QCheck_alcotest.to_alcotest prop_pooled_equals_fresh ]
+let suite = suite @ pooled_suite
+
+(* {1 Bench trajectory schema}
+
+   The benchmark CLI appends trajectory points to BENCH_campaign.json
+   with a hand-rolled writer (no JSON library in the image), so the
+   writer itself is the schema: a regression-gate script that greps a
+   key out of the newest entry silently reads garbage if a field is
+   renamed or the object loses its shape. The file in the repo root is
+   outside the test sandbox, so the check validates the writer's output
+   for a synthetic point instead. *)
+
+let test_bench_point_json_schema () =
+  let p =
+    {
+      Rvi_harness.Bench_campaign.commit = "deadbee";
+      host_cores = 4;
+      runs = 200;
+      seed = 2004;
+      jobs = 2;
+      serial_s = 1.25;
+      parallel_s = 1.5;
+      serial_runs_per_sec = 160.0;
+      parallel_runs_per_sec = 133.3;
+      speedup = 0.83;
+      deterministic = true;
+      survival = 56.5;
+      phase_setup_s = 0.2;
+      phase_execute_s = 0.9;
+      phase_report_s = 0.05;
+    }
+  in
+  let json = Rvi_harness.Bench_campaign.point_json p in
+  List.iter
+    (fun key ->
+      let needle = "\"" ^ key ^ "\"" in
+      let found =
+        let nl = String.length needle and jl = String.length json in
+        let rec scan i = i + nl <= jl && (String.sub json i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      checkb (Printf.sprintf "key %S present" key) true found)
+    [
+      "benchmark"; "commit"; "host_cores"; "runs"; "seed"; "jobs";
+      "serial_s"; "parallel_s"; "serial_runs_per_sec";
+      "parallel_runs_per_sec"; "speedup"; "deterministic"; "survival_pct";
+      "phase_setup_s"; "phase_execute_s"; "phase_report_s";
+    ];
+  (* shape: one balanced object, no trailing comma before the brace *)
+  let depth = ref 0 and min_depth = ref 0 and last = ref ' ' in
+  String.iter
+    (fun c ->
+      (match c with
+      | '{' -> incr depth
+      | '}' ->
+        decr depth;
+        if !depth < !min_depth then min_depth := !depth
+      | _ -> ());
+      if c <> ' ' && c <> '\n' then begin
+        if c = '}' then checkb "no trailing comma" true (!last <> ',');
+        last := c
+      end)
+    json;
+  checkb "braces balanced" true (!depth = 0);
+  checkb "never dips below top level" true (!min_depth >= 0);
+  checkb "bool rendered as literal" true
+    (let nl = String.length "\"deterministic\": true" in
+     let rec scan i =
+       i + nl <= String.length json
+       && (String.sub json i nl = "\"deterministic\": true" || scan (i + 1))
+     in
+     scan 0)
+
+let bench_suite =
+  [
+    Alcotest.test_case "bench/point-json-schema" `Quick
+      test_bench_point_json_schema;
+  ]
+
+let suite = suite @ bench_suite

@@ -83,6 +83,42 @@ let prop_ram_w16_r8 =
       Ram.write16 r addr v;
       Ram.read8 r addr = v land 0xFF && Ram.read8 r (addr + 1) = (v lsr 8) land 0xFF)
 
+(* The single-load accessors must keep exact little-endian byte-wise
+   semantics at every offset, aligned or not — the IMU issues 16/32-bit
+   coprocessor accesses at arbitrary object offsets and the page-blit
+   paths assume the two views never diverge. *)
+let prop_ram_width_roundtrip =
+  QCheck.Test.make
+    ~name:"ram 8/16/32 accessors round-trip and match byte-wise reads at any \
+           offset"
+    ~count:300
+    QCheck.(triple (int_bound 2) (int_bound 59) (int_bound 0x3FFFFFFF))
+    (fun (wsel, addr, v) ->
+      let width = match wsel with 0 -> 8 | 1 -> 16 | _ -> 32 in
+      let mask = (1 lsl width) - 1 in
+      let v = v land mask in
+      let r = Ram.create ~size:64 in
+      (* surround with a sentinel pattern to catch stray writes *)
+      Ram.fill r ~pos:0 ~len:64 '\x5A';
+      Ram.write r ~width addr v;
+      let bytewise =
+        let n = width / 8 in
+        let acc = ref 0 in
+        for i = n - 1 downto 0 do
+          acc := (!acc lsl 8) lor Ram.read8 r (addr + i)
+        done;
+        !acc
+      in
+      Ram.read r ~width addr = v
+      && bytewise = v
+      && (* every byte outside the write is untouched *)
+      (let intact = ref true in
+       for i = 0 to 63 do
+         if i < addr || i >= addr + (width / 8) then
+           if Ram.read8 r i <> 0x5A then intact := false
+       done;
+       !intact))
+
 (* {1 Dpram} *)
 
 let test_dpram_pages () =
@@ -210,6 +246,7 @@ let suite =
     Alcotest.test_case "ram/bounds" `Quick test_ram_bounds;
     Alcotest.test_case "ram/blit" `Quick test_ram_blit;
     QCheck_alcotest.to_alcotest prop_ram_w16_r8;
+    QCheck_alcotest.to_alcotest prop_ram_width_roundtrip;
     Alcotest.test_case "dpram/pages" `Quick test_dpram_pages;
     Alcotest.test_case "dpram/ports-stats" `Quick test_dpram_ports_and_stats;
     Alcotest.test_case "dpram/parity-page-indexing" `Quick

@@ -138,6 +138,50 @@ let test_campaign_progress_order () =
     Alcotest.(list int)
     "progress fires in run order" [ 0; 1; 2; 3; 4; 5; 6 ] (List.rev !order)
 
+(* {1 Pool edge cases}
+
+   The persistent-pool path has its own scheduling loop, so the
+   boundary conditions (nothing to do, one chunk covering everything,
+   an exception in the very last chunk) and cross-job reuse each get a
+   dedicated check rather than relying on the random properties to
+   stumble over them. *)
+
+let test_pool_edge_cases () =
+  let pool = Par.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      checkb "empty list" true (Par.Pool.map pool (fun x -> x * 2) [] = []);
+      (* chunk larger than the list: a single chunk runs everything *)
+      checkb "chunk > n" true
+        (Par.Pool.map pool ~chunk:100 (fun x -> x + 1) [ 1; 2; 3 ]
+        = [ 2; 3; 4 ]);
+      (* an exception in the last chunk must surface after the join and
+         leave the pool usable for the next job *)
+      (match
+         Par.Pool.map pool ~chunk:2
+           (fun x -> if x = 9 then raise (Boom x) else x)
+           [ 1; 2; 3; 4; 9 ]
+       with
+      | (_ : int list) -> Alcotest.fail "expected Boom"
+      | exception Boom 9 -> ());
+      checkb "pool alive after exception" true
+        (Par.Pool.map pool (fun x -> x - 1) [ 5; 6 ] = [ 4; 5 ]))
+
+let test_pool_reused_across_campaigns () =
+  (* Two campaigns back to back through the same shared pool must both
+     match their serial classification — the pool must not leak state
+     (chunk counters, pending exceptions) from one job into the next. *)
+  let classify runs seed jobs =
+    List.map
+      (fun r -> Faults.outcome_name r.Faults.outcome)
+      (Faults.campaign ~runs ~seed ~jobs ())
+  in
+  let serial_a = classify 8 7 1 and serial_b = classify 8 1234 1 in
+  (* jobs:2 routes through Par.Pool.shared, reused by the second call *)
+  checkb "first campaign" true (classify 8 7 2 = serial_a);
+  checkb "second campaign same pool" true (classify 8 1234 2 = serial_b)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_map_equals_list_map;
@@ -156,4 +200,7 @@ let suite =
       test_campaign_trace_merge;
     Alcotest.test_case "par/campaign-progress-order" `Quick
       test_campaign_progress_order;
+    Alcotest.test_case "par/pool-edge-cases" `Quick test_pool_edge_cases;
+    Alcotest.test_case "par/pool-reused-across-campaigns" `Quick
+      test_pool_reused_across_campaigns;
   ]
