@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke examples check faults-smoke faults-determinism clean
+.PHONY: all build test bench bench-smoke sva-smoke examples check faults-smoke faults-determinism clean
 
 all: build
 
@@ -13,6 +13,7 @@ test:
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) sva-smoke
 	@if git ls-files --error-unmatch _build >/dev/null 2>&1 || \
 	   git diff --cached --name-only --diff-filter=AM | grep -q '^_build/'; then \
 	  echo "error: _build/ is tracked or staged; it must stay ignored" >&2; \
@@ -48,6 +49,13 @@ bench:
 # compares runs/s, so a smaller --runs smoke still gates correctly.
 bench-smoke:
 	dune exec bin/rvisim.exe -- bench --runs 100 --jobs 2 --gate 0.2
+
+# Translation-mode smoke: runs the adpcm ablation in both translation
+# modes and asserts paper mode never touches the page-table walker while
+# IOMMU/SVA mode always does — the cheap end-to-end guard that the mode
+# switch is actually switching.
+sva-smoke:
+	dune exec bin/rvisim.exe -- ablate --translation --smoke
 
 examples:
 	dune exec examples/quickstart.exe

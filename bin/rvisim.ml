@@ -63,6 +63,21 @@ let tlb_entries =
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
 
+let translation_arg =
+  let parse s =
+    match Rvi_core.Translation_mode.of_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown translation mode %S (known: %s)" s
+              (String.concat ", "
+                 (List.map Rvi_core.Translation_mode.name
+                    Rvi_core.Translation_mode.all))))
+  in
+  let print ppf m = Format.fprintf ppf "%s" (Rvi_core.Translation_mode.name m) in
+  Arg.conv (parse, print)
+
 let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit rows as CSV.")
 
 let spec_arg =
@@ -221,6 +236,70 @@ let ablations_cmd =
     (Cmd.info "ablations" ~doc:"All design-choice ablations from DESIGN.md.")
     Term.(const run $ config_term $ jobs)
 
+let ablate_cmd =
+  let translation_flag =
+    Arg.(
+      value & flag
+      & info [ "translation" ]
+          ~doc:
+            "Compare the paper's per-object translation against the \
+             IOMMU/SVA mode (two-level TLB + page-table walker) on all four \
+             workloads.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Cheap CI variant: one workload per translation mode, asserting \
+             both verify and that only the SVA run exercises the walker. \
+             Exits non-zero on any violation.")
+  in
+  let run cfg jobs translation smoke =
+    if not translation then begin
+      Format.eprintf
+        "rvisim ablate: select an ablation axis (try --translation)@.";
+      exit 2
+    end;
+    let points =
+      Rvi_harness.Experiments.ablation_translation ~jobs ~smoke ppf cfg
+    in
+    if smoke then begin
+      let bad = ref [] in
+      List.iter
+        (fun (pt : Rvi_harness.Experiments.translation_point) ->
+          let r = pt.Rvi_harness.Experiments.row in
+          if not (Rvi_harness.Report.ok r) then
+            bad := Printf.sprintf "%s: run failed or unverified"
+                     pt.Rvi_harness.Experiments.label
+                   :: !bad;
+          let walks = pt.Rvi_harness.Experiments.walks in
+          match pt.Rvi_harness.Experiments.mode with
+          | Rvi_core.Translation_mode.Paper_objects ->
+            if walks <> 0 then
+              bad := Printf.sprintf "%s: paper mode touched the walker"
+                       pt.Rvi_harness.Experiments.label
+                     :: !bad
+          | Rvi_core.Translation_mode.Iommu_sva ->
+            if walks = 0 then
+              bad := Printf.sprintf "%s: SVA run never walked"
+                       pt.Rvi_harness.Experiments.label
+                     :: !bad)
+        points;
+      match !bad with
+      | [] -> Format.fprintf ppf "sva-smoke ok (%d runs)@." (List.length points)
+      | msgs ->
+        List.iter (Format.eprintf "sva-smoke: %s@.") (List.rev msgs);
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:
+         "Targeted ablation comparisons. Currently: --translation, the \
+          paper-objects vs IOMMU/SVA translation study.")
+    Term.(const run $ config_term $ jobs $ translation_flag $ smoke)
+
 let portability_cmd =
   let run cfg = ignore (Rvi_harness.Experiments.portability ppf cfg) in
   Cmd.v
@@ -273,7 +352,19 @@ let run_cmd =
              Perfetto or about://tracing) or jsonl (one flat JSON object per \
              event, round-trippable).")
   in
-  let run cfg csv app version size trace_out trace_format inject watchdog_ms =
+  let translation =
+    Arg.(
+      value
+      & opt translation_arg Rvi_core.Translation_mode.Paper_objects
+      & info [ "translation" ] ~docv:"MODE"
+          ~doc:
+            "Address translation: paper-objects (the paper's per-object page \
+             lists, default) or iommu-sva (shared virtual addressing through \
+             an L1+L2 TLB and a page-table walker).")
+  in
+  let run cfg csv app version size trace_out trace_format inject watchdog_ms
+      translation =
+    let cfg = { cfg with Rvi_harness.Config.translation } in
     let cfg =
       if trace_out = None then cfg
       else
@@ -385,7 +476,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one application/version/size point.")
     Term.(
       const run $ config_term $ csv $ app_arg $ version $ size $ trace_out
-      $ trace_format $ inject $ watchdog_ms)
+      $ trace_format $ inject $ watchdog_ms $ translation)
 
 let ext_fir_cmd =
   let run cfg csv sizes =
@@ -637,31 +728,52 @@ let bench_cmd =
              committed baseline. E.g. --gate 0.2 tolerates a 20% \
              regression.")
   in
-  let run seed runs jobs out gate =
-    let baseline = Rvi_harness.Bench_campaign.last_serial_rps ~path:out () in
-    let r = Rvi_harness.Bench_campaign.run ~runs ~seed ~jobs () in
-    Rvi_harness.Bench_campaign.print ppf r;
-    let path = Rvi_harness.Bench_campaign.append ~path:out r in
-    Printf.printf "appended trajectory point to %s\n" path;
-    if not r.Rvi_harness.Bench_campaign.deterministic then exit 1;
-    match (gate, baseline) with
-    | Some tol, Some base ->
-      let floor = (1.0 -. tol) *. base in
-      let rps = r.Rvi_harness.Bench_campaign.serial_runs_per_sec in
-      if rps < floor then begin
-        Printf.eprintf
-          "perf regression: serial %.1f runs/s < %.1f (baseline %.1f - %g%% \
-           tolerance)\n"
-          rps floor base (tol *. 100.);
-        exit 1
-      end
-      else
-        Printf.printf "perf gate ok: serial %.1f runs/s >= %.1f (baseline \
-                       %.1f)\n"
-          rps floor base
-    | Some _, None ->
-      Printf.printf "perf gate skipped: no committed baseline in %s\n" out
-    | None, _ -> ()
+  let sva =
+    Arg.(
+      value & flag
+      & info [ "sva" ]
+          ~doc:
+            "Also benchmark the campaign under IOMMU/SVA translation and \
+             append it as a second trajectory point (series \
+             \"faults-campaign-sva\", gated against its own series' \
+             baseline). The SVA row is appended first so the file's newest \
+             row stays the paper-mode series.")
+  in
+  let run seed runs jobs out gate sva =
+    let bench_one translation =
+      let r = Rvi_harness.Bench_campaign.run ~runs ~seed ~translation ~jobs () in
+      Rvi_harness.Bench_campaign.print ppf r;
+      (* Baseline read before this point is appended, filtered to the
+         point's own series — SVA throughput never gates paper mode. *)
+      let baseline =
+        Rvi_harness.Bench_campaign.last_serial_rps ~path:out
+          ~benchmark:r.Rvi_harness.Bench_campaign.benchmark ()
+      in
+      let path = Rvi_harness.Bench_campaign.append ~path:out r in
+      Printf.printf "appended trajectory point to %s\n" path;
+      if not r.Rvi_harness.Bench_campaign.deterministic then exit 1;
+      match (gate, baseline) with
+      | Some tol, Some base ->
+        let floor = (1.0 -. tol) *. base in
+        let rps = r.Rvi_harness.Bench_campaign.serial_runs_per_sec in
+        if rps < floor then begin
+          Printf.eprintf
+            "perf regression: serial %.1f runs/s < %.1f (baseline %.1f - %g%% \
+             tolerance)\n"
+            rps floor base (tol *. 100.);
+          exit 1
+        end
+        else
+          Printf.printf "perf gate ok: serial %.1f runs/s >= %.1f (baseline \
+                         %.1f)\n"
+            rps floor base
+      | Some _, None ->
+        Printf.printf "perf gate skipped: no committed baseline for %s in %s\n"
+          r.Rvi_harness.Bench_campaign.benchmark out
+      | None, _ -> ()
+    in
+    if sva then bench_one Rvi_core.Translation_mode.Iommu_sva;
+    bench_one Rvi_core.Translation_mode.Paper_objects
   in
   Cmd.v
     (Cmd.info "bench"
@@ -671,7 +783,7 @@ let bench_cmd =
           appended as one trajectory point to BENCH_campaign.json. Exits \
           non-zero if the parallel run classifies any run differently (a \
           determinism bug) or if --gate detects a throughput regression.")
-    Term.(const run $ seed $ runs $ jobs $ out $ gate)
+    Term.(const run $ seed $ runs $ jobs $ out $ gate $ sva)
 
 let all_cmd =
   let run cfg jobs = Rvi_harness.Experiments.all ~jobs ppf cfg in
@@ -694,6 +806,7 @@ let () =
             fig9_cmd;
             overheads_cmd;
             ablations_cmd;
+            ablate_cmd;
             portability_cmd;
             ext_fir_cmd;
             ext_cbc_cmd;

@@ -3,11 +3,14 @@ type slot =
   | Param
   | Held of { obj_id : int; vpn : int; loaded_at : int }
 
-type t = { slots : slot array }
+type t = {
+  slots : slot array;
+  pinned : bool array; (* wired frames: never eviction victims *)
+}
 
 let create ~frames =
   if frames < 1 then invalid_arg "Frame_table.create: need at least one frame";
-  { slots = Array.make frames Free }
+  { slots = Array.make frames Free; pinned = Array.make frames false }
 
 let frames t = Array.length t.slots
 
@@ -72,11 +75,33 @@ let param_frame t =
   in
   go 0
 
+let wire t ~frame =
+  check t frame "wire";
+  (match t.slots.(frame) with
+  | Free -> invalid_arg "Frame_table.wire: cannot wire a free frame"
+  | Param | Held _ -> ());
+  t.pinned.(frame) <- true
+
+let unwire t ~frame =
+  check t frame "unwire";
+  t.pinned.(frame) <- false
+
+(* The parameter-passing page is wired by construction: while it is live
+   the coprocessor may read parameters from it at any time, so it must
+   never be an eviction victim. (The explicit param-recycling path goes
+   through [release], which clears the slot first.) *)
+let wired t ~frame =
+  check t frame "wired";
+  t.pinned.(frame) || t.slots.(frame) = Param
+
 let release t ~frame =
   check t frame "release";
-  t.slots.(frame) <- Free
+  t.slots.(frame) <- Free;
+  t.pinned.(frame) <- false
 
-let release_all t = Array.fill t.slots 0 (frames t) Free
+let release_all t =
+  Array.fill t.slots 0 (frames t) Free;
+  Array.fill t.pinned 0 (frames t) false
 
 let held_count t =
   Array.fold_left

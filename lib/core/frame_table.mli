@@ -32,8 +32,19 @@ val hold : t -> frame:int -> obj_id:int -> vpn:int -> loaded_at:int -> unit
 val set_param : t -> frame:int -> unit
 val param_frame : t -> int option
 
+val wire : t -> frame:int -> unit
+(** Pins an occupied frame: {!wired} reports it and the VIM's candidate
+    builder excludes it from eviction. Raises [Invalid_argument] on a
+    free frame. *)
+
+val unwire : t -> frame:int -> unit
+
+val wired : t -> frame:int -> bool
+(** True for explicitly wired frames and, by construction, for the live
+    parameter page — neither may ever be an eviction victim. *)
+
 val release : t -> frame:int -> unit
-(** Marks the frame free (from any state). *)
+(** Marks the frame free (from any state) and clears its wiring. *)
 
 val release_all : t -> unit
 

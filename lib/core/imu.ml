@@ -2,13 +2,28 @@ type config = {
   lookup_states : int;
   tlb_entries : int;
   tlb_organization : Tlb.organization;
+  translation : Translation_mode.t;
+  l2_entries : int;
+  l2_hit_cycles : int;
+  walker : Walker.config;
 }
 
 let default_config =
-  { lookup_states = 2; tlb_entries = 8; tlb_organization = Tlb.Fully_associative }
+  {
+    lookup_states = 2;
+    tlb_entries = 8;
+    tlb_organization = Tlb.Fully_associative;
+    translation = Translation_mode.Paper_objects;
+    l2_entries = 64;
+    l2_hit_cycles = 2;
+    walker = Walker.default_config;
+  }
 
-let pipelined_config =
-  { lookup_states = 0; tlb_entries = 8; tlb_organization = Tlb.Fully_associative }
+let pipelined_config = { default_config with lookup_states = 0 }
+
+(* SVA mode runs a single address space per execution, so every TLB entry
+   carries the same tag; keyed by the global virtual page number alone. *)
+let sva_asid = 0
 
 (* Access protocol: the coprocessor pulses CP_ACCESS for exactly one cycle
    with the request fields held; the IMU latches it on the next edge and
@@ -44,6 +59,10 @@ type t = {
   geom : Rvi_mem.Page.geometry;
   raise_irq : unit -> unit;
   tlb : Tlb.t;
+  l2 : Tlb.t option; (* SVA: shared second-level TLB behind the L1 CAM *)
+  walker : Walker.t option; (* SVA: hardware page-table walker *)
+  sva_base : int array; (* SVA: per-object window base VA, -1 = unset *)
+  mutable page_table : Rvi_os.Page_table.t option;
   fsm : state Rvi_hw.Fsm.t;
   (* Latched request being translated — flat mutable fields (no
      [request option] box) because one is latched per coprocessor access,
@@ -81,9 +100,20 @@ type t = {
   c_param_reads : Rvi_sim.Stats.counter;
 }
 
-let create ?(config = default_config) ~port ~dpram ~raise_irq () =
+let create ?(config = default_config) ?l2 ~port ~dpram ~raise_irq () =
   if config.lookup_states < 0 then invalid_arg "Imu.create: negative lookup_states";
   let stats = Rvi_sim.Stats.create () in
+  let l2, walker =
+    match config.translation with
+    | Translation_mode.Paper_objects -> (None, None)
+    | Translation_mode.Iommu_sva ->
+      let l2 =
+        match l2 with
+        | Some tlb -> tlb
+        | None -> Tlb.create ~entries:config.l2_entries ()
+      in
+      (Some l2, Some (Walker.create config.walker))
+  in
   {
     cfg = config;
     port;
@@ -93,6 +123,10 @@ let create ?(config = default_config) ~port ~dpram ~raise_irq () =
     tlb =
       Tlb.create ~organization:config.tlb_organization
         ~entries:config.tlb_entries ();
+    l2;
+    walker;
+    sva_base = Array.make (Cp_port.param_obj + 1) (-1);
+    page_table = None;
     fsm = Rvi_hw.Fsm.create ~name:"imu" ~init:Idle ~show:show_state;
     req_valid = false;
     req_obj = 0;
@@ -146,8 +180,136 @@ let resolve t ~stamp =
     Tlb.translate t.tlb ~obj_id:t.req_obj ~vpn ~stamp ~wr:t.req_wr
   end
 
+(* SVA: the per-object window register rebases the coprocessor's
+   object-local address onto the process VA space. A negative base means
+   the window was never programmed — an unconditional fault. *)
+let sva_va t =
+  let base = t.sva_base.(t.req_obj) in
+  if base < 0 then None else Some (base + t.req_addr)
+
+(* Virtual page of the latched request under the active translation mode
+   (SVA: the process-global page; -1 for an unprogrammed window). *)
+let req_vpn t =
+  match t.cfg.translation with
+  | Translation_mode.Paper_objects -> Rvi_mem.Page.vpn t.geom t.req_addr
+  | Translation_mode.Iommu_sva -> (
+    match sva_va t with
+    | Some va -> Rvi_mem.Page.vpn t.geom va
+    | None -> -1)
+
+let req_offset t =
+  match t.cfg.translation with
+  | Translation_mode.Paper_objects -> Rvi_mem.Page.offset t.geom t.req_addr
+  | Translation_mode.Iommu_sva ->
+    if t.req_obj = Cp_port.param_obj then Rvi_mem.Page.offset t.geom t.req_addr
+    else (
+      match sva_va t with
+      | Some va -> Rvi_mem.Page.offset t.geom va
+      | None -> 0)
+
+(* Replacement down the hierarchy must not lose write-back state: a dirty
+   victim leaving a TLB level marks the L2 entry for the same page, or
+   failing that the PTE (the architectural home of the dirty bit). *)
+let fold_dirty_to_pte t ~vpn =
+  match t.page_table with
+  | Some pt -> (
+    match Rvi_os.Page_table.find pt ~vpn with
+    | Some pte -> pte.Rvi_os.Page_table.dirty <- true
+    | None -> ())
+  | None -> ()
+
+let fold_dirty_from_l1 t ~vpn =
+  match t.l2 with
+  | Some l2 -> (
+    match Tlb.lookup l2 ~obj_id:sva_asid ~vpn with
+    | Tlb.Hit slot -> Tlb.mark_dirty l2 ~slot
+    | Tlb.Miss -> fold_dirty_to_pte t ~vpn)
+  | None -> fold_dirty_to_pte t ~vpn
+
+(* Hardware refill of one TLB level: an invalid way if there is one, else
+   the LRU entry among the allowed ways, with the victim's dirty bit
+   folded down by [fold]. Returns the slot written. *)
+let hw_refill tlb ~vpn ~ppn ~stamp ~fold =
+  let slot =
+    match Tlb.free_way_slot tlb ~obj_id:sva_asid ~vpn with
+    | Some s -> s
+    | None ->
+      let victim = ref (-1) and lru = ref max_int in
+      List.iter
+        (fun s ->
+          let e = Tlb.get tlb ~slot:s in
+          if e.Tlb.last_access < !lru then begin
+            victim := s;
+            lru := e.Tlb.last_access
+          end)
+        (Tlb.way_slots tlb ~obj_id:sva_asid ~vpn);
+      let s = !victim in
+      let e = Tlb.get tlb ~slot:s in
+      if e.Tlb.valid && e.Tlb.dirty then fold e.Tlb.vpn;
+      s
+  in
+  Tlb.insert tlb ~slot ~obj_id:sva_asid ~vpn ~ppn ~stamp;
+  slot
+
+(* SVA translation of the latched request: L1 CAM, then the shared L2,
+   then the walker over the process's page table — refilling upwards on
+   the way back, as a hardware IOMMU does. Returns the physical page
+   ([None] means a VIM-serviced fault) and the search cycles spent beyond
+   the L1 CAM window. *)
+let resolve_sva t =
+  let stamp = t.cycle + t.cfg.lookup_states in
+  if t.req_obj = Cp_port.param_obj then begin
+    match t.param_page with
+    | Some ppn ->
+      Rvi_sim.Stats.tick t.c_param_reads;
+      (Some ppn, 0)
+    | None -> failwith "Imu: parameter access with no parameter page configured"
+  end
+  else begin
+    if not t.params_done then t.params_done <- true;
+    match sva_va t with
+    | None -> (None, 0) (* unprogrammed window: fault without searching *)
+    | Some va -> (
+      let vpn = Rvi_mem.Page.vpn t.geom va in
+      match Tlb.translate t.tlb ~obj_id:sva_asid ~vpn ~stamp ~wr:t.req_wr with
+      | Some ppn -> (Some ppn, 0)
+      | None -> (
+        let l2 =
+          match t.l2 with
+          | Some l2 -> l2
+          | None -> failwith "Imu: SVA mode with no L2 TLB"
+        in
+        let extra = t.cfg.l2_hit_cycles in
+        match Tlb.translate l2 ~obj_id:sva_asid ~vpn ~stamp ~wr:false with
+        | Some ppn ->
+          let slot =
+            hw_refill t.tlb ~vpn ~ppn ~stamp ~fold:(fun v ->
+                fold_dirty_from_l1 t ~vpn:v)
+          in
+          Tlb.touch t.tlb ~slot ~stamp ~wr:t.req_wr;
+          (Some ppn, extra)
+        | None -> (
+          match (t.page_table, t.walker) with
+          | Some pt, Some w -> (
+            let o = Walker.walk w pt ~vpn in
+            let extra = extra + o.Walker.cycles in
+            match o.Walker.frame with
+            | Some ppn ->
+              ignore
+                (hw_refill l2 ~vpn ~ppn ~stamp ~fold:(fun v ->
+                     fold_dirty_to_pte t ~vpn:v));
+              let slot =
+                hw_refill t.tlb ~vpn ~ppn ~stamp ~fold:(fun v ->
+                    fold_dirty_from_l1 t ~vpn:v)
+              in
+              Tlb.touch t.tlb ~slot ~stamp ~wr:t.req_wr;
+              (Some ppn, extra)
+            | None -> (None, extra))
+          | _ -> (None, extra))))
+  end
+
 let enter_fault t =
-  let vpn = Rvi_mem.Page.vpn t.geom t.req_addr in
+  let vpn = req_vpn t in
   let key = (t.req_obj, vpn) in
   if t.just_resumed && t.fault = Some key then
     failwith
@@ -162,7 +324,7 @@ let enter_fault t =
   t.raise_irq ()
 
 let perform_access t ppn =
-  let offset = Rvi_mem.Page.offset t.geom t.req_addr in
+  let offset = req_offset t in
   let bytes = Cp_port.width_bytes t.req_width in
   if offset + bytes > t.geom.Rvi_mem.Page.page_size then
     failwith "Imu: access crosses a page boundary (coprocessor must align)";
@@ -199,16 +361,25 @@ let perform_access t ppn =
    bit-identical to stepping the search cycle by cycle; only the host work
    of the intermediate edges disappears. *)
 let translate_or_fault t =
-  match resolve t ~stamp:(t.cycle + t.cfg.lookup_states) with
+  let resolved, extra =
+    match t.cfg.translation with
+    | Translation_mode.Paper_objects ->
+      (resolve t ~stamp:(t.cycle + t.cfg.lookup_states), 0)
+    | Translation_mode.Iommu_sva -> resolve_sva t
+  in
+  (* [extra] stretches the countdown by the L2 search and walker cycles
+     (always 0 in paper mode, keeping that path byte-identical). *)
+  let states = t.cfg.lookup_states + extra in
+  match resolved with
   | Some ppn ->
-    if t.cfg.lookup_states = 0 then begin
+    if states = 0 then begin
       perform_access t ppn;
       Rvi_hw.Fsm.goto t.fsm Idle
     end
-    else Rvi_hw.Fsm.goto t.fsm (Wait (t.cfg.lookup_states, ppn))
+    else Rvi_hw.Fsm.goto t.fsm (Wait (states, ppn))
   | None ->
-    if t.cfg.lookup_states = 0 then enter_fault t
-    else Rvi_hw.Fsm.goto t.fsm (Miss_wait (t.cfg.lookup_states - 1))
+    if states = 0 then enter_fault t
+    else Rvi_hw.Fsm.goto t.fsm (Miss_wait (states - 1))
 
 let begin_translation t =
   let p = t.port in
@@ -221,14 +392,20 @@ let begin_translation t =
   Rvi_sim.Stats.tick t.c_accesses;
   (match t.trace with
   | Some probe when t.req_obj <> Cp_port.param_obj ->
-    let vpn = Rvi_mem.Page.vpn t.geom t.req_addr in
-    let tlb_hit = Tlb.lookup t.tlb ~obj_id:t.req_obj ~vpn <> Tlb.Miss in
+    let vpn = req_vpn t in
+    let tlb_hit =
+      match t.cfg.translation with
+      | Translation_mode.Paper_objects ->
+        Tlb.lookup t.tlb ~obj_id:t.req_obj ~vpn <> Tlb.Miss
+      | Translation_mode.Iommu_sva ->
+        vpn >= 0 && Tlb.lookup t.tlb ~obj_id:sva_asid ~vpn <> Tlb.Miss
+    in
     probe
       {
         at_cycle = t.cycle;
         obj_id = t.req_obj;
         vpn;
-        offset = Rvi_mem.Page.offset t.geom t.req_addr;
+        offset = req_offset t;
         wr = t.req_wr;
         tlb_hit;
       }
@@ -404,9 +581,45 @@ let reset t =
   t.hung <- false;
   t.injector <- None;
   Tlb.reset t.tlb;
+  (match t.l2 with Some l2 -> Tlb.reset l2 | None -> ());
+  (match t.walker with Some w -> Walker.reset w | None -> ());
+  Array.fill t.sva_base 0 (Array.length t.sva_base) (-1);
+  t.page_table <- None;
   Rvi_sim.Stats.soft_reset t.stats
 
 let set_param_page t p = t.param_page <- p
+
+(* {2 SVA register/binding interface (driven by the VIM)} *)
+
+let l2 t = t.l2
+let walker t = t.walker
+
+let set_sva_window t ~obj ~base =
+  if obj < 0 || obj > Cp_port.max_data_obj then
+    invalid_arg (Printf.sprintf "Imu.set_sva_window: bad object id %d" obj);
+  if base < 0 then invalid_arg "Imu.set_sva_window: negative base address";
+  t.sva_base.(obj) <- base
+
+let sva_window t ~obj =
+  if obj < 0 || obj >= Array.length t.sva_base || t.sva_base.(obj) < 0 then None
+  else Some t.sva_base.(obj)
+
+let set_page_table t pt = t.page_table <- pt
+let page_table t = t.page_table
+
+let sva_invalidate t ~vpn =
+  let drop tlb =
+    match Tlb.lookup tlb ~obj_id:sva_asid ~vpn with
+    | Tlb.Hit slot ->
+      let dirty = (Tlb.get tlb ~slot).Tlb.dirty in
+      Tlb.invalidate tlb ~slot;
+      dirty
+    | Tlb.Miss -> false
+  in
+  let d1 = drop t.tlb in
+  let d2 = match t.l2 with Some l2 -> drop l2 | None -> false in
+  if d1 || d2 then fold_dirty_to_pte t ~vpn
+
 let set_trace t probe = t.trace <- probe
 let set_injector t inj = t.injector <- inj
 let hung t = t.hung

@@ -25,24 +25,41 @@ type config = {
   tlb_organization : Tlb.organization;
       (** the paper's TLB is a full CAM; cheaper organisations trade
           conflict refill faults for area (ablation [abl-tlb-org]) *)
+  translation : Translation_mode.t;
+      (** object-keyed translation (the paper) or shared virtual
+          addressing through the two-level hierarchy *)
+  l2_entries : int;  (** shared L2 TLB size (SVA mode only) *)
+  l2_hit_cycles : int;
+      (** extra search cycles when an L1 miss hits the shared L2 *)
+  walker : Walker.config;  (** page-table walker cost model (SVA mode) *)
 }
 
 val default_config : config
-(** [lookup_states = 2] (the 4-cycle access of Figure 7), [tlb_entries = 8]. *)
+(** [lookup_states = 2] (the 4-cycle access of Figure 7), [tlb_entries = 8],
+    [Paper_objects] translation; SVA parameters [l2_entries = 64],
+    [l2_hit_cycles = 2], 12 walker cycles per level. *)
 
 val pipelined_config : config
 (** The paper's announced pipelined IMU: translation overlapped with the
     access, [lookup_states = 0] (2-cycle access). *)
 
+val sva_asid : int
+(** The tag every SVA-mode TLB entry carries (one address space per
+    execution); exposed for tests poking the TLBs directly. *)
+
 type t
 
 val create :
   ?config:config ->
+  ?l2:Tlb.t ->
   port:Cp_port.t ->
   dpram:Rvi_mem.Dpram.t ->
   raise_irq:(unit -> unit) ->
   unit ->
   t
+(** [l2] shares a second-level TLB between coprocessors (multi-design
+    SVA setups); by default an SVA-mode IMU builds a private one of
+    [config.l2_entries] entries. Ignored in [Paper_objects] mode. *)
 
 val component : t -> Rvi_sim.Clock.component
 (** Register this on the IMU/memory-subsystem clock. *)
@@ -63,6 +80,34 @@ val skip : t -> int -> unit
 val config : t -> config
 val tlb : t -> Tlb.t
 val port : t -> Cp_port.t
+
+(** {1 SVA translation (IOMMU mode)} *)
+
+val l2 : t -> Tlb.t option
+(** The shared second-level TLB, present iff the IMU was created in
+    [Iommu_sva] mode. *)
+
+val walker : t -> Walker.t option
+(** The hardware page-table walker ([Iommu_sva] mode only); its stats
+    carry the walk-count and walk-latency distribution. *)
+
+val set_sva_window : t -> obj:int -> base:int -> unit
+(** Programs the window register rebasing object [obj]'s accesses to the
+    process virtual address [base] — the whole [FPGA_MAP_OBJECT] shim in
+    SVA mode. *)
+
+val sva_window : t -> obj:int -> int option
+
+val set_page_table : t -> Rvi_os.Page_table.t option -> unit
+(** Binds the executing process's page table to the walker (the IOMMU's
+    context-table entry). The VIM sets it at [FPGA_EXECUTE]. *)
+
+val page_table : t -> Rvi_os.Page_table.t option
+
+val sva_invalidate : t -> vpn:int -> unit
+(** Drops a page's translation from both TLB levels, folding any dirty
+    bit into the PTE so write-back state survives; the VIM calls this
+    when evicting the page's frame. *)
 
 (** {1 Register interface (driven by the VIM over the bus)} *)
 

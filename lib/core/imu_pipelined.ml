@@ -1,4 +1,5 @@
-let create ?(tlb_entries = Imu.pipelined_config.Imu.tlb_entries) ~port ~dpram
+let create ?(tlb_entries = Imu.pipelined_config.Imu.tlb_entries)
+    ?(translation = Imu.pipelined_config.Imu.translation) ~port ~dpram
     ~raise_irq () =
-  let config = { Imu.pipelined_config with Imu.tlb_entries } in
+  let config = { Imu.pipelined_config with Imu.tlb_entries; translation } in
   Imu.create ~config ~port ~dpram ~raise_irq ()

@@ -13,6 +13,7 @@
 
 val create :
   ?tlb_entries:int ->
+  ?translation:Translation_mode.t ->
   port:Cp_port.t ->
   dpram:Rvi_mem.Dpram.t ->
   raise_irq:(unit -> unit) ->

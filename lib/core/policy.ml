@@ -25,7 +25,16 @@ type t = { kind : kind }
 
 let fifo () = { kind = Fifo }
 let lru () = { kind = Lru }
-let random ~seed = { kind = Random (Rvi_sim.Prng.create ~seed) }
+(* The victim stream must be independent of every other consumer seeded
+   from the same campaign seed — the fault injector in particular uses
+   [Prng.create ~seed] directly, and sharing its stream head would let
+   enabling --inject silently perturb replacement decisions. A derived
+   stream keeps victim sequences identical with and without injection
+   (pinned by a regression test). *)
+let random_stream_index = 0x9EC7
+
+let random ~seed =
+  { kind = Random (Rvi_sim.Prng.derive ~seed ~index:random_stream_index) }
 let second_chance () = { kind = Second_chance { hand = 0 } }
 
 let oracle ~trace ~position =

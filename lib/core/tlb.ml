@@ -138,6 +138,17 @@ let check_slot t slot op =
   if slot < 0 || slot >= Array.length t.slots then
     invalid_arg (Printf.sprintf "Tlb.%s: slot %d out of range" op slot)
 
+let touch t ~slot ~stamp ~wr =
+  check_slot t slot "touch";
+  let e = t.slots.(slot) in
+  if wr then e.dirty <- true;
+  e.referenced <- true;
+  e.last_access <- stamp
+
+let mark_dirty t ~slot =
+  check_slot t slot "mark_dirty";
+  t.slots.(slot).dirty <- true
+
 let insert t ~slot ~obj_id ~vpn ~ppn ~stamp =
   check_slot t slot "insert";
   t.mru <- -1;

@@ -78,6 +78,16 @@ val invalidate_all : t -> unit
 val get : t -> slot:int -> entry
 val clear_referenced : t -> slot:int -> unit
 
+val touch : t -> slot:int -> stamp:int -> wr:bool -> unit
+(** Applies the hardware-side access effects to an entry without a scan:
+    sets the reference bit and usage stamp, and the dirty bit when [wr].
+    Used by the SVA refill paths, where the hardware (L2 hit or walker)
+    installs a translation and completes the very access that missed. *)
+
+val mark_dirty : t -> slot:int -> unit
+(** Folds write-back state down the hierarchy: marks an entry dirty, as
+    when a dirty L1 entry is replaced and its state moves to the L2. *)
+
 val valid_count : t -> int
 
 val stats : t -> Rvi_sim.Stats.t

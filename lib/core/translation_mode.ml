@@ -1,0 +1,12 @@
+type t = Paper_objects | Iommu_sva
+
+let name = function
+  | Paper_objects -> "paper-objects"
+  | Iommu_sva -> "iommu-sva"
+
+let of_name = function
+  | "paper-objects" | "paper" | "objects" -> Some Paper_objects
+  | "iommu-sva" | "sva" | "iommu" -> Some Iommu_sva
+  | _ -> None
+
+let all = [ Paper_objects; Iommu_sva ]

@@ -1,0 +1,29 @@
+(** How coprocessor virtual addresses reach dual-port-RAM frames.
+
+    The knob threaded through {!Api}, {!Vim}, {!Imu} and the harness
+    configuration. *)
+
+type t =
+  | Paper_objects
+      (** The paper's interface: [FPGA_MAP_OBJECT] declares (object,
+          buffer) pairs, the IMU TLB is keyed by (object id, object-local
+          page) and the VIM refills it on faults. The byte-identical
+          baseline. *)
+  | Iommu_sva
+      (** Shared virtual addressing: the coprocessor's [CP_OBJ]/[CP_ADDR]
+          pair is rebased to a {e process} virtual address through a
+          per-object window register, translated by a two-level TLB
+          hierarchy (per-coprocessor L1 CAM backed by a shared L2) and,
+          on a double miss, a cycle-costed hardware walker over the
+          process's software page table. [FPGA_MAP_OBJECT] degenerates to
+          programming the window register — no kernel object
+          bookkeeping. *)
+
+val name : t -> string
+(** ["paper-objects"] / ["iommu-sva"]. *)
+
+val of_name : string -> t option
+(** Accepts the canonical names plus the ["paper"] / ["sva"] / ["iommu"]
+    shorthands. *)
+
+val all : t list

@@ -58,6 +58,7 @@ type error =
   | Bus_error
   | Dma_failed
   | Parity_error of { frame : int }
+  | Sva_fault of { vpn : int }
 
 let error_to_string = function
   | Unmapped_object id -> Printf.sprintf "access to unmapped object %d" id
@@ -73,6 +74,9 @@ let error_to_string = function
   | Dma_failed -> "DMA transfer failed through every retry"
   | Parity_error { frame } ->
     Printf.sprintf "dual-port RAM parity error in frame %d" frame
+  | Sva_fault { vpn } ->
+    Printf.sprintf
+      "walker fault on virtual page %d outside the process address space" vpn
 
 type severity = Transient | Fatal
 
@@ -82,7 +86,7 @@ type severity = Transient | Fatal
 let classify = function
   | Hardware_stall | Bus_error | Dma_failed | Parity_error _ -> Transient
   | Unmapped_object _ | Object_overflow _ | No_frames | Too_many_params _
-  | Nothing_loaded ->
+  | Nothing_loaded | Sva_fault _ ->
     Fatal
 
 type t = {
@@ -103,6 +107,9 @@ type t = {
   frame_dirty : (int, unit) Hashtbl.t;
       (* dirtiness folded out of evicted TLB entries (TLB smaller than the
          frame pool) *)
+  mutable page_table : Rvi_os.Page_table.t option;
+      (* SVA: the executing process's page table, bound for the duration
+         of one FPGA_EXECUTE (the same binding the IMU walker holds) *)
   mutable caller : int option; (* pid sleeping in FPGA_EXECUTE *)
   mutable finished : bool;
   mutable error : error option;
@@ -142,6 +149,7 @@ let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
       objects = Hashtbl.create 8;
       written_back = Hashtbl.create 64;
       frame_dirty = Hashtbl.create 16;
+      page_table = None;
       caller = None;
       finished = false;
       error = None;
@@ -229,16 +237,33 @@ and charge_copy t bytes =
     Kernel.charge_time t.kernel Accounting.Sw_dp
       (Rvi_mem.Dma.transfer ~notify dma ~bytes)
 
-(* Dirtiness of the page in [frame]: hardware TLB bit plus anything folded
-   back when a TLB entry was evicted while the page stayed resident. *)
+and translation t = (Imu.config t.imu).Imu.translation
+
+(* SVA: the PTE of the page held in [frame], if the frame is held and the
+   page table is bound. *)
+and sva_pte t ~frame =
+  match t.page_table with
+  | None -> None
+  | Some pt -> (
+    match Frame_table.slot t.frames ~frame with
+    | Frame_table.Held { vpn; _ } -> Rvi_os.Page_table.find pt ~vpn
+    | Frame_table.Free | Frame_table.Param -> None)
+
+(* Dirtiness of the page in [frame]: hardware TLB bit — at either level of
+   the SVA hierarchy — plus the sticky PTE bit, plus anything folded back
+   when a TLB entry was evicted while the page stayed resident. *)
 and frame_is_dirty t ~frame =
-  let tlb = Imu.tlb t.imu in
-  let hw =
+  let dirty_in tlb =
     match Tlb.slot_of_ppn tlb ~ppn:frame with
     | Some slot -> (Tlb.get tlb ~slot).Tlb.dirty
     | None -> false
   in
-  hw || Hashtbl.mem t.frame_dirty frame
+  dirty_in (Imu.tlb t.imu)
+  || (match Imu.l2 t.imu with Some l2 -> dirty_in l2 | None -> false)
+  || Hashtbl.mem t.frame_dirty frame
+  || (match sva_pte t ~frame with
+     | Some pte -> pte.Rvi_os.Page_table.dirty
+     | None -> false)
 
 (* Write the page held in [frame] back to its user buffer if it is dirty
    and its object accepts writes. Input-only objects are never written
@@ -280,35 +305,72 @@ and writeback_if_dirty t ~frame ~obj_id ~vpn =
         end
     end
 
-(* Drop the TLB entry translating to [frame], folding its dirty bit into
-   the software table first. *)
+(* Drop the TLB entry translating to [frame] — from both levels of the SVA
+   hierarchy — folding its dirty bit into the software table first. *)
 and invalidate_tlb_for_frame t ~frame =
-  let tlb = Imu.tlb t.imu in
-  match Tlb.slot_of_ppn tlb ~ppn:frame with
-  | None -> ()
-  | Some slot ->
-    let cost = Kernel.cost t.kernel in
-    if (Tlb.get tlb ~slot).Tlb.dirty then Hashtbl.replace t.frame_dirty frame ();
-    Tlb.invalidate tlb ~slot;
-    Kernel.charge t.kernel Accounting.Sw_imu ~cycles:cost.Cost_model.tlb_update;
-    emit t (Trace.Tlb_invalidate { ppn = frame })
+  let drop tlb =
+    match Tlb.slot_of_ppn tlb ~ppn:frame with
+    | None -> ()
+    | Some slot ->
+      let cost = Kernel.cost t.kernel in
+      if (Tlb.get tlb ~slot).Tlb.dirty then
+        Hashtbl.replace t.frame_dirty frame ();
+      Tlb.invalidate tlb ~slot;
+      Kernel.charge t.kernel Accounting.Sw_imu
+        ~cycles:cost.Cost_model.tlb_update;
+      emit t (Trace.Tlb_invalidate { ppn = frame })
+  in
+  drop (Imu.tlb t.imu);
+  match Imu.l2 t.imu with Some l2 -> drop l2 | None -> ()
 
-and evict t ~frame =
+(* SVA write-back: the whole page goes back to its home in the process
+   address space ([vpn * page_size] in SDRAM). There are no direction
+   hints in SVA — the PTE/TLB dirty bits are the only write-back
+   information, which is exactly the trade the ablation measures. *)
+and sva_writeback_if_dirty t ~frame ~vpn ~dirty =
+  if dirty then begin
+    if Rvi_mem.Dpram.parity_error t.dpram ~page:frame then begin
+      Stats.incr t.stats "parity_errors";
+      if t.error = None then t.error <- Some (Parity_error { frame })
+    end
+    else begin
+      let ps = t.geom.Rvi_mem.Page.page_size in
+      let sdram = Kernel.sdram t.kernel in
+      Rvi_mem.Dpram.store_page_to_ram t.dpram ~page:frame
+        (Rvi_mem.Sdram.raw sdram) ~dst_pos:(vpn * ps) ~len:ps;
+      charge_copy_with_retry t ~what:"writeback" ps;
+      emit t
+        (Trace.Page_writeback { obj_id = Imu.sva_asid; vpn; frame; bytes = ps });
+      Stats.incr t.stats "writebacks"
+    end
+  end
+
+(* SVA eviction: snapshot dirtiness across L1/L2/PTE, drop the page's
+   translations from both TLB levels, write the page home if dirty, and
+   clear its PTE so the next walk faults to the VIM again. *)
+and sva_evict t ~frame =
   (match Frame_table.slot t.frames ~frame with
-  | Frame_table.Held { obj_id; vpn; _ } ->
+  | Frame_table.Held { vpn; _ } ->
     let dirty = frame_is_dirty t ~frame in
-    (* Unmap, then drain: an access whose CAM hit preceded the
-       invalidation may still be in flight inside the IMU; give it one
-       full translation window (an SR read's worth of CPU time) to land in
-       the old frame before the contents are snapshotted and the frame
-       reused. Only then copy out. *)
     invalidate_tlb_for_frame t ~frame;
     Kernel.charge t.kernel Accounting.Sw_imu
       ~cycles:(Kernel.cost t.kernel).Cost_model.fault_decode;
-    writeback_if_dirty t ~frame ~obj_id ~vpn;
+    sva_writeback_if_dirty t ~frame ~vpn ~dirty;
+    (match t.page_table with
+    | Some pt ->
+      Rvi_os.Page_table.unmap pt ~vpn;
+      Kernel.charge t.kernel Accounting.Sw_os
+        ~cycles:(Kernel.cost t.kernel).Cost_model.tlb_update
+    | None -> ());
     emit t
       (Trace.Page_evict
-         { obj_id; vpn; frame; policy = Policy.name t.cfg.policy; dirty });
+         {
+           obj_id = Imu.sva_asid;
+           vpn;
+           frame;
+           policy = Policy.name t.cfg.policy;
+           dirty;
+         });
     Stats.incr t.stats "evictions"
   | Frame_table.Param -> Stats.incr t.stats "param_releases"
   | Frame_table.Free -> ());
@@ -317,19 +379,62 @@ and evict t ~frame =
   let cost = Kernel.cost t.kernel in
   Kernel.charge t.kernel Accounting.Sw_os ~cycles:cost.Cost_model.page_bookkeeping
 
+and evict t ~frame =
+  match translation t with
+  | Translation_mode.Iommu_sva -> sva_evict t ~frame
+  | Translation_mode.Paper_objects ->
+    (match Frame_table.slot t.frames ~frame with
+    | Frame_table.Held { obj_id; vpn; _ } ->
+      let dirty = frame_is_dirty t ~frame in
+      (* Unmap, then drain: an access whose CAM hit preceded the
+         invalidation may still be in flight inside the IMU; give it one
+         full translation window (an SR read's worth of CPU time) to land in
+         the old frame before the contents are snapshotted and the frame
+         reused. Only then copy out. *)
+      invalidate_tlb_for_frame t ~frame;
+      Kernel.charge t.kernel Accounting.Sw_imu
+        ~cycles:(Kernel.cost t.kernel).Cost_model.fault_decode;
+      writeback_if_dirty t ~frame ~obj_id ~vpn;
+      emit t
+        (Trace.Page_evict
+           { obj_id; vpn; frame; policy = Policy.name t.cfg.policy; dirty });
+      Stats.incr t.stats "evictions"
+    | Frame_table.Param -> Stats.incr t.stats "param_releases"
+    | Frame_table.Free -> ());
+    Hashtbl.remove t.frame_dirty frame;
+    Frame_table.release t.frames ~frame;
+    let cost = Kernel.cost t.kernel in
+    Kernel.charge t.kernel Accounting.Sw_os
+      ~cycles:cost.Cost_model.page_bookkeeping
+
 and candidates ?(exclude = []) t =
   let tlb = Imu.tlb t.imu in
+  (* Usage metadata comes from the L1 entry when the page still has one,
+     falling back to the shared L2 in SVA mode (an L1-evicted page's
+     stamps live on there), then to the load time. *)
+  let entry_for frame =
+    match Tlb.slot_of_ppn tlb ~ppn:frame with
+    | Some slot -> Some (Tlb.get tlb ~slot)
+    | None -> (
+      match Imu.l2 t.imu with
+      | Some l2 -> (
+        match Tlb.slot_of_ppn l2 ~ppn:frame with
+        | Some slot -> Some (Tlb.get l2 ~slot)
+        | None -> None)
+      | None -> None)
+  in
   Frame_table.resident t.frames
-  |> List.filter (fun (frame, _obj, _vpn) -> not (List.mem frame exclude))
+  |> List.filter (fun (frame, _obj, _vpn) ->
+         (not (List.mem frame exclude))
+         && not (Frame_table.wired t.frames ~frame))
   |> List.map (fun (frame, obj_id, vpn) ->
          let loaded_at =
            match Frame_table.slot t.frames ~frame with
            | Frame_table.Held { loaded_at; _ } -> loaded_at
            | Frame_table.Free | Frame_table.Param -> 0
          in
-         match Tlb.slot_of_ppn tlb ~ppn:frame with
-         | Some slot ->
-           let e = Tlb.get tlb ~slot in
+         match entry_for frame with
+         | Some e ->
            {
              Policy.frame;
              page = (obj_id, vpn);
@@ -534,6 +639,54 @@ and try_prefetch t ~obj ~vpn ~protect =
     protect predictions
   |> ignore
 
+(* SVA: wire one process page into [frame] — load the whole page from its
+   home in SDRAM (no direction hints exist at this level), hold the frame
+   and install the PTE. No TLB refill: the hardware walker re-walks on
+   resume and refills both levels itself, as a real IOMMU does. *)
+and sva_wire_page t ~frame ~vpn =
+  match t.page_table with
+  | None -> t.error <- Some (Sva_fault { vpn })
+  | Some pt ->
+    let ps = t.geom.Rvi_mem.Page.page_size in
+    let sdram = Kernel.sdram t.kernel in
+    Rvi_mem.Dpram.load_page_from_ram t.dpram ~page:frame
+      (Rvi_mem.Sdram.raw sdram) ~src_pos:(vpn * ps) ~len:ps;
+    charge_copy_with_retry t ~what:"page_load" ps;
+    emit t (Trace.Page_load { obj_id = Imu.sva_asid; vpn; frame; bytes = ps });
+    Stats.incr t.stats "pages_loaded";
+    Frame_table.hold t.frames ~frame ~obj_id:Imu.sva_asid ~vpn
+      ~loaded_at:(Imu.cycle t.imu);
+    Hashtbl.remove t.frame_dirty frame;
+    Rvi_os.Page_table.map pt ~vpn ~frame;
+    Kernel.charge t.kernel Accounting.Sw_os
+      ~cycles:(Kernel.cost t.kernel).Cost_model.tlb_update
+
+(* SVA walker fault: the IMU found no PTE (or the window register was
+   never programmed, [vpn = -1]). Wire the page by process VA and resume;
+   a page whose PTE exists (a corrupted/overwritten TLB entry was
+   dropped) needs no wiring — the walker refills on resume. *)
+and handle_sva_fault t ~t0 ~obj_id ~vpn =
+  let va_pages =
+    Rvi_os.Uspace.va_pages t.kernel
+      ~page_size:t.geom.Rvi_mem.Page.page_size
+  in
+  if vpn < 0 || vpn >= va_pages then t.error <- Some (Sva_fault { vpn })
+  else begin
+    let refill_only = ref false in
+    (match t.page_table with
+    | Some pt when Rvi_os.Page_table.find pt ~vpn <> None ->
+      refill_only := true;
+      Stats.incr t.stats "tlb_refill_faults"
+    | _ -> (
+      match obtain_frame t with
+      | None -> t.error <- Some No_frames
+      | Some frame -> sva_wire_page t ~frame ~vpn));
+    if t.error = None then Imu.write_cr t.imu Imu_regs.cr_resume;
+    span t ~t0 (Trace.Fault { obj_id; vpn; refill_only = !refill_only });
+    Stats.observe t.stats "fault_service_us"
+      (Simtime.to_us (Simtime.sub (Kernel.now t.kernel) t0))
+  end
+
 and handle_fault t ~t0 =
   Stats.incr t.stats "faults";
   (* Service time is measured from interrupt decode ([t0]): the SR/AR read
@@ -545,6 +698,8 @@ and handle_fault t ~t0 =
         | None -> "spurious"));
   match Imu.fault t.imu with
   | None -> Stats.incr t.stats "spurious_irqs"
+  | Some (obj_id, vpn) when translation t = Translation_mode.Iommu_sva ->
+    handle_sva_fault t ~t0 ~obj_id ~vpn
   | Some (obj_id, vpn) -> (
     match Hashtbl.find_opt t.objects obj_id with
     | None -> t.error <- Some (Unmapped_object obj_id)
@@ -618,13 +773,27 @@ and handle_fin t =
   let cost = Kernel.cost t.kernel in
   (* Copy back to user space all the dirty data currently in the dual-port
      memory, then drop every mapping. *)
-  List.iter
-    (fun (frame, obj_id, vpn) ->
-      writeback_if_dirty t ~frame ~obj_id ~vpn;
-      invalidate_tlb_for_frame t ~frame;
-      Frame_table.release t.frames ~frame;
-      Hashtbl.remove t.frame_dirty frame)
-    (Frame_table.resident t.frames);
+  (match translation t with
+  | Translation_mode.Paper_objects ->
+    List.iter
+      (fun (frame, obj_id, vpn) ->
+        writeback_if_dirty t ~frame ~obj_id ~vpn;
+        invalidate_tlb_for_frame t ~frame;
+        Frame_table.release t.frames ~frame;
+        Hashtbl.remove t.frame_dirty frame)
+      (Frame_table.resident t.frames)
+  | Translation_mode.Iommu_sva ->
+    List.iter
+      (fun (frame, _asid, vpn) ->
+        let dirty = frame_is_dirty t ~frame in
+        invalidate_tlb_for_frame t ~frame;
+        sva_writeback_if_dirty t ~frame ~vpn ~dirty;
+        (match t.page_table with
+        | Some pt -> Rvi_os.Page_table.unmap pt ~vpn
+        | None -> ());
+        Frame_table.release t.frames ~frame;
+        Hashtbl.remove t.frame_dirty frame)
+      (Frame_table.resident t.frames));
   (match Frame_table.param_frame t.frames with
   | Some frame ->
     Frame_table.release t.frames ~frame;
@@ -652,6 +821,7 @@ let reset t cfg =
   Hashtbl.reset t.written_back;
   Hashtbl.reset t.frame_dirty;
   Frame_table.release_all t.frames;
+  t.page_table <- None;
   t.caller <- None;
   t.finished <- false;
   t.error <- None;
@@ -665,6 +835,10 @@ let reset t cfg =
 let abort_cleanup t =
   Stats.incr t.stats "aborts";
   Tlb.invalidate_all (Imu.tlb t.imu);
+  (match Imu.l2 t.imu with Some l2 -> Tlb.invalidate_all l2 | None -> ());
+  (match t.page_table with
+  | Some pt -> Rvi_os.Page_table.clear pt
+  | None -> ());
   Frame_table.release_all t.frames;
   Hashtbl.reset t.frame_dirty;
   Imu.set_param_page t.imu None;
@@ -687,6 +861,19 @@ let map_object t obj =
 
 let unmap_all t = Hashtbl.reset t.objects
 
+(* SVA mode's whole FPGA_MAP_OBJECT backend: program the IMU window
+   register rebasing the object's accesses onto the caller's VA. One
+   device register write — no kernel bookkeeping, which is the point. *)
+let sva_note_object t ~id ~base =
+  if id < 0 || id > Cp_port.max_data_obj then
+    Error (Printf.sprintf "object identifier %d out of range" id)
+  else begin
+    Imu.set_sva_window t.imu ~obj:id ~base;
+    Kernel.charge t.kernel Accounting.Sw_imu
+      ~cycles:(Kernel.cost t.kernel).Cost_model.tlb_update;
+    Ok ()
+  end
+
 let objects t =
   Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []
   |> List.sort (fun a b -> Int.compare a.Mapped_object.id b.Mapped_object.id)
@@ -706,6 +893,7 @@ let execute t ~params =
     (* Reset the interface state left by any previous execution. *)
     Frame_table.release_all t.frames;
     Tlb.invalidate_all (Imu.tlb t.imu);
+    (match Imu.l2 t.imu with Some l2 -> Tlb.invalidate_all l2 | None -> ());
     Imu.write_cr t.imu Imu_regs.cr_reset;
     Hashtbl.reset t.written_back;
     Hashtbl.reset t.frame_dirty;
@@ -724,10 +912,20 @@ let execute t ~params =
         Rvi_mem.Dpram.cpu_write32 t.dpram (4 * i) v;
         Kernel.charge kernel Accounting.Sw_os ~cycles:cost.Cost_model.param_word)
       params;
-    if t.cfg.eager_mapping then premap t;
-    (* Put the caller to interruptible sleep for the duration. *)
     let sched = Kernel.sched kernel in
     let caller = Rvi_os.Sched.current sched in
+    (match translation t with
+    | Translation_mode.Paper_objects ->
+      if t.cfg.eager_mapping then premap t
+    | Translation_mode.Iommu_sva ->
+      (* Bind the caller's (empty) page table to the walker: pure demand
+         paging — SVA has no object extents to pre-map from, which is
+         exactly the trade the translation ablation measures. *)
+      let pt = caller.Rvi_os.Proc.page_table in
+      Rvi_os.Page_table.clear pt;
+      t.page_table <- Some pt;
+      Imu.set_page_table t.imu (Some pt));
+    (* Put the caller to interruptible sleep for the duration. *)
     if caller.Rvi_os.Proc.pid <> 0 then begin
       t.caller <- Some caller.Rvi_os.Proc.pid;
       Rvi_os.Sched.sleep_current sched
@@ -835,7 +1033,11 @@ let frame_table t = t.frames
    invariants any injection run must preserve. Used by the property tests
    and available to a paranoid campaign after every run. *)
 let consistency t =
-  let tlb = Imu.tlb t.imu in
+  let levels =
+    (("L1", Imu.tlb t.imu)
+    ::
+    (match Imu.l2 t.imu with Some l2 -> [ ("L2", l2) ] | None -> []))
+  in
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   (* 1. No (object, page) pair resident in two frames. *)
@@ -847,37 +1049,57 @@ let consistency t =
         err "page (%d,%d) resident in frames %d and %d" obj_id vpn other frame
       | None -> Hashtbl.add seen (obj_id, vpn) frame)
     (Frame_table.resident t.frames);
-  (* 2. Every valid TLB entry translates to a frame the table holds for
-     exactly that page. *)
-  for slot = 0 to Tlb.entries tlb - 1 do
-    let e = Tlb.get tlb ~slot in
-    if e.Tlb.valid then begin
-      match Frame_table.slot t.frames ~frame:e.Tlb.ppn with
-      | Frame_table.Held { obj_id; vpn; _ } ->
-        if obj_id <> e.Tlb.obj_id || vpn <> e.Tlb.vpn then
-          err "TLB slot %d maps (%d,%d) to frame %d held by (%d,%d)" slot
-            e.Tlb.obj_id e.Tlb.vpn e.Tlb.ppn obj_id vpn
-      | Frame_table.Free ->
-        err "TLB slot %d points at free frame %d" slot e.Tlb.ppn
-      | Frame_table.Param ->
-        err "TLB slot %d points at the parameter frame %d" slot e.Tlb.ppn
-    end
-  done;
-  (* 3. No dirty frame without a held mapping to a currently mapped
-     object (dirtiness with no owner would be unflushable data). *)
+  (* 2. Every valid TLB entry — at either level — translates to a frame
+     the table holds for exactly that page. (In SVA mode entries are
+     tagged [sva_asid], the obj_id the frame table holds.) *)
+  List.iter
+    (fun (lvl, tlb) ->
+      for slot = 0 to Tlb.entries tlb - 1 do
+        let e = Tlb.get tlb ~slot in
+        if e.Tlb.valid then begin
+          match Frame_table.slot t.frames ~frame:e.Tlb.ppn with
+          | Frame_table.Held { obj_id; vpn; _ } ->
+            if obj_id <> e.Tlb.obj_id || vpn <> e.Tlb.vpn then
+              err "%s TLB slot %d maps (%d,%d) to frame %d held by (%d,%d)"
+                lvl slot e.Tlb.obj_id e.Tlb.vpn e.Tlb.ppn obj_id vpn
+          | Frame_table.Free ->
+            err "%s TLB slot %d points at free frame %d" lvl slot e.Tlb.ppn
+          | Frame_table.Param ->
+            err "%s TLB slot %d points at the parameter frame %d" lvl slot
+              e.Tlb.ppn
+        end
+      done)
+    levels;
+  (* 3. No dirty frame without an owner that can flush it: a mapped
+     object (paper mode) or a present PTE (SVA mode). *)
   let check_dirty what frame =
     match Frame_table.slot t.frames ~frame with
-    | Frame_table.Held { obj_id; _ } ->
-      if not (Hashtbl.mem t.objects obj_id) then
-        err "%s frame %d owned by unmapped object %d" what frame obj_id
+    | Frame_table.Held { obj_id; vpn; _ } -> (
+      match translation t with
+      | Translation_mode.Paper_objects ->
+        if not (Hashtbl.mem t.objects obj_id) then
+          err "%s frame %d owned by unmapped object %d" what frame obj_id
+      | Translation_mode.Iommu_sva -> (
+        match t.page_table with
+        | None -> err "%s frame %d with no page table bound" what frame
+        | Some pt -> (
+          match Rvi_os.Page_table.find pt ~vpn with
+          | Some pte when pte.Rvi_os.Page_table.frame = frame -> ()
+          | Some pte ->
+            err "%s frame %d: PTE for page %d points at frame %d" what frame
+              vpn pte.Rvi_os.Page_table.frame
+          | None -> err "%s frame %d holds page %d with no PTE" what frame vpn)))
     | Frame_table.Free -> err "free frame %d marked %s" frame what
     | Frame_table.Param -> err "parameter frame %d marked %s" frame what
   in
   Hashtbl.iter (fun frame () -> check_dirty "dirty" frame) t.frame_dirty;
-  for slot = 0 to Tlb.entries tlb - 1 do
-    let e = Tlb.get tlb ~slot in
-    if e.Tlb.valid && e.Tlb.dirty then check_dirty "tlb-dirty" e.Tlb.ppn
-  done;
+  List.iter
+    (fun (_lvl, tlb) ->
+      for slot = 0 to Tlb.entries tlb - 1 do
+        let e = Tlb.get tlb ~slot in
+        if e.Tlb.valid && e.Tlb.dirty then check_dirty "tlb-dirty" e.Tlb.ppn
+      done)
+    levels;
   match !errors with
   | [] -> Ok ()
   | es -> Error (String.concat "; " (List.rev es))

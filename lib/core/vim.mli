@@ -84,6 +84,9 @@ type error =
   | Parity_error of { frame : int }
       (** a latent dual-port-RAM bit flip caught by the flush-time parity
           sweep; the frame's data is untrustworthy *)
+  | Sva_fault of { vpn : int }
+      (** SVA mode: the walker faulted on a virtual page outside the
+          process address space (or before any window was programmed) *)
 
 val error_to_string : error -> string
 
@@ -124,6 +127,15 @@ val map_object : t -> Mapped_object.t -> (unit, string) result
 (** Declares an object ([FPGA_MAP_OBJECT] backend). Fails on a duplicate
     identifier. *)
 
+val translation : t -> Translation_mode.t
+(** The IMU's translation mode (from its configuration). *)
+
+val sva_note_object : t -> id:int -> base:int -> (unit, string) result
+(** SVA-mode [FPGA_MAP_OBJECT] shim: no pages are described to the VIM —
+    translation is by process virtual address — but the object's base VA
+    is programmed into the IMU's per-object window register so existing
+    bitstreams addressing [CP_OBJ]+[CP_ADDR] keep working unmodified. *)
+
 val unmap_all : t -> unit
 val objects : t -> Mapped_object.t list
 val find_object : t -> id:int -> Mapped_object.t option
@@ -152,7 +164,9 @@ val set_abort_hook : t -> (unit -> unit) -> unit
     left mid-access would wedge the next FPGA_EXECUTE. *)
 
 val consistency : t -> (unit, string) result
-(** Cross-checks the software frame table against the hardware TLB: no
-    page resident in two frames, no valid TLB entry pointing at a frame
-    the table does not hold for that page, no dirty frame without a
-    mapped owning object. [Error] describes every violation found. *)
+(** Cross-checks the software frame table against the hardware TLBs (both
+    levels in SVA mode): no page resident in two frames, no valid TLB
+    entry pointing at a frame the table does not hold for that page, no
+    dirty frame without an owner able to flush it — a mapped object in
+    paper mode, a matching PTE in SVA mode. [Error] describes every
+    violation found. *)

@@ -1,0 +1,38 @@
+module Stats = Rvi_sim.Stats
+
+type config = { cycles_per_level : int }
+
+let default_config = { cycles_per_level = 12 }
+
+type t = {
+  cfg : config;
+  stats : Stats.t;
+  c_walks : Stats.counter;
+  c_walk_faults : Stats.counter;
+}
+
+let create cfg =
+  let stats = Stats.create () in
+  {
+    cfg;
+    stats;
+    c_walks = Stats.counter stats "walks";
+    c_walk_faults = Stats.counter stats "walk_faults";
+  }
+
+type outcome = { frame : int option; cycles : int }
+
+let walk t pt ~vpn =
+  let pte, levels = Rvi_os.Page_table.walk pt ~vpn in
+  let cycles = levels * t.cfg.cycles_per_level in
+  Stats.tick t.c_walks;
+  Stats.observe t.stats "walk_cycles" (float_of_int cycles);
+  match pte with
+  | Some pte -> { frame = Some pte.Rvi_os.Page_table.frame; cycles }
+  | None ->
+    Stats.tick t.c_walk_faults;
+    { frame = None; cycles }
+
+let config t = t.cfg
+let stats t = t.stats
+let reset t = Stats.soft_reset t.stats

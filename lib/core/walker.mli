@@ -1,0 +1,33 @@
+(** Cycle-costed hardware page-table walker (SVA translation mode).
+
+    On a double TLB miss (L1 then the shared L2) the IMU invokes the
+    walker, which reads the process's software {!Rvi_os.Page_table}
+    level by level over the bus and charges [cycles_per_level] per level
+    actually touched: one level when the directory slot is empty, two
+    when a leaf is read. A walk that finds no PTE raises the IMU page
+    fault to the VIM; the VIM wires the page and merely resumes — the
+    walker re-walks and refills the TLBs itself, as a real IOMMU does. *)
+
+type config = { cycles_per_level : int }
+
+val default_config : config
+(** 12 cycles per level: one uncached AHB read-modify of a table entry. *)
+
+type t
+
+val create : config -> t
+
+type outcome = {
+  frame : int option;  (** backing frame, if the PTE is present *)
+  cycles : int;  (** bus cycles the walk consumed *)
+}
+
+val walk : t -> Rvi_os.Page_table.t -> vpn:int -> outcome
+
+val config : t -> config
+
+val stats : t -> Rvi_sim.Stats.t
+(** ["walks"], ["walk_faults"]; scalar summary ["walk_cycles"] — the walk
+    latency distribution the ablation reports. *)
+
+val reset : t -> unit

@@ -4,6 +4,7 @@ let time f =
   (v, Unix.gettimeofday () -. t0)
 
 type point = {
+  benchmark : string;
   commit : string;
   host_cores : int;
   runs : int;
@@ -44,22 +45,33 @@ let git_commit () =
     | Some _ -> hash ^ "-dirty"
     | None -> hash)
 
-let run ?(runs = 200) ?(seed = 2004) ~jobs () =
+(* Each translation mode is its own benchmark series: SVA runs pay for
+   page-table walks, so gating its throughput against the paper-mode
+   baseline (or vice versa) would misfire. The label keys the series. *)
+let benchmark_label = function
+  | Rvi_core.Translation_mode.Paper_objects -> "faults-campaign"
+  | Rvi_core.Translation_mode.Iommu_sva -> "faults-campaign-sva"
+
+let run ?(runs = 200) ?(seed = 2004)
+    ?(translation = Rvi_core.Translation_mode.Paper_objects) ~jobs () =
   (* Untimed warm-up so the measured passes see a steady state: first-touch
      page faults on the executable, a grown major heap, and a populated
      platform pool all land here instead of inflating [serial_s]. *)
-  ignore (Faults.campaign ~runs:(min 10 runs) ~seed ());
+  ignore (Faults.campaign ~translation ~runs:(min 10 runs) ~seed ());
   (* Phase totals are read right after the serial pass so they attribute
      exactly the [serial_s] wall time (the parallel pass would race the
      accumulators and mix in sharded runs). *)
   Runner.Phases.reset ();
-  let serial, serial_s = time (fun () -> Faults.campaign ~runs ~seed ()) in
+  let serial, serial_s =
+    time (fun () -> Faults.campaign ~translation ~runs ~seed ())
+  in
   let phase_setup_s, phase_execute_s, phase_report_s = Runner.Phases.totals () in
   let parallel, parallel_s =
-    time (fun () -> Faults.campaign ~jobs ~runs ~seed ())
+    time (fun () -> Faults.campaign ~translation ~jobs ~runs ~seed ())
   in
   let per_sec t = if t > 0.0 then float_of_int runs /. t else 0.0 in
   {
+    benchmark = benchmark_label translation;
     commit = git_commit ();
     host_cores = Domain.recommended_domain_count ();
     runs;
@@ -82,7 +94,7 @@ let run ?(runs = 200) ?(seed = 2004) ~jobs () =
 let point_json r =
   Printf.sprintf
     "  {\n\
-    \    \"benchmark\": \"faults-campaign\",\n\
+    \    \"benchmark\": %S,\n\
     \    \"commit\": %S,\n\
     \    \"host_cores\": %d,\n\
     \    \"runs\": %d,\n\
@@ -99,7 +111,7 @@ let point_json r =
     \    \"phase_execute_s\": %.6f,\n\
     \    \"phase_report_s\": %.6f\n\
     \  }"
-    r.commit r.host_cores r.runs r.seed r.jobs r.serial_s r.parallel_s
+    r.benchmark r.commit r.host_cores r.runs r.seed r.jobs r.serial_s r.parallel_s
     r.serial_runs_per_sec r.parallel_runs_per_sec r.speedup r.deterministic
     r.survival r.phase_setup_s r.phase_execute_s r.phase_report_s
 
@@ -138,15 +150,26 @@ let append ?(path = default_path) r =
   write_file path content;
   path
 
-let last_float_field s key =
+(* Last occurrence of [key] at or after [from], or -1. *)
+let last_index_from s ~from key =
   let kl = String.length key and n = String.length s in
   let last = ref (-1) in
-  for i = 0 to n - kl do
+  for i = (if from < 0 then 0 else from) to n - kl do
     if String.sub s i kl = key then last := i
   done;
-  if !last < 0 then None
+  !last
+
+let float_field_at s pos key =
+  let kl = String.length key and n = String.length s in
+  (* First occurrence at or after [pos] — the field inside that entry. *)
+  let found = ref (-1) and i = ref pos in
+  while !found < 0 && !i <= n - kl do
+    if String.sub s !i kl = key then found := !i;
+    incr i
+  done;
+  if !found < 0 then None
   else begin
-    let j = !last + kl in
+    let j = !found + kl in
     let stop = ref j in
     while
       !stop < n && s.[!stop] <> ',' && s.[!stop] <> '\n' && s.[!stop] <> '}'
@@ -156,16 +179,23 @@ let last_float_field s key =
     float_of_string_opt (String.trim (String.sub s j (!stop - j)))
   end
 
-let last_serial_rps ?(path = default_path) () =
+let last_serial_rps ?(path = default_path) ?(benchmark = "faults-campaign") () =
   match read_file path with
   | None -> None
-  | Some s -> last_float_field s "\"serial_runs_per_sec\":"
+  | Some s ->
+    (* The newest point of *this* benchmark series: two-mode row pairs
+       interleave paper and SVA entries, and a gate must only ever
+       compare like with like. *)
+    let label = Printf.sprintf "\"benchmark\": %S" benchmark in
+    let at = last_index_from s ~from:0 label in
+    if at < 0 then None else float_field_at s at "\"serial_runs_per_sec\":"
 
 let print ppf r =
   Format.fprintf ppf
-    "campaign %d runs, seed %d [%s, %d cores]: serial %.2fs (%.1f runs/s), \
+    "%s %d runs, seed %d [%s, %d cores]: serial %.2fs (%.1f runs/s), \
      --jobs %d %.2fs (%.1f runs/s), speedup %.2fx, classifications %s@."
-    r.runs r.seed r.commit r.host_cores r.serial_s r.serial_runs_per_sec
+    r.benchmark r.runs r.seed r.commit r.host_cores r.serial_s
+    r.serial_runs_per_sec
     r.jobs r.parallel_s r.parallel_runs_per_sec r.speedup
     (if r.deterministic then "identical" else "DIVERGED (bug)");
   Format.fprintf ppf

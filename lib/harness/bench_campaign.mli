@@ -13,6 +13,10 @@
     got slower" from "this is a different machine". *)
 
 type point = {
+  benchmark : string;
+      (** series label: ["faults-campaign"] for the paper-mode campaign,
+          ["faults-campaign-sva"] for the IOMMU/SVA one — regression
+          gates compare within one series only *)
   commit : string;  (** [git rev-parse --short HEAD], ["unknown"] outside git *)
   host_cores : int;  (** [Domain.recommended_domain_count] on the host *)
   runs : int;
@@ -33,8 +37,16 @@ type point = {
   phase_report_s : float;  (** … spent on stats reads and row assembly *)
 }
 
-val run : ?runs:int -> ?seed:int -> jobs:int -> unit -> point
-(** Defaults: 200 runs, seed 2004. *)
+val run :
+  ?runs:int ->
+  ?seed:int ->
+  ?translation:Rvi_core.Translation_mode.t ->
+  jobs:int ->
+  unit ->
+  point
+(** Defaults: 200 runs, seed 2004, paper-mode translation. [translation]
+    selects which campaign is timed and thereby the point's [benchmark]
+    series label. *)
 
 val point_json : point -> string
 (** One trajectory entry (a JSON object, indented for the array). *)
@@ -46,9 +58,11 @@ val append : ?path:string -> point -> string
 (** Appends the point to the JSON array at [path] (default
     {!default_path}), creating the file if needed; returns the path. *)
 
-val last_serial_rps : ?path:string -> unit -> float option
-(** [serial_runs_per_sec] of the newest point already in the trajectory
-    file — the committed baseline a regression gate compares against.
-    [None] when the file is absent or holds no point. *)
+val last_serial_rps :
+  ?path:string -> ?benchmark:string -> unit -> float option
+(** [serial_runs_per_sec] of the newest point of the [benchmark] series
+    (default ["faults-campaign"]) already in the trajectory file — the
+    committed baseline a regression gate compares against. [None] when
+    the file is absent or holds no point of that series. *)
 
 val print : Format.formatter -> point -> unit

@@ -16,6 +16,7 @@ type t = {
   imu_kind : imu_kind;
   tlb_entries : int option;
   tlb_organization : Rvi_core.Tlb.organization;
+  translation : Rvi_core.Translation_mode.t;
   seed : int;
   trace : Rvi_obs.Trace.t option;
   injector : Rvi_inject.Injector.t option;
@@ -37,6 +38,7 @@ let default () =
     imu_kind = Four_cycle;
     tlb_entries = None;
     tlb_organization = Rvi_core.Tlb.Fully_associative;
+    translation = Rvi_core.Translation_mode.Paper_objects;
     seed = 42;
     trace = None;
     injector = None;
@@ -56,12 +58,15 @@ let with_policy t name =
   | None -> invalid_arg (Printf.sprintf "Config.with_policy: unknown policy %S" name)
 
 let describe t =
-  Printf.sprintf "%s, %s, %s transfer, prefetch %s, %s IMU, TLB %s"
+  Printf.sprintf "%s, %s, %s transfer, prefetch %s, %s IMU, TLB %s%s"
     t.device.Rvi_fpga.Device.name t.policy_name
     (match t.transfer with Rvi_core.Vim.Single -> "single" | Rvi_core.Vim.Double -> "double")
     (Rvi_core.Prefetch.name t.prefetch)
     (imu_kind_name t.imu_kind)
     (match t.tlb_entries with None -> "full" | Some n -> string_of_int n)
+    (match t.translation with
+    | Rvi_core.Translation_mode.Paper_objects -> ""
+    | Rvi_core.Translation_mode.Iommu_sva -> ", iommu-sva")
 
 let n_pages t = t.device.Rvi_fpga.Device.dpram_bytes / t.device.Rvi_fpga.Device.page_size
 
@@ -76,6 +81,7 @@ let imu_config t =
     base with
     Rvi_core.Imu.tlb_entries;
     tlb_organization = t.tlb_organization;
+    translation = t.translation;
   }
 
 let vim_config t =

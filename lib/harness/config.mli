@@ -23,6 +23,10 @@ type t = {
   imu_kind : imu_kind;
   tlb_entries : int option;  (** [None]: one entry per dual-port page *)
   tlb_organization : Rvi_core.Tlb.organization;
+  translation : Rvi_core.Translation_mode.t;
+      (** address-translation scheme: the paper's per-object page lists, or
+          the shared-virtual-addressing IOMMU mode (L1+L2 TLB hierarchy
+          with a cycle-costed page-table walker) *)
   seed : int;
   trace : Rvi_obs.Trace.t option;
       (** structured event trace attached to every platform built from this

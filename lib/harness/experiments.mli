@@ -93,6 +93,37 @@ val ablation_overlap :
 (** Prefetch off / synchronous / overlapped with coprocessor execution —
     the §4.1 future work quantified. *)
 
+(** One measured (workload, translation mode) cell of the translation
+    ablation, with the hardware counters the report row does not carry:
+    per-level TLB hit/miss counts and the page-table walker's latency
+    percentiles (cycles, from the walker's histogram; zeros in paper
+    mode, which has no walker). *)
+type translation_point = {
+  label : string;  (** ["workload/mode"] *)
+  mode : Rvi_core.Translation_mode.t;
+  row : Report.row;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  walks : int;
+  walk_faults : int;
+  walk_p50 : float;
+  walk_p95 : float;
+}
+
+val ablation_translation :
+  ?jobs:int ->
+  ?smoke:bool ->
+  Format.formatter ->
+  Config.t ->
+  translation_point list
+(** The paper's per-object translation against the IOMMU/SVA mode (L1+L2
+    TLB hierarchy, cycle-costed walker) on all four workloads — fault
+    rates, TLB hit ratios per level, walk latency and end-to-end time per
+    mode. [smoke] restricts to adpcm only (one run per mode), the cheap
+    configuration the [make check] smoke target uses. *)
+
 (** {1 Extensions beyond the paper} *)
 
 val ext_fir :

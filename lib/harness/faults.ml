@@ -86,7 +86,9 @@ let default_watchdog = Simtime.of_ms 10
 let platform_pools : Platform.Pool.t Domain.DLS.key =
   Domain.DLS.new_key Platform.Pool.create
 
-let run_one ?trace ?pool ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w) =
+let run_one ?trace ?pool
+    ?(translation = Rvi_core.Translation_mode.Paper_objects) ~spec ~recovery
+    ~watchdog ~exec_retries ~seed (name, w) =
   let inj = Injector.create ~seed ~spec in
   let cfg =
     {
@@ -96,6 +98,7 @@ let run_one ?trace ?pool ~spec ~recovery ~watchdog ~exec_retries ~seed (name, w)
       watchdog;
       exec_retries;
       trace;
+      translation;
     }
   in
   let row =
@@ -141,7 +144,7 @@ let shard_trace_capacity = 4096
 let campaign ?trace ?(spec = Spec.all ())
     ?(recovery = Rvi_core.Vim.default_recovery)
     ?(watchdog = default_watchdog) ?(exec_retries = 2) ?progress ?(jobs = 1)
-    ?chunk ?(reuse_platforms = true) ~runs ~seed () =
+    ?chunk ?(reuse_platforms = true) ?translation ~runs ~seed () =
   let master = Prng.create ~seed in
   let apps = workloads ~seed in
   (* Per-run seeds come off a master stream drawn serially *before* any
@@ -155,7 +158,7 @@ let campaign ?trace ?(spec = Spec.all ())
       if reuse_platforms then Some (Domain.DLS.get platform_pools) else None
     in
     let r =
-      run_one ?trace ?pool ~spec ~recovery ~watchdog ~exec_retries
+      run_one ?trace ?pool ?translation ~spec ~recovery ~watchdog ~exec_retries
         ~seed:run_seeds.(i)
         apps.(i mod Array.length apps)
     in

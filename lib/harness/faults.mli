@@ -57,6 +57,7 @@ val workloads : seed:int -> (string * workload) array
 val run_one :
   ?trace:Rvi_obs.Trace.t ->
   ?pool:Platform.Pool.t ->
+  ?translation:Rvi_core.Translation_mode.t ->
   spec:Rvi_inject.Spec.t ->
   recovery:Rvi_core.Vim.recovery ->
   watchdog:Rvi_sim.Simtime.t ->
@@ -75,6 +76,7 @@ val campaign :
   ?jobs:int ->
   ?chunk:int ->
   ?reuse_platforms:bool ->
+  ?translation:Rvi_core.Translation_mode.t ->
   runs:int ->
   seed:int ->
   unit ->
@@ -100,7 +102,11 @@ val campaign :
     force a fresh platform per run (the property tests do). Parallel
     campaigns run on the shared persistent domain pool
     ({!Rvi_par.Par.Pool.shared}) rather than spawning domains per
-    call. *)
+    call.
+
+    [translation] (default [Paper_objects]) selects the address
+    translation mode every run's platform is configured with, so the
+    same campaign doubles as an IOMMU/SVA soak test. *)
 
 val summarize : run_result list -> summary
 

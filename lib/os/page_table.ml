@@ -1,0 +1,68 @@
+(* A real two-level radix structure rather than a flat map: the directory
+   indexes leaves by the high VPN bits, leaves hold one PTE slot per low
+   VPN value. The hardware walker's cost model depends on how many levels
+   a lookup actually touches, so [walk] reports it. *)
+
+let leaf_bits = 9
+let leaf_size = 1 lsl leaf_bits
+
+type pte = { frame : int; mutable dirty : bool }
+
+type t = {
+  directory : (int, pte option array) Hashtbl.t;
+  mutable mapped : int;
+}
+
+let create () = { directory = Hashtbl.create 16; mapped = 0 }
+let levels = 2
+let split vpn = (vpn lsr leaf_bits, vpn land (leaf_size - 1))
+
+let find t ~vpn =
+  if vpn < 0 then None
+  else
+    let dir, idx = split vpn in
+    match Hashtbl.find_opt t.directory dir with
+    | None -> None
+    | Some leaf -> leaf.(idx)
+
+let walk t ~vpn =
+  if vpn < 0 then (None, 1)
+  else
+    let dir, idx = split vpn in
+    match Hashtbl.find_opt t.directory dir with
+    | None -> (None, 1) (* directory miss: only the first level was read *)
+    | Some leaf -> (leaf.(idx), levels)
+
+let map t ~vpn ~frame =
+  if vpn < 0 then invalid_arg "Page_table.map: negative vpn";
+  let dir, idx = split vpn in
+  let leaf =
+    match Hashtbl.find_opt t.directory dir with
+    | Some leaf -> leaf
+    | None ->
+      let leaf = Array.make leaf_size None in
+      Hashtbl.replace t.directory dir leaf;
+      leaf
+  in
+  (match leaf.(idx) with
+  | Some _ -> invalid_arg (Printf.sprintf "Page_table.map: vpn %d already mapped" vpn)
+  | None -> ());
+  leaf.(idx) <- Some { frame; dirty = false };
+  t.mapped <- t.mapped + 1
+
+let unmap t ~vpn =
+  if vpn >= 0 then
+    let dir, idx = split vpn in
+    match Hashtbl.find_opt t.directory dir with
+    | None -> ()
+    | Some leaf ->
+      if leaf.(idx) <> None then begin
+        leaf.(idx) <- None;
+        t.mapped <- t.mapped - 1
+      end
+
+let mapped_count t = t.mapped
+
+let clear t =
+  Hashtbl.reset t.directory;
+  t.mapped <- 0

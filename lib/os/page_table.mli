@@ -1,0 +1,39 @@
+(** Per-process software page table for shared virtual addressing.
+
+    A two-level radix tree over global virtual page numbers: a directory
+    keyed by the high VPN bits pointing at leaf arrays of PTEs. The OS
+    (VIM) writes it when wiring and evicting dual-port-RAM pages; the
+    IMU's hardware walker reads it on a TLB-hierarchy miss and charges
+    cycles per level actually touched. *)
+
+type pte = {
+  frame : int;  (** dual-port-RAM frame backing the page *)
+  mutable dirty : bool;
+      (** sticky dirty bit folded down from evicted TLB entries, so
+          write-back state survives TLB replacement *)
+}
+
+type t
+
+val create : unit -> t
+
+val levels : int
+(** Depth of the radix tree (2). *)
+
+val find : t -> vpn:int -> pte option
+(** Pure lookup; negative [vpn] is never mapped. *)
+
+val walk : t -> vpn:int -> pte option * int
+(** Lookup as the hardware walker performs it: the PTE (if present) and
+    the number of levels touched — 1 when the directory slot is empty,
+    {!levels} otherwise. *)
+
+val map : t -> vpn:int -> frame:int -> unit
+(** Installs a clean PTE. Raises [Invalid_argument] if [vpn] is already
+    mapped (the VIM never double-wires a page). *)
+
+val unmap : t -> vpn:int -> unit
+(** Removes the PTE if present. *)
+
+val mapped_count : t -> int
+val clear : t -> unit

@@ -11,9 +11,11 @@ type t = {
   name : string;
   mutable state : state;
   mutable wakeups : int;
+  page_table : Page_table.t;
 }
 
-let make ~pid ~name = { pid; name; state = Ready; wakeups = 0 }
+let make ~pid ~name =
+  { pid; name; state = Ready; wakeups = 0; page_table = Page_table.create () }
 
 let legal from into =
   match (from, into) with

@@ -14,6 +14,9 @@ type t = private {
   name : string;
   mutable state : state;
   mutable wakeups : int;  (** times this process was woken from sleep *)
+  page_table : Page_table.t;
+      (** the process's VA space as the IOMMU sees it (SVA translation
+          mode); unused — and empty — under the paper's object mode *)
 }
 
 val make : pid:int -> name:string -> t

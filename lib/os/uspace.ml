@@ -23,6 +23,10 @@ let sub buf ~pos ~len =
     invalid_arg "Uspace.sub: slice out of bounds";
   { addr = buf.addr + pos; size = len }
 
+let va_pages k ~page_size =
+  if page_size <= 0 then invalid_arg "Uspace.va_pages: page size must be positive";
+  Rvi_mem.Sdram.size (Kernel.sdram k) / page_size
+
 let view k ~addr ~size =
   if addr < 0 || size < 0 || addr + size > Rvi_mem.Sdram.size (Kernel.sdram k)
   then invalid_arg "Uspace.view: range outside SDRAM";

@@ -27,6 +27,11 @@ val read_into : Kernel.t -> buf -> Bytes.t -> dst:int -> unit
 val sub : buf -> pos:int -> len:int -> buf
 (** A view of a slice of the buffer (no copy; same address space). *)
 
+val va_pages : Kernel.t -> page_size:int -> int
+(** Number of whole virtual pages the process address space (the SDRAM)
+    spans at the given page size — the bound the VIM checks SVA walker
+    faults against. *)
+
 val view : Kernel.t -> addr:int -> size:int -> buf
 (** Reconstructs a buffer descriptor from a raw address/size pair, as the
     kernel does when a syscall passes a user pointer. Raises

@@ -34,11 +34,21 @@ let create () =
     max = Float.neg_infinity;
   }
 
+let bin_lower i = min_value *. (gamma ** float_of_int i)
+
 let bin_index x =
   if x <= 0.0 then -1
   else
     let i = int_of_float (Float.floor (Float.log (x /. min_value) /. log_gamma)) in
-    if i < 0 then 0 else if i >= n_bins then n_bins - 1 else i
+    let i = if i < 0 then 0 else if i >= n_bins then n_bins - 1 else i in
+    (* The log quotient is inexact: a sample sitting on an exact bin
+       boundary (x = min_value * gamma^k) can round a hair under k and
+       land one bin low, or a hair over and land one bin high. Settle
+       against the true bin bounds, which are computed the same way on
+       both sides of the comparison and therefore consistent. *)
+    if i > 0 && x < bin_lower i then i - 1
+    else if i < n_bins - 1 && x >= bin_lower (i + 1) then i + 1
+    else i
 
 (* Geometric midpoint of a bin — the value reported for any sample that
    fell into it. *)
@@ -64,13 +74,23 @@ let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 
 (* The q-th percentile (q in [0,100]): the representative value of the bin
    holding the ceil(q/100 * count)-th smallest sample. Exact for the
-   underflow bin (those samples are <= 0, reported as 0). *)
+   underflow bin (those samples are <= 0, reported as 0). The positive
+   result is clamped into [min, max] of the observed samples — so a
+   single-sample histogram reports the sample itself at every q, and no
+   percentile ever exceeds the largest (or undercuts the smallest
+   positive) sample because of bin-midpoint rounding. *)
 let percentile t q =
   if q < 0.0 || q > 100.0 then invalid_arg "Histogram.percentile: q outside [0,100]";
   if t.count = 0 then 0.0
   else begin
     let rank =
-      let r = int_of_float (Float.ceil (q /. 100.0 *. float_of_int t.count)) in
+      (* q/100 * count is inexact: an exact-boundary product (q = 50,
+         count even) rounding a hair high would push ceil to the next
+         rank. Shave an epsilon well under 1/count's resolution first. *)
+      let r =
+        int_of_float
+          (Float.ceil ((q /. 100.0 *. float_of_int t.count) -. 1e-9))
+      in
       if r < 1 then 1 else r
     in
     if rank <= t.underflow then 0.0
@@ -86,7 +106,8 @@ let percentile t q =
            end
          done
        with Exit -> ());
-      !result
+      let v = if !result > t.max then t.max else !result in
+      if t.min > 0.0 && v < t.min then t.min else v
     end
   end
 

@@ -25,7 +25,9 @@ val mean : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t q] for [q] in [0..100]. Raises [Invalid_argument]
-    outside that range; 0 when empty. *)
+    outside that range; 0 when empty. Positive results are clamped into
+    the exact [min..max] of the observed samples, so a single-sample
+    histogram reports that sample at every [q]. *)
 
 val bin_index : float -> int
 (** The bin a value falls into (-1 for the underflow bin) — exposed so

@@ -1125,7 +1125,8 @@ let suite = suite @ pooled_suite
 let test_bench_point_json_schema () =
   let p =
     {
-      Rvi_harness.Bench_campaign.commit = "deadbee";
+      Rvi_harness.Bench_campaign.benchmark = "faults-campaign";
+      commit = "deadbee";
       host_cores = 4;
       runs = 200;
       seed = 2004;
@@ -1190,3 +1191,87 @@ let bench_suite =
   ]
 
 let suite = suite @ bench_suite
+
+(* {1 Translation modes}
+
+   The IOMMU/SVA path replaces per-object page lists with a per-process
+   page table, a hardware walker and an L1/L2 TLB hierarchy. Three
+   guarantees matter: the batched IMU stays equivalent to the reference
+   IMU under TLB miss bursts in BOTH modes, every campaign workload
+   still verifies end to end under SVA, and SVA runs are deterministic. *)
+
+let prop_imu_variants_agree_across_modes =
+  QCheck.Test.make
+    ~name:"pipelined IMU matches four-cycle IMU under miss bursts, both modes"
+    ~count:8
+    QCheck.(triple (int_bound 500) (int_range 2 6) bool)
+    (fun (seed, kb, sva) ->
+      let translation =
+        if sva then Rvi_core.Translation_mode.Iommu_sva
+        else Rvi_core.Translation_mode.Paper_objects
+      in
+      (* A 2-entry TLB over a multi-page working set keeps the IMU in a
+         near-permanent miss burst — the regime where a batched engine
+         could legally reorder itself into different behaviour. *)
+      let with_kind imu_kind =
+        {
+          (cfg ()) with
+          Config.tlb_entries = Some 2;
+          seed;
+          imu_kind;
+          translation;
+        }
+      in
+      let input = Workload.adpcm_stream ~seed ~bytes:(kb * 1024) in
+      let four = Runner.adpcm_vim (with_kind Config.Four_cycle) ~input in
+      let pipe = Runner.adpcm_vim (with_kind Config.Pipelined) ~input in
+      Report.ok four && Report.ok pipe
+      && four.Report.faults = pipe.Report.faults
+      && four.Report.evictions = pipe.Report.evictions
+      && four.Report.writebacks = pipe.Report.writebacks
+      && four.Report.accesses = pipe.Report.accesses)
+
+let test_sva_end_to_end () =
+  (* All four campaign workloads must verify bit-exact in SVA mode. *)
+  let sva = { (cfg ()) with Config.translation = Rvi_core.Translation_mode.Iommu_sva } in
+  let seed = sva.Config.seed in
+  let check_row name row =
+    checkb (name ^ " verified under SVA") true (Report.ok row)
+  in
+  check_row "adpcm"
+    (Runner.adpcm_vim sva ~input:(Workload.adpcm_stream ~seed ~bytes:8192));
+  check_row "idea"
+    (Runner.idea_vim sva ~key:(Workload.idea_key ~seed)
+       ~input:(Workload.idea_plaintext ~seed ~bytes:8192));
+  check_row "fir"
+    (Runner.fir_vim sva
+       ~coeffs:(Workload.fir_coeffs ~taps:16)
+       ~shift:12
+       ~input:(Workload.fir_signal ~seed ~bytes:8192));
+  let a, b = Workload.vectors ~seed ~n:1024 in
+  check_row "vecadd" (Runner.vecadd_vim sva ~a ~b)
+
+let prop_sva_deterministic =
+  QCheck.Test.make ~name:"identical SVA runs produce identical rows" ~count:6
+    QCheck.(pair (int_bound 500) (int_range 1 6))
+    (fun (seed, kb) ->
+      let sva =
+        {
+          (cfg ()) with
+          Config.translation = Rvi_core.Translation_mode.Iommu_sva;
+          seed;
+        }
+      in
+      let input = Workload.adpcm_stream ~seed ~bytes:(kb * 1024) in
+      let first = Runner.adpcm_vim sva ~input in
+      let second = Runner.adpcm_vim sva ~input in
+      Report.ok first && first = second)
+
+let translation_suite =
+  [
+    QCheck_alcotest.to_alcotest prop_imu_variants_agree_across_modes;
+    Alcotest.test_case "sva/end-to-end-workloads" `Quick test_sva_end_to_end;
+    QCheck_alcotest.to_alcotest prop_sva_deterministic;
+  ]
+
+let suite = suite @ translation_suite

@@ -256,6 +256,7 @@ let test_error_strings_exhaustive () =
       Vim.Bus_error;
       Vim.Dma_failed;
       Vim.Parity_error { frame = 4 };
+      Vim.Sva_fault { vpn = 7 };
     ]
   in
   let strings = List.map Vim.error_to_string vim_errors in
@@ -297,6 +298,7 @@ let test_classify () =
       (Vim.Nothing_loaded, Vim.Fatal);
       (Vim.Object_overflow { obj_id = 0; vpn = 0 }, Vim.Fatal);
       (Vim.Too_many_params { given = 1; capacity = 0 }, Vim.Fatal);
+      (Vim.Sva_fault { vpn = 3 }, Vim.Fatal);
     ]
 
 (* {1 Campaign determinism (the faults front-end)} *)

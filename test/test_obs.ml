@@ -72,6 +72,78 @@ let test_histogram_underflow () =
   checkb "p99 above underflow" true (Histogram.percentile h 99.0 > 5.0);
   Alcotest.(check (float 1e-9)) "min is exact" (-1.0) (Histogram.min h)
 
+let qs = [ 0.0; 1.0; 25.0; 50.0; 75.0; 95.0; 99.0; 100.0 ]
+
+let prop_single_sample_percentiles =
+  (* A one-sample histogram has only one order statistic: every percentile
+     must report exactly that sample (bin-midpoint rounding clamped away
+     by the exact min/max), p50 included. *)
+  QCheck.Test.make
+    ~name:"every percentile of a single-sample histogram is that sample"
+    ~count:300
+    QCheck.(int_range 1 1_000_000_000)
+    (fun i ->
+      let x = float_of_int i /. 1000.0 in
+      let h = Histogram.create () in
+      Histogram.add h x;
+      List.for_all (fun q -> Histogram.percentile h q = x) qs)
+
+let prop_percentiles_within_min_max =
+  QCheck.Test.make
+    ~name:"percentiles of positive samples stay within [min, max]" ~count:200
+    samples_arb
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let lo = Histogram.min h and hi = Histogram.max h in
+      List.for_all
+        (fun q ->
+          let v = Histogram.percentile h q in
+          v >= lo && v <= hi)
+        qs)
+
+let observables h =
+  ( Histogram.count h,
+    Histogram.sum h,
+    Histogram.min h,
+    Histogram.max h,
+    Histogram.mean h,
+    List.map (Histogram.percentile h) qs )
+
+let prop_merge_empty_identity =
+  QCheck.Test.make
+    ~name:"merging an empty histogram is the identity (both directions)"
+    ~count:200 samples_arb
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let before = observables h in
+      (* empty into populated: nothing may move *)
+      Histogram.merge_into ~into:h (Histogram.create ());
+      let after = observables h in
+      (* populated into empty: the copy must look exactly like the source *)
+      let fresh = Histogram.create () in
+      Histogram.merge_into ~into:fresh h;
+      before = after && observables fresh = before)
+
+let test_histogram_exact_boundaries () =
+  (* Values sitting exactly on a bin edge must land in the bin whose
+     lower bound they are — the log-quotient rounding must not push them
+     one bin off in either direction. gamma^k for the histogram's
+     gamma = 1.05, min 1e-6. *)
+  let gamma = 1.05 and min_value = 1e-6 in
+  for k = 0 to 400 do
+    let edge = min_value *. (gamma ** float_of_int k) in
+    checki (Printf.sprintf "edge %d in its own bin" k) k (Histogram.bin_index edge)
+  done;
+  (* A bin's representative value round-trips to the same bin. *)
+  for i = 0 to 1023 do
+    checki
+      (Printf.sprintf "bin_value %d round-trips" i)
+      i
+      (Histogram.bin_index (Histogram.bin_value i))
+  done
+
 let test_stats_summary_percentiles () =
   let s = Stats.create () in
   for i = 1 to 100 do
@@ -210,8 +282,13 @@ let test_chrome_sorted () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_percentile_one_bin;
+    QCheck_alcotest.to_alcotest prop_single_sample_percentiles;
+    QCheck_alcotest.to_alcotest prop_percentiles_within_min_max;
+    QCheck_alcotest.to_alcotest prop_merge_empty_identity;
     Alcotest.test_case "histogram/basics" `Quick test_histogram_basics;
     Alcotest.test_case "histogram/underflow" `Quick test_histogram_underflow;
+    Alcotest.test_case "histogram/exact-bin-boundaries" `Quick
+      test_histogram_exact_boundaries;
     Alcotest.test_case "stats/summary-percentiles" `Quick
       test_stats_summary_percentiles;
     Alcotest.test_case "trace/ring-overflow" `Quick test_ring_overflow;
