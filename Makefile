@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke sva-smoke examples check faults-smoke faults-determinism clean
+.PHONY: all build test bench bench-smoke sva-smoke chaos-smoke examples check faults-smoke faults-determinism clean
 
 all: build
 
@@ -14,6 +14,7 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) sva-smoke
+	$(MAKE) chaos-smoke
 	@if git ls-files --error-unmatch _build >/dev/null 2>&1 || \
 	   git diff --cached --name-only --diff-filter=AM | grep -q '^_build/'; then \
 	  echo "error: _build/ is tracked or staged; it must stay ignored" >&2; \
@@ -49,6 +50,17 @@ bench:
 # compares runs/s, so a smaller --runs smoke still gates correctly.
 bench-smoke:
 	dune exec bin/rvisim.exe -- bench --runs 100 --jobs 2 --gate 0.2
+
+# Chaos smoke: a bounded generated campaign (any invariant violation
+# inside the generated envelope is a real bug and fails the gate) plus a
+# replay of every pinned repro under test/corpus/. Violations found by
+# the campaign are shrunk to minimal repros under results/corpus/, which
+# CI uploads as an artefact.
+chaos-smoke:
+	mkdir -p results/corpus
+	dune exec bin/rvisim.exe -- chaos --seed 2004 --count 50 --jobs 2 \
+	  --shrink --corpus results/corpus
+	dune exec bin/rvisim.exe -- chaos --replay test/corpus/*.scenario
 
 # Translation-mode smoke: runs the adpcm ablation in both translation
 # modes and asserts paper mode never touches the page-table walker while

@@ -704,6 +704,152 @@ let faults_cmd =
       const run $ seed $ runs $ sweep_flag $ inject $ exec_retries $ csv_out
       $ trace_out $ jobs)
 
+let chaos_cmd =
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Scenarios to generate and run (per batch with $(b,--soak)).")
+  in
+  let soak =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "soak" ] ~docv:"SECS"
+          ~doc:
+            "Keep running $(b,--count)-sized batches (reseeded per batch) \
+             until SECS of host time have elapsed.")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Delta-debug every violating scenario to a minimal repro with \
+             the same classification before writing the corpus.")
+  in
+  let promote =
+    Arg.(
+      value & flag
+      & info [ "promote" ]
+          ~doc:
+            "Also write the (shrunk) repros into test/corpus/, where the \
+             test suite replays them as pinned regressions.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a serialised corpus scenario and check its \
+             classification against the file's expect header (repeatable; \
+             disables generation).")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt string "results/corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Corpus output directory.")
+  in
+  let run seed count jobs soak shrink_flag promote replay corpus_dir =
+    let module Chaos = Rvi_scenario.Chaos in
+    let module Scenario = Rvi_scenario.Scenario in
+    if replay <> [] then begin
+      let ok =
+        List.for_all
+          (fun path ->
+            match Chaos.replay path with
+            | Ok r ->
+              Printf.printf "%s: %s (as expected)\n" path
+                (Chaos.classification r);
+              true
+            | Error e ->
+              Printf.printf "%s\n" e;
+              false)
+          replay
+      in
+      if not ok then exit 1
+    end
+    else begin
+      let progress r =
+        if (r.Chaos.index + 1) mod 100 = 0 then
+          Printf.eprintf "%d/%d\n%!" (r.Chaos.index + 1) count
+      in
+      (* One batch per seed; --soak reseeds batches until the budget is
+         spent. Every batch is reproducible from its printed seed. *)
+      let batches =
+        match soak with
+        | None -> [ seed ]
+        | Some secs ->
+          let t0 = Unix.gettimeofday () in
+          let rec go acc b =
+            if Unix.gettimeofday () -. t0 >= secs then List.rev acc
+            else begin
+              let bseed = seed + b in
+              Printf.eprintf "soak batch %d (seed %d)\n%!" b bseed;
+              ignore (Chaos.campaign ~jobs ~progress ~seed:bseed ~count ());
+              go (bseed :: acc) (b + 1)
+            end
+          in
+          (* The last batch is re-run below for reporting; cheap relative
+             to the soak budget and keeps one code path. *)
+          let seeds = go [] 0 in
+          if seeds = [] then [ seed ] else seeds
+      in
+      let violations = ref [] in
+      List.iter
+        (fun bseed ->
+          let reports = Chaos.campaign ~jobs ~progress ~seed:bseed ~count () in
+          Chaos.print_summary ppf (Chaos.summarize reports);
+          List.iter
+            (fun r ->
+              if Chaos.classification r <> "pass" then
+                violations := (bseed, r) :: !violations)
+            reports)
+        (match soak with None -> batches | Some _ -> [ List.hd (List.rev batches) ]);
+      let violations = List.rev !violations in
+      List.iter
+        (fun (bseed, r) ->
+          let cls = Chaos.classification r in
+          Printf.printf "violation (seed %d, scenario %d): %s\n  %s\n" bseed
+            r.Chaos.index cls
+            (Scenario.to_string r.Chaos.scenario);
+          let final =
+            if shrink_flag then begin
+              let min_sc = Chaos.shrink ~cls r.Chaos.scenario in
+              let shrunk = Chaos.run ~index:r.Chaos.index min_sc in
+              Printf.printf "  shrunk: %s\n" (Scenario.to_string min_sc);
+              shrunk
+            end
+            else r
+          in
+          let paths =
+            Chaos.save_corpus ~dir:corpus_dir ~campaign_seed:bseed [ final ]
+          in
+          List.iter (Printf.printf "  wrote %s\n") paths;
+          if promote then
+            List.iter
+              (Printf.printf "  promoted %s\n")
+              (Chaos.save_corpus ~dir:"test/corpus" ~campaign_seed:bseed
+                 [ final ]))
+        violations;
+      if violations <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Generative chaos campaign: PRNG-derived scenarios (app mix x \
+          geometry x translation x policy x fault plan x recovery budget) \
+          run against the declared invariants — no crash, consistency, \
+          bit-exact output, convergent recovery, progress, stat sanity. \
+          Violations are delta-debugged to minimal repros and serialised \
+          to the corpus. Exits non-zero on any violation.")
+    Term.(
+      const run $ seed $ count $ jobs $ soak $ shrink_flag $ promote $ replay
+      $ corpus_dir)
+
 let bench_cmd =
   let runs =
     Arg.(
@@ -820,6 +966,7 @@ let () =
             emit_stubs_cmd;
             run_cmd;
             faults_cmd;
+            chaos_cmd;
             bench_cmd;
             all_cmd;
           ]))

@@ -10,6 +10,8 @@ type t = {
   bitstreams : (int, Rvi_fpga.Bitstream.t) Hashtbl.t;
   mutable next_handle : int;
   mutable last_error : string option;
+  mutable last_transient : bool;
+      (* the last FPGA_EXECUTE error classified {!Vim.Transient} *)
 }
 
 let dir_code = function
@@ -85,8 +87,10 @@ let handle_execute t args =
     match Vim.execute t.vim ~params:(Array.to_list args) with
     | Ok () ->
       t.last_error <- None;
+      t.last_transient <- false;
       0
     | Error e ->
+      t.last_transient <- (Vim.classify e = Vim.Transient);
       let errno =
         match e with
         | Vim.Unmapped_object _ | Vim.Object_overflow _ | Vim.Sva_fault _ ->
@@ -94,7 +98,7 @@ let handle_execute t args =
         | Vim.No_frames -> Syscall.ENOMEM
         | Vim.Too_many_params _ -> Syscall.EINVAL
         | Vim.Hardware_stall | Vim.Bus_error | Vim.Dma_failed
-        | Vim.Parity_error _ ->
+        | Vim.Parity_error _ | Vim.Walk_failed _ ->
           Syscall.EIO
         | Vim.Nothing_loaded -> Syscall.EINVAL
       in
@@ -122,6 +126,7 @@ let install ~kernel ~vim ~pld =
       bitstreams = Hashtbl.create 4;
       next_handle = 1;
       last_error = None;
+      last_transient = false;
     }
   in
   let table = Kernel.syscalls kernel in
@@ -175,6 +180,7 @@ let fpga_unload t =
   decode_result t (Kernel.syscall t.kernel ~number:Syscall.fpga_unload [||])
 
 let last_error t = t.last_error
+let last_transient t = t.last_transient
 
 (* Platform pooling: forget user-side bit-stream registrations so handle
    numbering restarts from 1 — a pooled run issues the same handles (and
@@ -182,4 +188,5 @@ let last_error t = t.last_error
 let reset t =
   Hashtbl.reset t.bitstreams;
   t.next_handle <- 1;
-  t.last_error <- None
+  t.last_error <- None;
+  t.last_transient <- false

@@ -46,6 +46,14 @@ val fpga_unload : t -> (unit, Rvi_os.Syscall.errno) result
 val last_error : t -> string option
 (** Human-readable detail of the most recent kernel-side failure. *)
 
+val last_transient : t -> bool
+(** Whether the most recent [FPGA_EXECUTE] failure classified
+    {!Vim.Transient} — i.e. a clean re-execution (or the software
+    fallback) may still deliver the result. The runner's retry/degrade
+    ladder keys on this rather than on the errno, so translation modes
+    with their own transient error set (SVA walk failures) recover the
+    same way paper mode does. *)
+
 val reset : t -> unit
 (** Platform pooling: forgets user-side bit-stream registrations (handle
     numbering restarts from 1, so a pooled run issues the same syscall

@@ -88,6 +88,10 @@ type t = {
   mutable cycle : int;
   mutable trace : (access_event -> unit) option;
   mutable hung : bool;
+  mutable walk_errored : bool;
+      (* the last SVA translation attempt aborted on an injected PTW bus
+         error: the re-fault after resume is legitimate, not a double
+         fault *)
   mutable injector : Rvi_inject.Injector.t option;
   stats : Rvi_sim.Stats.t;
   (* pre-resolved handles for the per-cycle / per-access hot paths *)
@@ -148,6 +152,7 @@ let create ?(config = default_config) ?l2 ~port ~dpram ~raise_irq () =
     cycle = 0;
     trace = None;
     hung = false;
+    walk_errored = false;
     injector = None;
     stats;
     c_busy = Rvi_sim.Stats.counter stats "busy_cycles";
@@ -251,6 +256,33 @@ let hw_refill tlb ~vpn ~ppn ~stamp ~fold =
   Tlb.insert tlb ~slot ~obj_id:sva_asid ~vpn ~ppn ~stamp;
   slot
 
+(* An L2 refill write can disturb a neighbouring cell, exactly like the
+   L1 corruption the paper-mode injector models. The entries are
+   parity-protected: the corrupt entry is detected and dropped rather than
+   translating wrongly, its dirty bit folded down to the PTE first (the
+   architectural home) so no write-back is lost. The page stays resident —
+   the next touch misses both levels, re-walks, and re-wires the
+   translation from the PTE. *)
+let corrupt_l2_maybe t l2 =
+  match t.injector with
+  | None -> ()
+  | Some inj ->
+    if Rvi_inject.Injector.fire inj Rvi_inject.Fault.L2_corrupt then begin
+      let victims = ref [] in
+      for s = Tlb.entries l2 - 1 downto 0 do
+        let e = Tlb.get l2 ~slot:s in
+        if e.Tlb.valid then victims := s :: !victims
+      done;
+      match !victims with
+      | [] -> ()
+      | vs ->
+        let s = List.nth vs (Rvi_inject.Injector.draw inj (List.length vs)) in
+        let e = Tlb.get l2 ~slot:s in
+        if e.Tlb.dirty then fold_dirty_to_pte t ~vpn:e.Tlb.vpn;
+        Tlb.invalidate l2 ~slot:s;
+        Rvi_sim.Stats.incr t.stats "l2_corruptions"
+    end
+
 (* SVA translation of the latched request: L1 CAM, then the shared L2,
    then the walker over the process's page table — refilling upwards on
    the way back, as a hardware IOMMU does. Returns the physical page
@@ -291,32 +323,64 @@ let resolve_sva t =
         | None -> (
           match (t.page_table, t.walker) with
           | Some pt, Some w -> (
-            let o = Walker.walk w pt ~vpn in
-            let extra = extra + o.Walker.cycles in
-            match o.Walker.frame with
-            | Some ppn ->
-              ignore
-                (hw_refill l2 ~vpn ~ppn ~stamp ~fold:(fun v ->
-                     fold_dirty_to_pte t ~vpn:v));
-              let slot =
-                hw_refill t.tlb ~vpn ~ppn ~stamp ~fold:(fun v ->
-                    fold_dirty_from_l1 t ~vpn:v)
-              in
-              Tlb.touch t.tlb ~slot ~stamp ~wr:t.req_wr;
-              (Some ppn, extra)
-            | None -> (None, extra))
+            match t.injector with
+            | Some inj
+              when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Walker_hang
+              ->
+              (* The walker wedges mid-walk: the access never completes and
+                 SR shows nothing. Only the VIM's watchdog (and the CR
+                 reset that follows) reclaims the interface — the same
+                 recovery row as a coprocessor hang. *)
+              t.hung <- true;
+              Rvi_sim.Stats.incr t.stats "walker_hangs";
+              (None, 0)
+            | _ -> (
+              match t.injector with
+              | Some inj
+                when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Ptw_error
+                ->
+                (* The walk's bus read answers with an error response: the
+                   walk aborts after one level's worth of cycles and the
+                   fault goes to the VIM, which resumes translation so the
+                   hardware re-walks — bounded by the VIM's walk-retry
+                   budget. *)
+                t.walk_errored <- true;
+                Rvi_sim.Stats.incr t.stats "ptw_errors";
+                (None, extra + (Walker.config w).Walker.cycles_per_level)
+              | _ -> (
+                let o = Walker.walk w pt ~vpn in
+                let extra = extra + o.Walker.cycles in
+                match o.Walker.frame with
+                | Some ppn ->
+                  ignore
+                    (hw_refill l2 ~vpn ~ppn ~stamp ~fold:(fun v ->
+                         fold_dirty_to_pte t ~vpn:v));
+                  corrupt_l2_maybe t l2;
+                  let slot =
+                    hw_refill t.tlb ~vpn ~ppn ~stamp ~fold:(fun v ->
+                        fold_dirty_from_l1 t ~vpn:v)
+                  in
+                  Tlb.touch t.tlb ~slot ~stamp ~wr:t.req_wr;
+                  (Some ppn, extra)
+                | None -> (None, extra))))
           | _ -> (None, extra))))
   end
 
 let enter_fault t =
   let vpn = req_vpn t in
   let key = (t.req_obj, vpn) in
-  if t.just_resumed && t.fault = Some key then
+  (* A repeat fault right after resume normally means the OS failed to
+     install a translation — a kernel bug worth crashing on. The one
+     legitimate case is an SVA walk that aborted on an injected PTW bus
+     error: the translation exists, the walk of it failed, and the VIM
+     bounds how often we come back here. *)
+  if t.just_resumed && t.fault = Some key && not t.walk_errored then
     failwith
       (Printf.sprintf
          "Imu: double fault on object %d page %d — OS resumed without \
           installing a translation"
          t.req_obj vpn);
+  t.walk_errored <- false;
   t.fault <- Some key;
   t.just_resumed <- false;
   Rvi_sim.Stats.incr t.stats "faults";
@@ -350,6 +414,7 @@ let perform_access t ppn =
   end;
   t.out_tlbhit <- true;
   t.just_resumed <- false;
+  t.walk_errored <- false;
   t.fault <- None
 
 (* The CAM search result is a pure function of the TLB image at latch time
@@ -370,6 +435,12 @@ let translate_or_fault t =
   (* [extra] stretches the countdown by the L2 search and walker cycles
      (always 0 in paper mode, keeping that path byte-identical). *)
   let states = t.cfg.lookup_states + extra in
+  if t.hung then
+    (* A walker hang injected during resolution: the access never
+       completes. [compute] keeps the FSM where it is until the watchdog
+       abort resets the interface. *)
+    Rvi_hw.Fsm.stay t.fsm
+  else
   match resolved with
   | Some ppn ->
     if states = 0 then begin
@@ -542,6 +613,7 @@ let write_cr t word =
   if Imu_regs.test word Imu_regs.cr_reset then begin
     Rvi_hw.Fsm.reset t.fsm Idle;
     t.hung <- false;
+    t.walk_errored <- false;
     t.req_valid <- false;
     t.fault <- None;
     t.fin_seen <- false;
@@ -579,6 +651,7 @@ let reset t =
   t.out_din <- 0;
   t.cycle <- 0;
   t.hung <- false;
+  t.walk_errored <- false;
   t.injector <- None;
   Tlb.reset t.tlb;
   (match t.l2 with Some l2 -> Tlb.reset l2 | None -> ());

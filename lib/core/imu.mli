@@ -160,7 +160,8 @@ val set_trace : t -> (access_event -> unit) option -> unit
 val stats : t -> Rvi_sim.Stats.t
 (** ["accesses"], ["reads"], ["writes"], ["param_reads"], ["faults"],
     ["stall_cycles"], ["busy_cycles"], ["hangs"], ["hang_cycles"],
-    ["wrong_results"]. *)
+    ["wrong_results"]; under SVA injection additionally ["ptw_errors"],
+    ["l2_corruptions"] and ["walker_hangs"]. *)
 
 (** {1 Fault injection} *)
 

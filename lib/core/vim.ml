@@ -23,6 +23,69 @@ type recovery = {
 let default_recovery =
   { max_retries = 3; backoff = Simtime.of_us 10; poll = Simtime.of_us 200 }
 
+(* {1 The recovery state machine, reified}
+
+   Every recovery decision the VIM (and the runner above it) takes is one
+   row of this table: given the class of the detected fault and how many
+   times recovery has already been attempted, what happens next. The
+   functions below are the single source of truth — [charge_copy_with_retry]
+   and the SVA walk-retry bounding dispatch through them, and the property
+   tests enumerate them — so the machine provably never wedges: [Retry] is
+   only ever answered while [attempt <= max_retries], and every class maps
+   to a terminal action ([Abort] or [Degrade]) beyond that. *)
+
+type fault_class =
+  | Copy_error  (* AHB error / DMA abort on a page transfer *)
+  | Walk_error  (* SVA: the page-table walk aborted on a bus error *)
+  | Hang  (* no progress: the coprocessor or the walker wedged *)
+  | Lost_irq  (* a cause latched in SR with no interrupt edge *)
+  | Bad_output  (* clean exit, wrong result (caught by verification) *)
+
+let fault_class_name = function
+  | Copy_error -> "copy-error"
+  | Walk_error -> "walk-error"
+  | Hang -> "hang"
+  | Lost_irq -> "lost-irq"
+  | Bad_output -> "bad-output"
+
+let all_fault_classes = [ Copy_error; Walk_error; Hang; Lost_irq; Bad_output ]
+
+type action =
+  | Retry of { backoff : Simtime.t }
+      (* re-issue the failed operation after [backoff] *)
+  | Poll  (* read SR at the poll interval until the cause surfaces *)
+  | Abort  (* abort_cleanup; the error propagates to the caller *)
+  | Degrade  (* hand the computation to the software fallback *)
+
+let action_name = function
+  | Retry _ -> "retry"
+  | Poll -> "poll"
+  | Abort -> "abort"
+  | Degrade -> "degrade"
+
+(* The transition table. [attempt] is 1-based: the decision taken after
+   the [attempt]-th failure of the same operation. *)
+let decide r ~cls ~attempt =
+  if attempt < 1 then invalid_arg "Vim.decide: attempt must be >= 1";
+  match cls with
+  | Lost_irq -> Poll
+  | Hang -> Abort
+  | Copy_error ->
+    if attempt <= r.max_retries then
+      (* exponential backoff: base * 2^(attempt-1) *)
+      Retry { backoff = Simtime.mul r.backoff (1 lsl min 30 (attempt - 1)) }
+    else Abort
+  | Walk_error ->
+    (* resume re-walks immediately: the walker retry has no software
+       backoff, the fault service itself is the delay *)
+    if attempt <= r.max_retries then Retry { backoff = Simtime.zero }
+    else Abort
+  | Bad_output ->
+    (* whole-execution granularity: the runner re-executes within its own
+       budget (it instantiates [r] with that budget), then falls back *)
+    if attempt <= r.max_retries then Retry { backoff = Simtime.zero }
+    else Degrade
+
 type config = {
   policy : Policy.t;
   transfer : transfer_mode;
@@ -59,6 +122,7 @@ type error =
   | Dma_failed
   | Parity_error of { frame : int }
   | Sva_fault of { vpn : int }
+  | Walk_failed of { vpn : int }
 
 let error_to_string = function
   | Unmapped_object id -> Printf.sprintf "access to unmapped object %d" id
@@ -77,6 +141,10 @@ let error_to_string = function
   | Sva_fault { vpn } ->
     Printf.sprintf
       "walker fault on virtual page %d outside the process address space" vpn
+  | Walk_failed { vpn } ->
+    Printf.sprintf
+      "page-table walk of virtual page %d kept failing through every retry"
+      vpn
 
 type severity = Transient | Fatal
 
@@ -84,7 +152,8 @@ type severity = Transient | Fatal
    fallback) can still deliver the result. Fatal ones are caller or
    configuration bugs where retrying reproduces the failure. *)
 let classify = function
-  | Hardware_stall | Bus_error | Dma_failed | Parity_error _ -> Transient
+  | Hardware_stall | Bus_error | Dma_failed | Parity_error _ | Walk_failed _ ->
+    Transient
   | Unmapped_object _ | Object_overflow _ | No_frames | Too_many_params _
   | Nothing_loaded | Sva_fault _ ->
     Fatal
@@ -111,6 +180,12 @@ type t = {
       (* SVA: the executing process's page table, bound for the duration
          of one FPGA_EXECUTE (the same binding the IMU walker holds) *)
   mutable caller : int option; (* pid sleeping in FPGA_EXECUTE *)
+  (* SVA walk-retry bounding: consecutive refill-only faults on the same
+     virtual page mean the hardware walk keeps aborting (a PTE exists, yet
+     the walker comes back empty-handed); the streak is bounded by the
+     recovery budget through {!decide}. *)
+  mutable walk_retry_vpn : int;
+  mutable walk_retry_count : int;
   mutable finished : bool;
   mutable error : error option;
   irq_line : int;
@@ -151,6 +226,8 @@ let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
       frame_dirty = Hashtbl.create 16;
       page_table = None;
       caller = None;
+      walk_retry_vpn = -1;
+      walk_retry_count = 0;
       finished = false;
       error = None;
       irq_line;
@@ -195,7 +272,14 @@ and charge_copy_with_retry t ~what bytes =
     let rec go attempt =
       if Rvi_inject.Injector.fire inj kind then begin
         Stats.incr t.stats "copy_errors";
-        if attempt > t.cfg.recovery.max_retries then begin
+        match decide t.cfg.recovery ~cls:Copy_error ~attempt with
+        | Retry { backoff } ->
+          Stats.incr t.stats "copy_retries";
+          emit t (Trace.Retry { what; attempt });
+          Kernel.charge_time t.kernel Accounting.Sw_os backoff;
+          charge_copy t bytes;
+          go (attempt + 1)
+        | Poll | Abort | Degrade ->
           Stats.incr t.stats "copy_retries_exhausted";
           if t.error = None then
             t.error <-
@@ -203,15 +287,6 @@ and charge_copy_with_retry t ~what bytes =
                 (match t.cfg.copy_engine with
                 | Cpu -> Bus_error
                 | Dma_engine _ -> Dma_failed)
-        end
-        else begin
-          Stats.incr t.stats "copy_retries";
-          emit t (Trace.Retry { what; attempt });
-          Kernel.charge_time t.kernel Accounting.Sw_os
-            (Simtime.mul t.cfg.recovery.backoff (1 lsl (attempt - 1)));
-          charge_copy t bytes;
-          go (attempt + 1)
-        end
       end
       else if attempt > 1 then begin
         Stats.incr t.stats "copies_recovered";
@@ -675,9 +750,30 @@ and handle_sva_fault t ~t0 ~obj_id ~vpn =
     let refill_only = ref false in
     (match t.page_table with
     | Some pt when Rvi_os.Page_table.find pt ~vpn <> None ->
+      (* The PTE is present, so the translation only needs the hardware to
+         re-walk on resume. A streak of these on the same page means the
+         walk itself keeps aborting (injected PTW bus errors): each retry
+         is one row of the recovery table, and past the budget the
+         execution aborts with a transient {!Walk_failed}. *)
       refill_only := true;
-      Stats.incr t.stats "tlb_refill_faults"
+      Stats.incr t.stats "tlb_refill_faults";
+      if vpn = t.walk_retry_vpn then begin
+        t.walk_retry_count <- t.walk_retry_count + 1;
+        Stats.incr t.stats "walk_retries";
+        match decide t.cfg.recovery ~cls:Walk_error ~attempt:t.walk_retry_count
+        with
+        | Retry _ -> emit t (Trace.Retry { what = "walk"; attempt = t.walk_retry_count })
+        | Poll | Abort | Degrade ->
+          Stats.incr t.stats "walk_retries_exhausted";
+          if t.error = None then t.error <- Some (Walk_failed { vpn })
+      end
+      else begin
+        t.walk_retry_vpn <- vpn;
+        t.walk_retry_count <- 0
+      end
     | _ -> (
+      t.walk_retry_vpn <- -1;
+      t.walk_retry_count <- 0;
       match obtain_frame t with
       | None -> t.error <- Some No_frames
       | Some frame -> sva_wire_page t ~frame ~vpn));
@@ -823,6 +919,8 @@ let reset t cfg =
   Frame_table.release_all t.frames;
   t.page_table <- None;
   t.caller <- None;
+  t.walk_retry_vpn <- -1;
+  t.walk_retry_count <- 0;
   t.finished <- false;
   t.error <- None;
   Stats.reset t.stats
@@ -897,6 +995,8 @@ let execute t ~params =
     Imu.write_cr t.imu Imu_regs.cr_reset;
     Hashtbl.reset t.written_back;
     Hashtbl.reset t.frame_dirty;
+    t.walk_retry_vpn <- -1;
+    t.walk_retry_count <- 0;
     t.finished <- false;
     t.error <- None;
     Stats.incr t.stats "executions";
@@ -971,8 +1071,15 @@ let execute t ~params =
         Accounting.add acct Accounting.Hw
           (Simtime.sub (Engine.now engine) hw_seg_start);
         if Rvi_os.Irq.any_pending irq then begin
+          let spurious0 = Stats.get t.stats "spurious_irqs" in
           ignore (Kernel.service_interrupts kernel);
-          rearm ();
+          (* Progress means a serviced cause (fin or fault), not a mere
+             edge: re-arming on a spurious interrupt would let a
+             glitching controller hold the watchdog off forever over a
+             hung coprocessor — the interface would never be reclaimed.
+             (Found by the chaos harness: hang + spurious-IRQ rate with
+             the watchdog notionally disabled never terminated.) *)
+          if Stats.get t.stats "spurious_irqs" = spurious0 then rearm ();
           if t.finished || t.error <> None then ()
           else pump (Engine.now engine)
         end

@@ -44,6 +44,41 @@ type recovery = {
 val default_recovery : recovery
 (** 3 retries, 10 µs base backoff, 200 µs poll. *)
 
+(** {1 The recovery state machine, reified}
+
+    Every recovery decision — the VIM's page-transfer retries, the SVA
+    walk-retry bounding, the lost-interrupt polling, the watchdog abort
+    and the runner's whole-execution retry/fallback ladder — is one row of
+    this table. The implementations dispatch through {!decide}, so the
+    property tests that enumerate it cover the machine that actually
+    runs. *)
+
+type fault_class =
+  | Copy_error  (** AHB error / DMA abort on a page transfer *)
+  | Walk_error  (** SVA: a page-table walk aborted on a bus error *)
+  | Hang  (** no progress: the coprocessor or the walker wedged *)
+  | Lost_irq  (** a cause latched in SR with no interrupt edge *)
+  | Bad_output  (** clean exit, wrong result (caught by verification) *)
+
+val fault_class_name : fault_class -> string
+val all_fault_classes : fault_class list
+
+type action =
+  | Retry of { backoff : Rvi_sim.Simtime.t }
+      (** re-issue the failed operation after [backoff] *)
+  | Poll  (** read SR at the poll interval until the cause surfaces *)
+  | Abort  (** abort_cleanup; the error propagates to the caller *)
+  | Degrade  (** hand the computation to the software fallback *)
+
+val action_name : action -> string
+
+val decide : recovery -> cls:fault_class -> attempt:int -> action
+(** The transition table: the action after the [attempt]-th (1-based)
+    failure of one operation of class [cls] under policy [recovery].
+    Total, and terminal past the retry budget: [Retry] is only answered
+    while [attempt <= max_retries], so no fault class can keep the
+    interface wedged. Raises [Invalid_argument] when [attempt < 1]. *)
+
 type config = {
   policy : Policy.t;
   transfer : transfer_mode;
@@ -87,6 +122,10 @@ type error =
   | Sva_fault of { vpn : int }
       (** SVA mode: the walker faulted on a virtual page outside the
           process address space (or before any window was programmed) *)
+  | Walk_failed of { vpn : int }
+      (** SVA mode: the hardware page-table walk of a present PTE kept
+          aborting (injected PTW bus errors) through the walk-retry
+          budget *)
 
 val error_to_string : error -> string
 
@@ -152,7 +191,8 @@ val stats : t -> Rvi_sim.Stats.t
     ["copy_errors"], ["copy_retries"], ["copies_recovered"],
     ["copy_retries_exhausted"], ["tlb_corruptions"], ["parity_errors"],
     ["lost_irq_recovered"], ["watchdog_fires"], ["aborts"],
-    ["spurious_irqs"]. *)
+    ["spurious_irqs"]; in SVA mode also ["walk_retries"] and
+    ["walk_retries_exhausted"] (PTW bus-error recovery). *)
 
 val frame_table : t -> Frame_table.t
 (** Exposed for tests and for the ablation harness. *)

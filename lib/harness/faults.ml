@@ -86,13 +86,46 @@ let default_watchdog = Simtime.of_ms 10
 let platform_pools : Platform.Pool.t Domain.DLS.key =
   Domain.DLS.new_key Platform.Pool.create
 
-let run_one ?trace ?pool
-    ?(translation = Rvi_core.Translation_mode.Paper_objects) ~spec ~recovery
-    ~watchdog ~exec_retries ~seed (name, w) =
+(* Build one named application workload with roughly [bytes] of input
+   (rounded to the application's natural granule, with a floor that keeps
+   the working set larger than a couple of dual-port pages). The chaos
+   harness uses this to vary input size as a scenario dimension. *)
+let workload_of ~seed ~bytes name =
+  match name with
+  | "adpcm" -> (name, W_adpcm (Workload.adpcm_stream ~seed ~bytes:(max 512 bytes)))
+  | "idea" ->
+    let bytes = max 512 (bytes land lnot 7) in
+    ( name,
+      W_idea
+        { key = Workload.idea_key ~seed; input = Workload.idea_plaintext ~seed ~bytes } )
+  | "fir" ->
+    let bytes = max 512 (bytes land lnot 1) in
+    ( name,
+      W_fir
+        {
+          coeffs = Workload.fir_coeffs ~taps:16;
+          shift = 12;
+          input = Workload.fir_signal ~seed ~bytes;
+        } )
+  | "vecadd" ->
+    let n = max 64 (bytes / 8) in
+    let a, b = Workload.vectors ~seed ~n in
+    (name, W_vecadd { a; b })
+  | _ -> invalid_arg (Printf.sprintf "Faults.workload_of: unknown app %S" name)
+
+let app_names = [ "adpcm"; "idea"; "fir"; "vecadd" ]
+
+let run_one ?trace ?pool ?base ?(events = []) ?inspect ?translation ~spec
+    ~recovery ~watchdog ~exec_retries ~seed (name, w) =
   let inj = Injector.create ~seed ~spec in
+  if events <> [] then Injector.set_events inj events;
+  let base = match base with Some b -> b | None -> Config.default () in
+  let translation =
+    match translation with Some t -> t | None -> base.Config.translation
+  in
   let cfg =
     {
-      (Config.default ()) with
+      base with
       Config.injector = Some inj;
       recovery;
       watchdog;
@@ -105,11 +138,11 @@ let run_one ?trace ?pool
     try
       Ok
         (match w with
-        | W_adpcm input -> Runner.adpcm_vim ?pool cfg ~input
-        | W_idea { key; input } -> Runner.idea_vim ?pool cfg ~key ~input
+        | W_adpcm input -> Runner.adpcm_vim ?pool ?inspect cfg ~input
+        | W_idea { key; input } -> Runner.idea_vim ?pool ?inspect cfg ~key ~input
         | W_fir { coeffs; shift; input } ->
-          Runner.fir_vim ?pool cfg ~coeffs ~shift ~input
-        | W_vecadd { a; b } -> Runner.vecadd_vim ?pool cfg ~a ~b)
+          Runner.fir_vim ?pool ?inspect cfg ~coeffs ~shift ~input
+        | W_vecadd { a; b } -> Runner.vecadd_vim ?pool ?inspect cfg ~a ~b)
     with e -> Error (Printexc.to_string e)
   in
   let outcome, total_ms =

@@ -54,9 +54,21 @@ val workloads : seed:int -> (string * workload) array
 (** The four campaign applications with deterministically generated
     inputs. *)
 
+val app_names : string list
+(** The campaign application names, in {!workloads} order. *)
+
+val workload_of : seed:int -> bytes:int -> string -> string * workload
+(** One named application ("adpcm", "idea", "fir" or "vecadd") with
+    roughly [bytes] of deterministically generated input (rounded to the
+    application's block granule, floored so the working set exceeds the
+    dual-port memory). Raises [Invalid_argument] on unknown names. *)
+
 val run_one :
   ?trace:Rvi_obs.Trace.t ->
   ?pool:Platform.Pool.t ->
+  ?base:Config.t ->
+  ?events:(Rvi_inject.Fault.kind * int) list ->
+  ?inspect:(Platform.t -> unit) ->
   ?translation:Rvi_core.Translation_mode.t ->
   spec:Rvi_inject.Spec.t ->
   recovery:Rvi_core.Vim.recovery ->
@@ -65,6 +77,13 @@ val run_one :
   seed:int ->
   string * workload ->
   run_result
+(** One seeded run. [base] (default {!Config.default}) supplies the
+    platform geometry — device, policy, TLB, prefetch — that the injector,
+    recovery and watchdog settings are layered onto; [translation]
+    defaults to the base configuration's mode. [events] arms deterministic
+    one-shot faults on top of the rate-based [spec]
+    (see {!Rvi_inject.Injector.set_events}); [inspect] runs against the
+    live platform after the run (the chaos harness' consistency probe). *)
 
 val campaign :
   ?trace:Rvi_obs.Trace.t ->

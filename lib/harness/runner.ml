@@ -168,10 +168,14 @@ let run_virtual_on p ~ph0 ?fallback (cfg : Config.t) ~app ~bitstream ~objects
   let exec_retries =
     if cfg.Config.injector = None then 0 else cfg.Config.exec_retries
   in
-  (* Transient hardware errors surface as EIO; a clean re-execution may
-     succeed, so retry up to the budget. A bad output with a clean exit (a
-     silent wrong-result fault) is retried the same way. Everything else is
-     a caller bug and fails immediately. *)
+  (* Transient hardware errors may succeed on a clean re-execution, so
+     retry up to the budget; exhaustion degrades to the fallback. A bad
+     output with a clean exit (a silent wrong-result fault) is retried the
+     same way. The ladder keys on the VIM's severity classification
+     ({!Rvi_core.Api.last_transient}) rather than on a specific errno, so
+     translation modes with their own transient surface (SVA walk
+     failures) degrade instead of failing outright. Non-transient errors
+     are caller bugs and fail immediately. *)
   let rec attempt n =
     match Rvi_core.Api.fpga_execute api ~params with
     | Ok () ->
@@ -181,18 +185,19 @@ let run_virtual_on p ~ph0 ?fallback (cfg : Config.t) ~app ~bitstream ~objects
         attempt (n + 1)
       end
       else `Degrade ("wrong result", n)
-    | Error Rvi_os.Syscall.EIO when n < exec_retries ->
-      emit (Rvi_obs.Trace.Retry { what = "execute"; attempt = n + 1 });
-      attempt (n + 1)
     | Error e -> (
-      let detail =
-        match Rvi_core.Api.last_error api with
-        | Some d -> Printf.sprintf "%s (%s)" (Rvi_os.Syscall.errno_name e) d
-        | None -> Rvi_os.Syscall.errno_name e
-      in
-      match e with
-      | Rvi_os.Syscall.EIO -> `Degrade (detail, n)
-      | _ -> `Fail detail)
+      let transient = Rvi_core.Api.last_transient api in
+      if transient && n < exec_retries then begin
+        emit (Rvi_obs.Trace.Retry { what = "execute"; attempt = n + 1 });
+        attempt (n + 1)
+      end
+      else
+        let detail =
+          match Rvi_core.Api.last_error api with
+          | Some d -> Printf.sprintf "%s (%s)" (Rvi_os.Syscall.errno_name e) d
+          | None -> Rvi_os.Syscall.errno_name e
+        in
+        if transient then `Degrade (detail, n) else `Fail detail)
   in
   let outcome = attempt 0 in
   let ph2 = Unix.gettimeofday () in
@@ -246,8 +251,8 @@ let run_virtual_on p ~ph0 ?fallback (cfg : Config.t) ~app ~bitstream ~objects
   Phases.report := !Phases.report +. (Unix.gettimeofday () -. ph2);
   final
 
-let run_virtual ?pool ?fallback (cfg : Config.t) ~app ~bitstream ~make
-    ~objects ~params ~input_bytes ~verify =
+let run_virtual ?pool ?inspect ?fallback (cfg : Config.t) ~app ~bitstream
+    ~make ~objects ~params ~input_bytes ~verify =
   let ph0 = Unix.gettimeofday () in
   let p =
     match pool with
@@ -260,6 +265,9 @@ let run_virtual ?pool ?fallback (cfg : Config.t) ~app ~bitstream ~make
     run_virtual_on p ~ph0 ?fallback cfg ~app ~bitstream ~objects ~params
       ~input_bytes ~verify
   in
+  (* Post-mortem hook: the chaos harness runs the consistency checker on
+     the still-live platform before it goes back to the pool. *)
+  (match inspect with Some f -> f p | None -> ());
   (match pool with
   | Some pool -> Platform.Pool.stash pool ~key:app p
   | None -> ());
@@ -354,8 +362,8 @@ let adpcm_verify input read_obj =
   Bytes.equal (read_obj Rvi_coproc.Adpcm_coproc.obj_out)
     (Rvi_coproc.Adpcm_ref.decode input)
 
-let adpcm_vim ?pool cfg ~input =
-  run_virtual ?pool
+let adpcm_vim ?pool ?inspect cfg ~input =
+  run_virtual ?pool ?inspect
     ~fallback:(fun () ->
       [ (Rvi_coproc.Adpcm_coproc.obj_out, Rvi_coproc.Adpcm_ref.decode input) ])
     cfg ~app:"adpcmdecode" ~bitstream:Calibration.adpcm_bitstream
@@ -406,8 +414,8 @@ let idea_verify ~key ~decrypt input read_obj =
 let idea_params ~decrypt ~key input =
   Rvi_coproc.Idea_coproc.params ~n_blocks:(Bytes.length input / 8) ~decrypt ~key
 
-let idea_vim ?pool ?(decrypt = false) cfg ~key ~input =
-  run_virtual ?pool
+let idea_vim ?pool ?inspect ?(decrypt = false) cfg ~key ~input =
+  run_virtual ?pool ?inspect
     ~fallback:(fun () ->
       [
         ( Rvi_coproc.Idea_coproc.obj_out,
@@ -453,7 +461,7 @@ let vecadd_sw cfg ~a ~b =
     ~work:(fun () ->
       Array.length (Rvi_coproc.Vecadd.reference ~a ~b) = Array.length a)
 
-let vecadd_vim ?pool cfg ~a ~b =
+let vecadd_vim ?pool ?inspect cfg ~a ~b =
   let n = Array.length a in
   let objects =
     [
@@ -480,7 +488,7 @@ let vecadd_vim ?pool cfg ~a ~b =
       };
     ]
   in
-  run_virtual ?pool
+  run_virtual ?pool ?inspect
     ~fallback:(fun () ->
       [
         ( Rvi_coproc.Vecadd.obj_c,
@@ -555,8 +563,8 @@ let fir_verify ~coeffs ~shift input read_obj =
     (read_obj Rvi_coproc.Fir_coproc.obj_out)
     (Rvi_coproc.Fir_ref.filter_bytes ~coeffs ~shift input)
 
-let fir_vim ?pool cfg ~coeffs ~shift ~input =
-  run_virtual ?pool
+let fir_vim ?pool ?inspect cfg ~coeffs ~shift ~input =
+  run_virtual ?pool ?inspect
     ~fallback:(fun () ->
       [
         ( Rvi_coproc.Fir_coproc.obj_out,
@@ -582,7 +590,7 @@ let fir_normal cfg ~coeffs ~shift ~input =
 
 let idea_cbc_objects = idea_objects
 
-let idea_cbc_vim ?pool cfg ~mode ~key ~iv ~input =
+let idea_cbc_vim ?pool ?inspect cfg ~mode ~key ~iv ~input =
   let decrypt =
     match mode with
     | Rvi_coproc.Idea_coproc.Ecb_decrypt | Rvi_coproc.Idea_coproc.Cbc_decrypt ->
@@ -598,7 +606,7 @@ let idea_cbc_vim ?pool cfg ~mode ~key ~iv ~input =
       Rvi_coproc.Idea_ref.cbc ~key ~decrypt ~iv input
   in
   let row =
-    run_virtual ?pool
+    run_virtual ?pool ?inspect
       ~fallback:(fun () -> [ (Rvi_coproc.Idea_coproc.obj_out, expected) ])
       cfg ~app:"idea" ~bitstream:Calibration.idea_bitstream
       ~make:Rvi_coproc.Idea_coproc.Virtual.create

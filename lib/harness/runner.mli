@@ -18,6 +18,7 @@ type vobject = {
 
 val run_virtual :
   ?pool:Platform.Pool.t ->
+  ?inspect:(Platform.t -> unit) ->
   ?fallback:(unit -> (int * Bytes.t) list) ->
   Config.t ->
   app:string ->
@@ -40,7 +41,11 @@ val run_virtual :
 
     With [pool] the platform is borrowed from (and returned to) a
     {!Platform.Pool} under the application name instead of being built
-    per call — byte-identical results, a fraction of the host cost. *)
+    per call — byte-identical results, a fraction of the host cost.
+
+    [inspect] runs against the live platform after the run completes (and
+    before it is returned to the pool): the chaos harness uses it to run
+    the VIM consistency checker and read recovery statistics. *)
 
 (** Host wall-clock spent in the virtual runs, split into setup (platform
     acquisition, buffers, load, map), execute (the FPGA_EXECUTE attempt
@@ -81,12 +86,18 @@ val run_sw :
 (** {1 The paper's applications} *)
 
 val adpcm_sw : Config.t -> input:Bytes.t -> Report.row
-val adpcm_vim : ?pool:Platform.Pool.t -> Config.t -> input:Bytes.t -> Report.row
+val adpcm_vim :
+  ?pool:Platform.Pool.t ->
+  ?inspect:(Platform.t -> unit) ->
+  Config.t ->
+  input:Bytes.t ->
+  Report.row
 val adpcm_normal : Config.t -> input:Bytes.t -> Report.row
 
 val idea_sw : Config.t -> key:int array -> input:Bytes.t -> Report.row
 val idea_vim :
   ?pool:Platform.Pool.t ->
+  ?inspect:(Platform.t -> unit) ->
   ?decrypt:bool ->
   Config.t ->
   key:int array ->
@@ -97,13 +108,19 @@ val idea_normal :
 
 val vecadd_sw : Config.t -> a:int array -> b:int array -> Report.row
 val vecadd_vim :
-  ?pool:Platform.Pool.t -> Config.t -> a:int array -> b:int array -> Report.row
+  ?pool:Platform.Pool.t ->
+  ?inspect:(Platform.t -> unit) ->
+  Config.t ->
+  a:int array ->
+  b:int array ->
+  Report.row
 
 val fir_sw :
   Config.t -> coeffs:int array -> shift:int -> input:Bytes.t -> Report.row
 
 val fir_vim :
   ?pool:Platform.Pool.t ->
+  ?inspect:(Platform.t -> unit) ->
   Config.t ->
   coeffs:int array ->
   shift:int ->
@@ -115,6 +132,7 @@ val fir_normal :
 
 val idea_cbc_vim :
   ?pool:Platform.Pool.t ->
+  ?inspect:(Platform.t -> unit) ->
   Config.t ->
   mode:Rvi_coproc.Idea_coproc.mode ->
   key:int array ->

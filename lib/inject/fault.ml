@@ -7,6 +7,9 @@ type kind =
   | Coproc_wrong
   | Irq_lost
   | Irq_spurious
+  | Ptw_error
+  | L2_corrupt
+  | Walker_hang
 
 let all =
   [
@@ -18,6 +21,9 @@ let all =
     Coproc_wrong;
     Irq_lost;
     Irq_spurious;
+    Ptw_error;
+    L2_corrupt;
+    Walker_hang;
   ]
 
 (* Dense index for per-kind tables on the injector's hot path. *)
@@ -30,8 +36,11 @@ let index = function
   | Coproc_wrong -> 5
   | Irq_lost -> 6
   | Irq_spurious -> 7
+  | Ptw_error -> 8
+  | L2_corrupt -> 9
+  | Walker_hang -> 10
 
-let n_kinds = 8
+let n_kinds = 11
 
 let name = function
   | Dpram_flip -> "dpram"
@@ -42,6 +51,9 @@ let name = function
   | Coproc_wrong -> "wrong"
   | Irq_lost -> "irq-lost"
   | Irq_spurious -> "irq-spurious"
+  | Ptw_error -> "ptw"
+  | L2_corrupt -> "l2-corrupt"
+  | Walker_hang -> "walker-hang"
 
 let of_name s =
   List.find_opt (fun k -> name k = s) all
@@ -55,5 +67,8 @@ let describe = function
   | Coproc_wrong -> "coprocessor writes a corrupted result word"
   | Irq_lost -> "a raised interrupt line is dropped before the CPU sees it"
   | Irq_spurious -> "an interrupt with no pending cause"
+  | Ptw_error -> "the page-table walk aborts on a bus-error response (SVA)"
+  | L2_corrupt -> "a valid shared-L2 TLB entry is corrupted and dropped (SVA)"
+  | Walker_hang -> "the page-table walker wedges mid-walk (SVA, watchdog territory)"
 
 let pp ppf k = Format.pp_print_string ppf (name k)

@@ -30,6 +30,18 @@ type kind =
           latches it; progress stalls until the OS polls the SR *)
   | Irq_spurious
       (** the interrupt controller reports a line with no pending cause *)
+  | Ptw_error
+      (** SVA mode: the page-table walker's bus read returns an error
+          response; the walk aborts and the OS must retry it (resume
+          re-walks) *)
+  | L2_corrupt
+      (** SVA mode: a valid entry of the shared second-level TLB is
+          corrupted; parity drops it, and the next touch re-walks the page
+          table and re-wires the page *)
+  | Walker_hang
+      (** SVA mode: the page-table walker wedges mid-walk and never
+          answers; only the watchdog (followed by a CR reset) reclaims the
+          interface *)
 
 val all : kind list
 (** Every kind, in declaration order. *)
@@ -42,7 +54,7 @@ val n_kinds : int
 val name : kind -> string
 (** Short stable identifier, used by the [--inject] SPEC grammar and by
     stats counters ("dpram", "ahb", "dma", "tlb", "hang", "wrong",
-    "irq-lost", "irq-spurious"). *)
+    "irq-lost", "irq-spurious", "ptw", "l2-corrupt", "walker-hang"). *)
 
 val of_name : string -> kind option
 

@@ -21,6 +21,13 @@ type t = {
   spec : Spec.t;
   seed : int;
   stats : Stats.t;
+  (* Deterministic one-shot events: per kind, the remaining 1-based
+     opportunity ordinals at which the fault fires, sorted ascending.
+     [opps] counts opportunities seen for kinds with events armed. Event
+     hits consume no PRNG state, so the Bernoulli streams of other kinds
+     are unaffected by arming events. *)
+  events : int list array;
+  opps : int array;
   mutable enabled : bool;
   mutable observer : (Fault.kind -> unit) option;
 }
@@ -54,9 +61,39 @@ let create ~seed ~spec =
     spec;
     seed;
     stats;
+    events = Array.make Fault.n_kinds [];
+    opps = Array.make Fault.n_kinds 0;
     enabled = true;
     observer = None;
   }
+
+(* Arm deterministic events. Counter handles are created on demand so an
+   event-only kind still shows up in the per-kind statistics. *)
+let set_events t evs =
+  List.iter
+    (fun (kind, n) ->
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf "Injector.set_events: ordinal %d for %s (want >= 1)"
+             n (Fault.name kind));
+      let i = Fault.index kind in
+      if t.arms.(i) = None then
+        t.arms.(i) <-
+          Some
+            {
+              thr = 0;
+              c_chances =
+                Stats.counter t.stats
+                  (Printf.sprintf "chances_%s" (Fault.name kind));
+              c_injected =
+                Stats.counter t.stats
+                  (Printf.sprintf "injected_%s" (Fault.name kind));
+            };
+      t.events.(i) <- List.sort_uniq Int.compare (n :: t.events.(i)))
+    evs
+
+let pending_events t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.events
 
 let seed t = t.seed
 let spec t = t.spec
@@ -65,12 +102,36 @@ let set_enabled t b = t.enabled <- b
 let enabled t = t.enabled
 let set_observer t f = t.observer <- f
 
+(* Event check for one opportunity: counts the opportunity and answers
+   whether the head event fires now. Only consulted while events remain
+   armed for the kind, so drained kinds pay nothing. *)
+let event_fires t i =
+  match t.events.(i) with
+  | [] -> false
+  | n :: rest ->
+    t.opps.(i) <- t.opps.(i) + 1;
+    if t.opps.(i) = n then begin
+      t.events.(i) <- rest;
+      true
+    end
+    else false
+
 let fire t kind =
-  match Array.unsafe_get t.arms (Fault.index kind) with
+  let i = Fault.index kind in
+  match Array.unsafe_get t.arms i with
   | None -> false
-  | Some { thr = 0; _ } -> false
   | Some arm ->
     if not t.enabled then false
+    else if event_fires t i then begin
+      (* A deterministic hit: counted like a Bernoulli one, but without
+         consuming PRNG state (the event replaces this opportunity's
+         draw). *)
+      Stats.tick arm.c_chances;
+      Stats.tick arm.c_injected;
+      (match t.observer with Some f -> f kind | None -> ());
+      true
+    end
+    else if arm.thr = 0 then false
     else begin
       Stats.tick arm.c_chances;
       let hit = Prng.next t.prng land (resolution - 1) < arm.thr in

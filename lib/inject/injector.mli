@@ -22,6 +22,18 @@ val fire : t -> Fault.kind -> bool
     fault now. Kinds with no rule (or rate 0) never fire and consume no
     PRNG state, so disabling a kind does not shift the others' streams. *)
 
+val set_events : t -> (Fault.kind * int) list -> unit
+(** Arm deterministic one-shot events: [(kind, n)] makes {!fire} answer
+    [true] at the [n]-th injection opportunity (1-based) for [kind],
+    regardless of any Bernoulli rule. An event hit consumes no PRNG state
+    — background rate streams replay identically with or without events
+    armed on other kinds. Duplicate ordinals for one kind collapse;
+    ordinals must be >= 1 ([Invalid_argument] otherwise). The scenario
+    harness uses this to replay shrunk fault schedules exactly. *)
+
+val pending_events : t -> int
+(** Events armed but not yet fired. *)
+
 val draw : t -> int -> int
 (** Uniform in [0, bound): pick which bit to flip, which TLB slot to
     corrupt, ... Raises [Invalid_argument] if [bound <= 0]. *)

@@ -25,6 +25,14 @@ let default_rate = function
   | Fault.Coproc_wrong -> 1e-5
   | Fault.Irq_lost -> 0.05
   | Fault.Irq_spurious -> 0.02
+  (* SVA-only kinds: one opportunity per page-table walk (ptw, hang) or
+     per L2 refill (l2-corrupt). Walks number in the tens to hundreds per
+     run, so the per-walk rates sit between the per-access and per-service
+     bands; hangs are expensive (a whole watchdog period each) and stay
+     rarer. *)
+  | Fault.Ptw_error -> 0.01
+  | Fault.L2_corrupt -> 0.01
+  | Fault.Walker_hang -> 1e-4
 
 let scale factor t =
   if factor < 0.0 then invalid_arg "Spec.scale: negative factor";
@@ -82,6 +90,6 @@ let to_string t =
 let grammar =
   "SPEC ::= RULE (',' RULE)* ; RULE ::= KIND [':' RATE] ; KIND ::= 'all' | \
    'dpram' | 'ahb' | 'dma' | 'tlb' | 'hang' | 'wrong' | 'irq-lost' | \
-   'irq-spurious' ; RATE ::= float in [0,1] (per injection opportunity; \
+   'irq-spurious' | 'ptw' | 'l2-corrupt' | 'walker-hang' ; RATE ::= float in [0,1] (per injection opportunity; \
    omitted = the kind's default). Later rules override earlier ones, so \
    'all:0.01,hang:0' injects everything but hangs."

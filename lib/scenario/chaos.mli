@@ -1,0 +1,95 @@
+(** The generative chaos harness: run scenarios, classify them against
+    the declared invariants, shrink failures to minimal repros, and
+    persist those as a self-checking corpus.
+
+    The invariants every scenario inside the generated envelope must
+    hold:
+
+    - {b no crash} — no uncaught exception anywhere in the stack;
+    - {b consistency} — the VIM consistency checker (software frame table
+      vs hardware TLBs, both levels in SVA mode) is clean after the run;
+    - {b bit-exact output} — the delivered output (hardware or verified
+      software fallback) matches the golden reference;
+    - {b recovery converges} — faults end in recovery or a verifiable
+      degrade, never an unrecovered failure;
+    - {b progress} — the run finishes well under {!progress_gap_ms};
+    - {b stat sanity} — the report's counters are coherent. *)
+
+type violation =
+  | Crash of string
+  | Inconsistent of string
+  | Bad_output of string
+  | Unrecovered of string
+  | Progress_gap of float  (** run time in ms *)
+  | Stat_insane of string
+
+val violation_class : violation -> string
+(** Stable label: ["crash"], ["inconsistent"], ["bad-output"],
+    ["unrecovered"], ["progress-gap"] or ["stat-insane"]. *)
+
+val violation_detail : violation -> string
+
+type report = {
+  index : int;  (** campaign index, [-1] for ad-hoc runs *)
+  scenario : Scenario.t;
+  violations : violation list;  (** most severe first; empty = pass *)
+  runs : Rvi_harness.Faults.run_result list;  (** one per app of the mix *)
+}
+
+val classification : report -> string
+(** ["pass"] or the class of the most severe violation — the label the
+    shrinker preserves and the corpus' [# expect:] header records. *)
+
+val progress_gap_ms : float
+(** Threshold of the progress invariant (500 ms simulated). *)
+
+val run : ?index:int -> Scenario.t -> report
+(** Execute one scenario: every application of the mix through the full
+    stack under the scenario's injector, with the VIM consistency checker
+    probed on the live platform after each run. Deterministic in the
+    scenario alone. *)
+
+val campaign :
+  ?jobs:int -> ?progress:(report -> unit) -> seed:int -> count:int -> unit ->
+  report list
+(** [count] generated scenarios ({!Scenario.generate}) executed
+    scenario-per-shard over the shared domain pool when [jobs > 1].
+    Report [i] depends only on [(seed, i)], so the corpus and the
+    classification are independent of [jobs] and reproducible from the
+    seed. [progress] fires per report (post-barrier in parallel runs). *)
+
+type summary = {
+  scenarios : int;
+  passes : int;
+  by_class : (string * int) list;  (** violation class -> count, sorted *)
+}
+
+val summarize : report list -> summary
+val print_summary : Format.formatter -> summary -> unit
+
+val shrink : ?max_steps:int -> cls:string -> Scenario.t -> Scenario.t
+(** Delta-debug a violating scenario down to a minimal repro with the
+    same classification: drop fault events (halves, then singles), drop
+    rate rules, collapse the app mix, halve the input, reset geometry to
+    the default — accepting only strictly {!Scenario.measure}-smaller
+    candidates that still classify as [cls]. Greedy first-improvement;
+    terminates because the measure strictly decreases. *)
+
+(** {1 Corpus persistence} *)
+
+val corpus_entry : report -> string
+(** Serialised scenario plus an [# expect: <class>] header. *)
+
+val corpus_filename : campaign_seed:int -> report -> string
+
+val save_corpus : dir:string -> campaign_seed:int -> report list -> string list
+(** Write one file per report under [dir] (created as needed); returns
+    the paths. Deterministic names and contents. *)
+
+val load_corpus_file : string -> (Scenario.t * string option, string) result
+(** The scenario and the [# expect:] class, if present. *)
+
+val replay : string -> (report, string) result
+(** Load a corpus file, run it, and check the observed classification
+    against the [# expect:] header; [Error] on mismatch or parse
+    failure. *)

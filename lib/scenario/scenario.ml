@@ -1,0 +1,351 @@
+module Prng = Rvi_sim.Prng
+module Spec = Rvi_inject.Spec
+module Fault = Rvi_inject.Fault
+module Config = Rvi_harness.Config
+
+type t = {
+  seed : int;
+  apps : string list;
+  input_kb : int;
+  device : string;
+  translation : Rvi_core.Translation_mode.t;
+  imu : Config.imu_kind;
+  tlb_entries : int option;
+  tlb_org : Rvi_core.Tlb.organization;
+  policy : string;
+  prefetch_depth : int;
+  transfer : Rvi_core.Vim.transfer_mode;
+  rates : Spec.t;
+  events : (Fault.kind * int) list;
+  watchdog_us : int;
+  exec_retries : int;
+  max_retries : int;
+}
+
+let default =
+  {
+    seed = 42;
+    apps = [ "adpcm" ];
+    input_kb = 4;
+    device = "epxa1";
+    translation = Rvi_core.Translation_mode.Paper_objects;
+    imu = Config.Four_cycle;
+    tlb_entries = None;
+    tlb_org = Rvi_core.Tlb.Fully_associative;
+    policy = "fifo";
+    prefetch_depth = 0;
+    transfer = Rvi_core.Vim.Double;
+    rates = [];
+    events = [];
+    watchdog_us = 10_000;
+    exec_retries = 2;
+    max_retries = 3;
+  }
+
+(* The seeded adversarial scenario the shrinker acceptance test starts
+   from: a hung coprocessor plus a lost completion interrupt with the
+   watchdog disabled. Nothing can reclaim the interface, so the run
+   violates the progress invariant — and the hang alone suffices, which
+   is exactly what shrinking must discover. *)
+let known_bad =
+  {
+    default with
+    apps = [ "adpcm"; "idea" ];
+    events = [ (Fault.Coproc_hang, 1); (Fault.Irq_lost, 1) ];
+    rates = Spec.all ~factor:0.5 ();
+    watchdog_us = 0;
+  }
+
+(* {1 Serialisation}
+
+   One scenario per line, [key=value] pairs joined by [;] in a fixed
+   field order, so a corpus file diffs cleanly and a line round-trips
+   bit-exactly. Empty lists print as ["-"]. *)
+
+let imu_tag = function Config.Four_cycle -> "4-cycle" | Config.Pipelined -> "pipelined"
+
+let imu_of_tag = function
+  | "4-cycle" -> Some Config.Four_cycle
+  | "pipelined" -> Some Config.Pipelined
+  | _ -> None
+
+let org_tag = function
+  | Rvi_core.Tlb.Fully_associative -> "fa"
+  | Rvi_core.Tlb.Direct_mapped -> "dm"
+  | Rvi_core.Tlb.Set_associative n -> Printf.sprintf "sa%d" n
+
+let org_of_tag s =
+  match s with
+  | "fa" -> Some Rvi_core.Tlb.Fully_associative
+  | "dm" -> Some Rvi_core.Tlb.Direct_mapped
+  | _ ->
+    if String.length s > 2 && String.sub s 0 2 = "sa" then
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some n when n > 0 -> Some (Rvi_core.Tlb.Set_associative n)
+      | _ -> None
+    else None
+
+let transfer_tag = function
+  | Rvi_core.Vim.Single -> "single"
+  | Rvi_core.Vim.Double -> "double"
+
+let transfer_of_tag = function
+  | "single" -> Some Rvi_core.Vim.Single
+  | "double" -> Some Rvi_core.Vim.Double
+  | _ -> None
+
+let events_string = function
+  | [] -> "-"
+  | evs ->
+    String.concat "+"
+      (List.map (fun (k, n) -> Printf.sprintf "%s@%d" (Fault.name k) n) evs)
+
+let events_of_string s =
+  if s = "-" then Ok []
+  else
+    let parse_one item =
+      match String.index_opt item '@' with
+      | None -> Error (Printf.sprintf "event %S: expected kind@ordinal" item)
+      | Some i -> (
+        let kname = String.sub item 0 i in
+        let ord = String.sub item (i + 1) (String.length item - i - 1) in
+        match (Fault.of_name kname, int_of_string_opt ord) with
+        | Some k, Some n when n > 0 -> Ok (k, n)
+        | None, _ -> Error (Printf.sprintf "event %S: unknown fault kind" item)
+        | _, _ -> Error (Printf.sprintf "event %S: bad ordinal" item))
+    in
+    List.fold_left
+      (fun acc item ->
+        match (acc, parse_one item) with
+        | Error e, _ | _, Error e -> Error e
+        | Ok l, Ok ev -> Ok (l @ [ ev ]))
+      (Ok [])
+      (String.split_on_char '+' s)
+
+let to_string t =
+  String.concat ";"
+    [
+      Printf.sprintf "seed=%d" t.seed;
+      Printf.sprintf "apps=%s" (String.concat "+" t.apps);
+      Printf.sprintf "kb=%d" t.input_kb;
+      Printf.sprintf "dev=%s" t.device;
+      Printf.sprintf "mode=%s" (Rvi_core.Translation_mode.name t.translation);
+      Printf.sprintf "imu=%s" (imu_tag t.imu);
+      Printf.sprintf "tlb=%s"
+        (match t.tlb_entries with None -> "per-page" | Some n -> string_of_int n);
+      Printf.sprintf "org=%s" (org_tag t.tlb_org);
+      Printf.sprintf "policy=%s" t.policy;
+      Printf.sprintf "pf=%d" t.prefetch_depth;
+      Printf.sprintf "xfer=%s" (transfer_tag t.transfer);
+      Printf.sprintf "rates=%s"
+        (match t.rates with [] -> "-" | r -> Spec.to_string r);
+      Printf.sprintf "events=%s" (events_string t.events);
+      Printf.sprintf "wd_us=%d" t.watchdog_us;
+      Printf.sprintf "retries=%d" t.exec_retries;
+      Printf.sprintf "vim_retries=%d" t.max_retries;
+    ]
+
+let of_string line =
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+  let int_field k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%s: expected an integer, got %S" k v)
+  in
+  let apply sc (k, v) =
+    match k with
+    | "seed" ->
+      let* n = int_field k v in
+      Ok { sc with seed = n }
+    | "apps" ->
+      let apps = String.split_on_char '+' v in
+      if
+        apps <> []
+        && List.for_all (fun a -> List.mem a Rvi_harness.Faults.app_names) apps
+      then Ok { sc with apps }
+      else Error (Printf.sprintf "apps: unknown application in %S" v)
+    | "kb" ->
+      let* n = int_field k v in
+      if n >= 1 then Ok { sc with input_kb = n }
+      else Error "kb: must be >= 1"
+    | "dev" -> (
+      match Rvi_fpga.Device.by_name v with
+      | Some _ -> Ok { sc with device = v }
+      | None -> Error (Printf.sprintf "dev: unknown device %S" v))
+    | "mode" -> (
+      match Rvi_core.Translation_mode.of_name v with
+      | Some m -> Ok { sc with translation = m }
+      | None -> Error (Printf.sprintf "mode: unknown translation mode %S" v))
+    | "imu" -> (
+      match imu_of_tag v with
+      | Some i -> Ok { sc with imu = i }
+      | None -> Error (Printf.sprintf "imu: unknown IMU kind %S" v))
+    | "tlb" ->
+      if v = "per-page" then Ok { sc with tlb_entries = None }
+      else
+        let* n = int_field k v in
+        if n >= 1 then Ok { sc with tlb_entries = Some n }
+        else Error "tlb: must be >= 1 or per-page"
+    | "org" -> (
+      match org_of_tag v with
+      | Some o -> Ok { sc with tlb_org = o }
+      | None -> Error (Printf.sprintf "org: unknown TLB organization %S" v))
+    | "policy" ->
+      if List.mem v Rvi_core.Policy.all_names then Ok { sc with policy = v }
+      else Error (Printf.sprintf "policy: unknown policy %S" v)
+    | "pf" ->
+      let* n = int_field k v in
+      if n >= 0 then Ok { sc with prefetch_depth = n }
+      else Error "pf: must be >= 0"
+    | "xfer" -> (
+      match transfer_of_tag v with
+      | Some x -> Ok { sc with transfer = x }
+      | None -> Error (Printf.sprintf "xfer: unknown transfer mode %S" v))
+    | "rates" ->
+      if v = "-" then Ok { sc with rates = [] }
+      else
+        let* r = Spec.parse v in
+        Ok { sc with rates = r }
+    | "events" ->
+      let* evs = events_of_string v in
+      Ok { sc with events = evs }
+    | "wd_us" ->
+      let* n = int_field k v in
+      if n >= 0 then Ok { sc with watchdog_us = n }
+      else Error "wd_us: must be >= 0"
+    | "retries" ->
+      let* n = int_field k v in
+      if n >= 0 then Ok { sc with exec_retries = n }
+      else Error "retries: must be >= 0"
+    | "vim_retries" ->
+      let* n = int_field k v in
+      if n >= 0 then Ok { sc with max_retries = n }
+      else Error "vim_retries: must be >= 0"
+    | _ -> Error (Printf.sprintf "unknown scenario field %S" k)
+  in
+  let fields = String.split_on_char ';' (String.trim line) in
+  List.fold_left
+    (fun acc field ->
+      let* sc = acc in
+      match String.index_opt field '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" field)
+      | Some i ->
+        apply sc
+          ( String.sub field 0 i,
+            String.sub field (i + 1) (String.length field - i - 1) ))
+    (Ok default) fields
+
+(* {1 Generation}
+
+   Every dimension is drawn from [Prng.derive ~seed ~index], so scenario
+   [i] of a campaign is a function of the campaign seed and [i] alone —
+   independent of sharding, host, or how many scenarios precede it.
+
+   Generated scenarios stay within the envelope the recovery machinery is
+   specified to survive: watchdogs are sane (1-50 ms), retry budgets are
+   nonzero, and fault pressure is bounded. Anything the checker flags in
+   this envelope is a real robustness bug, not a configuration the system
+   is entitled to fail on. *)
+
+let pick g xs = List.nth xs (Prng.int g (List.length xs))
+
+let generate ~seed ~index =
+  let g = Prng.derive ~seed ~index in
+  let napps = 1 + Prng.int g 2 in
+  let apps =
+    (* Rotate a deterministic starting point through the app list. *)
+    let all = Rvi_harness.Faults.app_names in
+    let start = Prng.int g (List.length all) in
+    List.init napps (fun i ->
+        List.nth all ((start + i) mod List.length all))
+  in
+  let input_kb = 1 + Prng.int g 8 in
+  let device = pick g [ "epxa1"; "epxa1"; "epxa4"; "xc2vp7" ] in
+  let translation =
+    pick g
+      [
+        Rvi_core.Translation_mode.Paper_objects;
+        Rvi_core.Translation_mode.Iommu_sva;
+      ]
+  in
+  let imu = pick g [ Config.Four_cycle; Config.Pipelined ] in
+  let tlb_entries = pick g [ None; None; Some 4; Some 8 ] in
+  let tlb_org =
+    pick g
+      [
+        Rvi_core.Tlb.Fully_associative;
+        Rvi_core.Tlb.Fully_associative;
+        Rvi_core.Tlb.Direct_mapped;
+        Rvi_core.Tlb.Set_associative 2;
+      ]
+  in
+  let policy = pick g [ "fifo"; "lru"; "random"; "second-chance" ] in
+  let prefetch_depth = Prng.int g 3 in
+  let transfer = pick g [ Rvi_core.Vim.Single; Rvi_core.Vim.Double ] in
+  let rates =
+    match Prng.int g 4 with
+    | 0 -> []
+    | 1 -> Spec.all ~factor:0.5 ()
+    | 2 -> Spec.all ()
+    | _ ->
+      (* Pressure on a single kind, at several times its default rate. *)
+      let kind = pick g Fault.all in
+      [ { Spec.kind; rate = Stdlib.min 1.0 (4.0 *. Spec.default_rate kind) } ]
+  in
+  let events =
+    List.init (Prng.int g 3) (fun _ ->
+        (pick g Fault.all, 1 + Prng.int g 3))
+    (* Distinct ordinals per kind: set_events rejects duplicates by
+       deduplicating, so collapse here for a stable measure. *)
+    |> List.sort_uniq compare
+  in
+  let watchdog_us = 1_000 + Prng.int g 49_001 in
+  let exec_retries = 1 + Prng.int g 3 in
+  let max_retries = 1 + Prng.int g 4 in
+  let seed = Prng.next g land 0x3FFF_FFFF in
+  {
+    seed;
+    apps;
+    input_kb;
+    device;
+    translation;
+    imu;
+    tlb_entries;
+    tlb_org;
+    policy;
+    prefetch_depth;
+    transfer;
+    rates;
+    events;
+    watchdog_us;
+    exec_retries;
+    max_retries;
+  }
+
+(* {1 Shrinking order}
+
+   The measure the shrinker strictly decreases: fault events dominate,
+   then rate rules, then workload breadth, then every geometry field that
+   differs from the default. A minimal repro is the scenario with the
+   smallest measure that still shows the original violation class. *)
+
+let measure t =
+  let non_default = [
+    t.device <> default.device;
+    t.translation <> default.translation;
+    t.imu <> default.imu;
+    t.tlb_entries <> default.tlb_entries;
+    t.tlb_org <> default.tlb_org;
+    t.policy <> default.policy;
+    t.prefetch_depth <> default.prefetch_depth;
+    t.transfer <> default.transfer;
+    t.exec_retries <> default.exec_retries;
+    t.max_retries <> default.max_retries;
+  ] in
+  (10 * List.length t.events)
+  + (5 * List.length t.rates)
+  + (4 * (List.length t.apps - 1))
+  + t.input_kb
+  + List.fold_left (fun n b -> if b then n + 1 else n) 0 non_default
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

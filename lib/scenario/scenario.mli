@@ -1,0 +1,63 @@
+(** Chaos scenarios as first-class values.
+
+    A scenario bundles everything one adversarial run depends on: the
+    application mix and input size, the platform geometry (device, IMU
+    variant, TLB size and organization, replacement policy, prefetch,
+    transfer mode, translation scheme), the fault plan (rate-based
+    injection rules plus deterministic one-shot events) and the recovery
+    budget (watchdog, execution retries, VIM retries). Scenarios
+    serialise to a single [key=value;...] line that round-trips
+    bit-exactly, which is what the corpus under [results/corpus/] and the
+    pinned regressions under [test/corpus/] store. *)
+
+type t = {
+  seed : int;  (** injector / workload seed of the run *)
+  apps : string list;  (** application mix, from {!Rvi_harness.Faults.app_names} *)
+  input_kb : int;  (** per-application input size (KB, >= 1) *)
+  device : string;  (** {!Rvi_fpga.Device.by_name} *)
+  translation : Rvi_core.Translation_mode.t;
+  imu : Rvi_harness.Config.imu_kind;
+  tlb_entries : int option;  (** [None]: one entry per dual-port page *)
+  tlb_org : Rvi_core.Tlb.organization;
+  policy : string;  (** replacement policy name *)
+  prefetch_depth : int;  (** [0] = prefetch off *)
+  transfer : Rvi_core.Vim.transfer_mode;
+  rates : Rvi_inject.Spec.t;  (** rate-based fault rules *)
+  events : (Rvi_inject.Fault.kind * int) list;
+      (** deterministic one-shot faults: fire at the n-th injection
+          opportunity of the kind (1-based) *)
+  watchdog_us : int;  (** [0] = watchdog disabled (capped at 2 s simulated) *)
+  exec_retries : int;
+  max_retries : int;  (** VIM in-recovery retry budget *)
+}
+
+val default : t
+(** The paper's system under no injection: EPXA1, FIFO, per-page TLB,
+    4 KB of input to ADPCM, 10 ms watchdog. *)
+
+val known_bad : t
+(** The seeded adversarial scenario the shrinker acceptance starts from:
+    coprocessor hang + lost IRQ one-shots with the watchdog disabled —
+    the interface can never be reclaimed, violating the progress
+    invariant. *)
+
+val to_string : t -> string
+(** One line, fixed field order; round-trips through {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse the {!to_string} form. Unknown fields, devices, policies or
+    fault kinds are errors; omitted fields take their {!default} value. *)
+
+val generate : seed:int -> index:int -> t
+(** Scenario [index] of campaign [seed], via [Prng.derive] — a pure
+    function of the two, independent of sharding or host. Generated
+    scenarios stay inside the envelope the recovery machinery is
+    specified to survive (sane watchdogs, nonzero retry budgets, bounded
+    fault pressure): any invariant violation found on one is a real bug. *)
+
+val measure : t -> int
+(** Shrinking order: fault events dominate, then rate rules, workload
+    breadth, input size and non-default geometry. The shrinker only
+    accepts candidates of strictly smaller measure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -21,7 +21,7 @@ let checkb = Alcotest.(check bool)
 (* {1 Fault taxonomy} *)
 
 let test_fault_names () =
-  checki "eight kinds" 8 (List.length Fault.all);
+  checki "eleven kinds" 11 (List.length Fault.all);
   List.iter
     (fun k ->
       (match Fault.of_name (Fault.name k) with
@@ -103,6 +103,33 @@ let test_zero_rate_consumes_no_prng () =
         Injector.fire inj Fault.Ahb_error)
   in
   checkb "ahb stream unshifted" true (seq spec_on = seq spec_off)
+
+let test_one_shot_events () =
+  (* A deterministic event fires exactly at its 1-based opportunity
+     ordinal — even for a kind with no rate rule — and replaces that
+     opportunity's draw, so the background rate streams are bit-identical
+     with or without events armed. *)
+  let spec = [ { Spec.kind = Fault.Ahb_error; rate = 0.3 } ] in
+  let stream events =
+    let inj = Injector.create ~seed:5 ~spec in
+    Injector.set_events inj events;
+    List.init 40 (fun _ ->
+        (Injector.fire inj Fault.Coproc_hang, Injector.fire inj Fault.Ahb_error))
+  in
+  let plain = stream [] in
+  let armed = stream [ (Fault.Coproc_hang, 3) ] in
+  checkb "no hang without a rule or event" true
+    (List.for_all (fun (h, _) -> not h) plain);
+  List.iteri
+    (fun i (h, _) -> checkb "hang fires at ordinal 3 only" (i = 2) h)
+    armed;
+  checkb "event consumes no prng: rate stream unshifted" true
+    (List.map snd plain = List.map snd armed);
+  let inj = Injector.create ~seed:5 ~spec in
+  Injector.set_events inj [ (Fault.Irq_lost, 1); (Fault.Irq_lost, 4) ];
+  checki "pending events armed" 2 (Injector.pending_events inj);
+  ignore (Injector.fire inj Fault.Irq_lost);
+  checki "consumed on firing" 1 (Injector.pending_events inj)
 
 let test_injector_arming_and_counters () =
   let spec = [ { Spec.kind = Fault.Ahb_error; rate = 1.0 } ] in
@@ -257,6 +284,7 @@ let test_error_strings_exhaustive () =
       Vim.Dma_failed;
       Vim.Parity_error { frame = 4 };
       Vim.Sva_fault { vpn = 7 };
+      Vim.Walk_failed { vpn = 7 };
     ]
   in
   let strings = List.map Vim.error_to_string vim_errors in
@@ -293,6 +321,7 @@ let test_classify () =
       (Vim.Bus_error, Vim.Transient);
       (Vim.Dma_failed, Vim.Transient);
       (Vim.Parity_error { frame = 0 }, Vim.Transient);
+      (Vim.Walk_failed { vpn = 0 }, Vim.Transient);
       (Vim.Unmapped_object 0, Vim.Fatal);
       (Vim.No_frames, Vim.Fatal);
       (Vim.Nothing_loaded, Vim.Fatal);
@@ -333,6 +362,7 @@ let suite =
       test_zero_rate_consumes_no_prng;
     Alcotest.test_case "injector/arming-counters" `Quick
       test_injector_arming_and_counters;
+    Alcotest.test_case "injector/one-shot-events" `Quick test_one_shot_events;
     Alcotest.test_case "recovery/second-execute-after-stall" `Quick
       test_second_execute_after_stall;
     Alcotest.test_case "recovery/copy-retry-exhaustion" `Quick

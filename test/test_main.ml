@@ -16,4 +16,5 @@ let () =
       ("coproc", Test_coproc.suite);
       ("harness", Test_harness.suite);
       ("par", Test_par.suite);
+      ("scenario", Test_scenario.suite);
     ]
