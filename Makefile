@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke sva-smoke chaos-smoke examples check faults-smoke faults-determinism clean
+.PHONY: all build test bench bench-smoke sva-smoke chaos-smoke serve-smoke examples check faults-smoke faults-determinism clean
 
 all: build
 
@@ -15,6 +15,7 @@ check:
 	dune runtest
 	$(MAKE) sva-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) serve-smoke
 	@if git ls-files --error-unmatch _build >/dev/null 2>&1 || \
 	   git diff --cached --name-only --diff-filter=AM | grep -q '^_build/'; then \
 	  echo "error: _build/ is tracked or staged; it must stay ignored" >&2; \
@@ -61,6 +62,18 @@ chaos-smoke:
 	dune exec bin/rvisim.exe -- chaos --seed 2004 --count 50 --jobs 2 \
 	  --shrink --corpus results/corpus
 	dune exec bin/rvisim.exe -- chaos --replay test/corpus/*.scenario
+
+# Multi-tenant service smoke: every policy in both translation modes
+# over a sharded campaign that must reproduce the serial digest, with
+# every service invariant enforced (no starvation, clean interfaces,
+# sane latency statistics). Appends one trajectory point per cell to
+# BENCH_serve.json and gates against the newest committed points.
+serve-smoke:
+	mkdir -p results
+	dune exec bin/rvisim.exe -- serve --tenants 40 --requests 400 \
+	  --policy all --translation both --seed 42 --jobs 2 \
+	  --verify-determinism --csv results/serve-smoke.csv \
+	  --json BENCH_serve.json --gate 0.5
 
 # Translation-mode smoke: runs the adpcm ablation in both translation
 # modes and asserts paper mode never touches the page-table walker while

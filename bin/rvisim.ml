@@ -931,6 +931,184 @@ let bench_cmd =
           determinism bug) or if --gate detects a throughput regression.")
     Term.(const run $ seed $ runs $ jobs $ out $ gate $ sva)
 
+let serve_cmd =
+  let tenants =
+    Arg.(
+      value & opt int 8
+      & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"M"
+          ~doc:"Total requests across all tenants (per campaign cell).")
+  in
+  let rate =
+    Arg.(
+      value & opt int 0
+      & info [ "rate" ] ~docv:"HZ"
+          ~doc:
+            "Open-loop aggregate arrival rate in requests/second; 0 (the \
+             default) selects the closed loop (one outstanding request per \
+             tenant).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fcfs", [ Rvi_svc.Sched_policy.Fcfs ]);
+               ("grouped", [ Rvi_svc.Sched_policy.Grouped ]);
+               ("wfq", [ Rvi_svc.Sched_policy.Wfq ]);
+               ("all", Rvi_svc.Sched_policy.all);
+             ])
+          Rvi_svc.Sched_policy.all
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:"Dispatch policy: fcfs, grouped, wfq or all (the default).")
+  in
+  let translation =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("paper", [ Rvi_core.Translation_mode.Paper_objects ]);
+               ("sva", [ Rvi_core.Translation_mode.Iommu_sva ]);
+               ("both", Rvi_core.Translation_mode.all);
+             ])
+          [ Rvi_core.Translation_mode.Paper_objects ]
+      & info [ "translation" ] ~docv:"MODE"
+          ~doc:"Translation mode(s): paper (default), sva or both.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 50
+      & info [ "quantum" ] ~docv:"US"
+          ~doc:"Preemption quantum in simulated microseconds.")
+  in
+  let bytes =
+    Arg.(
+      value & opt int 256
+      & info [ "bytes" ] ~docv:"B"
+          ~doc:
+            "Nominal request input size; each request draws uniformly in \
+             [B/2, 3B/2) and rounds to its application's alignment.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-request rows to $(docv).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Append one trajectory point per campaign cell to $(docv) \
+             (BENCH_serve.json format).")
+  in
+  let gate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"FRAC"
+          ~doc:
+            "With --json: fail (exit 1) if a cell's host runs/sec falls \
+             below (1 - FRAC) times its series' newest committed point, or \
+             its simulated p99 grows past (1 + FRAC) times it.")
+  in
+  let verify_det =
+    Arg.(
+      value & flag
+      & info [ "verify-determinism" ]
+          ~doc:
+            "Re-run the campaign serially and require a digest-identical \
+             per-request classification (only meaningful with --jobs > 1).")
+  in
+  let run seed jobs tenants requests rate policies translations quantum bytes
+      csv_out json_out gate verify_det =
+    let cells =
+      Rvi_svc.Serve.cells ~policies ~translations ~seed ~tenants ~requests
+        ~rate_hz:rate ~quantum_us:quantum ~bytes
+    in
+    let results = Rvi_svc.Serve.campaign ~jobs cells in
+    let deterministic =
+      if verify_det && jobs > 1 then
+        Rvi_svc.Serve.digest (Rvi_svc.Serve.campaign ~jobs:1 cells)
+        = Rvi_svc.Serve.digest results
+      else true
+    in
+    List.iter
+      (fun (r : Rvi_svc.Serve.cell_result) ->
+        Rvi_svc.Slo.print ppf
+          ~label:(Rvi_svc.Serve.cell_label r.Rvi_svc.Serve.cr_cell)
+          r.Rvi_svc.Serve.cr_report)
+      results;
+    (match csv_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc Rvi_svc.Serve.csv_header;
+      List.iter
+        (fun (r : Rvi_svc.Serve.cell_result) ->
+          output_string oc r.Rvi_svc.Serve.cr_csv)
+        results;
+      close_out oc;
+      Printf.printf "wrote per-request rows to %s\n" path
+    | None -> ());
+    let violations = List.concat_map Rvi_svc.Serve.violations results in
+    List.iter (fun v -> Printf.eprintf "violation: %s\n" v) violations;
+    let gate_failures =
+      match json_out with
+      | None -> []
+      | Some path ->
+        List.concat_map
+          (fun (r : Rvi_svc.Serve.cell_result) ->
+            let p = Rvi_svc.Bench_serve.of_result ~jobs ~deterministic r in
+            (* baseline read before this point lands in the file *)
+            let baseline =
+              Rvi_svc.Bench_serve.last_baseline ~path
+                ~benchmark:p.Rvi_svc.Bench_serve.benchmark ()
+            in
+            ignore (Rvi_svc.Bench_serve.append ~path p);
+            Rvi_svc.Bench_serve.print ppf p;
+            match gate with
+            | Some tolerance ->
+              Rvi_svc.Bench_serve.gate ~tolerance ~baseline p
+            | None -> [])
+          results
+    in
+    (match json_out with
+    | Some path -> Printf.printf "appended trajectory points to %s\n" path
+    | None -> ());
+    List.iter (fun f -> Printf.eprintf "perf regression: %s\n" f) gate_failures;
+    if not deterministic then begin
+      Printf.eprintf
+        "determinism: per-request classification DIVERGED across --jobs\n";
+      exit 1
+    end;
+    if violations <> [] || gate_failures <> [] then exit 1;
+    Printf.printf
+      "serve campaign ok: %d cells, deterministic, zero invariant violations\n"
+      (List.length results)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Multi-tenant service campaign: per-tenant submission/completion \
+          rings feeding one physical platform through the sliced-execution \
+          VIM API, under a pluggable dispatch policy (fcfs, grouped, wfq \
+          with preemption). Reports per-tenant and aggregate p50/p95/p99 \
+          latency, Jain's fairness index, makespan and reconfiguration \
+          counts; exits non-zero on any invariant violation (starved \
+          tenant, interface inconsistency, insane statistics), \
+          non-determinism across --jobs, or a --gate perf regression.")
+    Term.(
+      const run $ seed $ jobs $ tenants $ requests $ rate $ policy
+      $ translation $ quantum $ bytes $ csv_out $ json_out $ gate $ verify_det)
+
 let all_cmd =
   let run cfg jobs = Rvi_harness.Experiments.all ~jobs ppf cfg in
   Cmd.v
@@ -968,5 +1146,6 @@ let () =
             faults_cmd;
             chaos_cmd;
             bench_cmd;
+            serve_cmd;
             all_cmd;
           ]))

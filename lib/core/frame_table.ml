@@ -103,6 +103,19 @@ let release_all t =
   Array.fill t.slots 0 (frames t) Free;
   Array.fill t.pinned 0 (frames t) false
 
+(* Context save/restore for tenant preemption: slots are immutable
+   variants, so a shallow array copy is a complete snapshot. *)
+
+type image = { i_slots : slot array; i_pinned : bool array }
+
+let save t = { i_slots = Array.copy t.slots; i_pinned = Array.copy t.pinned }
+
+let restore t img =
+  if Array.length img.i_slots <> frames t then
+    invalid_arg "Frame_table.restore: image from a different geometry";
+  Array.blit img.i_slots 0 t.slots 0 (frames t);
+  Array.blit img.i_pinned 0 t.pinned 0 (frames t)
+
 let held_count t =
   Array.fold_left
     (fun acc s -> match s with Held _ -> acc + 1 | Free | Param -> acc)

@@ -49,3 +49,14 @@ val release : t -> frame:int -> unit
 val release_all : t -> unit
 
 val held_count : t -> int
+
+(** {1 Context save/restore}
+
+    Tenant preemption snapshots the occupancy with the rest of the VIM
+    context and reinstates it on resume. *)
+
+type image
+
+val save : t -> image
+val restore : t -> image -> unit
+(** Raises [Invalid_argument] if the image's frame count differs. *)

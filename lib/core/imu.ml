@@ -660,6 +660,138 @@ let reset t =
   t.page_table <- None;
   Rvi_sim.Stats.soft_reset t.stats
 
+(* {2 Context save/restore (tenant preemption)}
+
+   A context is everything the hardware would hold in flip-flops for the
+   executing tenant: the FSM state, the latched request, the per-run
+   flags, the TLB images, the SVA window registers and page-table
+   binding, and the CP-port signal levels (the port is shared wiring
+   between the IMU and the coprocessor, so a full swap must reinstate
+   its committed levels too). Bindings that belong to the platform, not
+   the tenant — the injector, the access-trace probe, the stats handles
+   — deliberately stay out.
+
+   The service only preempts with the station clock stopped (between
+   [Vim.exec_pump] slices), so both FSM register views agree and
+   [Fsm.reset] on restore is exact. *)
+
+type context = {
+  cx_state : state;
+  cx_req_valid : bool;
+  cx_req_obj : int;
+  cx_req_addr : int;
+  cx_req_wr : bool;
+  cx_req_data : int;
+  cx_req_width : Cp_port.width;
+  cx_param_page : int option;
+  cx_params_done : bool;
+  cx_fault : (int * int) option;
+  cx_fin_seen : bool;
+  cx_prev_fin : bool;
+  cx_start_pending : bool;
+  cx_resume_pending : bool;
+  cx_just_resumed : bool;
+  cx_out_start : bool;
+  cx_out_tlbhit : bool;
+  cx_out_din : int;
+  cx_cycle : int;
+  cx_hung : bool;
+  cx_walk_errored : bool;
+  cx_tlb : Tlb.image;
+  cx_l2 : Tlb.image option;
+  cx_sva_base : int array;
+  cx_page_table : Rvi_os.Page_table.t option;
+  cx_port_obj : int;
+  cx_port_addr : int;
+  cx_port_dout : int;
+  cx_port_access : bool;
+  cx_port_wr : bool;
+  cx_port_width : Cp_port.width;
+  cx_port_fin : bool;
+  cx_port_start : bool;
+  cx_port_tlbhit : bool;
+  cx_port_din : int;
+}
+
+let save_context t =
+  {
+    cx_state = Rvi_hw.Fsm.state t.fsm;
+    cx_req_valid = t.req_valid;
+    cx_req_obj = t.req_obj;
+    cx_req_addr = t.req_addr;
+    cx_req_wr = t.req_wr;
+    cx_req_data = t.req_data;
+    cx_req_width = t.req_width;
+    cx_param_page = t.param_page;
+    cx_params_done = t.params_done;
+    cx_fault = t.fault;
+    cx_fin_seen = t.fin_seen;
+    cx_prev_fin = t.prev_fin;
+    cx_start_pending = t.start_pending;
+    cx_resume_pending = t.resume_pending;
+    cx_just_resumed = t.just_resumed;
+    cx_out_start = t.out_start;
+    cx_out_tlbhit = t.out_tlbhit;
+    cx_out_din = t.out_din;
+    cx_cycle = t.cycle;
+    cx_hung = t.hung;
+    cx_walk_errored = t.walk_errored;
+    cx_tlb = Tlb.save t.tlb;
+    cx_l2 = Option.map Tlb.save t.l2;
+    cx_sva_base = Array.copy t.sva_base;
+    cx_page_table = t.page_table;
+    cx_port_obj = t.port.Cp_port.cp_obj;
+    cx_port_addr = t.port.Cp_port.cp_addr;
+    cx_port_dout = t.port.Cp_port.cp_dout;
+    cx_port_access = t.port.Cp_port.cp_access;
+    cx_port_wr = t.port.Cp_port.cp_wr;
+    cx_port_width = t.port.Cp_port.cp_width;
+    cx_port_fin = t.port.Cp_port.cp_fin;
+    cx_port_start = t.port.Cp_port.cp_start;
+    cx_port_tlbhit = t.port.Cp_port.cp_tlbhit;
+    cx_port_din = t.port.Cp_port.cp_din;
+  }
+
+let restore_context t cx =
+  Rvi_hw.Fsm.reset t.fsm cx.cx_state;
+  t.req_valid <- cx.cx_req_valid;
+  t.req_obj <- cx.cx_req_obj;
+  t.req_addr <- cx.cx_req_addr;
+  t.req_wr <- cx.cx_req_wr;
+  t.req_data <- cx.cx_req_data;
+  t.req_width <- cx.cx_req_width;
+  t.param_page <- cx.cx_param_page;
+  t.params_done <- cx.cx_params_done;
+  t.fault <- cx.cx_fault;
+  t.fin_seen <- cx.cx_fin_seen;
+  t.prev_fin <- cx.cx_prev_fin;
+  t.start_pending <- cx.cx_start_pending;
+  t.resume_pending <- cx.cx_resume_pending;
+  t.just_resumed <- cx.cx_just_resumed;
+  t.out_start <- cx.cx_out_start;
+  t.out_tlbhit <- cx.cx_out_tlbhit;
+  t.out_din <- cx.cx_out_din;
+  t.cycle <- cx.cx_cycle;
+  t.hung <- cx.cx_hung;
+  t.walk_errored <- cx.cx_walk_errored;
+  Tlb.restore t.tlb cx.cx_tlb;
+  (match (t.l2, cx.cx_l2) with
+  | Some l2, Some img -> Tlb.restore l2 img
+  | Some l2, None -> Tlb.reset l2
+  | None, _ -> ());
+  Array.blit cx.cx_sva_base 0 t.sva_base 0 (Array.length t.sva_base);
+  t.page_table <- cx.cx_page_table;
+  t.port.Cp_port.cp_obj <- cx.cx_port_obj;
+  t.port.Cp_port.cp_addr <- cx.cx_port_addr;
+  t.port.Cp_port.cp_dout <- cx.cx_port_dout;
+  t.port.Cp_port.cp_access <- cx.cx_port_access;
+  t.port.Cp_port.cp_wr <- cx.cx_port_wr;
+  t.port.Cp_port.cp_width <- cx.cx_port_width;
+  t.port.Cp_port.cp_fin <- cx.cx_port_fin;
+  t.port.Cp_port.cp_start <- cx.cx_port_start;
+  t.port.Cp_port.cp_tlbhit <- cx.cx_port_tlbhit;
+  t.port.Cp_port.cp_din <- cx.cx_port_din
+
 let set_param_page t p = t.param_page <- p
 
 (* {2 SVA register/binding interface (driven by the VIM)} *)

@@ -140,6 +140,23 @@ val reset : t -> unit
     Call after the CP port has been reset so the FIN edge latch starts
     from the quiescent level. *)
 
+(** {1 Context save/restore (tenant preemption)} *)
+
+type context
+(** Everything the hardware holds in flip-flops for the executing
+    tenant: FSM state, the latched request, per-run flags, both TLB
+    images, the SVA window registers and page-table binding, and the
+    CP-port signal levels. Platform bindings (injector, trace probe,
+    stats) are excluded. *)
+
+val save_context : t -> context
+(** Snapshot with the station clock stopped (both FSM register views in
+    agreement); the IMU is unchanged. *)
+
+val restore_context : t -> context -> unit
+(** Reinstates the snapshot exactly — including the shared CP-port
+    levels — so a preempted tenant resumes as if never interrupted. *)
+
 (** {1 Access tracing} *)
 
 type access_event = {

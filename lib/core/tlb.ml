@@ -205,6 +205,32 @@ let valid_count t =
 
 let stats t = t.stats
 
+(* Context save/restore for tenant preemption: the image is a plain copy
+   of every slot, so restoring it reproduces the translation state the
+   CAM held at save time. Like [reset], neither direction ticks a stat
+   (swapping contexts is not software flushing); [restore] drops the MRU
+   memo because the memoised slot belongs to the outgoing context. *)
+
+type image = entry array
+
+let save t = Array.map (fun e -> { e with valid = e.valid }) t.slots
+
+let restore t (img : image) =
+  if Array.length img <> Array.length t.slots then
+    invalid_arg "Tlb.restore: image from a different geometry";
+  Array.iteri
+    (fun i s ->
+      let e = t.slots.(i) in
+      e.valid <- s.valid;
+      e.obj_id <- s.obj_id;
+      e.vpn <- s.vpn;
+      e.ppn <- s.ppn;
+      e.dirty <- s.dirty;
+      e.referenced <- s.referenced;
+      e.last_access <- s.last_access)
+    img;
+  t.mru <- -1
+
 (* Platform pooling: scrub every slot back to the power-on image (no
    "invalidations" ticks — this is a reset, not software flushing) and zero
    the counters in place so the pre-resolved hit/miss handles stay live. *)

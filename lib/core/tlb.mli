@@ -97,3 +97,18 @@ val reset : t -> unit
 (** Scrubs every slot back to the power-on image and zeroes the counters
     in place (no ["invalidations"] ticks — this models a hardware reset,
     not software flushing). Used by the platform pool. *)
+
+(** {1 Context save/restore}
+
+    Tenant preemption (the multi-tenant service) swaps the whole CAM
+    image with the rest of the IMU context. Neither direction ticks a
+    stat counter — a context switch is not software flushing. *)
+
+type image
+
+val save : t -> image
+(** A value copy of every slot; the TLB is unchanged. *)
+
+val restore : t -> image -> unit
+(** Overwrites every slot from the image (which must come from a TLB of
+    the same entry count) and drops the MRU memo. *)

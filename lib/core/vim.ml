@@ -188,6 +188,11 @@ type t = {
   mutable walk_retry_count : int;
   mutable finished : bool;
   mutable error : error option;
+  mutable progress_events : int;
+      (* serviced real causes (fin or fault with a latched cause) — the
+         watchdog re-arms only when THIS interface made progress, so
+         neither a glitching controller nor another tenant's interrupt
+         activity can hold the watchdog off a hung coprocessor *)
   irq_line : int;
   mutable on_abort : unit -> unit;
       (* resets the coprocessor side of the interface (port, synchroniser,
@@ -230,6 +235,7 @@ let rec create ?(irq_line = 0) ~kernel ~dpram ~imu ~ahb ~clocks cfg =
       walk_retry_count = 0;
       finished = false;
       error = None;
+      progress_events = 0;
       irq_line;
       on_abort = (fun () -> ());
       stats = Stats.create ();
@@ -785,6 +791,9 @@ and handle_sva_fault t ~t0 ~obj_id ~vpn =
 
 and handle_fault t ~t0 =
   Stats.incr t.stats "faults";
+  (match Imu.fault t.imu with
+  | Some _ -> t.progress_events <- t.progress_events + 1
+  | None -> ());
   (* Service time is measured from interrupt decode ([t0]): the SR/AR read
      is part of what the coprocessor waits out. *)
   Log.debug (fun m ->
@@ -863,6 +872,7 @@ and premap t =
     objs
 
 and handle_fin t =
+  t.progress_events <- t.progress_events + 1;
   Log.debug (fun m ->
       m "end of operation: flushing %d resident pages"
         (Frame_table.held_count t.frames));
@@ -923,6 +933,7 @@ let reset t cfg =
   t.walk_retry_count <- 0;
   t.finished <- false;
   t.error <- None;
+  t.progress_events <- 0;
   Stats.reset t.stats
 
 (* Leave no interface state behind after a failed execution: drop every
@@ -1071,15 +1082,19 @@ let execute t ~params =
         Accounting.add acct Accounting.Hw
           (Simtime.sub (Engine.now engine) hw_seg_start);
         if Rvi_os.Irq.any_pending irq then begin
-          let spurious0 = Stats.get t.stats "spurious_irqs" in
+          let p0 = t.progress_events in
           ignore (Kernel.service_interrupts kernel);
-          (* Progress means a serviced cause (fin or fault), not a mere
-             edge: re-arming on a spurious interrupt would let a
-             glitching controller hold the watchdog off forever over a
-             hung coprocessor — the interface would never be reclaimed.
-             (Found by the chaos harness: hang + spurious-IRQ rate with
-             the watchdog notionally disabled never terminated.) *)
-          if Stats.get t.stats "spurious_irqs" = spurious0 then rearm ();
+          (* Progress means a serviced cause on THIS interface (fin or
+             fault), not a mere edge: re-arming on a spurious interrupt
+             would let a glitching controller hold the watchdog off
+             forever over a hung coprocessor — the interface would never
+             be reclaimed. (Found by the chaos harness: hang +
+             spurious-IRQ rate with the watchdog notionally disabled
+             never terminated.) Counting this VIM's serviced causes
+             rather than the absence of spurious ticks also keeps another
+             station's interrupt traffic — serviced by the same kernel
+             dispatch — from re-arming this tenant's watchdog. *)
+          if t.progress_events > p0 then rearm ();
           if t.finished || t.error <> None then ()
           else pump (Engine.now engine)
         end
@@ -1132,6 +1147,246 @@ let execute t ~params =
     span t ~t0:texec (Trace.Exec_end { ok = Result.is_ok result });
     result
   end
+
+(* {1 Sliced execution (the multi-tenant service)}
+
+   [execute] drives one FPGA_EXECUTE to completion with the caller
+   asleep. The service needs the same machine cut into slices so a
+   tenant can be preempted between quanta: [exec_start] performs the
+   prologue and starts the coprocessor, [exec_pump] advances simulated
+   time up to a horizon servicing interrupts exactly as [execute]'s pump
+   does, and [exec_preempt]/[exec_resume] swap the whole interface
+   context (IMU flip-flops, TLB images, frame table, dual-port RAM
+   contents, VIM bookkeeping) out and back in.
+
+   Sessions never sleep or wake a process: admission control lives in
+   the service above, and keeping the scheduler out of the loop is what
+   closes the cross-tenant wake hazard the single-tenant path tolerated
+   ([t.caller] stays [None] throughout). *)
+
+type session = {
+  mutable s_deadline : Simtime.t;  (* watchdog deadline, re-armed on progress *)
+  s_t0 : Simtime.t;  (* Exec_begin timestamp, for the Exec_end span *)
+}
+
+type context = {
+  ctx_imu : Imu.context;
+  ctx_frames : Frame_table.image;
+  ctx_pages : Bytes.t array;  (* full dual-port RAM image, one per page *)
+  ctx_written_back : (int * int) list;
+  ctx_frame_dirty : int list;
+  ctx_objects : (int * Mapped_object.t) list;
+  ctx_page_table : Rvi_os.Page_table.t option;
+  ctx_walk_retry_vpn : int;
+  ctx_walk_retry_count : int;
+  ctx_wd_left : Simtime.t;  (* unspent watchdog budget at preemption *)
+  ctx_t0 : Simtime.t;
+}
+
+let exec_start ?page_table t ~params =
+  let param_capacity = Rvi_mem.Dpram.page_size t.dpram / 4 in
+  if Frame_table.frames t.frames < 2 then Error No_frames
+  else if List.length params > param_capacity then
+    Error
+      (Too_many_params { given = List.length params; capacity = param_capacity })
+  else begin
+    let kernel = t.kernel in
+    let cost = Kernel.cost kernel in
+    (* Reset the interface state left by any previous execution. *)
+    Frame_table.release_all t.frames;
+    Tlb.invalidate_all (Imu.tlb t.imu);
+    (match Imu.l2 t.imu with Some l2 -> Tlb.invalidate_all l2 | None -> ());
+    Imu.write_cr t.imu Imu_regs.cr_reset;
+    Hashtbl.reset t.written_back;
+    Hashtbl.reset t.frame_dirty;
+    t.walk_retry_vpn <- -1;
+    t.walk_retry_count <- 0;
+    t.finished <- false;
+    t.error <- None;
+    Stats.incr t.stats "executions";
+    let texec = Kernel.now kernel in
+    emit t Trace.Exec_begin;
+    Frame_table.set_param t.frames ~frame:0;
+    Rvi_mem.Dpram.clear_page t.dpram ~page:0;
+    Imu.set_param_page t.imu (Some 0);
+    List.iteri
+      (fun i v ->
+        Rvi_mem.Dpram.cpu_write32 t.dpram (4 * i) v;
+        Kernel.charge kernel Accounting.Sw_os ~cycles:cost.Cost_model.param_word)
+      params;
+    (match translation t with
+    | Translation_mode.Paper_objects ->
+      if t.cfg.eager_mapping then premap t
+    | Translation_mode.Iommu_sva ->
+      let pt =
+        match page_table with
+        | Some pt -> pt
+        | None ->
+          (Rvi_os.Sched.current (Kernel.sched kernel)).Rvi_os.Proc.page_table
+      in
+      Rvi_os.Page_table.clear pt;
+      t.page_table <- Some pt;
+      Imu.set_page_table t.imu (Some pt));
+    t.caller <- None;
+    List.iter Rvi_sim.Clock.start t.clocks;
+    Imu.write_cr t.imu Imu_regs.cr_start;
+    Ok
+      {
+        s_deadline = Simtime.add (Kernel.now kernel) t.cfg.watchdog;
+        s_t0 = texec;
+      }
+  end
+
+let exec_pump t (s : session) ~until =
+  let kernel = t.kernel in
+  let cost = Kernel.cost kernel in
+  let engine = Kernel.engine kernel in
+  let irq = Kernel.irq kernel in
+  let acct = Kernel.accounting kernel in
+  let polling =
+    t.cfg.injector <> None && Simtime.(Simtime.zero < t.cfg.recovery.poll)
+  in
+  let rearm () = s.s_deadline <- Simtime.add (Engine.now engine) t.cfg.watchdog in
+  let watchdog () =
+    emit t Trace.Watchdog;
+    Stats.incr t.stats "watchdog_fires";
+    t.error <- Some Hardware_stall
+  in
+  let rec pump hw_seg_start =
+    let slice_end =
+      let d = Simtime.min s.s_deadline until in
+      if polling then
+        Simtime.min d (Simtime.add (Engine.now engine) t.cfg.recovery.poll)
+      else d
+    in
+    Engine.run_while ~horizon:slice_end engine (fun () ->
+        (not (Rvi_os.Irq.any_pending irq))
+        && (not t.finished) && t.error = None
+        && Simtime.(Engine.now engine < slice_end));
+    Accounting.add acct Accounting.Hw
+      (Simtime.sub (Engine.now engine) hw_seg_start);
+    if Rvi_os.Irq.any_pending irq then begin
+      (* Pending causes are serviced even at quantum expiry, so a
+         [`Running] return always leaves the interface quiesced — the
+         scheduler can preempt without a latched interrupt in flight. *)
+      let p0 = t.progress_events in
+      ignore (Kernel.service_interrupts kernel);
+      if t.progress_events > p0 then rearm ();
+      if t.finished || t.error <> None then () else pump (Engine.now engine)
+    end
+    else if t.finished || t.error <> None then ()
+    else if Simtime.(until <= Engine.now engine) then ()
+    else if Simtime.(Engine.now engine < s.s_deadline) then begin
+      (match t.cfg.injector with
+      | Some inj
+        when Rvi_inject.Injector.fire inj Rvi_inject.Fault.Irq_spurious ->
+        Rvi_os.Irq.raise_line irq ~line:t.irq_line
+      | _ -> ());
+      if polling && not (Rvi_os.Irq.any_pending irq) then begin
+        Kernel.charge kernel Accounting.Sw_imu
+          ~cycles:cost.Cost_model.fault_decode;
+        let sr = Imu.read_sr t.imu in
+        if
+          Imu_regs.test sr Imu_regs.sr_fault
+          || Imu_regs.test sr Imu_regs.sr_fin
+        then begin
+          Stats.incr t.stats "lost_irq_recovered";
+          emit t (Trace.Recover { what = "lost_irq"; retries = 0 });
+          handle_irq t;
+          rearm ()
+        end
+      end;
+      if t.finished || t.error <> None then () else pump (Engine.now engine)
+    end
+    else watchdog ()
+  in
+  (try pump (Engine.now engine) with Engine.Stalled -> watchdog ());
+  if t.finished || t.error <> None then begin
+    List.iter Rvi_sim.Clock.stop t.clocks;
+    let result = match t.error with Some e -> Error e | None -> Ok () in
+    (match result with Error _ -> abort_cleanup t | Ok () -> ());
+    span t ~t0:s.s_t0 (Trace.Exec_end { ok = Result.is_ok result });
+    `Done result
+  end
+  else `Running
+
+let exec_preempt t (s : session) =
+  List.iter Rvi_sim.Clock.stop t.clocks;
+  let n_pages = Rvi_mem.Dpram.n_pages t.dpram in
+  let page_size = Rvi_mem.Dpram.page_size t.dpram in
+  let pages =
+    Array.init n_pages (fun page ->
+        let b = Bytes.create page_size in
+        Rvi_mem.Dpram.store_page t.dpram ~page b ~dst:0 ~len:page_size;
+        b)
+  in
+  let ctx =
+    {
+      ctx_imu = Imu.save_context t.imu;
+      ctx_frames = Frame_table.save t.frames;
+      ctx_pages = pages;
+      ctx_written_back =
+        Hashtbl.fold (fun k () acc -> k :: acc) t.written_back []
+        |> List.sort compare;
+      ctx_frame_dirty =
+        Hashtbl.fold (fun k () acc -> k :: acc) t.frame_dirty []
+        |> List.sort compare;
+      ctx_objects =
+        Hashtbl.fold (fun id o acc -> (id, o) :: acc) t.objects []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+      ctx_page_table = t.page_table;
+      ctx_walk_retry_vpn = t.walk_retry_vpn;
+      ctx_walk_retry_count = t.walk_retry_count;
+      (* A [`Running] return always leaves now <= deadline, so the
+         remainder is never negative. *)
+      ctx_wd_left = Simtime.sub s.s_deadline (Kernel.now t.kernel);
+      ctx_t0 = s.s_t0;
+    }
+  in
+  (* The context switch is charged like any other interface transfer: the
+     whole dual-port image moves out, plus the bookkeeping to park it. *)
+  charge_copy t (n_pages * page_size);
+  Kernel.charge t.kernel Accounting.Sw_os
+    ~cycles:(Kernel.cost t.kernel).Cost_model.page_bookkeeping;
+  Stats.incr t.stats "preemptions";
+  ctx
+
+let exec_resume t ctx =
+  let n_pages = Rvi_mem.Dpram.n_pages t.dpram in
+  let page_size = Rvi_mem.Dpram.page_size t.dpram in
+  Frame_table.restore t.frames ctx.ctx_frames;
+  Array.iteri
+    (fun page b ->
+      (* Whole-page reload; the page parity is recomputed by the load, a
+         modelling liberty of the save/restore DMA path. *)
+      Rvi_mem.Dpram.load_page t.dpram ~page b ~src:0 ~len:page_size)
+    ctx.ctx_pages;
+  Hashtbl.reset t.written_back;
+  List.iter (fun k -> Hashtbl.replace t.written_back k ()) ctx.ctx_written_back;
+  Hashtbl.reset t.frame_dirty;
+  List.iter (fun k -> Hashtbl.replace t.frame_dirty k ()) ctx.ctx_frame_dirty;
+  Hashtbl.reset t.objects;
+  List.iter (fun (id, o) -> Hashtbl.replace t.objects id o) ctx.ctx_objects;
+  t.page_table <- ctx.ctx_page_table;
+  Imu.set_page_table t.imu ctx.ctx_page_table;
+  t.walk_retry_vpn <- ctx.ctx_walk_retry_vpn;
+  t.walk_retry_count <- ctx.ctx_walk_retry_count;
+  t.finished <- false;
+  t.error <- None;
+  t.caller <- None;
+  Imu.restore_context t.imu ctx.ctx_imu;
+  charge_copy t (n_pages * page_size);
+  Kernel.charge t.kernel Accounting.Sw_os
+    ~cycles:(Kernel.cost t.kernel).Cost_model.page_bookkeeping;
+  Stats.incr t.stats "resumes";
+  List.iter Rvi_sim.Clock.start t.clocks;
+  (* Time parked does not count against the tenant's progress budget,
+     but the budget itself is NOT refreshed: the watchdog resumes with
+     whatever it had left at preemption. Re-arming from scratch would
+     let a hung tenant that is preempted every quantum evade its
+     watchdog forever — a cross-tenant livelock. *)
+  { s_deadline = Simtime.add (Kernel.now t.kernel) ctx.ctx_wd_left;
+    s_t0 = ctx.ctx_t0 }
 
 let stats t = t.stats
 let frame_table t = t.frames

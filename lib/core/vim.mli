@@ -184,6 +184,58 @@ val execute : t -> params:int list -> (unit, error) result
     starts the coprocessor, sleeps the caller, services faults until the
     end-of-operation interrupt, flushes dirty pages and wakes the caller. *)
 
+(** {1 Sliced execution (the multi-tenant service)}
+
+    The same machine as {!execute}, cut into preemptible quanta. A
+    session never sleeps or wakes a process — admission control lives in
+    the service ({!Rvi_svc}) — which is what isolates tenants from each
+    other's scheduler activity. *)
+
+type session
+(** One in-flight [FPGA_EXECUTE]: carries the watchdog deadline (re-armed
+    on serviced progress, resumed with its remaining budget after a
+    preemption) and the start timestamp
+    for the trace span. *)
+
+type context
+(** A parked tenant's complete interface state: the IMU flip-flop
+    context (FSM, latched request, TLB images, SVA windows, CP-port
+    levels), the frame-table occupancy, the full dual-port-RAM image and
+    the VIM's own bookkeeping (write-back and dirty sets, object map,
+    page-table binding, walk-retry streak). *)
+
+val exec_start :
+  ?page_table:Rvi_os.Page_table.t -> t -> params:int list ->
+  (session, error) result
+(** {!execute}'s prologue: scrub, seed the parameter page, bind the
+    translation (SVA mode uses [page_table] when given, the current
+    process's otherwise), start the clocks and the coprocessor. The
+    caller keeps running — nothing sleeps. *)
+
+val exec_pump :
+  t -> session -> until:Rvi_sim.Simtime.t ->
+  [ `Done of (unit, error) result | `Running ]
+(** Advances simulated time to at most [until], servicing interrupts
+    exactly as {!execute}'s pump does (watchdog, lost-IRQ polling,
+    spurious-edge opportunities included). [`Running] is only returned
+    quiesced — pending causes latched at quantum expiry are serviced
+    first — so the scheduler may {!exec_preempt} immediately. [`Done]
+    stops the clocks, runs the abort path on error and closes the trace
+    span. *)
+
+val exec_preempt : t -> session -> context
+(** Stops the station clocks and snapshots the whole interface context.
+    Charged as one full dual-port-RAM copy plus page bookkeeping. Only
+    legal after [`Running]. *)
+
+val exec_resume : t -> context -> session
+(** Reinstates a parked context (frames, pages, IMU, bookkeeping),
+    restarts the clocks and returns a fresh session whose watchdog
+    resumes with the budget it had left at preemption — time spent
+    parked does not count against the tenant's progress budget, but
+    parking does not refresh it, so a hung tenant preempted every
+    quantum still trips its watchdog. *)
+
 val stats : t -> Rvi_sim.Stats.t
 (** ["faults"], ["tlb_refill_faults"], ["evictions"], ["writebacks"],
     ["pages_loaded"], ["pages_cleared"], ["prefetched"],

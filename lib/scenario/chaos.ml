@@ -12,6 +12,8 @@ type violation =
   | Unrecovered of string
   | Progress_gap of float
   | Stat_insane of string
+  | Starved of int
+  | Slo_insane of string
 
 let violation_class = function
   | Crash _ -> "crash"
@@ -20,10 +22,15 @@ let violation_class = function
   | Unrecovered _ -> "unrecovered"
   | Progress_gap _ -> "progress-gap"
   | Stat_insane _ -> "stat-insane"
+  | Starved _ -> "starved"
+  | Slo_insane _ -> "slo-insane"
 
 let violation_detail = function
-  | Crash m | Inconsistent m | Bad_output m | Unrecovered m | Stat_insane m -> m
+  | Crash m | Inconsistent m | Bad_output m | Unrecovered m | Stat_insane m
+  | Slo_insane m ->
+    m
   | Progress_gap ms -> Printf.sprintf "%.1f ms without completion" ms
+  | Starved id -> Printf.sprintf "tenant %d starved" id
 
 let rank = function
   | Crash _ -> 0
@@ -32,6 +39,8 @@ let rank = function
   | Unrecovered _ -> 3
   | Progress_gap _ -> 4
   | Stat_insane _ -> 5
+  | Starved _ -> 6
+  | Slo_insane _ -> 7
 
 type report = {
   index : int;
@@ -82,7 +91,7 @@ let config_of (sc : Scenario.t) =
     seed = sc.Scenario.seed;
   }
 
-let run ?(index = -1) (sc : Scenario.t) =
+let run_single ~index (sc : Scenario.t) =
   let base = config_of sc in
   let inconsistencies = ref [] in
   let inspect p =
@@ -151,6 +160,111 @@ let run ?(index = -1) (sc : Scenario.t) =
     |> List.stable_sort (fun a b -> compare (rank a) (rank b))
   in
   { index; scenario = sc; violations; runs }
+
+(* Multi-tenant scenarios run through the service instead of the
+   single-tenant runner: a closed-loop load of two requests per tenant
+   under the scenario's injector, scheduled by the policy the scenario
+   seed selects. The service's own invariants join the classification —
+   [starved] (a tenant with queued work making no progress inside the
+   budget) and [slo-insane] (a statistically impossible latency report,
+   or a breach of the scenario's declared p99 objective). *)
+let run_service ~index (sc : Scenario.t) =
+  let module Injector = Rvi_inject.Injector in
+  let module Service = Rvi_svc.Service in
+  let module Loadgen = Rvi_svc.Loadgen in
+  let module Slo = Rvi_svc.Slo in
+  let base = config_of sc in
+  let inj = Injector.create ~seed:sc.Scenario.seed ~spec:sc.Scenario.rates in
+  if sc.Scenario.events <> [] then Injector.set_events inj sc.Scenario.events;
+  let watchdog =
+    if sc.Scenario.watchdog_us = 0 then disabled_watchdog
+    else Simtime.of_us sc.Scenario.watchdog_us
+  in
+  let cfg =
+    {
+      base with
+      Config.injector = Some inj;
+      recovery =
+        {
+          Rvi_core.Vim.default_recovery with
+          Rvi_core.Vim.max_retries = sc.Scenario.max_retries;
+        };
+      watchdog;
+      exec_retries = sc.Scenario.exec_retries;
+    }
+  in
+  let policies = Rvi_svc.Sched_policy.all in
+  let policy = List.nth policies (sc.Scenario.seed mod List.length policies) in
+  let requests = 2 * sc.Scenario.tenants in
+  let bytes = Stdlib.min 2048 (sc.Scenario.input_kb * 1024) in
+  let lg =
+    Loadgen.create ~seed:sc.Scenario.seed ~tenants:sc.Scenario.tenants
+      ~requests ~rate_hz:0 ~bytes ()
+  in
+  let tenants = Loadgen.tenants lg in
+  let params =
+    {
+      (Service.default_params policy) with
+      Service.sp_starvation_budget =
+        Simtime.of_ms (2_000 + (10 * sc.Scenario.tenants));
+    }
+  in
+  let result =
+    try
+      let svc = Service.create cfg params ~tenants in
+      Ok (Service.run svc (Loadgen.feed lg) ~expect:requests)
+    with e -> Error (Printexc.to_string e)
+  in
+  let violations =
+    match result with
+    | Error m -> [ Crash m ]
+    | Ok outcome ->
+      let report = Slo.build ~tenants ~outcome in
+      let injected = Injector.injected_total inj in
+      List.concat
+        [
+          List.map (fun m -> Inconsistent m) outcome.Service.o_inconsistencies;
+          (if report.Slo.r_degraded > 0 && injected = 0 then
+             [
+               Bad_output
+                 (Printf.sprintf
+                    "%d degraded completions with no faults injected"
+                    report.Slo.r_degraded);
+             ]
+           else []);
+          (if outcome.Service.o_exhausted then
+             [ Unrecovered "service dispatch budget exhausted" ]
+           else if outcome.Service.o_completed < requests then
+             [
+               Unrecovered
+                 (Printf.sprintf "%d of %d requests completed"
+                    outcome.Service.o_completed requests);
+             ]
+           else []);
+          List.map (fun id -> Starved id) outcome.Service.o_starved;
+          (if not report.Slo.r_sane then
+             [ Slo_insane "latency report has p99 below p50" ]
+           else if
+             sc.Scenario.slo_p99_ms > 0
+             && report.Slo.r_completed > 0
+             && report.Slo.r_p99_us
+                > float_of_int sc.Scenario.slo_p99_ms *. 1_000.0
+           then
+             [
+               Slo_insane
+                 (Printf.sprintf
+                    "p99 %.0f us breaches the declared %d ms objective"
+                    report.Slo.r_p99_us sc.Scenario.slo_p99_ms);
+             ]
+           else []);
+        ]
+      |> List.stable_sort (fun a b -> compare (rank a) (rank b))
+  in
+  { index; scenario = sc; violations; runs = [] }
+
+let run ?(index = -1) (sc : Scenario.t) =
+  if sc.Scenario.tenants > 1 then run_service ~index sc
+  else run_single ~index sc
 
 (* {1 Campaigns} *)
 
@@ -259,6 +373,8 @@ let candidates (sc : Scenario.t) =
       { sc with Scenario.transfer = d.Scenario.transfer };
       { sc with Scenario.exec_retries = d.Scenario.exec_retries };
       { sc with Scenario.max_retries = d.Scenario.max_retries };
+      { sc with Scenario.tenants = d.Scenario.tenants };
+      { sc with Scenario.slo_p99_ms = d.Scenario.slo_p99_ms };
     ]
   in
   List.filter (fun c -> c <> sc) (halves @ singles @ rates @ apps @ kb @ resets)

@@ -13,7 +13,17 @@
     - {b recovery converges} — faults end in recovery or a verifiable
       degrade, never an unrecovered failure;
     - {b progress} — the run finishes well under {!progress_gap_ms};
-    - {b stat sanity} — the report's counters are coherent. *)
+    - {b stat sanity} — the report's counters are coherent.
+
+    Multi-tenant scenarios ([tenants > 1]) run through the service
+    ({!Rvi_svc.Service}) instead of the single-tenant runner and add two
+    more invariants:
+
+    - {b no starvation} — no tenant with queued work goes a whole
+      starvation budget without progress;
+    - {b SLO sanity} — the latency report is statistically possible
+      (p99 >= p50, aggregate and per tenant) and, when the scenario
+      declares a p99 objective, the measured p99 meets it. *)
 
 type violation =
   | Crash of string
@@ -22,10 +32,13 @@ type violation =
   | Unrecovered of string
   | Progress_gap of float  (** run time in ms *)
   | Stat_insane of string
+  | Starved of int  (** tenant id *)
+  | Slo_insane of string
 
 val violation_class : violation -> string
 (** Stable label: ["crash"], ["inconsistent"], ["bad-output"],
-    ["unrecovered"], ["progress-gap"] or ["stat-insane"]. *)
+    ["unrecovered"], ["progress-gap"], ["stat-insane"], ["starved"] or
+    ["slo-insane"]. *)
 
 val violation_detail : violation -> string
 
@@ -44,9 +57,12 @@ val progress_gap_ms : float
 (** Threshold of the progress invariant (500 ms simulated). *)
 
 val run : ?index:int -> Scenario.t -> report
-(** Execute one scenario: every application of the mix through the full
-    stack under the scenario's injector, with the VIM consistency checker
-    probed on the live platform after each run. Deterministic in the
+(** Execute one scenario. Single-tenant: every application of the mix
+    through the full stack under the scenario's injector, with the VIM
+    consistency checker probed on the live platform after each run.
+    Multi-tenant: a closed-loop service campaign of two requests per
+    tenant under the same injector, classified against the service
+    invariants ([runs] is empty for these). Deterministic in the
     scenario alone. *)
 
 val campaign :

@@ -20,6 +20,8 @@ type t = {
   watchdog_us : int;
   exec_retries : int;
   max_retries : int;
+  tenants : int;
+  slo_p99_ms : int;
 }
 
 let default =
@@ -40,6 +42,8 @@ let default =
     watchdog_us = 10_000;
     exec_retries = 2;
     max_retries = 3;
+    tenants = 1;
+    slo_p99_ms = 0;
   }
 
 (* The seeded adversarial scenario the shrinker acceptance test starts
@@ -143,6 +147,8 @@ let to_string t =
       Printf.sprintf "wd_us=%d" t.watchdog_us;
       Printf.sprintf "retries=%d" t.exec_retries;
       Printf.sprintf "vim_retries=%d" t.max_retries;
+      Printf.sprintf "tenants=%d" t.tenants;
+      Printf.sprintf "slo_ms=%d" t.slo_p99_ms;
     ]
 
 let of_string line =
@@ -221,6 +227,14 @@ let of_string line =
       let* n = int_field k v in
       if n >= 0 then Ok { sc with max_retries = n }
       else Error "vim_retries: must be >= 0"
+    | "tenants" ->
+      let* n = int_field k v in
+      if n >= 1 then Ok { sc with tenants = n }
+      else Error "tenants: must be >= 1"
+    | "slo_ms" ->
+      let* n = int_field k v in
+      if n >= 0 then Ok { sc with slo_p99_ms = n }
+      else Error "slo_ms: must be >= 0"
     | _ -> Error (Printf.sprintf "unknown scenario field %S" k)
   in
   let fields = String.split_on_char ';' (String.trim line) in
@@ -303,6 +317,15 @@ let generate ~seed ~index =
   let exec_retries = 1 + Prng.int g 3 in
   let max_retries = 1 + Prng.int g 4 in
   let seed = Prng.next g land 0x3FFF_FFFF in
+  (* Multi-tenant axes are drawn after every pre-existing field, so
+     scenario (seed, index) keeps its historical single-tenant shape bar
+     the new fields. Roughly one scenario in four goes through the
+     service; declared SLOs are generous — sub-second makespans mean any
+     breach is a genuine scheduling bug, not load. *)
+  let tenants = if Prng.int g 4 = 0 then 2 + Prng.int g 7 else 1 in
+  let slo_p99_ms =
+    if tenants > 1 && Prng.int g 2 = 0 then 5_000 + Prng.int g 5_000 else 0
+  in
   {
     seed;
     apps;
@@ -320,6 +343,8 @@ let generate ~seed ~index =
     watchdog_us;
     exec_retries;
     max_retries;
+    tenants;
+    slo_p99_ms;
   }
 
 (* {1 Shrinking order}
@@ -341,10 +366,12 @@ let measure t =
     t.transfer <> default.transfer;
     t.exec_retries <> default.exec_retries;
     t.max_retries <> default.max_retries;
+    t.slo_p99_ms <> default.slo_p99_ms;
   ] in
   (10 * List.length t.events)
   + (5 * List.length t.rates)
   + (4 * (List.length t.apps - 1))
+  + (3 * (t.tenants - 1))
   + t.input_kb
   + List.fold_left (fun n b -> if b then n + 1 else n) 0 non_default
 

@@ -29,6 +29,11 @@ type t = {
   watchdog_us : int;  (** [0] = watchdog disabled (capped at 2 s simulated) *)
   exec_retries : int;
   max_retries : int;  (** VIM in-recovery retry budget *)
+  tenants : int;
+      (** [> 1] routes the run through the multi-tenant service
+          ({!Rvi_svc.Service}) instead of the single-tenant runner *)
+  slo_p99_ms : int;
+      (** declared p99 latency objective for service runs; [0] = none *)
 }
 
 val default : t

@@ -1,0 +1,38 @@
+(** Seed-deterministic open/closed-loop load generation.
+
+    The tenant plan (weights, application mixes), every request's
+    workload and the open-loop arrival process are pure functions of the
+    seed — jittered interarrival gaps are drawn as integer picoseconds,
+    never through [exp]/[log], so outputs are bit-stable across
+    platforms. *)
+
+type mode =
+  | Closed  (** one outstanding request per tenant; resubmit on completion *)
+  | Open of int  (** aggregate arrival rate, requests per second *)
+
+type t
+
+val create :
+  seed:int ->
+  tenants:int ->
+  requests:int ->
+  rate_hz:int ->
+  bytes:int ->
+  ?sq_capacity:int ->
+  ?cq_capacity:int ->
+  unit ->
+  t
+(** [rate_hz = 0] selects the closed loop; positive rates the open loop
+    at that aggregate request rate. [requests] is the total across all
+    tenants; [bytes] the nominal input size (each request draws in
+    [bytes/2, 3*bytes/2) and is kind-aligned). Ring capacities default
+    to 64. *)
+
+val tenants : t -> Tenant.t array
+val total : t -> int
+val issued : t -> int
+
+val feed : t -> Service.feed
+(** The service-facing half: arrival peek, due-arrival delivery
+    (admission refusals count as tenant drops) and closed-loop
+    resubmission on completion. *)

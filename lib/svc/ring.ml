@@ -1,0 +1,48 @@
+(* A bounded single-producer single-consumer descriptor ring.
+
+   The service's tenant queues are virtqueue-shaped: a fixed array of
+   slots with free-running head (consumer) and tail (producer) indices
+   reduced modulo the capacity on access. Fullness is the index
+   difference, so no slot is sacrificed and the wrap arithmetic is the
+   one property tests exercise hardest. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* next pop; free-running *)
+  mutable tail : int;  (* next push; free-running *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; tail = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.tail - t.head
+let is_empty t = t.head = t.tail
+let is_full t = length t = capacity t
+
+let push t x =
+  if is_full t then false
+  else begin
+    t.slots.(t.tail mod capacity t) <- Some x;
+    t.tail <- t.tail + 1;
+    true
+  end
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let i = t.head mod capacity t in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    t.head <- t.head + 1;
+    x
+  end
+
+let peek t = if is_empty t then None else t.slots.(t.head mod capacity t)
+
+let to_list t =
+  List.init (length t) (fun i ->
+      match t.slots.((t.head + i) mod capacity t) with
+      | Some x -> x
+      | None -> assert false)

@@ -1,0 +1,53 @@
+(** The serve campaign driver: a cell per (policy, translation-mode)
+    pair, each an independent seeded service simulation, fanned out over
+    the persistent domain pool. Results — including the per-request CSV
+    and its digest — are a pure function of the cell list, never of the
+    domain count. *)
+
+type cell = {
+  cl_policy : Sched_policy.t;
+  cl_translation : Rvi_core.Translation_mode.t;
+  cl_seed : int;
+  cl_tenants : int;
+  cl_requests : int;
+  cl_rate_hz : int;  (** 0 = closed loop *)
+  cl_quantum_us : int;
+  cl_bytes : int;
+}
+
+type cell_result = {
+  cr_cell : cell;
+  cr_report : Slo.report;
+  cr_outcome : Service.outcome;
+  cr_csv : string;  (** one row per completion, completion order *)
+  cr_digest : string;  (** hex digest of [cr_csv] *)
+  cr_wall_s : float;
+}
+
+val cell_label : cell -> string
+val csv_header : string
+
+val run_cell : cell -> cell_result
+
+val cells :
+  policies:Sched_policy.t list ->
+  translations:Rvi_core.Translation_mode.t list ->
+  seed:int ->
+  tenants:int ->
+  requests:int ->
+  rate_hz:int ->
+  quantum_us:int ->
+  bytes:int ->
+  cell list
+
+val campaign : ?jobs:int -> cell list -> cell_result list
+(** Results in cell order whatever [jobs] is. *)
+
+val digest : cell_result list -> string
+(** Concatenated per-cell digests — the classification fingerprint the
+    determinism check compares across [--jobs] values. *)
+
+val violations : cell_result -> string list
+(** Human-readable invariant violations of one cell: starved tenants,
+    consistency failures, insane SLO statistics, a blown dispatch
+    budget. Empty on a clean run. *)

@@ -1,0 +1,118 @@
+module Simtime = Rvi_sim.Simtime
+module Histogram = Rvi_sim.Histogram
+
+type tenant_summary = {
+  ts_id : int;
+  ts_weight : int;
+  ts_completed : int;
+  ts_dropped : int;
+  ts_starved : bool;
+  ts_mean_us : float;
+  ts_p50_us : float;
+  ts_p99_us : float;
+}
+
+type report = {
+  r_tenants : int;
+  r_submitted : int;
+  r_completed : int;
+  r_dropped : int;
+  r_degraded : int;
+  r_recovered : int;
+  r_makespan_ms : float;
+  r_p50_us : float;
+  r_p95_us : float;
+  r_p99_us : float;
+  r_jain : float;
+  r_reconfigurations : int;
+  r_preemptions : int;
+  r_resumes : int;
+  r_starved : int list;
+  r_inconsistencies : int;
+  r_sane : bool;
+  r_per_tenant : tenant_summary list;
+}
+
+(* Jain's fairness index over per-tenant service quality, taken as the
+   reciprocal of mean latency (a tenant served twice as slowly
+   contributes half the share). 1.0 is perfectly fair; 1/n is one tenant
+   getting everything. Tenants that completed nothing are excluded —
+   starvation is reported separately. *)
+let jain xs =
+  match List.filter (fun x -> x > 0.0) xs with
+  | [] -> 1.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if s2 <= 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let tenant_summary (tn : Tenant.t) =
+  {
+    ts_id = tn.Tenant.id;
+    ts_weight = tn.Tenant.weight;
+    ts_completed = tn.Tenant.completed;
+    ts_dropped = tn.Tenant.dropped;
+    ts_starved = tn.Tenant.starved;
+    ts_mean_us = Tenant.mean_latency_us tn;
+    ts_p50_us = Histogram.percentile tn.Tenant.lat 50.0;
+    ts_p99_us = Histogram.percentile tn.Tenant.lat 99.0;
+  }
+
+let build ~tenants ~(outcome : Service.outcome) =
+  let agg = Histogram.create () in
+  Array.iter (fun (tn : Tenant.t) -> Histogram.merge_into ~into:agg tn.Tenant.lat)
+    tenants;
+  let p q = Histogram.percentile agg q in
+  let sum f = Array.fold_left (fun a tn -> a + f tn) 0 tenants in
+  let per_tenant = Array.to_list (Array.map tenant_summary tenants) in
+  let sane_tenant ts =
+    ts.ts_completed = 0 || ts.ts_p99_us +. 1e-9 >= ts.ts_p50_us
+  in
+  {
+    r_tenants = Array.length tenants;
+    r_submitted = sum (fun tn -> tn.Tenant.submitted);
+    r_completed = sum (fun tn -> tn.Tenant.completed);
+    r_dropped = sum (fun tn -> tn.Tenant.dropped);
+    r_degraded = sum (fun tn -> tn.Tenant.degraded);
+    r_recovered = sum (fun tn -> tn.Tenant.recovered);
+    r_makespan_ms = Simtime.to_ms outcome.Service.o_makespan;
+    r_p50_us = p 50.0;
+    r_p95_us = p 95.0;
+    r_p99_us = p 99.0;
+    r_jain =
+      jain
+        (Array.to_list tenants
+        |> List.filter_map (fun (tn : Tenant.t) ->
+               if tn.Tenant.completed = 0 then None
+               else
+                 let m = Tenant.mean_latency_us tn in
+                 if m > 0.0 then Some (1.0 /. m) else None));
+    r_reconfigurations = outcome.Service.o_reconfigurations;
+    r_preemptions = outcome.Service.o_preemptions;
+    r_resumes = outcome.Service.o_resumes;
+    r_starved = outcome.Service.o_starved;
+    r_inconsistencies = List.length outcome.Service.o_inconsistencies;
+    r_sane =
+      (Histogram.count agg = 0 || p 99.0 +. 1e-9 >= p 50.0)
+      && List.for_all sane_tenant per_tenant;
+    r_per_tenant = per_tenant;
+  }
+
+let print ppf ~label r =
+  Format.fprintf ppf
+    "%s: %d tenants, %d/%d completed (%d dropped, %d degraded, %d recovered)@."
+    label r.r_tenants r.r_completed r.r_submitted r.r_dropped r.r_degraded
+    r.r_recovered;
+  Format.fprintf ppf
+    "  makespan %.3f ms, latency p50/p95/p99 = %.0f/%.0f/%.0f us, Jain %.4f@."
+    r.r_makespan_ms r.r_p50_us r.r_p95_us r.r_p99_us r.r_jain;
+  Format.fprintf ppf "  reconfigurations %d, preemptions %d (resumed %d)%s%s@."
+    r.r_reconfigurations r.r_preemptions r.r_resumes
+    (match r.r_starved with
+    | [] -> ""
+    | l -> Printf.sprintf ", STARVED tenants %s"
+             (String.concat "," (List.map string_of_int l)))
+    (if r.r_inconsistencies > 0 then
+       Printf.sprintf ", %d INCONSISTENCIES" r.r_inconsistencies
+     else "")

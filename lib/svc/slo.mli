@@ -1,0 +1,45 @@
+(** Service-level reporting: per-tenant and aggregate latency
+    percentiles, Jain's fairness index, makespan and the sanity flags
+    the chaos invariants key on. *)
+
+type tenant_summary = {
+  ts_id : int;
+  ts_weight : int;
+  ts_completed : int;
+  ts_dropped : int;
+  ts_starved : bool;
+  ts_mean_us : float;
+  ts_p50_us : float;
+  ts_p99_us : float;
+}
+
+type report = {
+  r_tenants : int;
+  r_submitted : int;
+  r_completed : int;
+  r_dropped : int;
+  r_degraded : int;
+  r_recovered : int;
+  r_makespan_ms : float;
+  r_p50_us : float;
+  r_p95_us : float;
+  r_p99_us : float;
+  r_jain : float;  (** over per-tenant 1/mean-latency; 1.0 = fair *)
+  r_reconfigurations : int;
+  r_preemptions : int;
+  r_resumes : int;
+  r_starved : int list;
+  r_inconsistencies : int;
+  r_sane : bool;
+      (** reported percentiles are ordered (p99 >= p50, aggregate and
+          per tenant) — the [slo-insane] chaos invariant *)
+  r_per_tenant : tenant_summary list;
+}
+
+val jain : float list -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)] over the positive
+    entries; 1.0 when empty. *)
+
+val build : tenants:Tenant.t array -> outcome:Service.outcome -> report
+
+val print : Format.formatter -> label:string -> report -> unit

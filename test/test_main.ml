@@ -17,4 +17,5 @@ let () =
       ("harness", Test_harness.suite);
       ("par", Test_par.suite);
       ("scenario", Test_scenario.suite);
+      ("svc", Test_svc.suite);
     ]
